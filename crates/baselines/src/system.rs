@@ -1,0 +1,71 @@
+//! The common interface every decoding system implements, so the benchmark
+//! harness can sweep systems uniformly.
+
+use bd_core::{AttentionConfig, DecodeShape};
+use bd_gpu_sim::{GpuArch, KernelProfile, LatencyBreakdown};
+
+/// A decoding system that can be priced on a GPU for a workload shape.
+pub trait DecodeSystem {
+    /// Display label matching the paper's legends (e.g. `"KIVI-4"`).
+    fn label(&self) -> String;
+
+    /// Whether the system supports this attention structure (Atom has no
+    /// GQA support, paper §VI-A).
+    fn supports(&self, attn: &AttentionConfig) -> bool {
+        let _ = attn;
+        true
+    }
+
+    /// The kernels one decode step launches.
+    fn plan(&self, shape: &DecodeShape, arch: &GpuArch) -> Vec<KernelProfile>;
+
+    /// Scratch memory beyond weights + cache the system needs per decode
+    /// step (bytes) — non-fused systems materialize dequantized tensors and
+    /// score matrices here.
+    fn scratch_bytes(&self, shape: &DecodeShape) -> f64 {
+        let _ = shape;
+        0.0
+    }
+
+    /// Peak transient memory the system's *prefill* needs for a context of
+    /// `seq_len` (bytes). Systems without block-tiled prefill attention
+    /// materialize chunked score matrices here — the source of KIVI's 128K
+    /// OOM in paper Fig. 12.
+    fn prefill_scratch_bytes(&self, attn: &AttentionConfig, seq_len: usize) -> f64 {
+        let _ = (attn, seq_len);
+        0.0
+    }
+
+    /// KV-cache bytes per token per sequence for this system's storage
+    /// format (all `h_kv` heads of one layer).
+    fn kv_bytes_per_token(&self, attn: &AttentionConfig) -> f64;
+
+    /// Evaluates the full decode step.
+    fn latency(&self, shape: &DecodeShape, arch: &GpuArch) -> LatencyBreakdown {
+        self.plan(shape, arch)
+            .iter()
+            .map(|p| arch.evaluate(p))
+            .fold(LatencyBreakdown::default(), |acc, b| {
+                if acc.total == 0.0 {
+                    b
+                } else {
+                    acc.chain(b)
+                }
+            })
+    }
+
+    /// Decode-step latency in seconds.
+    fn latency_s(&self, shape: &DecodeShape, arch: &GpuArch) -> f64 {
+        self.latency(shape, arch).total
+    }
+}
+
+/// Speedup of `system` over `baseline` on the same shape/arch.
+pub fn speedup(
+    system: &dyn DecodeSystem,
+    baseline: &dyn DecodeSystem,
+    shape: &DecodeShape,
+    arch: &GpuArch,
+) -> f64 {
+    baseline.latency_s(shape, arch) / system.latency_s(shape, arch)
+}

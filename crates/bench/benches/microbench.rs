@@ -1,0 +1,138 @@
+//! Criterion microbenches over the functional hot paths: quantization,
+//! packing, fast vs slow dequantization, fragment mapping, MMA tiles,
+//! codec round trips, softmax tiles, and a full functional decode step.
+
+use bd_core::{AttentionConfig, BitDecoder, FragmentCodec, OnlineSoftmax};
+use bd_gpu_sim::{ldmatrix, mma, AccFragment, FragmentLayout, GpuArch, MmaShape, Operand, Tile};
+use bd_kvcache::{BlockCodec, PackLayout, QuantScheme};
+use bd_lowbit::{fastpath, pack_u32, quantize_group, BitWidth, PackOrder, QuantParams};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+    c.bench_function("quantize_group_4096_int4", |b| {
+        b.iter(|| quantize_group(black_box(&values), BitWidth::B4))
+    });
+    c.bench_function("quantize_group_4096_int2", |b| {
+        b.iter(|| quantize_group(black_box(&values), BitWidth::B2))
+    });
+}
+
+fn bench_dequant_paths(c: &mut Criterion) {
+    let params = QuantParams::from_min_max(-2.0, 2.0, BitWidth::B4);
+    let codes: Vec<u8> = (0..8).collect();
+    let reg = pack_u32(&codes, BitWidth::B4, PackOrder::FastDequant);
+    c.bench_function("dequant_fast_lop3_8xint4", |b| {
+        b.iter(|| fastpath::dequant_register(black_box(reg), BitWidth::B4, params))
+    });
+    c.bench_function("dequant_slow_cast_8xint4", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(8);
+            for &code in &codes {
+                out.push(params.dequantize(black_box(code)));
+            }
+            out
+        })
+    });
+}
+
+fn bench_fragments(c: &mut Criterion) {
+    let layout = FragmentLayout::new(MmaShape::M16N8K16, Operand::B);
+    let tile = Tile::from_fn(16, 8, |r, col| (r * 8 + col) as f32);
+    c.bench_function("ldmatrix_16x8", |b| {
+        b.iter(|| ldmatrix(black_box(&tile), layout))
+    });
+
+    let a_tile = Tile::from_fn(16, 16, |r, col| ((r + col) % 5) as f32 - 2.0);
+    let b_tile = Tile::from_fn(16, 8, |r, col| ((r * 3 + col) % 7) as f32 * 0.5);
+    let fa = ldmatrix(&a_tile, FragmentLayout::new(MmaShape::M16N8K16, Operand::A));
+    let fb = ldmatrix(&b_tile, layout);
+    c.bench_function("mma_m16n8k16", |b| {
+        b.iter_batched(
+            || AccFragment::zeroed(MmaShape::M16N8K16),
+            |mut acc| mma(MmaShape::M16N8K16, black_box(&fa), black_box(&fb), &mut acc),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let layout = PackLayout::sm80_default();
+    let codec = FragmentCodec::new(layout);
+    let scheme = QuantScheme::kc4();
+    let nr = 128;
+    let dim = 128;
+    let k: Vec<Vec<f32>> = (0..nr)
+        .map(|t| {
+            (0..dim)
+                .map(|ch| ((t * dim + ch) as f32 * 0.61).sin())
+                .collect()
+        })
+        .collect();
+    let v = k.clone();
+    c.bench_function("fragment_codec_encode_block_128x128", |b| {
+        b.iter(|| codec.encode(black_box(&k), black_box(&v), scheme))
+    });
+    let block = codec.encode(&k, &v, scheme);
+    c.bench_function("fragment_codec_decode_block_128x128", |b| {
+        b.iter(|| codec.decode(black_box(&block), scheme))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let s = Tile::from_fn(4, 128, |r, col| ((r * 128 + col) as f32 * 0.17).sin() * 2.0);
+    let v = Tile::from_fn(128, 64, |r, col| ((r * 64 + col) as f32 * 0.23).cos());
+    c.bench_function("online_softmax_tile_4x128", |b| {
+        b.iter_batched(
+            || OnlineSoftmax::new(4, 64),
+            |mut st| st.step_tile_warped(black_box(&s), black_box(&v), 4, true),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let dec = BitDecoder::builder(GpuArch::rtx4090())
+        .attention(AttentionConfig::gqa(8, 2, 32))
+        .scheme(QuantScheme::kc4())
+        .build();
+    let mut cache = dec.new_cache(1);
+    let codec = dec.codec();
+    let kv: Vec<Vec<f32>> = (0..256)
+        .map(|t| {
+            (0..32)
+                .map(|ch| ((t * 32 + ch) as f32 * 0.37).sin())
+                .collect()
+        })
+        .collect();
+    for head in 0..cache.heads() {
+        cache.prefill(head, &kv, &kv, &codec).unwrap();
+    }
+    let q = vec![(0..8)
+        .map(|h| {
+            (0..32)
+                .map(|ch| ((h * 32 + ch) as f32 * 0.71).sin())
+                .collect()
+        })
+        .collect()];
+    c.bench_function("functional_decode_step_gqa8x2_len256", |b| {
+        b.iter(|| dec.decode(black_box(&q), black_box(&cache)).unwrap())
+    });
+
+    let shape = bd_core::DecodeShape::new(8, AttentionConfig::gqa(32, 8, 128), 32768);
+    c.bench_function("analytic_latency_evaluation", |b| {
+        b.iter(|| dec.latency(black_box(&shape)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_dequant_paths,
+    bench_fragments,
+    bench_codec,
+    bench_softmax,
+    bench_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. **Rotation ablation** (RotateKV/QuaRot direction, paper §VII(a)):
+//!    Hadamard-rotating Q/K before quantization rescues tensor-wise Key
+//!    scaling from channel outliers — quantifying how much of KC's accuracy
+//!    advantage a rotation recovers for the cheaper KT layout.
+//! 2. **NVFP4 vs MXFP4** (paper §V-D(2) mentions both): finer E4M3 block
+//!    scales vs power-of-two E8M0, on accuracy and on Blackwell kernel
+//!    speed (scale-metadata traffic differs).
+
+use bd_accuracy::{evaluate_scheme, evaluate_scheme_rotated, longbench_proxy};
+use bd_baselines::{BitDecodingSys, DecodeSystem, FlashDecoding};
+use bd_bench::{banner, row, shape, subbanner};
+use bd_core::AttentionConfig;
+use bd_gpu_sim::GpuArch;
+use bd_kvcache::QuantScheme;
+
+fn main() {
+    banner("Extension 1: outlier-smoothing rotation (d=128, 1K tokens)");
+    subbanner("attention fidelity with and without Q/K Hadamard rotation");
+    row(&[
+        "scheme".into(),
+        "rel-RMSE".into(),
+        "rotated".into(),
+        "cosine".into(),
+        "rotated".into(),
+        "proxy".into(),
+        "rotated".into(),
+    ]);
+    for scheme in [
+        QuantScheme::kt4(),
+        QuantScheme::kc4(),
+        QuantScheme::kt2(),
+        QuantScheme::kc2(),
+    ] {
+        let plain = evaluate_scheme(scheme, 128, 1024, 2);
+        let rot = evaluate_scheme_rotated(scheme, 128, 1024, 2);
+        row(&[
+            scheme.label(),
+            format!("{:.4}", plain.output_rel_rmse),
+            format!("{:.4}", rot.output_rel_rmse),
+            format!("{:.4}", plain.cosine),
+            format!("{:.4}", rot.cosine),
+            format!("{:.2}", longbench_proxy(&plain)),
+            format!("{:.2}", longbench_proxy(&rot)),
+        ]);
+    }
+    println!();
+    println!("Rotation spreads hot Key channels across the head dim: tensor-wise (KT)");
+    println!("scaling approaches channel-wise (KC) accuracy, enabling the cheaper");
+    println!("metadata layout — the RotateKV/QuaRot co-design the paper anticipates.");
+
+    banner("Extension 2: NVFP4 vs MXFP4 on Blackwell");
+    subbanner("accuracy (synthetic outlier KV)");
+    row(&[
+        "format".into(),
+        "rel-RMSE".into(),
+        "cosine".into(),
+        "scale bytes/token".into(),
+    ]);
+    for scheme in [QuantScheme::mxfp4(), QuantScheme::nvfp4()] {
+        let acc = evaluate_scheme(scheme, 128, 1024, 2);
+        row(&[
+            scheme.label(),
+            format!("{:.4}", acc.output_rel_rmse),
+            format!("{:.4}", acc.cosine),
+            format!("{:.1}", scheme.params_bytes_per_token(128)),
+        ]);
+    }
+
+    subbanner("kernel speedup over FP16 (GQA 32/8, len=32K)");
+    let attn = AttentionConfig::gqa(32, 8, 128);
+    let flash = FlashDecoding::v2();
+    let mut header = vec!["format".to_owned()];
+    let batches = [1usize, 8, 64];
+    header.extend(batches.iter().map(|b| format!("bs={b}")));
+    row(&header);
+    for (arch, schemes) in [
+        (
+            GpuArch::rtx5090(),
+            [QuantScheme::mxfp4(), QuantScheme::nvfp4()],
+        ),
+        (
+            GpuArch::rtx_pro6000(),
+            [QuantScheme::mxfp4(), QuantScheme::nvfp4()],
+        ),
+    ] {
+        for scheme in schemes {
+            let sys = BitDecodingSys::new(scheme);
+            let mut cells = vec![format!("{} @ {}", scheme.label(), arch.name)];
+            for &bs in &batches {
+                let s = shape(bs, attn, 32768);
+                cells.push(format!(
+                    "{:.2}x",
+                    flash.latency_s(&s, &arch) / sys.latency_s(&s, &arch)
+                ));
+            }
+            row(&cells);
+        }
+    }
+    println!();
+    println!("NVFP4's E4M3 scales track block maxima ~2x tighter than E8M0's powers of");
+    println!("two at 2x the scale-metadata traffic — visible as slightly better accuracy");
+    println!("at nearly identical kernel speed.");
+}

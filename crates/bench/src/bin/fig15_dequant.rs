@@ -1,0 +1,70 @@
+//! Fig. 15 — Dequantization overhead analysis: (a) the fraction of kernel
+//! time spent on dequantization for Atom, QServe and BitDecoding variants;
+//! (b) micro-analysis of unit pressure (memory throughput, Tensor Core,
+//! FMA, ALU) for Atom vs BitDecoding.
+
+use bd_baselines::{BitDecodingSys, CudaOnly, DecodeSystem};
+use bd_bench::{banner, row, shape, subbanner};
+use bd_core::AttentionConfig;
+use bd_gpu_sim::GpuArch;
+
+fn main() {
+    banner("Fig. 15: dequantization overhead (RTX 4090)");
+    let arch = GpuArch::rtx4090();
+    let attn = AttentionConfig::mha(32, 128);
+    let s = shape(8, attn, 2048);
+
+    subbanner("(a) fraction of kernel time in dequantization");
+    let atom = CudaOnly::atom();
+    let qserve = CudaOnly::qserve();
+    let kt4 = BitDecodingSys::kt4();
+    let kc4 = BitDecodingSys::kc4();
+    let kc2 = BitDecodingSys::kc2();
+    let systems: Vec<(&str, &dyn DecodeSystem)> = vec![
+        ("Atom", &atom),
+        ("QServe", &qserve),
+        ("B-KT-4", &kt4),
+        ("B-KC-4", &kc4),
+        ("B-KC-2", &kc2),
+    ];
+    row(&["system".into(), "latency".into(), "dequant share".into()]);
+    for (label, sys) in &systems {
+        let lat = sys.latency(&s, &arch);
+        row(&[
+            (*label).to_owned(),
+            format!("{:.3} ms", lat.total * 1e3),
+            format!("{:.1}%", lat.dequant_fraction() * 100.0),
+        ]);
+    }
+
+    subbanner("(b) micro analysis: unit pressure (percent of kernel time)");
+    row(&[
+        "system".into(),
+        "Mem. T.".into(),
+        "Tensor Core".into(),
+        "FMA".into(),
+        "ALU".into(),
+    ]);
+    let bd = BitDecodingSys::kt4();
+    for (label, sys) in [("Atom", &atom as &dyn DecodeSystem), ("BitDecoding", &bd)] {
+        let lat = sys.latency(&s, &arch);
+        let occ = lat.occupancy.max(1e-9);
+        let total = lat.total.max(1e-12);
+        let mem = (lat.mem_wall / total * 100.0).min(100.0);
+        let tc = (lat.tc_wall / total * 100.0).min(100.0);
+        let fma = (lat.t_cuda_fma / occ / total * 100.0).min(100.0);
+        let alu = ((lat.t_cuda - lat.t_cuda_fma) / occ / total * 100.0).min(100.0);
+        row(&[
+            label.to_owned(),
+            format!("{mem:.1}%"),
+            format!("{tc:.1}%"),
+            format!("{fma:.1}%"),
+            format!("{alu:.1}%"),
+        ]);
+    }
+
+    println!();
+    println!("Paper reference: Atom/QServe spend ~45-50% of kernel time dequantizing;");
+    println!("BitDecoding <15% (4-bit) and ~35% (2-bit). Micro: Atom 72% mem / 0% TC /");
+    println!("19% FMA / 33% ALU vs BitDecoding 88% mem / 24% TC / 13% FMA / 13% ALU.");
+}

@@ -1,0 +1,60 @@
+//! Smoke tests: every figure binary's core sweep logic runs and produces
+//! ordered results (the binaries themselves are exercised by
+//! `all_experiments`; these tests pin the invariants the tables rely on).
+
+use bd_baselines::{speedup, BitDecodingSys, DecodeSystem, FlashDecoding, Kivi};
+use bd_bench::{shape, typical_residual};
+use bd_core::AttentionConfig;
+use bd_gpu_sim::GpuArch;
+
+#[test]
+fn speedups_are_finite_across_the_full_grid() {
+    let attn_grid = [
+        AttentionConfig::mha(32, 128),
+        AttentionConfig::gqa(32, 8, 128),
+        AttentionConfig::gqa(128, 8, 128),
+        AttentionConfig::mqa(32, 128),
+    ];
+    let flash = FlashDecoding::v2();
+    let bd = BitDecodingSys::kc4();
+    let kivi = Kivi::int2();
+    for arch in GpuArch::all() {
+        for attn in attn_grid {
+            for len in [1024usize, 32768] {
+                for bs in [1usize, 32] {
+                    let s = shape(bs, attn, len);
+                    for sys in [&bd as &dyn DecodeSystem, &kivi] {
+                        let sp = speedup(sys, &flash, &s, &arch);
+                        assert!(
+                            sp.is_finite() && sp > 0.0,
+                            "{} {attn} {len} {bs}",
+                            arch.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bitdecoding_speedup_grows_with_context_on_every_arch() {
+    let attn = AttentionConfig::gqa(32, 8, 128);
+    let flash = FlashDecoding::v2();
+    let bd = BitDecodingSys::kc4();
+    for arch in GpuArch::all() {
+        let short = speedup(&bd, &flash, &shape(8, attn, 2048), &arch);
+        let long = speedup(&bd, &flash, &shape(8, attn, 131072), &arch);
+        assert!(
+            long > short,
+            "{}: speedup must grow with context ({short} -> {long})",
+            arch.name
+        );
+    }
+}
+
+#[test]
+fn typical_residual_is_bounded() {
+    assert_eq!(typical_residual(10), 5);
+    assert_eq!(typical_residual(1 << 20), 64);
+}

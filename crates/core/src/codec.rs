@@ -1,0 +1,385 @@
+//! The fragment-true block codec: layout induction in executable form
+//! (paper §IV-A(1), Fig. 5).
+//!
+//! The Residual Kernel loads KV values with `ldmatrix`, which scatters them
+//! across lanes in the MMA B-operand fragment layout. Each lane then
+//! quantizes **its own registers** and packs them — so the physical word
+//! stream is ordered by `(k_tile, warp, lane, tile-in-warp, register)`,
+//! with the 75316420 interleave applied at 32-bit register granularity.
+//! Unpacking with the *same* [`PackLayout`] lands every value back in its
+//! fragment slot with zero reshuffling; unpacking with a different
+//! configuration silently permutes values, which is the paper's
+//! "invalid layout" failure (Fig. 3b).
+//!
+//! Keys pack in the `Q·K^T` B-operand orientation (contraction over
+//! channels), Values in the `P·V` orientation (contraction over tokens) —
+//! mirroring how the Packing Kernel consumes them.
+
+use bd_gpu_sim::{FragmentLayout, Operand};
+use bd_kvcache::{
+    dequantize_int_codes, quantize_int_codes, BlockCodec, KeyGranularity, PackLayout, PackedBlock,
+    PackedPayload, PackedTensor, QuantScheme, ReferenceCodec, SchemeKind, TokenMatrix,
+};
+use bd_lowbit::{codes_per_u32, fuse_words, pack_u32, split_register, unpack_u32, BitWidth};
+
+/// The codec used by BitDecoding's Residual and Packing kernels.
+///
+/// Both kernels must be constructed with the *same* layout — this is the
+/// "unified instruction configuration" of paper §IV-A(4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentCodec {
+    /// The shared instruction configuration.
+    pub layout: PackLayout,
+}
+
+impl FragmentCodec {
+    /// Builds the codec from an instruction configuration.
+    pub const fn new(layout: PackLayout) -> Self {
+        FragmentCodec { layout }
+    }
+
+    /// Effective warp count along N for a tensor with `nt` N-tiles: the
+    /// configured `Wn` shrunk (deterministically, on both kernels) until it
+    /// divides the tile count — narrow tensors simply idle the spare warps.
+    fn effective_wn(&self, nt: usize) -> usize {
+        let mut wn = self.layout.warps_n.min(nt).max(1);
+        while nt % wn != 0 {
+            wn -= 1;
+        }
+        wn
+    }
+
+    /// Packs a B-operand-oriented code matrix (`k_total × n_total`,
+    /// accessed through `code_at(k, n)`) into the physical word stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not tile evenly under the layout.
+    fn pack_b_operand(
+        &self,
+        code_at: impl Fn(usize, usize) -> u8,
+        k_total: usize,
+        n_total: usize,
+        width: BitWidth,
+    ) -> Vec<u16> {
+        let shape = self.layout.shape;
+        let blayout = FragmentLayout::new(shape, Operand::B);
+        assert_eq!(k_total % shape.k(), 0, "K dim must tile by {}", shape.k());
+        assert_eq!(n_total % shape.n(), 0, "N dim must tile by {}", shape.n());
+        let kt = k_total / shape.k();
+        let nt = n_total / shape.n();
+        let wn = self.effective_wn(nt);
+        let tiles_per_warp = nt / wn;
+        let regs = blayout.regs_per_lane();
+        let per_reg32 = codes_per_u32(width);
+
+        let mut words = Vec::new();
+        for ki in 0..kt {
+            for w in 0..wn {
+                for lane in 0..32 {
+                    // The lane's register stream across its warp's tiles.
+                    let mut stream = Vec::with_capacity(tiles_per_warp * regs);
+                    for tw in 0..tiles_per_warp {
+                        let nj = w * tiles_per_warp + tw;
+                        for reg in 0..regs {
+                            let (kl, nl) = blayout.coords(lane, reg);
+                            stream.push(code_at(ki * shape.k() + kl, nj * shape.n() + nl));
+                        }
+                    }
+                    // Pack into 32-bit registers with the configured
+                    // interleave, then split to 16-bit storage words.
+                    for chunk in stream.chunks(per_reg32) {
+                        let mut buf = chunk.to_vec();
+                        buf.resize(per_reg32, 0);
+                        let reg32 = pack_u32(&buf, width, self.layout.order);
+                        let (lo, hi) = split_register(reg32);
+                        words.push(lo);
+                        words.push(hi);
+                    }
+                }
+            }
+        }
+        words
+    }
+
+    /// Inverse of [`FragmentCodec::pack_b_operand`]: scatters codes back to
+    /// `(k, n)` positions via `store(k, n, code)`.
+    fn unpack_b_operand(
+        &self,
+        words: &[u16],
+        mut store: impl FnMut(usize, usize, u8),
+        k_total: usize,
+        n_total: usize,
+        width: BitWidth,
+    ) {
+        let shape = self.layout.shape;
+        let blayout = FragmentLayout::new(shape, Operand::B);
+        let kt = k_total / shape.k();
+        let nt = n_total / shape.n();
+        let wn = self.effective_wn(nt);
+        let tiles_per_warp = nt / wn;
+        let regs = blayout.regs_per_lane();
+        let per_reg32 = codes_per_u32(width);
+        let stream_len = tiles_per_warp * regs;
+        let regs32_per_lane = stream_len.div_ceil(per_reg32);
+
+        let mut widx = 0usize;
+        for ki in 0..kt {
+            for w in 0..wn {
+                for lane in 0..32 {
+                    let mut stream = Vec::with_capacity(regs32_per_lane * per_reg32);
+                    for _ in 0..regs32_per_lane {
+                        let reg32 = fuse_words(words[widx], words[widx + 1]);
+                        widx += 2;
+                        stream.extend(unpack_u32(reg32, width, self.layout.order));
+                    }
+                    for tw in 0..tiles_per_warp {
+                        let nj = w * tiles_per_warp + tw;
+                        for reg in 0..regs {
+                            let (kl, nl) = blayout.coords(lane, reg);
+                            store(
+                                ki * shape.k() + kl,
+                                nj * shape.n() + nl,
+                                stream[tw * regs + reg],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn encode_int(
+        &self,
+        values: &TokenMatrix,
+        width: BitWidth,
+        granularity: KeyGranularity,
+        group: usize,
+        key_orientation: bool,
+    ) -> PackedTensor {
+        let tokens = values.len();
+        let dim = values[0].len();
+        let (codes, params) = quantize_int_codes(values, width, granularity, group);
+        let words = if key_orientation {
+            // K^T: B(k = channel, n = token).
+            self.pack_b_operand(|k, n| codes[n * dim + k], dim, tokens, width)
+        } else {
+            // V: B(k = token, n = channel).
+            self.pack_b_operand(|k, n| codes[k * dim + n], tokens, dim, width)
+        };
+        PackedTensor {
+            tokens,
+            dim,
+            payload: PackedPayload::Int { words, params },
+        }
+    }
+
+    fn decode_int(
+        &self,
+        tensor: &PackedTensor,
+        width: BitWidth,
+        granularity: KeyGranularity,
+        group: usize,
+        key_orientation: bool,
+    ) -> TokenMatrix {
+        let (tokens, dim) = (tensor.tokens, tensor.dim);
+        let PackedPayload::Int { words, params } = &tensor.payload else {
+            panic!("integer decode of FP4 payload");
+        };
+        let mut codes = vec![0u8; tokens * dim];
+        if key_orientation {
+            self.unpack_b_operand(words, |k, n, c| codes[n * dim + k] = c, dim, tokens, width);
+        } else {
+            self.unpack_b_operand(words, |k, n, c| codes[k * dim + n] = c, tokens, dim, width);
+        }
+        dequantize_int_codes(&codes, params, tokens, dim, width, granularity, group)
+    }
+}
+
+impl BlockCodec for FragmentCodec {
+    fn encode(&self, k: &TokenMatrix, v: &TokenMatrix, scheme: QuantScheme) -> PackedBlock {
+        match scheme.kind() {
+            SchemeKind::Int {
+                width,
+                key_granularity,
+                group,
+            } => PackedBlock {
+                k: self.encode_int(k, width, key_granularity, group, true),
+                v: self.encode_int(
+                    v,
+                    width,
+                    KeyGranularity::TensorWise,
+                    QuantScheme::DEFAULT_CHANNEL_GROUP,
+                    false,
+                ),
+            },
+            // Blackwell native FP4 blocks follow the hardware-mandated
+            // block-scale layout, which the layout-agnostic transform maps
+            // to directly (paper §V-D(2)); physically it matches the
+            // reference nibble layout.
+            SchemeKind::Fp4(_) => ReferenceCodec.encode(k, v, scheme),
+        }
+    }
+
+    fn decode(&self, block: &PackedBlock, scheme: QuantScheme) -> (TokenMatrix, TokenMatrix) {
+        match scheme.kind() {
+            SchemeKind::Int {
+                width,
+                key_granularity,
+                group,
+            } => (
+                self.decode_int(&block.k, width, key_granularity, group, true),
+                self.decode_int(
+                    &block.v,
+                    width,
+                    KeyGranularity::TensorWise,
+                    QuantScheme::DEFAULT_CHANNEL_GROUP,
+                    false,
+                ),
+            ),
+            SchemeKind::Fp4(_) => ReferenceCodec.decode(block, scheme),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_lowbit::PackOrder;
+
+    fn test_matrix(tokens: usize, dim: usize, seed: f32) -> TokenMatrix {
+        (0..tokens)
+            .map(|t| {
+                (0..dim)
+                    .map(|c| ((t * dim + c) as f32 * 0.619 + seed).sin() * 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn max_err(a: &TokenMatrix, b: &TokenMatrix) -> f32 {
+        a.iter()
+            .zip(b)
+            .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn fragment_codec_round_trips() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        for scheme in [QuantScheme::kc4(), QuantScheme::kt4(), QuantScheme::kc2()] {
+            let width = scheme.int_width().unwrap();
+            let nr = layout.residual_block(width);
+            let k = test_matrix(nr, 64, 0.0);
+            let v = test_matrix(nr, 64, 1.0);
+            let block = codec.encode(&k, &v, scheme);
+            let (dk, dv) = codec.decode(&block, scheme);
+            // Half a quantization step over a ±2 value range, plus slack.
+            let tol = 4.0 / (width.levels() - 1) as f32 * 0.6 + 0.05;
+            assert!(max_err(&k, &dk) < tol, "{scheme} K: {}", max_err(&k, &dk));
+            assert!(max_err(&v, &dv) < tol, "{scheme} V: {}", max_err(&v, &dv));
+        }
+    }
+
+    #[test]
+    fn fragment_and_reference_decode_to_same_values() {
+        // Same quantization, different physical layout: logical values are
+        // identical after each codec's own round trip.
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        let scheme = QuantScheme::kc4();
+        let nr = layout.residual_block(BitWidth::B4);
+        let k = test_matrix(nr, 32, 0.2);
+        let v = test_matrix(nr, 32, 0.9);
+        let (fk, fv) = codec.decode(&codec.encode(&k, &v, scheme), scheme);
+        let (rk, rv) = ReferenceCodec.decode(&ReferenceCodec.encode(&k, &v, scheme), scheme);
+        assert!(max_err(&fk, &rk) < 1e-6);
+        assert!(max_err(&fv, &rv) < 1e-6);
+    }
+
+    #[test]
+    fn physical_words_differ_from_reference_layout() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        let scheme = QuantScheme::kc4();
+        let nr = layout.residual_block(BitWidth::B4);
+        let k = test_matrix(nr, 32, 0.2);
+        let v = test_matrix(nr, 32, 0.9);
+        let frag = codec.encode(&k, &v, scheme);
+        let reference = ReferenceCodec.encode(&k, &v, scheme);
+        let words = |t: &PackedTensor| match &t.payload {
+            PackedPayload::Int { words, .. } => words.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(words(&frag.k).len(), words(&reference.k).len());
+        assert_ne!(
+            words(&frag.k),
+            words(&reference.k),
+            "layouts must differ physically"
+        );
+    }
+
+    #[test]
+    fn mismatched_pack_order_decodes_garbage() {
+        // Residual Kernel packs 75316420; a Packing Kernel configured with
+        // a linear unpack reads permuted codes — invalid layout (Fig. 3).
+        let scheme = QuantScheme::kc4();
+        let encode_layout = PackLayout::sm80_default();
+        let decode_layout = PackLayout {
+            order: PackOrder::Linear,
+            ..encode_layout
+        };
+        let nr = encode_layout.residual_block(BitWidth::B4);
+        let k = test_matrix(nr, 32, 0.2);
+        let v = test_matrix(nr, 32, 0.9);
+        let block = FragmentCodec::new(encode_layout).encode(&k, &v, scheme);
+        let (dk, _) = FragmentCodec::new(decode_layout).decode(&block, scheme);
+        assert!(max_err(&k, &dk) > 0.5, "mismatch must corrupt values");
+    }
+
+    #[test]
+    fn mismatched_warp_count_decodes_garbage() {
+        // Same instruction, different Wn tiling: still invalid.
+        let scheme = QuantScheme::kc4();
+        let encode_layout = PackLayout::sm80_default(); // Wn = 4
+        let decode_layout = PackLayout {
+            warps_n: 2,
+            ..encode_layout
+        };
+        let nr = encode_layout.residual_block(BitWidth::B4);
+        let k = test_matrix(nr, 32, 0.2);
+        let v = test_matrix(nr, 32, 0.9);
+        let block = FragmentCodec::new(encode_layout).encode(&k, &v, scheme);
+        let (dk, _) = FragmentCodec::new(decode_layout).decode(&block, scheme);
+        assert!(max_err(&k, &dk) > 0.5, "Wn mismatch must corrupt values");
+    }
+
+    #[test]
+    fn int2_blocks_round_trip() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        let scheme = QuantScheme::kc2();
+        let nr = layout.residual_block(BitWidth::B2);
+        assert_eq!(nr, 256);
+        let k = test_matrix(nr, 16, 0.0);
+        let v = test_matrix(nr, 16, 1.0);
+        let block = codec.encode(&k, &v, scheme);
+        let (dk, dv) = codec.decode(&block, scheme);
+        // 2-bit is coarse: bound by a couple of quantization steps.
+        assert!(max_err(&k, &dk) < 1.5);
+        assert!(max_err(&v, &dv) < 1.5);
+    }
+
+    #[test]
+    fn fp4_delegates_to_hardware_layout() {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let scheme = QuantScheme::mxfp4();
+        let k = test_matrix(64, 32, 0.3);
+        let v = test_matrix(64, 32, 0.8);
+        let block = codec.encode(&k, &v, scheme);
+        let (dk, dv) = codec.decode(&block, scheme);
+        assert!(max_err(&k, &dk) < 1.0);
+        assert!(max_err(&v, &dv) < 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Attention configurations (MHA / GQA / MQA) and the query transformation
+//! (paper §V-A).
+//!
+//! During decoding `Q_len = 1`, so a naive `Q · K^T` per query head is a
+//! GEMV that underfills Tensor Core tiles. BitDecoding reshapes the query
+//! from `[1, (g_q, h_kv)]` to `[g_q, h_kv]`: the `g_q = h_q / h_kv` heads
+//! sharing one KV head become the M rows of a single GEMM block, without
+//! changing attention semantics.
+
+use std::fmt;
+
+/// Attention head structure of a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AttentionConfig {
+    /// Query heads (`h_q`).
+    pub heads_q: usize,
+    /// Key/Value heads (`h_kv`).
+    pub heads_kv: usize,
+    /// Head dimension (`d`).
+    pub head_dim: usize,
+}
+
+/// The attention variant implied by a head configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttentionVariant {
+    /// `g_q = 1`: multi-head attention.
+    Mha,
+    /// `1 < g_q < h_q`: grouped-query attention.
+    Gqa,
+    /// `h_kv = 1`: multi-query attention.
+    Mqa,
+}
+
+impl fmt::Display for AttentionVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttentionVariant::Mha => write!(f, "MHA"),
+            AttentionVariant::Gqa => write!(f, "GQA"),
+            AttentionVariant::Mqa => write!(f, "MQA"),
+        }
+    }
+}
+
+impl AttentionConfig {
+    /// Builds a config, validating head divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads_q` is not a multiple of `heads_kv` or any field is
+    /// zero.
+    pub fn new(heads_q: usize, heads_kv: usize, head_dim: usize) -> Self {
+        assert!(
+            heads_q > 0 && heads_kv > 0 && head_dim > 0,
+            "zero-sized attention config"
+        );
+        assert_eq!(
+            heads_q % heads_kv,
+            0,
+            "query heads ({heads_q}) must be a multiple of KV heads ({heads_kv})"
+        );
+        AttentionConfig {
+            heads_q,
+            heads_kv,
+            head_dim,
+        }
+    }
+
+    /// Multi-head attention: every query head has its own KV head.
+    pub fn mha(heads: usize, head_dim: usize) -> Self {
+        AttentionConfig::new(heads, heads, head_dim)
+    }
+
+    /// Grouped-query attention.
+    pub fn gqa(heads_q: usize, heads_kv: usize, head_dim: usize) -> Self {
+        AttentionConfig::new(heads_q, heads_kv, head_dim)
+    }
+
+    /// Multi-query attention: one shared KV head.
+    pub fn mqa(heads_q: usize, head_dim: usize) -> Self {
+        AttentionConfig::new(heads_q, 1, head_dim)
+    }
+
+    /// The KV sharing factor `g_q = h_q / h_kv`.
+    pub fn group_factor(&self) -> usize {
+        self.heads_q / self.heads_kv
+    }
+
+    /// Which attention variant this is.
+    pub fn variant(&self) -> AttentionVariant {
+        if self.heads_kv == 1 && self.heads_q > 1 {
+            AttentionVariant::Mqa
+        } else if self.group_factor() == 1 {
+            AttentionVariant::Mha
+        } else {
+            AttentionVariant::Gqa
+        }
+    }
+
+    /// Softmax scale `1/√d`.
+    pub fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+}
+
+impl fmt::Display for AttentionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} h_q={} h_k={} d={}",
+            self.variant(),
+            self.heads_q,
+            self.heads_kv,
+            self.head_dim
+        )
+    }
+}
+
+/// One decode-step query for a batch element: `heads_q` rows of `head_dim`.
+pub type QueryHeads = Vec<Vec<f32>>;
+
+/// The query transformation: regroups the `h_q × d` single-token query into
+/// `h_kv` GEMM blocks of `g_q × d` rows, one per KV head.
+///
+/// Query head `h` attends KV head `h / g_q`; its row index inside that
+/// block is `h % g_q`.
+///
+/// # Panics
+///
+/// Panics if the query shape does not match the config.
+pub fn query_transform(q: &QueryHeads, config: &AttentionConfig) -> Vec<Vec<Vec<f32>>> {
+    assert_eq!(q.len(), config.heads_q, "query head count mismatch");
+    for row in q {
+        assert_eq!(row.len(), config.head_dim, "query dim mismatch");
+    }
+    let gq = config.group_factor();
+    (0..config.heads_kv)
+        .map(|kv| (0..gq).map(|g| q[kv * gq + g].clone()).collect())
+        .collect()
+}
+
+/// Inverse of [`query_transform`] applied to per-KV-head outputs: flattens
+/// `h_kv` blocks of `g_q × d` back into `h_q × d` in query-head order.
+pub fn ungroup_outputs(blocks: &[Vec<Vec<f32>>], config: &AttentionConfig) -> QueryHeads {
+    let gq = config.group_factor();
+    assert_eq!(blocks.len(), config.heads_kv, "block count mismatch");
+    let mut out = Vec::with_capacity(config.heads_q);
+    for block in blocks {
+        assert_eq!(block.len(), gq, "rows per block mismatch");
+        for row in block {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_classified() {
+        assert_eq!(
+            AttentionConfig::mha(32, 128).variant(),
+            AttentionVariant::Mha
+        );
+        assert_eq!(
+            AttentionConfig::gqa(32, 8, 128).variant(),
+            AttentionVariant::Gqa
+        );
+        assert_eq!(
+            AttentionConfig::mqa(32, 128).variant(),
+            AttentionVariant::Mqa
+        );
+        assert_eq!(AttentionConfig::gqa(32, 8, 128).group_factor(), 4);
+        assert_eq!(AttentionConfig::mqa(32, 128).group_factor(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of KV heads")]
+    fn indivisible_heads_rejected() {
+        AttentionConfig::new(10, 3, 64);
+    }
+
+    #[test]
+    fn transform_groups_heads_by_kv() {
+        let cfg = AttentionConfig::gqa(8, 2, 4);
+        let q: QueryHeads = (0..8).map(|h| vec![h as f32; 4]).collect();
+        let grouped = query_transform(&q, &cfg);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].len(), 4);
+        // KV head 0 gets query heads 0..4, KV head 1 gets 4..8.
+        assert_eq!(grouped[0][3][0], 3.0);
+        assert_eq!(grouped[1][0][0], 4.0);
+    }
+
+    #[test]
+    fn transform_round_trips() {
+        let cfg = AttentionConfig::gqa(16, 4, 8);
+        let q: QueryHeads = (0..16)
+            .map(|h| (0..8).map(|c| (h * 8 + c) as f32).collect())
+            .collect();
+        let grouped = query_transform(&q, &cfg);
+        assert_eq!(ungroup_outputs(&grouped, &cfg), q);
+    }
+
+    #[test]
+    fn scale_is_inverse_sqrt_d() {
+        let cfg = AttentionConfig::mha(1, 64);
+        assert!((cfg.scale() - 0.125).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,501 @@
+//! Functional kernel implementations: attention executed through the
+//! simulated Tensor Core ISA.
+//!
+//! These routines compute *real values* — every matrix product goes through
+//! [`bd_gpu_sim::mma`] tile by tile, so fragment-layout bugs corrupt the
+//! output exactly as they would on hardware. The analytic twin of this code
+//! lives in [`crate::profiles`].
+
+use crate::codec::FragmentCodec;
+use crate::softmax::OnlineSoftmax;
+use bd_gpu_sim::{
+    ldmatrix, mma, mma_block_scaled_fp4, wgmma_ss, AccFragment, FragmentLayout, MmaShape, Operand,
+    Tile,
+};
+use bd_kvcache::{BlockCodec, PackedBlock, QuantScheme, TokenMatrix};
+use bd_lowbit::fp4::{quantize_fp4_block, BlockScale, E2M1};
+use bd_lowbit::Fp4Kind;
+
+/// Which Tensor Core instruction family executes the attention GEMMs in
+/// the functional simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatmulEngine {
+    /// `mma.m16n8k16` warp tiles (SM80/SM89 path).
+    Mma,
+    /// `wgmma.m64n64k16` warpgroup tiles with B in shared memory
+    /// (SM90 path; paper §V-D(1)).
+    Wgmma,
+}
+
+/// Multiplies `a (m × k)` by `b (k × n)` using `mma.m16n8k16` warp tiles,
+/// padding every dimension to the tile grid (the padding models Tensor
+/// Core tile underfill — partial query groups still issue full tiles).
+pub fn matmul_via_mma(a: &Tile, b: &Tile) -> Tile {
+    let shape = MmaShape::M16N8K16;
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    let mt = m.div_ceil(shape.m());
+    let nt = n.div_ceil(shape.n());
+    let kt = k.div_ceil(shape.k());
+
+    let mut out = Tile::zeros(m, n);
+    let la = FragmentLayout::new(shape, Operand::A);
+    let lb = FragmentLayout::new(shape, Operand::B);
+    for mi in 0..mt {
+        for ni in 0..nt {
+            let mut acc = AccFragment::zeroed(shape);
+            for ki in 0..kt {
+                let a_tile = Tile::from_fn(shape.m(), shape.k(), |r, c| {
+                    let (gr, gc) = (mi * shape.m() + r, ki * shape.k() + c);
+                    if gr < m && gc < k {
+                        a[(gr, gc)]
+                    } else {
+                        0.0
+                    }
+                });
+                let b_tile = Tile::from_fn(shape.k(), shape.n(), |r, c| {
+                    let (gr, gc) = (ki * shape.k() + r, ni * shape.n() + c);
+                    if gr < k && gc < n {
+                        b[(gr, gc)]
+                    } else {
+                        0.0
+                    }
+                });
+                let fa = ldmatrix(&a_tile, la);
+                let fb = ldmatrix(&b_tile, lb);
+                mma(shape, &fa, &fb, &mut acc);
+            }
+            let acc_tile = acc.to_tile();
+            for r in 0..shape.m() {
+                for c in 0..shape.n() {
+                    let (gr, gc) = (mi * shape.m() + r, ni * shape.n() + c);
+                    if gr < m && gc < n {
+                        out[(gr, gc)] = acc_tile[(r, c)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies `a (m × k)` by `b (k × n)` using `wgmma.m64n64k16` warpgroup
+/// tiles. The B operand is consumed from (simulated) shared memory — on
+/// Hopper, dequantized values reach it via `STSM` without register-layout
+/// correction, which is exactly why the `_SS` form matters to BitDecoding.
+pub fn matmul_via_wgmma(a: &Tile, b: &Tile) -> Tile {
+    const M: usize = 64;
+    const N: usize = 64;
+    const K: usize = 16;
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    let mut out = Tile::zeros(m, n);
+    for mi in 0..m.div_ceil(M) {
+        for ni in 0..n.div_ceil(N) {
+            let mut acc = Tile::zeros(M, N);
+            for ki in 0..k.div_ceil(K) {
+                let a_tile = Tile::from_fn(M, K, |r, c| {
+                    let (gr, gc) = (mi * M + r, ki * K + c);
+                    if gr < m && gc < k {
+                        a[(gr, gc)]
+                    } else {
+                        0.0
+                    }
+                });
+                let b_tile = Tile::from_fn(K, N, |r, c| {
+                    let (gr, gc) = (ki * K + r, ni * N + c);
+                    if gr < k && gc < n {
+                        b[(gr, gc)]
+                    } else {
+                        0.0
+                    }
+                });
+                wgmma_ss(&a_tile, &b_tile, &mut acc);
+            }
+            for r in 0..M {
+                for c in 0..N {
+                    let (gr, gc) = (mi * M + r, ni * N + c);
+                    if gr < m && gc < n {
+                        out[(gr, gc)] = acc[(r, c)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Dispatches a matrix product to the configured instruction family.
+pub fn matmul(engine: MatmulEngine, a: &Tile, b: &Tile) -> Tile {
+    match engine {
+        MatmulEngine::Mma => matmul_via_mma(a, b),
+        MatmulEngine::Wgmma => matmul_via_wgmma(a, b),
+    }
+}
+
+fn rows_to_tile(rows: &[Vec<f32>]) -> Tile {
+    Tile::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
+}
+
+/// Quantizes a row-major matrix to block-scaled FP4 along its columns
+/// (`block`-sized groups), returning codes and per-(row, block) scales.
+fn to_fp4_rows(rows: &Tile, kind: Fp4Kind) -> (Vec<Vec<E2M1>>, Vec<Vec<f32>>) {
+    let block = kind.block_size();
+    let mut codes = vec![vec![E2M1::from_bits(0); rows.cols()]; rows.rows()];
+    let mut scales = vec![vec![0.0f32; rows.cols().div_ceil(block)]; rows.rows()];
+    for r in 0..rows.rows() {
+        for b0 in (0..rows.cols()).step_by(block) {
+            let b1 = (b0 + block).min(rows.cols());
+            let vals: Vec<f32> = (b0..b1).map(|c| rows[(r, c)]).collect();
+            let q = quantize_fp4_block(&vals, kind);
+            scales[r][b0 / block] = match q.scale {
+                BlockScale::Mx(s) => s.to_f32(),
+                BlockScale::Nv(s) => s.to_f32(),
+            };
+            for (i, code) in q.codes.iter().enumerate() {
+                codes[r][b0 + i] = *code;
+            }
+        }
+    }
+    (codes, scales)
+}
+
+/// The Blackwell-native functional path: `S = Q_fp4 · K_fp4^T` and
+/// `O += Quant(P)_fp4 · V_fp4` through the block-scaled MMA — no software
+/// dequantization, but `P` is re-quantized after every softmax tile
+/// (paper Challenge 2 / §V-D(2)).
+pub fn attend_packed_blocks_fp4(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    kind: Fp4Kind,
+    scale: f32,
+    state: &mut OnlineSoftmax,
+) {
+    if blocks.is_empty() {
+        return;
+    }
+    let block_size = kind.block_size();
+    let q_scaled = Tile::from_fn(q.len(), q[0].len(), |r, c| q[r][c] * scale);
+    let (q_codes, q_scales) = to_fp4_rows(&q_scaled, kind);
+
+    for packed in blocks {
+        let (k, v) = codec.decode(packed, scheme);
+        // K^T as the B operand: codes per (k-dim block, token).
+        let kt = rows_to_tile(&k).transposed();
+        let (kt_codes_rowmajor, kt_scales_rowmajor) = {
+            // Quantize along the contraction (channel) dimension: transpose,
+            // quantize rows, transpose back.
+            let (c, s) = to_fp4_rows(&rows_to_tile(&k), kind);
+            (c, s)
+        };
+        // Rearrange to B-operand orientation (k = channel, n = token).
+        let d = kt.rows();
+        let tokens = kt.cols();
+        let mut b_codes = vec![vec![E2M1::from_bits(0); tokens]; d];
+        let mut b_scales = vec![vec![0.0f32; tokens]; d.div_ceil(block_size)];
+        for t in 0..tokens {
+            for c in 0..d {
+                b_codes[c][t] = kt_codes_rowmajor[t][c];
+                b_scales[c / block_size][t] = kt_scales_rowmajor[t][c / block_size];
+            }
+        }
+        let mut s_tile = Tile::zeros(q.len(), tokens);
+        mma_block_scaled_fp4(
+            &q_codes,
+            &q_scales,
+            &b_codes,
+            &b_scales,
+            block_size,
+            &mut s_tile,
+        );
+
+        // Softmax in FP16/FP32 registers, then requantize P to FP4 for the
+        // second block-scaled MMA.
+        let mut p = Tile::zeros(q.len(), tokens);
+        let mut row_max = vec![f32::NEG_INFINITY; q.len()];
+        for r in 0..q.len() {
+            for t in 0..tokens {
+                row_max[r] = row_max[r].max(s_tile[(r, t)]);
+            }
+            for t in 0..tokens {
+                p[(r, t)] = (s_tile[(r, t)] - row_max[r]).exp();
+            }
+        }
+        let (p_codes, p_scales) = to_fp4_rows(&p, kind);
+        // V as B operand: (k = token, n = channel).
+        let (v_codes_rowmajor, v_scales_rowmajor) = to_fp4_rows(&rows_to_tile(&v), kind);
+        // V is quantized along channels per token; for the P·V contraction
+        // the scale block runs along tokens, so requantize orientation-true:
+        let dv = v[0].len();
+        let mut vb_codes = vec![vec![E2M1::from_bits(0); dv]; tokens];
+        let mut vb_scales = vec![vec![0.0f32; dv]; tokens.div_ceil(block_size)];
+        {
+            // Re-quantize V columns in token-blocks to satisfy the MMA's
+            // (k_block, n) scale layout.
+            let vt = rows_to_tile(&v).transposed(); // dv × tokens
+            let (cols_codes, cols_scales) = to_fp4_rows(&vt, kind);
+            for c in 0..dv {
+                for t in 0..tokens {
+                    vb_codes[t][c] = cols_codes[c][t];
+                    vb_scales[t / block_size][c] = cols_scales[c][t / block_size];
+                }
+            }
+            let _ = (v_codes_rowmajor, v_scales_rowmajor);
+        }
+        let mut pv = Tile::zeros(q.len(), dv);
+        mma_block_scaled_fp4(
+            &p_codes, &p_scales, &vb_codes, &vb_scales, block_size, &mut pv,
+        );
+
+        // Fold the pre-normalized tile into the online state: the tile's
+        // exps used row_max as reference, matching step_tile's contract if
+        // we feed (S, V); instead update the state manually.
+        for r in 0..q.len() {
+            let m_new = state.m[r].max(row_max[r]);
+            let corr_old = (state.m[r] - m_new).exp();
+            let corr_tile = (row_max[r] - m_new).exp();
+            let mut l_tile = 0.0f32;
+            for t in 0..tokens {
+                l_tile += p[(r, t)];
+            }
+            state.l[r] = state.l[r] * corr_old + l_tile * corr_tile;
+            for (c, acc) in state.acc[r].iter_mut().enumerate() {
+                *acc = *acc * corr_old + pv[(r, c)] * corr_tile;
+            }
+            state.m[r] = m_new;
+        }
+    }
+}
+
+/// The functional **Packing Kernel** body for one KV group: unpacks each
+/// packed block through the codec, computes `S = (Q·scale)·K^T` and `P·V`
+/// on the simulated Tensor Cores, and folds results into the online-softmax
+/// state with the configured warp layout.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_packed_blocks(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    scale: f32,
+    wn: usize,
+    cooperative: bool,
+    engine: MatmulEngine,
+    state: &mut OnlineSoftmax,
+) {
+    if blocks.is_empty() {
+        return;
+    }
+    let q_scaled: Vec<Vec<f32>> = q
+        .iter()
+        .map(|row| row.iter().map(|&x| x * scale).collect())
+        .collect();
+    let q_tile = rows_to_tile(&q_scaled);
+    for block in blocks {
+        let (k, v) = codec.decode(block, scheme);
+        let kt_tile = rows_to_tile(&k).transposed();
+        let s = matmul(engine, &q_tile, &kt_tile);
+        let v_tile = rows_to_tile(&v);
+        state.step_tile_warped(&s, &v_tile, wn, cooperative);
+    }
+}
+
+/// The functional **Residual Kernel** attention body for one KV group:
+/// FP16 attention over the residual region (same Tensor Core path), folded
+/// into the shared state. Flushing (quantize + pack) is handled by the
+/// cache via the codec.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_residual(
+    q: &[Vec<f32>],
+    res_k: &TokenMatrix,
+    res_v: &TokenMatrix,
+    scale: f32,
+    wn: usize,
+    cooperative: bool,
+    engine: MatmulEngine,
+    state: &mut OnlineSoftmax,
+) {
+    if res_k.is_empty() {
+        return;
+    }
+    let q_scaled: Vec<Vec<f32>> = q
+        .iter()
+        .map(|row| row.iter().map(|&x| x * scale).collect())
+        .collect();
+    let q_tile = rows_to_tile(&q_scaled);
+    let kt_tile = rows_to_tile(res_k).transposed();
+    let s = matmul(engine, &q_tile, &kt_tile);
+    // The residual region is narrower than a full warp tile set; it runs
+    // single-warp slices when it cannot split evenly.
+    let eff_wn = if s.cols() % wn == 0 { wn } else { 1 };
+    state.step_tile_warped(&s, &rows_to_tile(res_v), eff_wn, cooperative);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::reference_attention;
+    use bd_kvcache::PackLayout;
+
+    #[test]
+    fn wgmma_matmul_matches_dense() {
+        for (m, k, n) in [(4, 64, 24), (64, 16, 64), (5, 33, 70)] {
+            let a = Tile::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.17 - 1.0);
+            let b = Tile::from_fn(k, n, |r, c| ((r * 11 + c * 3) % 7) as f32 * 0.23 - 0.7);
+            let got = matmul_via_wgmma(&a, &b);
+            let want = a.matmul(&b);
+            assert!(got.max_abs_diff(&want) < 1e-3, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn wgmma_and_mma_engines_agree() {
+        let a = Tile::from_fn(8, 64, |r, c| ((r * 13 + c) % 9) as f32 * 0.3 - 1.2);
+        let b = Tile::from_fn(64, 40, |r, c| ((r + c * 5) % 11) as f32 * 0.2 - 1.0);
+        let via_mma = matmul(MatmulEngine::Mma, &a, &b);
+        let via_wgmma = matmul(MatmulEngine::Wgmma, &a, &b);
+        // mma rounds operands through FP16 fragments; wgmma_SS is modelled
+        // at tile granularity, so agreement is within FP16 operand noise.
+        assert!(via_mma.max_abs_diff(&via_wgmma) < 0.05);
+    }
+
+    #[test]
+    fn fp4_native_attention_tracks_reference() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        let scheme = QuantScheme::mxfp4();
+        let nr = 128;
+        let d = 64;
+        let gq = 4;
+        let k: TokenMatrix = (0..nr)
+            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.37).sin()).collect())
+            .collect();
+        // Values with per-channel structure so the attention output has
+        // O(1) magnitude — a zero-mean V produces pure cancellation noise
+        // that no 4-bit format can track.
+        let v: TokenMatrix = (0..nr)
+            .map(|t| {
+                (0..d)
+                    .map(|c| (c as f32 * 0.3).sin() + 0.3 * ((t * d + c) as f32 * 0.53).cos())
+                    .collect()
+            })
+            .collect();
+        let q: Vec<Vec<f32>> = (0..gq)
+            .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+            .collect();
+        let blocks = vec![codec.encode(&k, &v, scheme)];
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut state = OnlineSoftmax::new(gq, d);
+        attend_packed_blocks_fp4(&q, &blocks, &codec, scheme, Fp4Kind::Mx, scale, &mut state);
+        let got = state.finish();
+        let want = crate::softmax::reference_attention(&q, &k, &v, scale);
+        // FP4 everywhere (Q, K, P, V) is coarse: allow ~15% error on the
+        // O(1) signal, and demand strong overall correlation.
+        let mut dot = 0.0f64;
+        let mut n1 = 0.0f64;
+        let mut n2 = 0.0f64;
+        for (gr, wr) in got.iter().zip(&want) {
+            for (g, w) in gr.iter().zip(wr) {
+                assert!((g - w).abs() < 0.2, "{g} vs {w}");
+                dot += f64::from(*g) * f64::from(*w);
+                n1 += f64::from(*g) * f64::from(*g);
+                n2 += f64::from(*w) * f64::from(*w);
+            }
+        }
+        let cos = dot / (n1.sqrt() * n2.sqrt()).max(1e-12);
+        assert!(cos > 0.97, "cosine {cos}");
+    }
+
+    #[test]
+    fn mma_matmul_matches_dense_for_odd_shapes() {
+        for (m, k, n) in [(4, 64, 24), (16, 16, 8), (5, 33, 9), (1, 128, 40)] {
+            let a = Tile::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.17 - 1.0);
+            let b = Tile::from_fn(k, n, |r, c| ((r * 11 + c * 3) % 7) as f32 * 0.23 - 0.7);
+            let got = matmul_via_mma(&a, &b);
+            let want = a.matmul(&b);
+            assert!(
+                got.max_abs_diff(&want) < k as f32 * 0.01,
+                "({m},{k},{n}): diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn packed_attention_close_to_fp32_reference() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        let scheme = QuantScheme::kc4();
+        let nr = 128;
+        let d = 32;
+        let gq = 4;
+        let tokens = nr * 2;
+
+        let k: TokenMatrix = (0..tokens)
+            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.37).sin()).collect())
+            .collect();
+        let v: TokenMatrix = (0..tokens)
+            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.53).cos()).collect())
+            .collect();
+        let q: Vec<Vec<f32>> = (0..gq)
+            .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+            .collect();
+
+        let blocks: Vec<PackedBlock> = (0..2)
+            .map(|b| {
+                let kb = k[b * nr..(b + 1) * nr].to_vec();
+                let vb = v[b * nr..(b + 1) * nr].to_vec();
+                codec.encode(&kb, &vb, scheme)
+            })
+            .collect();
+
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut state = OnlineSoftmax::new(gq, d);
+        attend_packed_blocks(
+            &q,
+            &blocks,
+            &codec,
+            scheme,
+            scale,
+            4,
+            true,
+            MatmulEngine::Mma,
+            &mut state,
+        );
+        let got = state.finish();
+        let want = reference_attention(&q, &k, &v, scale);
+        for (gr, wr) in got.iter().zip(&want) {
+            for (g, w) in gr.iter().zip(wr) {
+                assert!((g - w).abs() < 0.05, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_attention_matches_reference() {
+        let d = 16;
+        let gq = 2;
+        let res = 7;
+        let k: TokenMatrix = (0..res)
+            .map(|t| (0..d).map(|c| ((t + c) as f32 * 0.3).sin()).collect())
+            .collect();
+        let v: TokenMatrix = (0..res)
+            .map(|t| (0..d).map(|c| ((t * 2 + c) as f32 * 0.21).cos()).collect())
+            .collect();
+        let q: Vec<Vec<f32>> = (0..gq).map(|g| vec![0.2 * (g + 1) as f32; d]).collect();
+        let scale = 0.25;
+        let mut state = OnlineSoftmax::new(gq, d);
+        attend_residual(&q, &k, &v, scale, 4, true, MatmulEngine::Mma, &mut state);
+        let got = state.finish();
+        let want = reference_attention(&q, &k, &v, scale);
+        for (gr, wr) in got.iter().zip(&want) {
+            for (g, w) in gr.iter().zip(wr) {
+                assert!((g - w).abs() < 2e-2, "{g} vs {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Decode workload shapes: everything the analytic cost model needs to know
+//! about one decoding step.
+
+use crate::config::AttentionConfig;
+
+/// The shape of one batched decode step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecodeShape {
+    /// Batch size (independent sequences).
+    pub batch: usize,
+    /// Attention head structure.
+    pub attn: AttentionConfig,
+    /// Total KV tokens per sequence (packed + residual).
+    pub seq_len: usize,
+    /// Tokens currently in the FP16 residual region.
+    pub residual_len: usize,
+}
+
+impl DecodeShape {
+    /// A shape with an empty residual (all tokens packed).
+    pub fn new(batch: usize, attn: AttentionConfig, seq_len: usize) -> Self {
+        DecodeShape {
+            batch,
+            attn,
+            seq_len,
+            residual_len: 0,
+        }
+    }
+
+    /// Sets the residual length (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residual exceeds the sequence.
+    pub fn with_residual(mut self, residual_len: usize) -> Self {
+        assert!(residual_len <= self.seq_len, "residual exceeds sequence");
+        self.residual_len = residual_len;
+        self
+    }
+
+    /// Packed (quantized) tokens per sequence.
+    pub fn packed_len(&self) -> usize {
+        self.seq_len - self.residual_len
+    }
+
+    /// Independent KV attention groups = `batch × h_kv` (the base grid
+    /// parallelism before split-KV).
+    pub fn kv_groups(&self) -> usize {
+        self.batch * self.attn.heads_kv
+    }
+
+    /// Query rows per KV group after the query transformation (`g_q`).
+    pub fn rows_per_group(&self) -> usize {
+        self.attn.group_factor()
+    }
+
+    /// Total query rows across the step (`batch × h_q`).
+    pub fn total_rows(&self) -> usize {
+        self.batch * self.attn.heads_q
+    }
+
+    /// FP16 KV-cache bytes this step would read without quantization.
+    pub fn fp16_kv_bytes(&self) -> f64 {
+        2.0 * self.kv_groups() as f64 * self.seq_len as f64 * self.attn.head_dim as f64 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = DecodeShape::new(4, AttentionConfig::gqa(32, 8, 128), 4096).with_residual(96);
+        assert_eq!(s.packed_len(), 4000);
+        assert_eq!(s.kv_groups(), 32);
+        assert_eq!(s.rows_per_group(), 4);
+        assert_eq!(s.total_rows(), 128);
+        // 2 tensors × 32 groups × 4096 tokens × 128 dim × 2 bytes.
+        assert_eq!(s.fp16_kv_bytes(), 2.0 * 32.0 * 4096.0 * 128.0 * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual exceeds sequence")]
+    fn oversized_residual_rejected() {
+        DecodeShape::new(1, AttentionConfig::mha(8, 64), 10).with_residual(11);
+    }
+}

@@ -1,0 +1,349 @@
+//! Online (flash-style) softmax, split-KV merging, and the multi-warp
+//! cooperative softmax of paper Algorithm 1.
+//!
+//! BitDecoding's warp layout puts `Wn` warps side by side along the token
+//! dimension, so one score tile `S ∈ R^{Tm×Tn}` is distributed across warps
+//! as column slices. The row-wise max/sum then *must* be reduced across
+//! warps (via the `sTMP` shared buffer) before any warp exponentiates —
+//! otherwise each warp normalizes against a stale/local maximum and the
+//! shared accumulator is rescaled inconsistently. [`OnlineSoftmax::step_tile_warped`]
+//! models both the cooperative protocol and, when disabled, the exact
+//! inconsistency (Table III's "Valid ✗" row).
+
+use bd_gpu_sim::Tile;
+
+/// Running flash-attention state for a block of query rows.
+#[derive(Clone, Debug)]
+pub struct OnlineSoftmax {
+    /// Running row maxima `m_i`.
+    pub m: Vec<f32>,
+    /// Running row denominators `l_i`.
+    pub l: Vec<f32>,
+    /// Unnormalized output accumulator `O_i` (`rows × dim`).
+    pub acc: Vec<Vec<f32>>,
+}
+
+impl OnlineSoftmax {
+    /// Fresh state for `rows` query rows and `dim` output channels.
+    pub fn new(rows: usize, dim: usize) -> Self {
+        OnlineSoftmax {
+            m: vec![f32::NEG_INFINITY; rows],
+            l: vec![0.0; rows],
+            acc: vec![vec![0.0; dim]; rows],
+        }
+    }
+
+    /// Query rows tracked.
+    pub fn rows(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Folds one `rows × Tn` score tile and its `Tn × dim` value tile into
+    /// the state (the single-warp / reference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn step_tile(&mut self, s: &Tile, v: &Tile) {
+        assert_eq!(s.rows(), self.rows(), "score tile rows");
+        assert_eq!(s.cols(), v.rows(), "score/value token mismatch");
+        assert_eq!(v.cols(), self.acc[0].len(), "value dim mismatch");
+        for i in 0..s.rows() {
+            let row_max = s.row(i).iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let m_new = self.m[i].max(row_max);
+            let correction = (self.m[i] - m_new).exp();
+            let mut l_new = self.l[i] * correction;
+            for a in &mut self.acc[i] {
+                *a *= correction;
+            }
+            for t in 0..s.cols() {
+                let p = (s[(i, t)] - m_new).exp();
+                l_new += p;
+                for c in 0..v.cols() {
+                    self.acc[i][c] += p * v[(t, c)];
+                }
+            }
+            self.m[i] = m_new;
+            self.l[i] = l_new;
+        }
+    }
+
+    /// The multi-warp path: the score tile is split into `wn` column
+    /// slices, one per warp.
+    ///
+    /// With `cooperative` set, warps reduce their row maxima and sums
+    /// through shared memory (`sTMP`) before exponentiating — numerically
+    /// identical to [`OnlineSoftmax::step_tile`]. Without it, each warp
+    /// uses its *local* max and rescales the shared accumulator
+    /// independently, reproducing the data race that makes `Wn > 1` invalid
+    /// without Algorithm 1 (paper Table III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wn` does not divide the tile width, or on shape mismatch.
+    pub fn step_tile_warped(&mut self, s: &Tile, v: &Tile, wn: usize, cooperative: bool) {
+        assert!(
+            wn > 0 && s.cols() % wn == 0,
+            "Wn must divide the tile width"
+        );
+        if wn == 1 || cooperative {
+            // Cooperative protocol: intra-warp register reduction, then an
+            // sTMP round-trip, yields the exact global row max/sum. The
+            // arithmetic is identical to the reference path.
+            self.step_tile(s, v);
+            return;
+        }
+        // Non-cooperative Wn > 1: without the sTMP reduction, each warp
+        // only sees the row maximum of its own column slice. It
+        // exponentiates against that *local* max and accumulates into the
+        // shared buffers without rescaling anyone else's contribution —
+        // mixing incompatible normalizations. The stored running max ends
+        // up as whichever warp wrote last.
+        let slice = s.cols() / wn;
+        for w in 0..wn {
+            let t0 = w * slice;
+            for i in 0..s.rows() {
+                let mut local_max = f32::NEG_INFINITY;
+                for t in t0..t0 + slice {
+                    local_max = local_max.max(s[(i, t)]);
+                }
+                for t in t0..t0 + slice {
+                    let p = (s[(i, t)] - local_max).exp();
+                    self.l[i] += p;
+                    for c in 0..v.cols() {
+                        self.acc[i][c] += p * v[(t, c)];
+                    }
+                }
+                self.m[i] = local_max; // last writer wins
+            }
+        }
+    }
+
+    /// Normalizes and returns the attention output (`rows × dim`).
+    pub fn finish(self) -> Vec<Vec<f32>> {
+        self.acc
+            .into_iter()
+            .zip(self.l)
+            .map(|(row, l)| {
+                let inv = if l > 0.0 { 1.0 / l } else { 0.0 };
+                row.into_iter().map(|x| x * inv).collect()
+            })
+            .collect()
+    }
+
+    /// Merges split-KV partial states (log-sum-exp combine): each partial
+    /// covered a disjoint token range; the merge is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partials` is empty or shapes differ.
+    pub fn merge(partials: Vec<OnlineSoftmax>) -> OnlineSoftmax {
+        let mut iter = partials.into_iter();
+        let mut out = iter.next().expect("at least one partial");
+        for p in iter {
+            assert_eq!(p.rows(), out.rows(), "partial shape mismatch");
+            for i in 0..out.rows() {
+                let m_new = out.m[i].max(p.m[i]);
+                let c_out = (out.m[i] - m_new).exp();
+                let c_p = (p.m[i] - m_new).exp();
+                for (a, b) in out.acc[i].iter_mut().zip(&p.acc[i]) {
+                    *a = *a * c_out + b * c_p;
+                }
+                out.l[i] = out.l[i] * c_out + p.l[i] * c_p;
+                out.m[i] = m_new;
+            }
+        }
+        out
+    }
+}
+
+/// Dense reference attention `softmax(Q K^T · scale) V` for testing.
+///
+/// `q` is `rows × d`, `k`/`v` are `tokens × d`.
+pub fn reference_attention(
+    q: &[Vec<f32>],
+    k: &[Vec<f32>],
+    v: &[Vec<f32>],
+    scale: f32,
+) -> Vec<Vec<f32>> {
+    let rows = q.len();
+    let tokens = k.len();
+    let dim = v.first().map_or(0, Vec::len);
+    let mut out = vec![vec![0.0f32; dim]; rows];
+    for i in 0..rows {
+        let scores: Vec<f32> = (0..tokens)
+            .map(|t| q[i].iter().zip(&k[t]).map(|(a, b)| a * b).sum::<f32>() * scale)
+            .collect();
+        let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
+        let l: f32 = exps.iter().sum();
+        for (t, &p) in exps.iter().enumerate() {
+            for c in 0..dim {
+                out[i][c] += p / l * v[t][c];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score_tile(rows: usize, cols: usize, seed: f32) -> Tile {
+        Tile::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.61 + seed).sin() * 3.0
+        })
+    }
+
+    fn value_tile(tokens: usize, dim: usize) -> Tile {
+        Tile::from_fn(tokens, dim, |t, c| ((t * dim + c) as f32 * 0.37).cos())
+    }
+
+    fn run_tiled(s_tiles: &[Tile], v_tiles: &[Tile], rows: usize, dim: usize) -> Vec<Vec<f32>> {
+        let mut state = OnlineSoftmax::new(rows, dim);
+        for (s, v) in s_tiles.iter().zip(v_tiles) {
+            state.step_tile(s, v);
+        }
+        state.finish()
+    }
+
+    fn dense_reference(
+        s_tiles: &[Tile],
+        v_tiles: &[Tile],
+        rows: usize,
+        dim: usize,
+    ) -> Vec<Vec<f32>> {
+        // Concatenate tiles along tokens and run a dense softmax.
+        let mut scores: Vec<Vec<f32>> = vec![Vec::new(); rows];
+        let mut values: Vec<Vec<f32>> = Vec::new();
+        for (s, v) in s_tiles.iter().zip(v_tiles) {
+            for i in 0..rows {
+                scores[i].extend(s.row(i));
+            }
+            for t in 0..v.rows() {
+                values.push(v.row(t).to_vec());
+            }
+        }
+        let mut out = vec![vec![0.0f32; dim]; rows];
+        for i in 0..rows {
+            let m = scores[i].iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let exps: Vec<f32> = scores[i].iter().map(|&x| (x - m).exp()).collect();
+            let l: f32 = exps.iter().sum();
+            for (t, &p) in exps.iter().enumerate() {
+                for c in 0..dim {
+                    out[i][c] += p / l * values[t][c];
+                }
+            }
+        }
+        out
+    }
+
+    fn max_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+        a.iter()
+            .zip(b)
+            .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn online_matches_dense_softmax() {
+        let (rows, dim) = (4, 8);
+        let s_tiles: Vec<Tile> = (0..5).map(|i| score_tile(rows, 16, i as f32)).collect();
+        let v_tiles: Vec<Tile> = (0..5).map(|_| value_tile(16, dim)).collect();
+        let online = run_tiled(&s_tiles, &v_tiles, rows, dim);
+        let dense = dense_reference(&s_tiles, &v_tiles, rows, dim);
+        assert!(max_diff(&online, &dense) < 1e-5);
+    }
+
+    #[test]
+    fn split_merge_is_exact() {
+        let (rows, dim) = (4, 8);
+        let s_tiles: Vec<Tile> = (0..6)
+            .map(|i| score_tile(rows, 16, i as f32 * 1.3))
+            .collect();
+        let v_tiles: Vec<Tile> = (0..6).map(|_| value_tile(16, dim)).collect();
+
+        // Full pass.
+        let full = run_tiled(&s_tiles, &v_tiles, rows, dim);
+
+        // Two splits of three tiles each, merged.
+        let mut a = OnlineSoftmax::new(rows, dim);
+        let mut b = OnlineSoftmax::new(rows, dim);
+        for i in 0..3 {
+            a.step_tile(&s_tiles[i], &v_tiles[i]);
+            b.step_tile(&s_tiles[i + 3], &v_tiles[i + 3]);
+        }
+        let merged = OnlineSoftmax::merge(vec![a, b]).finish();
+        assert!(max_diff(&full, &merged) < 1e-5);
+    }
+
+    #[test]
+    fn cooperative_warped_matches_reference() {
+        let (rows, dim) = (4, 8);
+        let s = score_tile(rows, 32, 0.5);
+        let v = value_tile(32, dim);
+        let mut reference = OnlineSoftmax::new(rows, dim);
+        reference.step_tile(&s, &v);
+        for wn in [1, 2, 4] {
+            let mut warped = OnlineSoftmax::new(rows, dim);
+            warped.step_tile_warped(&s, &v, wn, true);
+            assert!(
+                max_diff(&warped.clone().finish(), &reference.clone().finish()) < 1e-6,
+                "Wn={wn}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_cooperative_multi_warp_is_wrong() {
+        // Table III: Wn=4 without cooperative softmax → invalid results.
+        let (rows, dim) = (4, 8);
+        let s = score_tile(rows, 32, 0.5);
+        let v = value_tile(32, dim);
+        let mut good = OnlineSoftmax::new(rows, dim);
+        good.step_tile_warped(&s, &v, 4, true);
+        let mut bad = OnlineSoftmax::new(rows, dim);
+        bad.step_tile_warped(&s, &v, 4, false);
+        let diff = max_diff(&good.finish(), &bad.finish());
+        assert!(diff > 1e-3, "race must corrupt output, diff {diff}");
+    }
+
+    #[test]
+    fn non_cooperative_single_warp_is_still_correct() {
+        let (rows, dim) = (2, 4);
+        let s = score_tile(rows, 16, 0.1);
+        let v = value_tile(16, dim);
+        let mut a = OnlineSoftmax::new(rows, dim);
+        a.step_tile_warped(&s, &v, 1, false);
+        let mut b = OnlineSoftmax::new(rows, dim);
+        b.step_tile(&s, &v);
+        assert!(max_diff(&a.finish(), &b.finish()) < 1e-7);
+    }
+
+    #[test]
+    fn reference_attention_rows_sum_properly() {
+        // With identical V rows, attention output equals that row.
+        let q = vec![vec![0.3f32; 8]; 2];
+        let k: Vec<Vec<f32>> = (0..10).map(|t| vec![t as f32 * 0.1; 8]).collect();
+        let v = vec![vec![2.5f32; 4]; 10];
+        let out = reference_attention(&q, &k, &v, 0.35);
+        for row in out {
+            for x in row {
+                assert!((x - 2.5).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_single_partial_is_identity() {
+        let (rows, dim) = (3, 4);
+        let s = score_tile(rows, 8, 0.0);
+        let v = value_tile(8, dim);
+        let mut state = OnlineSoftmax::new(rows, dim);
+        state.step_tile(&s, &v);
+        let direct = state.clone().finish();
+        let merged = OnlineSoftmax::merge(vec![state]).finish();
+        assert!(max_diff(&direct, &merged) < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the BitDecoding engine: softmax equivalences,
+//! codec layout coordination, and split-KV invariance.
+
+use bd_core::codec::FragmentCodec;
+use bd_core::softmax::{reference_attention, OnlineSoftmax};
+use bd_core::{query_transform, ungroup_outputs, AttentionConfig};
+use bd_gpu_sim::Tile;
+use bd_kvcache::{BlockCodec, PackLayout, QuantScheme, TokenMatrix};
+use bd_lowbit::PackOrder;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut s = seed | 1;
+    (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+                    ((s >> 40) as i32 % 1000) as f32 / 250.0 - 2.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn max_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
+        .fold(0.0, f32::max)
+}
+
+proptest! {
+    /// Online (tiled) softmax equals dense attention for any tiling.
+    #[test]
+    fn online_softmax_equals_dense(seed: u64, tiles in 1usize..6, tile_tokens in 4usize..24) {
+        let rows = 3;
+        let dim = 8;
+        let total = tiles * tile_tokens;
+        let q = matrix(rows, dim, seed);
+        let k = matrix(total, dim, seed ^ 1);
+        let v = matrix(total, dim, seed ^ 2);
+        let scale = 0.3;
+
+        let mut state = OnlineSoftmax::new(rows, dim);
+        for i in 0..tiles {
+            let range = i * tile_tokens..(i + 1) * tile_tokens;
+            let s = Tile::from_fn(rows, tile_tokens, |r, c| {
+                let t = range.start + c;
+                q[r].iter().zip(&k[t]).map(|(a, b)| a * b).sum::<f32>() * scale
+            });
+            let vt = Tile::from_fn(tile_tokens, dim, |t, c| v[range.start + t][c]);
+            state.step_tile(&s, &vt);
+        }
+        let got = state.finish();
+        let want = reference_attention(&q, &k, &v, scale);
+        prop_assert!(max_diff(&got, &want) < 1e-4);
+    }
+
+    /// Split-KV merge is invariant to the split point.
+    #[test]
+    fn split_point_does_not_matter(seed: u64, split_at in 1usize..7) {
+        let rows = 2;
+        let dim = 8;
+        let tile_tokens = 8;
+        let tiles = 8;
+        let q = matrix(rows, dim, seed);
+        let k = matrix(tiles * tile_tokens, dim, seed ^ 3);
+        let v = matrix(tiles * tile_tokens, dim, seed ^ 4);
+        let scale = 0.25;
+
+        let run = |tile_range: std::ops::Range<usize>| {
+            let mut st = OnlineSoftmax::new(rows, dim);
+            for i in tile_range {
+                let base = i * tile_tokens;
+                let s = Tile::from_fn(rows, tile_tokens, |r, c| {
+                    q[r].iter().zip(&k[base + c]).map(|(a, b)| a * b).sum::<f32>() * scale
+                });
+                let vt = Tile::from_fn(tile_tokens, dim, |t, c| v[base + t][c]);
+                st.step_tile(&s, &vt);
+            }
+            st
+        };
+        let full = run(0..tiles).finish();
+        let merged = OnlineSoftmax::merge(vec![run(0..split_at), run(split_at..tiles)]).finish();
+        prop_assert!(max_diff(&full, &merged) < 1e-4);
+    }
+
+    /// Cooperative warped softmax equals the reference for every Wn that
+    /// divides the tile.
+    #[test]
+    fn cooperative_softmax_wn_invariant(seed: u64, wn in 1usize..5) {
+        let rows = 4;
+        let dim = 8;
+        let tokens = 32;
+        let s_vals = matrix(rows, tokens, seed);
+        let v_vals = matrix(tokens, dim, seed ^ 5);
+        let s = Tile::from_fn(rows, tokens, |r, c| s_vals[r][c] * 2.0);
+        let v = Tile::from_fn(tokens, dim, |t, c| v_vals[t][c]);
+        if tokens % wn != 0 {
+            return Ok(());
+        }
+        let mut reference = OnlineSoftmax::new(rows, dim);
+        reference.step_tile(&s, &v);
+        let mut warped = OnlineSoftmax::new(rows, dim);
+        warped.step_tile_warped(&s, &v, wn, true);
+        prop_assert!(max_diff(&reference.finish(), &warped.finish()) < 1e-5);
+    }
+
+    /// Query transform and ungroup are mutual inverses for any valid GQA
+    /// configuration.
+    #[test]
+    fn query_transform_round_trips(hkv in 1usize..8, gq in 1usize..8, dim in 1usize..32, seed: u64) {
+        let attn = AttentionConfig::new(hkv * gq, hkv, dim);
+        let q = matrix(attn.heads_q, dim, seed);
+        let grouped = query_transform(&q, &attn);
+        prop_assert_eq!(grouped.len(), hkv);
+        for block in &grouped {
+            prop_assert_eq!(block.len(), gq);
+        }
+        prop_assert_eq!(ungroup_outputs(&grouped, &attn), q);
+    }
+
+    /// Fragment codec: same-layout decode reconstructs, any mismatched
+    /// layout corrupts (for blocks large enough to span warps).
+    #[test]
+    fn fragment_codec_layout_coordination(seed: u64, mismatch_kind in 0usize..2) {
+        let scheme = QuantScheme::kc4();
+        let layout = PackLayout::sm80_default();
+        let nr = layout.residual_block(bd_lowbit::BitWidth::B4);
+        let k: TokenMatrix = matrix(nr, 32, seed);
+        let v: TokenMatrix = matrix(nr, 32, seed ^ 9);
+        let good = FragmentCodec::new(layout);
+        let block = good.encode(&k, &v, scheme);
+        let (dk, _) = good.decode(&block, scheme);
+        prop_assert!(max_diff(&dk, &k) < 0.4, "same layout must reconstruct");
+
+        let bad_layout = match mismatch_kind {
+            0 => PackLayout { order: PackOrder::Linear, ..layout },
+            _ => PackLayout { warps_n: 2, ..layout },
+        };
+        let bad = FragmentCodec::new(bad_layout);
+        let (wrong, _) = bad.decode(&block, scheme);
+        prop_assert!(max_diff(&wrong, &k) > 0.4, "mismatch must corrupt");
+    }
+}

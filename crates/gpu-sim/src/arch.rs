@@ -1,0 +1,317 @@
+//! GPU architecture descriptors for the five evaluation platforms
+//! (paper §VI: RTX 5090 / RTX PRO 6000 Blackwell, H100 Hopper, RTX 4090 Ada,
+//! A100 Ampere).
+//!
+//! Peak numbers are public-datasheet values (dense, no sparsity). The three
+//! *calibration* constants — achieved-bandwidth fraction, kernel launch
+//! overhead, and warps-to-saturate — are fixed per architecture and shared
+//! by **every** kernel and experiment, so relative comparisons between
+//! systems are never tuned per-figure.
+
+use std::fmt;
+
+/// GPU hardware generation, which gates instruction availability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArchGen {
+    /// SM80 (A100): `mma` + `cp.async`.
+    Ampere,
+    /// SM89 (RTX 4090): Ampere ISA with FP8 tensor cores.
+    Ada,
+    /// SM90 (H100): `wgmma`, TMA, warp specialization.
+    Hopper,
+    /// SM100/SM120 (RTX 5090, RTX PRO 6000): native MXFP4/NVFP4 MMA.
+    Blackwell,
+}
+
+impl ArchGen {
+    /// Warpgroup MMA (`wgmma`) availability.
+    pub fn supports_wgmma(self) -> bool {
+        self >= ArchGen::Hopper
+    }
+
+    /// Tensor Memory Accelerator availability.
+    pub fn supports_tma(self) -> bool {
+        self >= ArchGen::Hopper
+    }
+
+    /// Native block-scaled FP4 MMA availability.
+    pub fn supports_fp4_mma(self) -> bool {
+        self == ArchGen::Blackwell
+    }
+}
+
+impl fmt::Display for ArchGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchGen::Ampere => write!(f, "Ampere"),
+            ArchGen::Ada => write!(f, "Ada"),
+            ArchGen::Hopper => write!(f, "Hopper"),
+            ArchGen::Blackwell => write!(f, "Blackwell"),
+        }
+    }
+}
+
+/// A concrete GPU with peak rates and calibration constants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: &'static str,
+    /// Hardware generation.
+    pub gen: ArchGen,
+    /// Streaming multiprocessor count.
+    pub sms: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub dram_bw_gbs: f64,
+    /// DRAM capacity, GB.
+    pub dram_gb: f64,
+    /// Dense FP16 Tensor Core throughput, TFLOPS.
+    pub tc_fp16_tflops: f64,
+    /// Dense FP8 Tensor Core throughput, TFLOPS (0 when absent).
+    pub tc_fp8_tflops: f64,
+    /// Dense FP4 (MX/NV) Tensor Core throughput, TFLOPS (0 when absent).
+    pub tc_fp4_tflops: f64,
+    /// CUDA-core FP32 throughput, TFLOPS.
+    pub cuda_fp32_tflops: f64,
+    /// Shared memory per SM, KiB.
+    pub smem_kb_per_sm: u32,
+    /// L2 capacity, MiB.
+    pub l2_mb: f64,
+    /// Calibration: fraction of peak DRAM bandwidth attention-style kernels
+    /// achieve (strided KV gathers never hit 100%).
+    pub mem_efficiency: f64,
+    /// Calibration: per-kernel-launch overhead in microseconds (driver +
+    /// grid setup + DRAM latency ramp).
+    pub launch_overhead_us: f64,
+    /// Calibration: resident warps per SM needed to hide memory latency.
+    pub warps_to_saturate: f64,
+    /// Calibration: fraction of nominal CUDA-core issue slots usable by
+    /// mixed integer/FP scalar work. Datacenter parts (A100/H100) have
+    /// dedicated INT32 pipes (≈0.9); consumer parts count dual-issue FP32
+    /// in their nominal rate, so int-heavy dequantization gets ≈0.45-0.5.
+    pub cuda_issue_efficiency: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA A100 SXM4 80 GB (Ampere, SM80).
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "A100",
+            gen: ArchGen::Ampere,
+            sms: 108,
+            clock_ghz: 1.41,
+            dram_bw_gbs: 2039.0,
+            dram_gb: 80.0,
+            tc_fp16_tflops: 312.0,
+            tc_fp8_tflops: 0.0,
+            tc_fp4_tflops: 0.0,
+            cuda_fp32_tflops: 19.5,
+            smem_kb_per_sm: 164,
+            l2_mb: 40.0,
+            mem_efficiency: 0.82,
+            launch_overhead_us: 4.0,
+            warps_to_saturate: 8.0,
+            cuda_issue_efficiency: 0.9,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 4090 (Ada, SM89).
+    pub fn rtx4090() -> Self {
+        GpuArch {
+            name: "RTX4090",
+            gen: ArchGen::Ada,
+            sms: 128,
+            clock_ghz: 2.52,
+            dram_bw_gbs: 1008.0,
+            dram_gb: 24.0,
+            tc_fp16_tflops: 165.0,
+            tc_fp8_tflops: 330.0,
+            tc_fp4_tflops: 0.0,
+            cuda_fp32_tflops: 82.6,
+            smem_kb_per_sm: 100,
+            l2_mb: 72.0,
+            mem_efficiency: 0.85,
+            launch_overhead_us: 3.5,
+            warps_to_saturate: 8.0,
+            cuda_issue_efficiency: 0.45,
+        }
+    }
+
+    /// NVIDIA H100 SXM5 (Hopper, SM90).
+    pub fn h100() -> Self {
+        GpuArch {
+            name: "H100",
+            gen: ArchGen::Hopper,
+            sms: 132,
+            clock_ghz: 1.83,
+            dram_bw_gbs: 3350.0,
+            dram_gb: 80.0,
+            tc_fp16_tflops: 989.0,
+            tc_fp8_tflops: 1979.0,
+            tc_fp4_tflops: 0.0,
+            cuda_fp32_tflops: 67.0,
+            smem_kb_per_sm: 228,
+            l2_mb: 50.0,
+            mem_efficiency: 0.80,
+            launch_overhead_us: 3.0,
+            warps_to_saturate: 10.0,
+            cuda_issue_efficiency: 0.9,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 5090 (Blackwell, SM120).
+    pub fn rtx5090() -> Self {
+        GpuArch {
+            name: "RTX5090",
+            gen: ArchGen::Blackwell,
+            sms: 170,
+            clock_ghz: 2.41,
+            dram_bw_gbs: 1792.0,
+            dram_gb: 32.0,
+            tc_fp16_tflops: 210.0,
+            tc_fp8_tflops: 419.0,
+            tc_fp4_tflops: 838.0,
+            cuda_fp32_tflops: 104.8,
+            smem_kb_per_sm: 100,
+            l2_mb: 96.0,
+            mem_efficiency: 0.86,
+            launch_overhead_us: 3.0,
+            warps_to_saturate: 8.0,
+            cuda_issue_efficiency: 0.5,
+        }
+    }
+
+    /// NVIDIA RTX PRO 6000 Blackwell workstation GPU.
+    pub fn rtx_pro6000() -> Self {
+        GpuArch {
+            name: "RTX PRO 6000",
+            gen: ArchGen::Blackwell,
+            sms: 188,
+            clock_ghz: 2.45,
+            dram_bw_gbs: 1792.0,
+            dram_gb: 96.0,
+            tc_fp16_tflops: 252.0,
+            tc_fp8_tflops: 503.0,
+            tc_fp4_tflops: 1007.0,
+            cuda_fp32_tflops: 118.0,
+            smem_kb_per_sm: 100,
+            l2_mb: 128.0,
+            mem_efficiency: 0.84,
+            launch_overhead_us: 3.0,
+            warps_to_saturate: 8.0,
+            cuda_issue_efficiency: 0.5,
+        }
+    }
+
+    /// All five evaluation GPUs.
+    pub fn all() -> Vec<GpuArch> {
+        vec![
+            GpuArch::a100(),
+            GpuArch::rtx4090(),
+            GpuArch::h100(),
+            GpuArch::rtx5090(),
+            GpuArch::rtx_pro6000(),
+        ]
+    }
+
+    /// CUDA-core instruction issue rate, instructions/s (an FMA is one
+    /// instruction at two FLOPs).
+    pub fn cuda_ips(&self) -> f64 {
+        self.cuda_fp32_tflops * 1e12 / 2.0
+    }
+
+    /// Issue rate achievable by kernel code mixing integer unpacking with
+    /// FP math (the realistic rate for dequantization inner loops).
+    pub fn cuda_ips_effective(&self) -> f64 {
+        self.cuda_ips() * self.cuda_issue_efficiency
+    }
+
+    /// Aggregate shared-memory bandwidth, bytes/s (128 B per SM per clock).
+    pub fn smem_bw_bytes(&self) -> f64 {
+        self.sms as f64 * 128.0 * self.clock_ghz * 1e9
+    }
+
+    /// Dense Tensor Core throughput for a precision, FLOPS.
+    ///
+    /// Returns 0 when the precision is unsupported (callers must fall back
+    /// to CUDA cores or a wider format).
+    pub fn tc_flops(&self, precision: Precision) -> f64 {
+        let tflops = match precision {
+            Precision::Fp16 => self.tc_fp16_tflops,
+            Precision::Fp8 => self.tc_fp8_tflops,
+            Precision::Fp4 => self.tc_fp4_tflops,
+        };
+        tflops * 1e12
+    }
+
+    /// Effective DRAM bandwidth for attention-style access, bytes/s.
+    pub fn effective_bw_bytes(&self) -> f64 {
+        self.dram_bw_gbs * 1e9 * self.mem_efficiency
+    }
+}
+
+impl fmt::Display for GpuArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.gen)
+    }
+}
+
+/// Tensor Core operand precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// FP16/BF16 operands.
+    Fp16,
+    /// FP8 (E4M3/E5M2) operands.
+    Fp8,
+    /// Block-scaled FP4 (MXFP4/NVFP4) operands.
+    Fp4,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_feature_gates() {
+        assert!(!ArchGen::Ampere.supports_wgmma());
+        assert!(!ArchGen::Ada.supports_wgmma());
+        assert!(ArchGen::Hopper.supports_wgmma());
+        assert!(ArchGen::Hopper.supports_tma());
+        assert!(!ArchGen::Hopper.supports_fp4_mma());
+        assert!(ArchGen::Blackwell.supports_fp4_mma());
+    }
+
+    #[test]
+    fn spec_sanity() {
+        for arch in GpuArch::all() {
+            assert!(arch.dram_bw_gbs > 500.0, "{arch}");
+            assert!(arch.tc_fp16_tflops > arch.cuda_fp32_tflops, "{arch}");
+            assert!(arch.mem_efficiency > 0.5 && arch.mem_efficiency < 1.0);
+            assert!(arch.cuda_ips() > 0.0);
+            assert!(
+                arch.smem_bw_bytes() > arch.dram_bw_gbs * 1e9,
+                "{arch}: smem faster than DRAM"
+            );
+        }
+    }
+
+    #[test]
+    fn fp4_only_on_blackwell() {
+        assert_eq!(GpuArch::a100().tc_flops(Precision::Fp4), 0.0);
+        assert_eq!(GpuArch::h100().tc_flops(Precision::Fp4), 0.0);
+        assert!(GpuArch::rtx5090().tc_flops(Precision::Fp4) > 0.0);
+        assert!(
+            GpuArch::rtx_pro6000().tc_flops(Precision::Fp4)
+                > GpuArch::rtx5090().tc_flops(Precision::Fp4)
+        );
+    }
+
+    #[test]
+    fn hopper_has_highest_bandwidth() {
+        let h100 = GpuArch::h100();
+        for other in [GpuArch::a100(), GpuArch::rtx4090(), GpuArch::rtx5090()] {
+            assert!(h100.dram_bw_gbs > other.dram_bw_gbs);
+        }
+    }
+}

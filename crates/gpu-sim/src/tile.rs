@@ -1,0 +1,180 @@
+//! A minimal row-major matrix tile used by the functional simulator.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` tile of `f32` values.
+///
+/// The functional layer computes in `f32` (GPU accumulators) and rounds
+/// through [`bd_lowbit::F16`] at the points where real kernels hold half
+/// registers.
+#[derive(Clone, PartialEq)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tile {
+    /// Creates a zero-filled tile.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tile {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tile from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut t = Tile::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                t[(r, c)] = f(r, c);
+            }
+        }
+        t
+    }
+
+    /// Creates a tile from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tile data length mismatch");
+        Tile { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transposed(&self) -> Tile {
+        Tile::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Plain `self × rhs` matrix multiply with `f32` accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tile) -> Tile {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let mut out = Tile::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element difference against another tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tile) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Tile {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tile {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tile {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.3} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tile::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Tile::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tile::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tile::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tile::from_fn(4, 7, |r, c| (r * 13 + c * 3) as f32);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = Tile::zeros(2, 2);
+        let mut b = Tile::zeros(2, 2);
+        b[(1, 0)] = 0.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the GPU execution model.
+
+use bd_gpu_sim::*;
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = MmaShape> {
+    prop_oneof![
+        Just(MmaShape::M16N8K16),
+        Just(MmaShape::M16N8K8),
+        Just(MmaShape::M16N8K32Fp4),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![Just(Operand::A), Just(Operand::B), Just(Operand::Acc)]
+}
+
+proptest! {
+    /// coords/position are mutual inverses for every layout and slot.
+    #[test]
+    fn fragment_mapping_inverts(shape in arb_shape(), operand in arb_operand(),
+                                lane in 0usize..32, reg_seed in 0usize..16) {
+        let layout = FragmentLayout::new(shape, operand);
+        let reg = reg_seed % layout.regs_per_lane();
+        let (r, c) = layout.coords(lane, reg);
+        prop_assert_eq!(layout.position(r, c), (lane, reg));
+    }
+
+    /// A tile survives ldmatrix → stsm for every layout.
+    #[test]
+    fn ldmatrix_stsm_round_trip(shape in arb_shape(), operand in arb_operand(), seed: u64) {
+        let layout = FragmentLayout::new(shape, operand);
+        let (rows, cols) = layout.dims();
+        let mut state = seed;
+        let tile = Tile::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as i32 % 17) as f32 * 0.25
+        });
+        let frag = ldmatrix(&tile, layout);
+        prop_assert_eq!(stsm(&frag, layout), tile);
+    }
+
+    /// mma through fragments equals the dense reference product.
+    #[test]
+    fn mma_equals_reference(seed: u64) {
+        let shape = MmaShape::M16N8K16;
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as i32 % 9) as f32 * 0.5 - 2.0
+        };
+        let a = Tile::from_fn(16, 16, |_, _| next());
+        let b = Tile::from_fn(16, 8, |_, _| next());
+        let fa = ldmatrix(&a, FragmentLayout::new(shape, Operand::A));
+        let fb = ldmatrix(&b, FragmentLayout::new(shape, Operand::B));
+        let mut acc = AccFragment::zeroed(shape);
+        mma(shape, &fa, &fb, &mut acc);
+        prop_assert!(acc.to_tile().max_abs_diff(&a.matmul(&b)) < 0.05);
+    }
+
+    /// lop3 computes its LUT for arbitrary immediates and inputs.
+    #[test]
+    fn lop3_is_a_lut(a: u32, b: u32, c: u32, imm: u8) {
+        let out = lop3(a, b, c, imm);
+        for bit in 0..32 {
+            let idx = (((a >> bit) & 1) << 2) | (((b >> bit) & 1) << 1) | ((c >> bit) & 1);
+            let expect = (imm >> idx) & 1;
+            prop_assert_eq!((out >> bit) & 1, u32::from(expect));
+        }
+    }
+
+    /// shfl_xor butterfly computes the same reduction on every lane as a
+    /// sequential fold, for any associative-commutative op (max here).
+    #[test]
+    fn shfl_reduces_like_fold(values in prop::collection::vec(-100.0f32..100.0, 32)) {
+        let arr: [f32; 32] = values.clone().try_into().unwrap();
+        let (out, steps) = shfl_xor_reduce(&arr, f32::max);
+        let expect = values.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert_eq!(steps, 5);
+        for lane in 0..32 {
+            prop_assert_eq!(out[lane], expect);
+        }
+    }
+
+    /// Bank-conflict count is invariant under address permutation and
+    /// bounded by [optimal, 32 × optimal].
+    #[test]
+    fn conflicts_bounded_and_permutation_invariant(
+        mut addrs in prop::collection::vec(0usize..4096, 32),
+        swap in prop::collection::vec((0usize..32, 0usize..32), 0..8),
+    ) {
+        // Align to 4-byte words.
+        for a in &mut addrs {
+            *a &= !3;
+        }
+        let t1 = warp_transactions(&addrs, 4);
+        let opt = smem::optimal_transactions(&addrs, 4).max(1);
+        prop_assert!(t1 >= opt, "{t1} < optimal {opt}");
+        prop_assert!(t1 <= opt * 32);
+        let mut shuffled = addrs.clone();
+        for (i, j) in swap {
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(warp_transactions(&shuffled, 4), t1);
+    }
+
+    /// Cost model monotonicity: more bytes, more MACs, or more CUDA slots
+    /// never make a kernel faster.
+    #[test]
+    fn cost_is_monotone(bytes in 1e3f64..1e9, macs in 0f64..1e10, slots in 0f64..1e10) {
+        let arch = GpuArch::a100();
+        let mut p = KernelProfile::new("m");
+        p.ctas = 512.0;
+        p.dram_read_bytes = bytes;
+        p.tc_macs_fp16 = macs;
+        p.cuda.misc = slots;
+        let base = arch.evaluate(&p).total;
+        let mut bigger = p.clone();
+        bigger.dram_read_bytes *= 1.5;
+        prop_assert!(arch.evaluate(&bigger).total >= base);
+        let mut bigger = p.clone();
+        bigger.tc_macs_fp16 += 1e9;
+        prop_assert!(arch.evaluate(&bigger).total >= base);
+        let mut bigger = p.clone();
+        bigger.cuda.dequant += 1e9;
+        prop_assert!(arch.evaluate(&bigger).total >= base);
+    }
+
+    /// Occupancy factor is monotone in grid size and bounded in (0, 1].
+    #[test]
+    fn occupancy_monotone(ctas in 1f64..100000.0, warps in 1f64..16.0) {
+        let arch = GpuArch::h100();
+        let f = arch.occupancy_factor(ctas, warps);
+        prop_assert!(f > 0.0 && f <= 1.0);
+        prop_assert!(arch.occupancy_factor(ctas * 2.0, warps) >= f);
+        prop_assert!(arch.occupancy_factor(ctas, (warps * 2.0).min(32.0)) >= f);
+    }
+
+    /// Overlap combinator bounds: total is at least the max component and
+    /// at most the serial sum (plus launch overhead).
+    #[test]
+    fn latency_within_roofline_bounds(bytes in 1e4f64..1e9, macs in 1e3f64..1e10) {
+        let arch = GpuArch::rtx4090();
+        let mut p = KernelProfile::new("m");
+        p.ctas = 4096.0;
+        p.warps_per_cta = 8.0;
+        p.dram_read_bytes = bytes;
+        p.tc_macs_fp16 = macs;
+        let b = arch.evaluate(&p);
+        let serial = b.t_mem + b.t_tc + b.t_cuda + b.t_smem;
+        prop_assert!(b.total + 1e-12 >= b.t_mem.max(b.t_tc), "below roofline");
+        prop_assert!(b.total <= serial / b.occupancy + b.t_launch + 1e-9, "above serial");
+    }
+}

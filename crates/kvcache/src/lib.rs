@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # bd-kvcache — quantized KV-cache containers for BitDecoding-RS
+//!
+//! The dynamic low-bit KV cache the paper is built around: quantization
+//! [schemes](crate::scheme) (KT/KC × 4/2-bit, MXFP4/NVFP4), the shared
+//! [pack-layout configuration](crate::layout) that fixes the residual block
+//! size `Nr = Pn × Wn × R` (paper Eq. 1), the
+//! [packed + residual cache](crate::cache) itself, pluggable
+//! [block codecs](crate::codec), and [paged management](crate::paged) for
+//! the serving setting.
+//!
+//! The cache is a *container*: how values are physically packed is decided
+//! by the [`BlockCodec`] that flushes each residual block. The
+//! fragment-true codec lives in `bd-core`; the [`ReferenceCodec`] here is
+//! the logical linear layout non-tensor-core systems use.
+
+pub mod block;
+pub mod cache;
+pub mod codec;
+pub mod layout;
+pub mod paged;
+pub mod scheme;
+
+pub use block::{PackedBlock, PackedPayload, PackedTensor};
+pub use cache::{CacheConfig, CacheError, QuantizedKvCache};
+pub use codec::{
+    dequantize_int_codes, quantize_int_codes, reconstruction_error, BlockCodec, ReferenceCodec,
+    TokenMatrix,
+};
+pub use layout::{partition_prefill, PackLayout};
+pub use paged::{PageId, PagedOom, PagedPool, SeqId};
+pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};

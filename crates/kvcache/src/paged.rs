@@ -1,0 +1,259 @@
+//! Paged KV-cache management in the PagedAttention style (paper §VI-A,
+//! the "Page" evaluation setting).
+//!
+//! The pool hands out fixed-size pages (tokens per page) to sequences on
+//! demand; a per-sequence page table maps logical block indices to physical
+//! pages. The serving simulator uses this for admission control (max batch
+//! under a memory budget) and the kernel profiles charge the extra
+//! page-table indirection traffic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A physical page identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// A sequence identifier issued by the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqId(pub u32);
+
+/// Pool exhaustion error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagedOom {
+    /// Pages requested beyond availability.
+    pub requested: usize,
+    /// Pages still free.
+    pub free: usize,
+}
+
+impl fmt::Display for PagedOom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page pool exhausted: requested {} pages, {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for PagedOom {}
+
+/// A fixed-capacity page pool with per-sequence page tables.
+#[derive(Clone, Debug)]
+pub struct PagedPool {
+    page_tokens: usize,
+    free: Vec<PageId>,
+    tables: HashMap<SeqId, Vec<PageId>>,
+    seq_lens: HashMap<SeqId, usize>,
+    next_seq: u32,
+    total_pages: usize,
+}
+
+impl PagedPool {
+    /// Creates a pool of `total_pages` pages of `page_tokens` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` is zero.
+    pub fn new(total_pages: usize, page_tokens: usize) -> Self {
+        assert!(page_tokens > 0, "page size must be positive");
+        PagedPool {
+            page_tokens,
+            free: (0..total_pages as u32).rev().map(PageId).collect(),
+            tables: HashMap::new(),
+            seq_lens: HashMap::new(),
+            next_seq: 0,
+            total_pages,
+        }
+    }
+
+    /// Sizes a pool from a byte budget: `budget / (page_tokens ×
+    /// bytes_per_token)` pages.
+    pub fn with_budget(budget_bytes: f64, page_tokens: usize, bytes_per_token: f64) -> Self {
+        let pages = (budget_bytes / (page_tokens as f64 * bytes_per_token)).floor() as usize;
+        PagedPool::new(pages, page_tokens)
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    /// Pages not currently assigned.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total pool capacity in pages.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Fraction of pages in use.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free.len() as f64 / self.total_pages.max(1) as f64
+    }
+
+    /// Admits a new (empty) sequence.
+    pub fn admit(&mut self) -> SeqId {
+        let id = SeqId(self.next_seq);
+        self.next_seq += 1;
+        self.tables.insert(id, Vec::new());
+        self.seq_lens.insert(id, 0);
+        id
+    }
+
+    /// Grows a sequence to `new_len` tokens, allocating pages on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] (leaving the sequence unchanged) when the pool
+    /// cannot supply enough pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is unknown or `new_len` shrinks the sequence.
+    pub fn grow(&mut self, seq: SeqId, new_len: usize) -> Result<(), PagedOom> {
+        let cur_len = *self.seq_lens.get(&seq).expect("unknown sequence");
+        assert!(new_len >= cur_len, "sequences cannot shrink; free instead");
+        let have = self.tables[&seq].len();
+        let need = new_len.div_ceil(self.page_tokens);
+        let extra = need.saturating_sub(have);
+        if extra > self.free.len() {
+            return Err(PagedOom {
+                requested: extra,
+                free: self.free.len(),
+            });
+        }
+        let table = self.tables.get_mut(&seq).expect("unknown sequence");
+        for _ in 0..extra {
+            table.push(self.free.pop().expect("checked above"));
+        }
+        self.seq_lens.insert(seq, new_len);
+        Ok(())
+    }
+
+    /// Releases a sequence and returns its pages to the pool.
+    pub fn release(&mut self, seq: SeqId) {
+        if let Some(pages) = self.tables.remove(&seq) {
+            self.free.extend(pages);
+            self.seq_lens.remove(&seq);
+        }
+    }
+
+    /// Current token length of a sequence.
+    pub fn seq_len(&self, seq: SeqId) -> Option<usize> {
+        self.seq_lens.get(&seq).copied()
+    }
+
+    /// The page table of a sequence (logical order).
+    pub fn table(&self, seq: SeqId) -> Option<&[PageId]> {
+        self.tables.get(&seq).map(Vec::as_slice)
+    }
+
+    /// Translates a token index to `(page, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is unknown or the token is beyond its length.
+    pub fn translate(&self, seq: SeqId, token: usize) -> (PageId, usize) {
+        let len = self.seq_lens[&seq];
+        assert!(token < len, "token {token} beyond sequence length {len}");
+        let table = &self.tables[&seq];
+        (table[token / self.page_tokens], token % self.page_tokens)
+    }
+
+    /// Bytes of page-table metadata one attention pass over a sequence
+    /// reads (8 B per entry: pointer-sized page descriptors).
+    pub fn table_read_bytes(&self, seq: SeqId) -> f64 {
+        self.tables.get(&seq).map_or(0.0, |t| t.len() as f64 * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_allocates_pages_lazily() {
+        let mut pool = PagedPool::new(10, 64);
+        let s = pool.admit();
+        pool.grow(s, 1).unwrap();
+        assert_eq!(pool.table(s).unwrap().len(), 1);
+        pool.grow(s, 64).unwrap();
+        assert_eq!(pool.table(s).unwrap().len(), 1);
+        pool.grow(s, 65).unwrap();
+        assert_eq!(pool.table(s).unwrap().len(), 2);
+        assert_eq!(pool.free_pages(), 8);
+    }
+
+    #[test]
+    fn oom_leaves_state_unchanged() {
+        let mut pool = PagedPool::new(2, 64);
+        let s = pool.admit();
+        pool.grow(s, 128).unwrap();
+        let err = pool.grow(s, 129).unwrap_err();
+        assert_eq!(
+            err,
+            PagedOom {
+                requested: 1,
+                free: 0
+            }
+        );
+        assert_eq!(pool.seq_len(s), Some(128));
+        assert_eq!(pool.table(s).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn release_returns_pages() {
+        let mut pool = PagedPool::new(4, 16);
+        let a = pool.admit();
+        let b = pool.admit();
+        pool.grow(a, 40).unwrap(); // 3 pages
+        pool.grow(b, 10).unwrap(); // 1 page
+        assert_eq!(pool.free_pages(), 0);
+        pool.release(a);
+        assert_eq!(pool.free_pages(), 3);
+        pool.grow(b, 60).unwrap();
+        assert_eq!(pool.free_pages(), 0);
+    }
+
+    #[test]
+    fn translate_is_consistent_with_tables() {
+        let mut pool = PagedPool::new(8, 32);
+        let s = pool.admit();
+        pool.grow(s, 100).unwrap();
+        let (p0, o0) = pool.translate(s, 0);
+        let (p2, o2) = pool.translate(s, 95);
+        assert_eq!(o0, 0);
+        assert_eq!(o2, 95 % 32);
+        assert_eq!(p0, pool.table(s).unwrap()[0]);
+        assert_eq!(p2, pool.table(s).unwrap()[95 / 32]);
+    }
+
+    #[test]
+    fn budget_sizing() {
+        // 1 MiB budget, 64-token pages, 160 B/token → 102 pages.
+        let pool = PagedPool::with_budget(1048576.0, 64, 160.0);
+        assert_eq!(pool.total_pages(), 102);
+        assert_eq!(pool.page_tokens(), 64);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut pool = PagedPool::new(10, 16);
+        assert_eq!(pool.utilization(), 0.0);
+        let s = pool.admit();
+        pool.grow(s, 80).unwrap();
+        assert!((pool.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_read_bytes_scale_with_pages() {
+        let mut pool = PagedPool::new(100, 64);
+        let s = pool.admit();
+        pool.grow(s, 64 * 10).unwrap();
+        assert_eq!(pool.table_read_bytes(s), 80.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for cache containers and codecs.
+
+use bd_kvcache::*;
+use bd_lowbit::BitWidth;
+use proptest::prelude::*;
+
+fn matrix(tokens: usize, dim: usize, seed: u64) -> TokenMatrix {
+    let mut s = seed | 1;
+    (0..tokens)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 40) as i32 % 1000) as f32 / 125.0 - 4.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
+    prop_oneof![
+        Just(QuantScheme::kc4()),
+        Just(QuantScheme::kt4()),
+        Just(QuantScheme::kc2()),
+        Just(QuantScheme::kt2()),
+        Just(QuantScheme::mxfp4()),
+        Just(QuantScheme::nvfp4()),
+    ]
+}
+
+proptest! {
+    /// encode → decode reconstruction error is bounded by the scheme's
+    /// worst-case step over the data range, for every scheme.
+    #[test]
+    fn codec_round_trip_error_bounded(scheme in arb_scheme(), seed: u64,
+                                      tokens in 1usize..96, dim in 1usize..48) {
+        let k = matrix(tokens, dim, seed);
+        let v = matrix(tokens, dim, seed ^ 0xABCD);
+        let err = reconstruction_error(&ReferenceCodec, &k, &v, scheme);
+        // Data range is ±4; worst grid step: INT2 → 8/3, INT4 → 8/15,
+        // FP4 → 2×(power-of-two scale ≤ 2).
+        let bound = match scheme.int_width() {
+            Some(BitWidth::B2) => 8.0 / 3.0 * 0.6 + 0.05,
+            Some(BitWidth::B4) => 8.0 / 15.0 * 0.6 + 0.05,
+            None => 4.1, // saturating E2M1 with shared block scale
+        };
+        prop_assert!(err <= bound, "{scheme}: err {err} > {bound}");
+    }
+
+    /// The residual region never reaches the block size, and the total
+    /// token count is always preserved, under any append/prefill pattern.
+    #[test]
+    fn cache_length_invariants(prefill_len in 0usize..300, appends in 0usize..300, seed: u64) {
+        let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
+        let mut cache = QuantizedKvCache::new(cfg, 1);
+        let nr = cache.residual_block();
+        let pre = matrix(prefill_len, 16, seed);
+        if prefill_len > 0 {
+            cache.prefill(0, &pre, &pre, &ReferenceCodec).unwrap();
+        }
+        let toks = matrix(appends, 16, seed ^ 99);
+        for row in &toks {
+            cache.append_token(0, row, row, &ReferenceCodec).unwrap();
+            prop_assert!(cache.residual_len(0) < nr);
+        }
+        prop_assert_eq!(cache.len(0), prefill_len + appends);
+        let packed_tokens: usize = cache.packed_blocks(0).iter().map(|b| b.tokens()).sum();
+        prop_assert_eq!(packed_tokens + cache.residual_len(0), prefill_len + appends);
+        prop_assert_eq!(packed_tokens % nr, 0);
+    }
+
+    /// logical_kv returns exactly len(head) rows whose values stay within
+    /// quantization distance of the originals.
+    #[test]
+    fn logical_view_is_complete(len in 1usize..280, seed: u64) {
+        let cfg = CacheConfig::new(8, QuantScheme::kc4(), PackLayout::sm80_default());
+        let mut cache = QuantizedKvCache::new(cfg, 1);
+        let k = matrix(len, 8, seed);
+        let v = matrix(len, 8, seed ^ 7);
+        cache.prefill(0, &k, &v, &ReferenceCodec).unwrap();
+        let (dk, dv) = cache.logical_kv(0, &ReferenceCodec);
+        prop_assert_eq!(dk.len(), len);
+        prop_assert_eq!(dv.len(), len);
+        for t in 0..len {
+            for c in 0..8 {
+                prop_assert!((dk[t][c] - k[t][c]).abs() < 0.5);
+                prop_assert!((dv[t][c] - v[t][c]).abs() < 0.5);
+            }
+        }
+    }
+
+    /// Cache memory accounting: packed bytes match the scheme's per-token
+    /// cost; compression always beats FP16 once blocks exist.
+    #[test]
+    fn memory_accounting_consistent(blocks in 1usize..5, tail in 0usize..127) {
+        let dim = 64;
+        let cfg = CacheConfig::new(dim, QuantScheme::kc4(), PackLayout::sm80_default());
+        let mut cache = QuantizedKvCache::new(cfg, 1);
+        let len = blocks * cache.residual_block() + tail;
+        let k = matrix(len, dim, 5);
+        cache.prefill(0, &k, &k, &ReferenceCodec).unwrap();
+        let fp16 = len * dim * 2 * 2;
+        prop_assert!(cache.total_bytes() < fp16);
+        let packed_len = blocks * cache.residual_block();
+        let expect_packed = QuantScheme::kc4().bytes_per_token(dim) * packed_len as f64;
+        let expect = expect_packed + (tail * dim * 2 * 2) as f64;
+        let actual = cache.total_bytes() as f64;
+        prop_assert!((actual - expect).abs() / expect < 0.05, "{actual} vs {expect}");
+    }
+
+    /// Paged pool conservation: free + allocated always equals the total,
+    /// and released pages are reusable.
+    #[test]
+    fn paged_pool_conserves_pages(ops in prop::collection::vec((0usize..3, 1usize..2048), 1..40)) {
+        let mut pool = PagedPool::new(64, 32);
+        let mut live: Vec<SeqId> = Vec::new();
+        for (op, len) in ops {
+            match op {
+                0 => {
+                    let s = pool.admit();
+                    if pool.grow(s, len).is_ok() {
+                        live.push(s);
+                    } else {
+                        pool.release(s);
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let s = live.remove(0);
+                    pool.release(s);
+                }
+                _ => {}
+            }
+            let allocated: usize = live.iter().map(|s| pool.table(*s).unwrap().len()).sum();
+            prop_assert_eq!(allocated + pool.free_pages(), pool.total_pages());
+        }
+    }
+
+    /// Prefill partitioning always covers all tokens with an Nr-aligned
+    /// packed prefix.
+    #[test]
+    fn partition_invariants(len in 0usize..1_000_000, nr_pow in 5u32..9) {
+        let nr = 1usize << nr_pow;
+        let (packed, res) = partition_prefill(len, nr);
+        prop_assert_eq!(packed + res, len);
+        prop_assert_eq!(packed % nr, 0);
+        prop_assert!(res < nr);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # bitdecoding — facade crate for BitDecoding-RS
+//!
+//! A full-system Rust reproduction of **"BitDecoding: Unlocking Tensor
+//! Cores for Long-Context LLMs with Low-Bit KV Cache"** (HPCA 2026) on a
+//! simulated GPU substrate. See `README.md` for the architecture overview
+//! and `DESIGN.md` for the substitution rationale (no GPU is required —
+//! or used).
+//!
+//! This crate re-exports the workspace's public API under stable paths:
+//!
+//! * [`lowbit`] — numeric formats (software FP16, FP4, packing, fast dequant);
+//! * [`gpu`] — the GPU execution model (fragments, ISA, cost model);
+//! * [`kvcache`] — quantized cache containers (packed/residual/paged);
+//! * [`core`] — the BitDecoding engine ([`BitDecoder`]);
+//! * [`baselines`] — FlashDecoding/KIVI/Atom/QServe comparison systems;
+//! * [`llm`] — end-to-end model-level simulation;
+//! * [`accuracy`] — quantization fidelity evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bitdecoding::{AttentionConfig, BitDecoder, GpuArch, QuantScheme};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dec = BitDecoder::builder(GpuArch::rtx4090())
+//!     .attention(AttentionConfig::gqa(8, 2, 32))
+//!     .scheme(QuantScheme::kc4())
+//!     .build();
+//! let mut cache = dec.new_cache(1);
+//! let codec = dec.codec();
+//! let kv: Vec<Vec<f32>> = (0..200).map(|t| vec![0.01 * t as f32; 32]).collect();
+//! for head in 0..cache.heads() {
+//!     cache.prefill(head, &kv, &kv, &codec)?;
+//! }
+//! let q = vec![vec![vec![0.1; 32]; 8]];
+//! let out = dec.decode(&q, &cache)?;
+//! assert_eq!(out.outputs[0].len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bd_accuracy as accuracy;
+pub use bd_baselines as baselines;
+pub use bd_core as core;
+pub use bd_gpu_sim as gpu;
+pub use bd_kvcache as kvcache;
+pub use bd_llm as llm;
+pub use bd_lowbit as lowbit;
+
+pub use bd_baselines::{BitDecodingSys, CudaOnly, DecodeSystem, FlashDecoding, Kivi};
+pub use bd_core::{
+    AttentionConfig, BitDecoder, DecodeError, DecodeOutput, DecodeReport, DecodeShape,
+    OptimizationFlags,
+};
+pub use bd_gpu_sim::{GpuArch, LatencyBreakdown};
+pub use bd_kvcache::{CacheConfig, PackLayout, QuantScheme, QuantizedKvCache};
+pub use bd_llm::{Engine, MemoryModel, ModelConfig, WeightPrecision};
