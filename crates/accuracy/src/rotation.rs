@@ -12,7 +12,7 @@
 use crate::eval::AccuracyReport;
 use crate::synth::KvDistribution;
 use bd_core::reference_attention;
-use bd_kvcache::{BlockCodec, QuantScheme, ReferenceCodec, TokenMatrix};
+use bd_kvcache::{BlockCodec, QuantScheme, ReferenceCodec, TokenMatrix, TokenRows};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,15 +45,15 @@ pub fn fwht(values: &mut [f32]) {
     }
 }
 
-/// Applies the normalized Hadamard rotation to every row of a matrix.
-pub fn rotate_rows(m: &TokenMatrix) -> TokenMatrix {
-    m.iter()
-        .map(|row| {
-            let mut r = row.clone();
-            fwht(&mut r);
-            r
-        })
-        .collect()
+/// Applies the normalized Hadamard rotation to every row of a matrix
+/// (any representation in, flat [`TokenMatrix`] out).
+pub fn rotate_rows<M: TokenRows + ?Sized>(m: &M) -> TokenMatrix {
+    let mut out = TokenMatrix::with_capacity(m.token_count(), m.token_dim());
+    for t in 0..m.token_count() {
+        out.push_row(m.token_row(t));
+        fwht(out.row_mut(t));
+    }
+    out
 }
 
 /// Evaluates a scheme with the Q/K rotation applied before quantization

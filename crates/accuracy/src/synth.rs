@@ -8,6 +8,7 @@
 //! with exactly that structure so quantization-scheme comparisons exercise
 //! the same failure modes as real caches.
 
+use bd_kvcache::TokenMatrix;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -60,29 +61,21 @@ impl KvDistribution {
         }
     }
 
-    /// Samples a Key matrix (`tokens × dim`) with channel outliers.
-    pub fn sample_keys(&self, tokens: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        (0..tokens)
-            .map(|_| {
-                (0..self.dim)
-                    .map(|c| normal(rng) * self.per_channel_scale[c] + self.per_channel_mean[c])
-                    .collect()
-            })
-            .collect()
+    /// Samples a Key matrix (`tokens × dim`, flat) with channel outliers.
+    pub fn sample_keys(&self, tokens: usize, rng: &mut StdRng) -> TokenMatrix {
+        TokenMatrix::from_fn(tokens, self.dim, |_, c| {
+            normal(rng) * self.per_channel_scale[c] + self.per_channel_mean[c]
+        })
     }
 
-    /// Samples a Value matrix (`tokens × dim`), isotropic.
-    pub fn sample_values(&self, tokens: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        (0..tokens)
-            .map(|_| (0..self.dim).map(|_| normal(rng)).collect())
-            .collect()
+    /// Samples a Value matrix (`tokens × dim`, flat), isotropic.
+    pub fn sample_values(&self, tokens: usize, rng: &mut StdRng) -> TokenMatrix {
+        TokenMatrix::from_fn(tokens, self.dim, |_, _| normal(rng))
     }
 
-    /// Samples a query block (`rows × dim`), isotropic.
-    pub fn sample_queries(&self, rows: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        (0..rows)
-            .map(|_| (0..self.dim).map(|_| normal(rng)).collect())
-            .collect()
+    /// Samples a query block (`rows × dim`, flat), isotropic.
+    pub fn sample_queries(&self, rows: usize, rng: &mut StdRng) -> TokenMatrix {
+        TokenMatrix::from_fn(rows, self.dim, |_, _| normal(rng))
     }
 
     /// Indices of the hot channels (for tests).

@@ -1,13 +1,20 @@
 //! Criterion microbenches over the functional hot paths: quantization,
 //! packing, fast vs slow dequantization, fragment mapping, MMA tiles,
-//! codec round trips, softmax tiles, and a full functional decode step.
+//! codec round trips, softmax tiles, a full functional decode step, and
+//! the fused-vs-materializing decode comparison that records the
+//! performance trajectory in `BENCH_decode.json`.
 
-use bd_core::{AttentionConfig, BitDecoder, FragmentCodec, OnlineSoftmax};
+use bd_core::codec::FragmentCodec;
+use bd_core::{
+    attend_packed_blocks, attend_packed_blocks_fused, attend_packed_blocks_parallel,
+    AttentionConfig, BitDecoder, MatmulEngine, OnlineSoftmax,
+};
 use bd_gpu_sim::{ldmatrix, mma, AccFragment, FragmentLayout, GpuArch, MmaShape, Operand, Tile};
-use bd_kvcache::{BlockCodec, PackLayout, QuantScheme};
+use bd_kvcache::{BlockCodec, PackLayout, PackedBlock, QuantScheme, TokenMatrix};
 use bd_lowbit::{fastpath, pack_u32, quantize_group, BitWidth, PackOrder, QuantParams};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn bench_quantize(c: &mut Criterion) {
     let values: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
@@ -57,19 +64,15 @@ fn bench_fragments(c: &mut Criterion) {
     });
 }
 
+fn synth_matrix(tokens: usize, dim: usize, freq: f32) -> TokenMatrix {
+    TokenMatrix::from_fn(tokens, dim, |t, ch| ((t * dim + ch) as f32 * freq).sin())
+}
+
 fn bench_codec(c: &mut Criterion) {
     let layout = PackLayout::sm80_default();
     let codec = FragmentCodec::new(layout);
     let scheme = QuantScheme::kc4();
-    let nr = 128;
-    let dim = 128;
-    let k: Vec<Vec<f32>> = (0..nr)
-        .map(|t| {
-            (0..dim)
-                .map(|ch| ((t * dim + ch) as f32 * 0.61).sin())
-                .collect()
-        })
-        .collect();
+    let k = synth_matrix(128, 128, 0.61);
     let v = k.clone();
     c.bench_function("fragment_codec_encode_block_128x128", |b| {
         b.iter(|| codec.encode(black_box(&k), black_box(&v), scheme))
@@ -77,6 +80,11 @@ fn bench_codec(c: &mut Criterion) {
     let block = codec.encode(&k, &v, scheme);
     c.bench_function("fragment_codec_decode_block_128x128", |b| {
         b.iter(|| codec.decode(black_box(&block), scheme))
+    });
+    c.bench_function("fragment_codec_decode_fused_block_128x128", |b| {
+        let mut kb = TokenMatrix::new(0);
+        let mut vb = TokenMatrix::new(0);
+        b.iter(|| codec.decode_block_fused(black_box(&block), scheme, &mut kb, &mut vb))
     });
 }
 
@@ -99,13 +107,7 @@ fn bench_decode(c: &mut Criterion) {
         .build();
     let mut cache = dec.new_cache(1);
     let codec = dec.codec();
-    let kv: Vec<Vec<f32>> = (0..256)
-        .map(|t| {
-            (0..32)
-                .map(|ch| ((t * 32 + ch) as f32 * 0.37).sin())
-                .collect()
-        })
-        .collect();
+    let kv = synth_matrix(256, 32, 0.37);
     for head in 0..cache.heads() {
         cache.prefill(head, &kv, &kv, &codec).unwrap();
     }
@@ -126,6 +128,169 @@ fn bench_decode(c: &mut Criterion) {
     });
 }
 
+/// Wall-clock for one invocation of `f`, repeated until `budget` is spent
+/// (at least `min_iters` times); returns the minimum seconds observed.
+fn time_best(min_iters: usize, budget: Duration, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut iters = 0usize;
+    let start = Instant::now();
+    while iters < min_iters || start.elapsed() < budget {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+        iters += 1;
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    best
+}
+
+struct DecodeBenchRow {
+    scheme: QuantScheme,
+    context: usize,
+    materializing_tok_s: f64,
+    fused_tok_s: f64,
+    parallel_tok_s: f64,
+}
+
+/// The decode-path trajectory benchmark: materializing vs fused vs
+/// thread-parallel fused, at 4-bit and 2-bit over 4K/32K/128K contexts.
+/// KV-tokens/sec = context length / one decode-step attention pass.
+/// Results are printed and recorded in `BENCH_decode.json` at the repo
+/// root so later PRs have a perf baseline.
+///
+/// This is a multi-second workload that rewrites the committed baseline
+/// file; set `BENCH_DECODE=0` to skip it (e.g. when iterating on the
+/// quick microbenches above), or `BENCH_DECODE_JSON=0` to run it without
+/// touching `BENCH_decode.json`.
+fn bench_fused_vs_materializing(_c: &mut Criterion) {
+    if std::env::var("BENCH_DECODE").as_deref() == Ok("0") {
+        println!("decode trajectory bench skipped (BENCH_DECODE=0)");
+        return;
+    }
+    let layout = PackLayout::sm80_default();
+    let codec = FragmentCodec::new(layout);
+    let d = 64;
+    let gq = 4;
+    let scale = 1.0 / (d as f32).sqrt();
+    let q: Vec<Vec<f32>> = (0..gq)
+        .map(|g| {
+            (0..d)
+                .map(|ch| ((g * d + ch) as f32 * 0.71).sin())
+                .collect()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for scheme in [QuantScheme::kc4(), QuantScheme::kc2()] {
+        let nr = layout.residual_block(scheme.int_width().unwrap());
+        for context in [4096usize, 32768, 131072] {
+            let n_blocks = context / nr;
+            let blocks: Vec<PackedBlock> = (0..n_blocks)
+                .map(|b| {
+                    let k = synth_matrix(nr, d, 0.37 + b as f32 * 1e-4);
+                    let v = synth_matrix(nr, d, 0.53 + b as f32 * 1e-4);
+                    codec.encode(&k, &v, scheme)
+                })
+                .collect();
+
+            // Budget shrinks as the materializing path slows with context.
+            let budget = Duration::from_millis(if context > 40_000 { 200 } else { 400 });
+            let t_mat = time_best(2, budget, || {
+                let mut st = OnlineSoftmax::new(gq, d);
+                attend_packed_blocks(
+                    &q,
+                    black_box(&blocks),
+                    &codec,
+                    scheme,
+                    scale,
+                    4,
+                    true,
+                    MatmulEngine::Mma,
+                    &mut st,
+                );
+                black_box(st.finish());
+            });
+            let t_fused = time_best(2, budget, || {
+                let mut st = OnlineSoftmax::new(gq, d);
+                attend_packed_blocks_fused(
+                    &q,
+                    black_box(&blocks),
+                    &codec,
+                    scheme,
+                    scale,
+                    MatmulEngine::Mma,
+                    &mut st,
+                );
+                black_box(st.finish());
+            });
+            let t_par = time_best(2, budget, || {
+                let mut st = OnlineSoftmax::new(gq, d);
+                attend_packed_blocks_parallel(
+                    &q,
+                    black_box(&blocks),
+                    &codec,
+                    scheme,
+                    scale,
+                    MatmulEngine::Mma,
+                    &mut st,
+                );
+                black_box(st.finish());
+            });
+
+            let row = DecodeBenchRow {
+                scheme,
+                context,
+                materializing_tok_s: context as f64 / t_mat,
+                fused_tok_s: context as f64 / t_fused,
+                parallel_tok_s: context as f64 / t_par,
+            };
+            println!(
+                "decode {:>5} ctx {:>7}: materializing {:>11.0} tok/s | fused {:>12.0} tok/s ({:>5.1}x) | parallel {:>12.0} tok/s ({:>5.1}x)",
+                row.scheme.label(),
+                row.context,
+                row.materializing_tok_s,
+                row.fused_tok_s,
+                row.fused_tok_s / row.materializing_tok_s,
+                row.parallel_tok_s,
+                row.parallel_tok_s / row.materializing_tok_s,
+            );
+            rows.push(row);
+        }
+    }
+    write_bench_json(&rows);
+}
+
+fn write_bench_json(rows: &[DecodeBenchRow]) {
+    if std::env::var("BENCH_DECODE_JSON").as_deref() == Ok("0") {
+        println!("BENCH_decode.json left untouched (BENCH_DECODE_JSON=0)");
+        return;
+    }
+    let mut json = String::from(
+        "{\n  \"bench\": \"fused_vs_materializing_decode\",\n  \"unit\": \"kv_tokens_per_second\",\n  \"head_dim\": 64,\n  \"query_group\": 4,\n  \"engine\": \"mma.m16n8k16\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"context\": {}, \"materializing_tok_s\": {:.0}, \"fused_tok_s\": {:.0}, \"parallel_tok_s\": {:.0}, \"fused_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            r.scheme.label(),
+            r.context,
+            r.materializing_tok_s,
+            r.fused_tok_s,
+            r.parallel_tok_s,
+            r.fused_tok_s / r.materializing_tok_s,
+            r.parallel_tok_s / r.materializing_tok_s,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_quantize,
@@ -133,6 +298,7 @@ criterion_group!(
     bench_fragments,
     bench_codec,
     bench_softmax,
-    bench_decode
+    bench_decode,
+    bench_fused_vs_materializing
 );
 criterion_main!(benches);

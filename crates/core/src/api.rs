@@ -5,7 +5,8 @@
 use crate::codec::FragmentCodec;
 use crate::config::{query_transform, ungroup_outputs, AttentionConfig, QueryHeads};
 use crate::kernels::{
-    attend_packed_blocks, attend_packed_blocks_fp4, attend_residual, MatmulEngine,
+    attend_packed_blocks, attend_packed_blocks_fp4, attend_packed_blocks_parallel, attend_residual,
+    MatmulEngine,
 };
 use crate::profiles::{decode_plan, ArchPath, OptimizationFlags};
 use crate::shape::DecodeShape;
@@ -350,7 +351,24 @@ impl BitDecoder {
                         scale,
                         &mut state,
                     );
+                } else if coop || wn == 1 {
+                    // The valid configurations all compute the exact
+                    // cooperative softmax, so the hot path is the fused
+                    // flat-layout kernel with thread-sharded split-K
+                    // partials merged through `OnlineSoftmax::merge`.
+                    attend_packed_blocks_parallel(
+                        q_block,
+                        cache.packed_blocks(head),
+                        &codec,
+                        self.scheme,
+                        scale,
+                        engine,
+                        &mut state,
+                    );
                 } else {
+                    // Non-cooperative Wn > 1 models the softmax race of
+                    // paper Table III, which only the materializing
+                    // warp-sliced walk reproduces.
                     attend_packed_blocks(
                         q_block,
                         cache.packed_blocks(head),
@@ -410,11 +428,9 @@ mod tests {
             .build()
     }
 
-    fn fill_cache(
-        dec: &BitDecoder,
-        cache: &mut QuantizedKvCache,
-        len: usize,
-    ) -> Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>)> {
+    type StoredKv = Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>)>;
+
+    fn fill_cache(dec: &BitDecoder, cache: &mut QuantizedKvCache, len: usize) -> StoredKv {
         let codec = dec.codec();
         let d = dec.attention().head_dim;
         let mut stored = Vec::new();
@@ -463,10 +479,10 @@ mod tests {
         let codec = dec.codec();
         let attn = *dec.attention();
         let gq = attn.group_factor();
-        for h in 0..attn.heads_q {
+        for (h, q_head) in q[0].iter().enumerate() {
             let kv_head = h / gq;
             let (k, v) = cache.logical_kv(kv_head, &codec);
-            let reference = reference_attention(&[q[0][h].clone()], &k, &v, attn.scale());
+            let reference = reference_attention(std::slice::from_ref(q_head), &k, &v, attn.scale());
             for (got, want) in out.outputs[0][h].iter().zip(&reference[0]) {
                 assert!((got - want).abs() < 5e-3, "head {h}: {got} vs {want}");
             }

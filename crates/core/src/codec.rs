@@ -20,7 +20,10 @@ use bd_kvcache::{
     dequantize_int_codes, quantize_int_codes, BlockCodec, KeyGranularity, PackLayout, PackedBlock,
     PackedPayload, PackedTensor, QuantScheme, ReferenceCodec, SchemeKind, TokenMatrix,
 };
-use bd_lowbit::{codes_per_u32, fuse_words, pack_u32, split_register, unpack_u32, BitWidth};
+use bd_lowbit::fastpath::{register_ops, FastDequantOps};
+use bd_lowbit::{
+    codes_per_u32, fuse_words, pack_u32, split_register, unpack_u32_into, BitWidth, QuantParams,
+};
 
 /// The codec used by BitDecoding's Residual and Packing kernels.
 ///
@@ -43,7 +46,7 @@ impl FragmentCodec {
     /// divides the tile count — narrow tensors simply idle the spare warps.
     fn effective_wn(&self, nt: usize) -> usize {
         let mut wn = self.layout.warps_n.min(nt).max(1);
-        while nt % wn != 0 {
+        while !nt.is_multiple_of(wn) {
             wn -= 1;
         }
         wn
@@ -123,15 +126,22 @@ impl FragmentCodec {
         let stream_len = tiles_per_warp * regs;
         let regs32_per_lane = stream_len.div_ceil(per_reg32);
 
+        // One reusable register-stream buffer for the whole walk — the hot
+        // fused decode runs through here, so no per-lane allocation.
+        let mut stream = vec![0u8; regs32_per_lane * per_reg32];
         let mut widx = 0usize;
         for ki in 0..kt {
             for w in 0..wn {
                 for lane in 0..32 {
-                    let mut stream = Vec::with_capacity(regs32_per_lane * per_reg32);
-                    for _ in 0..regs32_per_lane {
+                    for r32 in 0..regs32_per_lane {
                         let reg32 = fuse_words(words[widx], words[widx + 1]);
                         widx += 2;
-                        stream.extend(unpack_u32(reg32, width, self.layout.order));
+                        unpack_u32_into(
+                            reg32,
+                            width,
+                            self.layout.order,
+                            &mut stream[r32 * per_reg32..(r32 + 1) * per_reg32],
+                        );
                     }
                     for tw in 0..tiles_per_warp {
                         let nj = w * tiles_per_warp + tw;
@@ -193,6 +203,123 @@ impl FragmentCodec {
             self.unpack_b_operand(words, |k, n, c| codes[k * dim + n] = c, tokens, dim, width);
         }
         dequantize_int_codes(&codes, params, tokens, dim, width, granularity, group)
+    }
+
+    /// Fused unpack **and** dequantize: walks the packed word stream exactly
+    /// like `decode`, but converts each code to its FP16 value inline (the
+    /// same per-group FMA as [`bd_kvcache::dequantize_int_codes`], hardware-
+    /// realised by the `lop3` fast path) and scatters it token-major into
+    /// `out` — no intermediate code matrix, no second pass, no transpose.
+    /// Values are bit-identical to `decode`'s.
+    ///
+    /// Returns the modelled fast-dequant instruction counts for the words
+    /// streamed (two 16-bit storage words per 32-bit register conversion).
+    fn decode_int_fused(
+        &self,
+        tensor: &PackedTensor,
+        width: BitWidth,
+        granularity: KeyGranularity,
+        group: usize,
+        key_orientation: bool,
+        out: &mut TokenMatrix,
+    ) -> FastDequantOps {
+        let (tokens, dim) = (tensor.tokens, tensor.dim);
+        let PackedPayload::Int { words, params } = &tensor.payload else {
+            panic!("integer decode of FP4 payload");
+        };
+        out.resize_tokens(tokens, dim);
+        let flat = out.as_mut_slice();
+
+        // Per-group dequantization LUT: `2^β` values per metadata group,
+        // produced by the exact FMA of the reference dequantizer — the
+        // value-level equivalent of precomputing the fast path's FusedScale
+        // constants once per group instead of re-deriving them per element.
+        let levels = width.levels() as usize;
+        let mut lut = Vec::with_capacity(params.len() * levels);
+        for &h in params {
+            let p = QuantParams::from_half2(h);
+            for code in 0..levels {
+                lut.push(p.dequantize(code as u8).to_f32());
+            }
+        }
+        let cgroups = dim.div_ceil(group);
+        let group_of = |t: usize, c: usize| -> usize {
+            match granularity {
+                KeyGranularity::ChannelWise => (t / group) * dim + c,
+                KeyGranularity::TensorWise => t * cgroups + c / group,
+            }
+        };
+
+        // Share the one allocation-free physical walk with `decode`; the
+        // scatter closure converts codes through the LUT straight into
+        // `out`, so no intermediate code matrix ever exists.
+        if key_orientation {
+            // K is stored B-oriented as (k = channel, n = token).
+            self.unpack_b_operand(
+                words,
+                |k, n, code| flat[n * dim + k] = lut[group_of(n, k) * levels + code as usize],
+                dim,
+                tokens,
+                width,
+            );
+        } else {
+            // V is stored B-oriented as (k = token, n = channel).
+            self.unpack_b_operand(
+                words,
+                |k, n, code| flat[k * dim + n] = lut[group_of(k, n) * levels + code as usize],
+                tokens,
+                dim,
+                width,
+            );
+        }
+
+        let regs32 = words.len() as u32 / 2;
+        let per_reg = register_ops(width);
+        FastDequantOps {
+            lop3: per_reg.lop3 * regs32,
+            shifts: per_reg.shifts * regs32,
+            hfma2: per_reg.hfma2 * regs32,
+        }
+    }
+
+    /// Decodes one packed block straight into reusable flat buffers in the
+    /// orientation the fused attention kernel consumes (`k_out`/`v_out`
+    /// token-major). Integer schemes stream through
+    /// [`FragmentCodec::decode_int_fused`]; FP4 blocks (hardware block-scale
+    /// layout) decode through the reference nibble walk, which is already
+    /// flat token-major.
+    pub fn decode_block_fused(
+        &self,
+        block: &PackedBlock,
+        scheme: QuantScheme,
+        k_out: &mut TokenMatrix,
+        v_out: &mut TokenMatrix,
+    ) -> FastDequantOps {
+        match scheme.kind() {
+            SchemeKind::Int {
+                width,
+                key_granularity,
+                group,
+            } => {
+                let k_ops =
+                    self.decode_int_fused(&block.k, width, key_granularity, group, true, k_out);
+                let v_ops = self.decode_int_fused(
+                    &block.v,
+                    width,
+                    KeyGranularity::TensorWise,
+                    QuantScheme::DEFAULT_CHANNEL_GROUP,
+                    false,
+                    v_out,
+                );
+                k_ops + v_ops
+            }
+            SchemeKind::Fp4(_) => {
+                let (k, v) = ReferenceCodec.decode(block, scheme);
+                *k_out = k;
+                *v_out = v;
+                FastDequantOps::default()
+            }
+        }
     }
 }
 
@@ -353,6 +480,32 @@ mod tests {
         let block = FragmentCodec::new(encode_layout).encode(&k, &v, scheme);
         let (dk, _) = FragmentCodec::new(decode_layout).decode(&block, scheme);
         assert!(max_err(&k, &dk) > 0.5, "Wn mismatch must corrupt values");
+    }
+
+    #[test]
+    fn fused_decode_is_bit_identical_to_decode() {
+        let layout = PackLayout::sm80_default();
+        let codec = FragmentCodec::new(layout);
+        for scheme in [
+            QuantScheme::kc4(),
+            QuantScheme::kt4(),
+            QuantScheme::kc2(),
+            QuantScheme::mxfp4(),
+        ] {
+            let nr = layout.residual_block(scheme.int_width().unwrap_or(BitWidth::B4));
+            let k = test_matrix(nr, 32, 0.4);
+            let v = test_matrix(nr, 32, 1.1);
+            let block = codec.encode(&k, &v, scheme);
+            let (dk, dv) = codec.decode(&block, scheme);
+            let mut fk = TokenMatrix::new(0);
+            let mut fv = TokenMatrix::new(0);
+            let ops = codec.decode_block_fused(&block, scheme, &mut fk, &mut fv);
+            assert_eq!(dk, fk, "{scheme}: fused K decode must be bit-identical");
+            assert_eq!(dv, fv, "{scheme}: fused V decode must be bit-identical");
+            if scheme.int_width().is_some() {
+                assert!(ops.total() > 0, "{scheme}: dequant work must be charged");
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,25 @@
 //! [`bd_gpu_sim::mma`] tile by tile, so fragment-layout bugs corrupt the
 //! output exactly as they would on hardware. The analytic twin of this code
 //! lives in [`crate::profiles`].
+//!
+//! Two functional decode paths exist:
+//!
+//! * [`attend_packed_blocks`] — the **materializing** reference path: each
+//!   block is decoded to a full [`TokenMatrix`], round-tripped through
+//!   [`Tile`]s and transposes, and multiplied tile-by-tile on the simulated
+//!   MMA fragments. It also models the non-cooperative multi-warp softmax
+//!   race (paper Table III), which requires the explicit warp-sliced walk.
+//! * [`attend_packed_blocks_fused`] / [`attend_packed_blocks_parallel`] —
+//!   the **fused flat-layout** hot path (paper §IV): packed words stream
+//!   through the fast-dequant model straight into flat token-major buffers
+//!   in the orientation the `Q·Kᵀ` row-dot and `P·V` accumulation consume —
+//!   no intermediate K/V materialization, no per-block `transposed()`
+//!   round-trips. The parallel variant shards the block list across threads
+//!   with per-shard [`OnlineSoftmax`] partials combined by
+//!   [`OnlineSoftmax::merge`], mirroring the paper's cooperative split-K
+//!   softmax, and falls back to the sequential fused walk for small
+//!   contexts. Both are numerically equivalent to the materializing path
+//!   within f32 accumulation-order noise (see `tests/proptests.rs`).
 
 use crate::codec::FragmentCodec;
 use crate::softmax::OnlineSoftmax;
@@ -13,8 +32,9 @@ use bd_gpu_sim::{
     Tile,
 };
 use bd_kvcache::{BlockCodec, PackedBlock, QuantScheme, TokenMatrix};
-use bd_lowbit::fp4::{quantize_fp4_block, BlockScale, E2M1};
-use bd_lowbit::Fp4Kind;
+use bd_lowbit::fastpath::FastDequantOps;
+use bd_lowbit::fp4::{quantize_fp4_block, E2M1};
+use bd_lowbit::{Fp4Kind, F16};
 
 /// Which Tensor Core instruction family executes the attention GEMMs in
 /// the functional simulator.
@@ -139,142 +159,21 @@ fn rows_to_tile(rows: &[Vec<f32>]) -> Tile {
     Tile::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
 }
 
-/// Quantizes a row-major matrix to block-scaled FP4 along its columns
-/// (`block`-sized groups), returning codes and per-(row, block) scales.
-fn to_fp4_rows(rows: &Tile, kind: Fp4Kind) -> (Vec<Vec<E2M1>>, Vec<Vec<f32>>) {
-    let block = kind.block_size();
-    let mut codes = vec![vec![E2M1::from_bits(0); rows.cols()]; rows.rows()];
-    let mut scales = vec![vec![0.0f32; rows.cols().div_ceil(block)]; rows.rows()];
-    for r in 0..rows.rows() {
-        for b0 in (0..rows.cols()).step_by(block) {
-            let b1 = (b0 + block).min(rows.cols());
-            let vals: Vec<f32> = (b0..b1).map(|c| rows[(r, c)]).collect();
-            let q = quantize_fp4_block(&vals, kind);
-            scales[r][b0 / block] = match q.scale {
-                BlockScale::Mx(s) => s.to_f32(),
-                BlockScale::Nv(s) => s.to_f32(),
-            };
-            for (i, code) in q.codes.iter().enumerate() {
-                codes[r][b0 + i] = *code;
-            }
-        }
-    }
-    (codes, scales)
+fn matrix_to_tile(m: &TokenMatrix) -> Tile {
+    Tile::from_rows(m.tokens(), m.dim(), m.as_slice().to_vec())
 }
 
-/// The Blackwell-native functional path: `S = Q_fp4 · K_fp4^T` and
-/// `O += Quant(P)_fp4 · V_fp4` through the block-scaled MMA — no software
-/// dequantization, but `P` is re-quantized after every softmax tile
-/// (paper Challenge 2 / §V-D(2)).
-pub fn attend_packed_blocks_fp4(
-    q: &[Vec<f32>],
-    blocks: &[PackedBlock],
-    codec: &FragmentCodec,
-    scheme: QuantScheme,
-    kind: Fp4Kind,
-    scale: f32,
-    state: &mut OnlineSoftmax,
-) {
-    if blocks.is_empty() {
-        return;
-    }
-    let block_size = kind.block_size();
-    let q_scaled = Tile::from_fn(q.len(), q[0].len(), |r, c| q[r][c] * scale);
-    let (q_codes, q_scales) = to_fp4_rows(&q_scaled, kind);
-
-    for packed in blocks {
-        let (k, v) = codec.decode(packed, scheme);
-        // K^T as the B operand: codes per (k-dim block, token).
-        let kt = rows_to_tile(&k).transposed();
-        let (kt_codes_rowmajor, kt_scales_rowmajor) = {
-            // Quantize along the contraction (channel) dimension: transpose,
-            // quantize rows, transpose back.
-            let (c, s) = to_fp4_rows(&rows_to_tile(&k), kind);
-            (c, s)
-        };
-        // Rearrange to B-operand orientation (k = channel, n = token).
-        let d = kt.rows();
-        let tokens = kt.cols();
-        let mut b_codes = vec![vec![E2M1::from_bits(0); tokens]; d];
-        let mut b_scales = vec![vec![0.0f32; tokens]; d.div_ceil(block_size)];
-        for t in 0..tokens {
-            for c in 0..d {
-                b_codes[c][t] = kt_codes_rowmajor[t][c];
-                b_scales[c / block_size][t] = kt_scales_rowmajor[t][c / block_size];
-            }
-        }
-        let mut s_tile = Tile::zeros(q.len(), tokens);
-        mma_block_scaled_fp4(
-            &q_codes,
-            &q_scales,
-            &b_codes,
-            &b_scales,
-            block_size,
-            &mut s_tile,
-        );
-
-        // Softmax in FP16/FP32 registers, then requantize P to FP4 for the
-        // second block-scaled MMA.
-        let mut p = Tile::zeros(q.len(), tokens);
-        let mut row_max = vec![f32::NEG_INFINITY; q.len()];
-        for r in 0..q.len() {
-            for t in 0..tokens {
-                row_max[r] = row_max[r].max(s_tile[(r, t)]);
-            }
-            for t in 0..tokens {
-                p[(r, t)] = (s_tile[(r, t)] - row_max[r]).exp();
-            }
-        }
-        let (p_codes, p_scales) = to_fp4_rows(&p, kind);
-        // V as B operand: (k = token, n = channel).
-        let (v_codes_rowmajor, v_scales_rowmajor) = to_fp4_rows(&rows_to_tile(&v), kind);
-        // V is quantized along channels per token; for the P·V contraction
-        // the scale block runs along tokens, so requantize orientation-true:
-        let dv = v[0].len();
-        let mut vb_codes = vec![vec![E2M1::from_bits(0); dv]; tokens];
-        let mut vb_scales = vec![vec![0.0f32; dv]; tokens.div_ceil(block_size)];
-        {
-            // Re-quantize V columns in token-blocks to satisfy the MMA's
-            // (k_block, n) scale layout.
-            let vt = rows_to_tile(&v).transposed(); // dv × tokens
-            let (cols_codes, cols_scales) = to_fp4_rows(&vt, kind);
-            for c in 0..dv {
-                for t in 0..tokens {
-                    vb_codes[t][c] = cols_codes[c][t];
-                    vb_scales[t / block_size][c] = cols_scales[c][t / block_size];
-                }
-            }
-            let _ = (v_codes_rowmajor, v_scales_rowmajor);
-        }
-        let mut pv = Tile::zeros(q.len(), dv);
-        mma_block_scaled_fp4(
-            &p_codes, &p_scales, &vb_codes, &vb_scales, block_size, &mut pv,
-        );
-
-        // Fold the pre-normalized tile into the online state: the tile's
-        // exps used row_max as reference, matching step_tile's contract if
-        // we feed (S, V); instead update the state manually.
-        for r in 0..q.len() {
-            let m_new = state.m[r].max(row_max[r]);
-            let corr_old = (state.m[r] - m_new).exp();
-            let corr_tile = (row_max[r] - m_new).exp();
-            let mut l_tile = 0.0f32;
-            for t in 0..tokens {
-                l_tile += p[(r, t)];
-            }
-            state.l[r] = state.l[r] * corr_old + l_tile * corr_tile;
-            for (c, acc) in state.acc[r].iter_mut().enumerate() {
-                *acc = *acc * corr_old + pv[(r, c)] * corr_tile;
-            }
-            state.m[r] = m_new;
-        }
-    }
-}
-
-/// The functional **Packing Kernel** body for one KV group: unpacks each
-/// packed block through the codec, computes `S = (Q·scale)·K^T` and `P·V`
-/// on the simulated Tensor Cores, and folds results into the online-softmax
-/// state with the configured warp layout.
+/// The functional **Packing Kernel** body for one KV group — the
+/// materializing reference path: unpacks each packed block through the
+/// codec into a full [`TokenMatrix`], builds and transposes per-block
+/// [`Tile`]s, computes `S = (Q·scale)·K^T` and `P·V` on the simulated
+/// Tensor Cores, and folds results into the online-softmax state with the
+/// configured warp layout.
+///
+/// The fused flat-layout path ([`attend_packed_blocks_fused`]) avoids all
+/// of the intermediate materialization; this path remains the ground truth
+/// it is tested against, and the only path that can model the
+/// non-cooperative `Wn > 1` softmax race.
 #[allow(clippy::too_many_arguments)]
 pub fn attend_packed_blocks(
     q: &[Vec<f32>],
@@ -297,10 +196,310 @@ pub fn attend_packed_blocks(
     let q_tile = rows_to_tile(&q_scaled);
     for block in blocks {
         let (k, v) = codec.decode(block, scheme);
-        let kt_tile = rows_to_tile(&k).transposed();
+        let kt_tile = matrix_to_tile(&k).transposed();
         let s = matmul(engine, &q_tile, &kt_tile);
-        let v_tile = rows_to_tile(&v);
+        let v_tile = matrix_to_tile(&v);
         state.step_tile_warped(&s, &v_tile, wn, cooperative);
+    }
+}
+
+/// The fused flat-layout decode-and-attend kernel (paper §IV): for each
+/// block, packed u16 words stream through the fast-dequant model straight
+/// into flat token-major K/V buffers — decoded K lands directly in the
+/// layout the `Q·Kᵀ` row-dot consumes and V in the layout the `P·V`
+/// accumulation consumes, so no intermediate K/V matrices are built and no
+/// per-block `transposed()` round-trips happen. The K/V value buffers are
+/// allocated once and reused across blocks; only the small per-group
+/// dequantization LUT is rebuilt per tensor, because its values depend on
+/// that block's quantization parameters.
+///
+/// Operand precision mirrors the engine: the MMA path rounds both GEMM
+/// operands through FP16 fragments (`ldmatrix`), the WGMMA `_SS` path
+/// consumes shared-memory tiles unrounded — so results match
+/// [`attend_packed_blocks`] (with `cooperative` softmax) to f32
+/// accumulation-order noise.
+///
+/// Returns the modelled fast-dequant instruction counts streamed.
+pub fn attend_packed_blocks_fused(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    scale: f32,
+    engine: MatmulEngine,
+    state: &mut OnlineSoftmax,
+) -> FastDequantOps {
+    let mut ops = FastDequantOps::default();
+    if blocks.is_empty() {
+        return ops;
+    }
+    let rows = q.len();
+    let q_eff: Vec<Vec<f32>> = q
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&x| match engine {
+                    MatmulEngine::Mma => F16::from_f32(x * scale).to_f32(),
+                    MatmulEngine::Wgmma => x * scale,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut k_buf = TokenMatrix::new(0);
+    let mut v_buf = TokenMatrix::new(0);
+    for block in blocks {
+        ops += codec.decode_block_fused(block, scheme, &mut k_buf, &mut v_buf);
+        let tokens = k_buf.tokens();
+        let mut s = Tile::zeros(rows, tokens);
+        for (r, q_row) in q_eff.iter().enumerate() {
+            for t in 0..tokens {
+                // Contiguous row-dot: decoded K is token-major, exactly the
+                // B-operand column this score needs.
+                let mut acc = 0.0f32;
+                for (a, b) in q_row.iter().zip(k_buf.row(t)) {
+                    acc += a * b;
+                }
+                s[(r, t)] = acc;
+            }
+        }
+        state.step_rows(&s, &v_buf);
+    }
+    ops
+}
+
+/// Smallest shard worth a thread: below ~8 blocks (≥1K tokens at INT4
+/// `Nr = 128`) the merge and spawn overhead outweighs the win, so the
+/// parallel path falls back to the sequential fused walk.
+const MIN_BLOCKS_PER_SHARD: usize = 8;
+
+fn default_shards(blocks: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    hw.min(blocks / MIN_BLOCKS_PER_SHARD).max(1)
+}
+
+/// [`attend_packed_blocks_fused`] sharded across `shards` OS threads: each
+/// shard runs the fused kernel over a contiguous block range into its own
+/// [`OnlineSoftmax`] partial, and the partials are combined with
+/// [`OnlineSoftmax::merge`] — the exact log-sum-exp reduction of the
+/// paper's cooperative split-K softmax (`shards = 1` is the sequential
+/// fused path, bit-for-bit).
+#[allow(clippy::too_many_arguments)]
+pub fn attend_packed_blocks_sharded(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    scale: f32,
+    engine: MatmulEngine,
+    shards: usize,
+    state: &mut OnlineSoftmax,
+) -> FastDequantOps {
+    if blocks.is_empty() {
+        return FastDequantOps::default();
+    }
+    let shards = shards.clamp(1, blocks.len());
+    if shards == 1 {
+        return attend_packed_blocks_fused(q, blocks, codec, scheme, scale, engine, state);
+    }
+    let rows = state.rows();
+    let dim = state.dim();
+    let chunk = blocks.len().div_ceil(shards);
+    let results: Vec<(OnlineSoftmax, FastDequantOps)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut partial = OnlineSoftmax::new(rows, dim);
+                    let ops = attend_packed_blocks_fused(
+                        q,
+                        shard,
+                        codec,
+                        scheme,
+                        scale,
+                        engine,
+                        &mut partial,
+                    );
+                    (partial, ops)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("split-K shard panicked"))
+            .collect()
+    });
+    let mut ops = FastDequantOps::default();
+    let mut partials = Vec::with_capacity(results.len() + 1);
+    partials.push(std::mem::replace(state, OnlineSoftmax::new(rows, dim)));
+    for (partial, shard_ops) in results {
+        partials.push(partial);
+        ops += shard_ops;
+    }
+    *state = OnlineSoftmax::merge(partials);
+    ops
+}
+
+/// The parallel fused decode path: shards the block list across the
+/// machine's available threads (sequential fused fallback for small
+/// contexts) and merges per-shard softmax partials. This is what
+/// [`crate::BitDecoder::decode`] runs for every valid (cooperative or
+/// single-warp) configuration.
+pub fn attend_packed_blocks_parallel(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    scale: f32,
+    engine: MatmulEngine,
+    state: &mut OnlineSoftmax,
+) -> FastDequantOps {
+    attend_packed_blocks_sharded(
+        q,
+        blocks,
+        codec,
+        scheme,
+        scale,
+        engine,
+        default_shards(blocks.len()),
+        state,
+    )
+}
+
+/// Quantizes an `rows × cols` value generator to block-scaled FP4 along
+/// its columns (`block`-sized groups), returning codes and per-(row,
+/// block) scales.
+fn quantize_fp4_operand(
+    rows: usize,
+    cols: usize,
+    at: impl Fn(usize, usize) -> f32,
+    kind: Fp4Kind,
+) -> (Vec<Vec<E2M1>>, Vec<Vec<f32>>) {
+    let block = kind.block_size();
+    let mut codes = vec![vec![E2M1::from_bits(0); cols]; rows];
+    let mut scales = vec![vec![0.0f32; cols.div_ceil(block)]; rows];
+    for r in 0..rows {
+        for b0 in (0..cols).step_by(block) {
+            let b1 = (b0 + block).min(cols);
+            let vals: Vec<f32> = (b0..b1).map(|c| at(r, c)).collect();
+            let q = quantize_fp4_block(&vals, kind);
+            scales[r][b0 / block] = q.scale.to_f32();
+            for (i, code) in q.codes.iter().enumerate() {
+                codes[r][b0 + i] = *code;
+            }
+        }
+    }
+    (codes, scales)
+}
+
+/// The Blackwell-native functional path: `S = Q_fp4 · K_fp4^T` and
+/// `O += Quant(P)_fp4 · V_fp4` through the block-scaled MMA — no software
+/// dequantization, but `P` is re-quantized after every softmax tile
+/// (paper Challenge 2 / §V-D(2)).
+///
+/// With flat decoded blocks, each operand is quantized in a **single
+/// pass** straight into its MMA orientation: K along channels scattered to
+/// `(channel, token)`, V along tokens (the P·V contraction dimension) read
+/// column-strided — the transpose → quantize → transpose round-trips of
+/// the earlier nested-`Vec` implementation are gone.
+pub fn attend_packed_blocks_fp4(
+    q: &[Vec<f32>],
+    blocks: &[PackedBlock],
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    kind: Fp4Kind,
+    scale: f32,
+    state: &mut OnlineSoftmax,
+) {
+    if blocks.is_empty() {
+        return;
+    }
+    let block_size = kind.block_size();
+    let rows = q.len();
+    let d = q[0].len();
+    let (q_codes, q_scales) = quantize_fp4_operand(rows, d, |r, c| q[r][c] * scale, kind);
+
+    for packed in blocks {
+        let (k, v) = codec.decode(packed, scheme);
+        let tokens = k.tokens();
+        // K as the S-GEMM B operand: codes per (channel, token). Quantize
+        // each token's channels (the contraction dimension) and scatter the
+        // codes directly into B orientation.
+        let mut b_codes = vec![vec![E2M1::from_bits(0); tokens]; d];
+        let mut b_scales = vec![vec![0.0f32; tokens]; d.div_ceil(block_size)];
+        for t in 0..tokens {
+            let row = k.row(t);
+            for b0 in (0..d).step_by(block_size) {
+                let b1 = (b0 + block_size).min(d);
+                let qb = quantize_fp4_block(&row[b0..b1], kind);
+                b_scales[b0 / block_size][t] = qb.scale.to_f32();
+                for (i, code) in qb.codes.iter().enumerate() {
+                    b_codes[b0 + i][t] = *code;
+                }
+            }
+        }
+        let mut s_tile = Tile::zeros(rows, tokens);
+        mma_block_scaled_fp4(
+            &q_codes,
+            &q_scales,
+            &b_codes,
+            &b_scales,
+            block_size,
+            &mut s_tile,
+        );
+
+        // Softmax in FP16/FP32 registers, then requantize P to FP4 for the
+        // second block-scaled MMA.
+        let mut p = Tile::zeros(rows, tokens);
+        let mut row_max = vec![f32::NEG_INFINITY; rows];
+        for r in 0..rows {
+            for t in 0..tokens {
+                row_max[r] = row_max[r].max(s_tile[(r, t)]);
+            }
+            for t in 0..tokens {
+                p[(r, t)] = (s_tile[(r, t)] - row_max[r]).exp();
+            }
+        }
+        let (p_codes, p_scales) = quantize_fp4_operand(rows, tokens, |r, t| p[(r, t)], kind);
+
+        // V as the P·V B operand: (k = token, n = channel), scale blocks
+        // along tokens. One column-strided quantization pass.
+        let dv = v.dim();
+        let mut vb_codes = vec![vec![E2M1::from_bits(0); dv]; tokens];
+        let mut vb_scales = vec![vec![0.0f32; dv]; tokens.div_ceil(block_size)];
+        for c in 0..dv {
+            for t0 in (0..tokens).step_by(block_size) {
+                let t1 = (t0 + block_size).min(tokens);
+                let vals: Vec<f32> = (t0..t1).map(|t| v.row(t)[c]).collect();
+                let qb = quantize_fp4_block(&vals, kind);
+                vb_scales[t0 / block_size][c] = qb.scale.to_f32();
+                for (i, code) in qb.codes.iter().enumerate() {
+                    vb_codes[t0 + i][c] = *code;
+                }
+            }
+        }
+        let mut pv = Tile::zeros(rows, dv);
+        mma_block_scaled_fp4(
+            &p_codes, &p_scales, &vb_codes, &vb_scales, block_size, &mut pv,
+        );
+
+        // Fold the pre-normalized tile into the online state: the tile's
+        // exps used row_max as reference, matching step_tile's contract if
+        // we feed (S, V); instead update the state manually.
+        for r in 0..rows {
+            let m_new = state.m[r].max(row_max[r]);
+            let corr_old = (state.m[r] - m_new).exp();
+            let corr_tile = (row_max[r] - m_new).exp();
+            let mut l_tile = 0.0f32;
+            for t in 0..tokens {
+                l_tile += p[(r, t)];
+            }
+            state.l[r] = state.l[r] * corr_old + l_tile * corr_tile;
+            for (c, acc) in state.acc_row_mut(r).iter_mut().enumerate() {
+                *acc = *acc * corr_old + pv[(r, c)] * corr_tile;
+            }
+            state.m[r] = m_new;
+        }
     }
 }
 
@@ -327,12 +526,12 @@ pub fn attend_residual(
         .map(|row| row.iter().map(|&x| x * scale).collect())
         .collect();
     let q_tile = rows_to_tile(&q_scaled);
-    let kt_tile = rows_to_tile(res_k).transposed();
+    let kt_tile = matrix_to_tile(res_k).transposed();
     let s = matmul(engine, &q_tile, &kt_tile);
     // The residual region is narrower than a full warp tile set; it runs
     // single-warp slices when it cannot split evenly.
-    let eff_wn = if s.cols() % wn == 0 { wn } else { 1 };
-    state.step_tile_warped(&s, &rows_to_tile(res_v), eff_wn, cooperative);
+    let eff_wn = if s.cols().is_multiple_of(wn) { wn } else { 1 };
+    state.step_tile_warped(&s, &matrix_to_tile(res_v), eff_wn, cooperative);
 }
 
 #[cfg(test)]
@@ -371,19 +570,13 @@ mod tests {
         let nr = 128;
         let d = 64;
         let gq = 4;
-        let k: TokenMatrix = (0..nr)
-            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.37).sin()).collect())
-            .collect();
+        let k = TokenMatrix::from_fn(nr, d, |t, c| ((t * d + c) as f32 * 0.37).sin());
         // Values with per-channel structure so the attention output has
         // O(1) magnitude — a zero-mean V produces pure cancellation noise
         // that no 4-bit format can track.
-        let v: TokenMatrix = (0..nr)
-            .map(|t| {
-                (0..d)
-                    .map(|c| (c as f32 * 0.3).sin() + 0.3 * ((t * d + c) as f32 * 0.53).cos())
-                    .collect()
-            })
-            .collect();
+        let v = TokenMatrix::from_fn(nr, d, |t, c| {
+            (c as f32 * 0.3).sin() + 0.3 * ((t * d + c) as f32 * 0.53).cos()
+        });
         let q: Vec<Vec<f32>> = (0..gq)
             .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
             .collect();
@@ -392,7 +585,7 @@ mod tests {
         let mut state = OnlineSoftmax::new(gq, d);
         attend_packed_blocks_fp4(&q, &blocks, &codec, scheme, Fp4Kind::Mx, scale, &mut state);
         let got = state.finish();
-        let want = crate::softmax::reference_attention(&q, &k, &v, scale);
+        let want = reference_attention(&q, &k, &v, scale);
         // FP4 everywhere (Q, K, P, V) is coarse: allow ~15% error on the
         // O(1) signal, and demand strong overall correlation.
         let mut dot = 0.0f64;
@@ -425,32 +618,38 @@ mod tests {
         }
     }
 
+    fn synth_blocks(
+        codec: &FragmentCodec,
+        scheme: QuantScheme,
+        nr: usize,
+        n_blocks: usize,
+        d: usize,
+    ) -> (TokenMatrix, TokenMatrix, Vec<PackedBlock>) {
+        let tokens = nr * n_blocks;
+        let k = TokenMatrix::from_fn(tokens, d, |t, c| ((t * d + c) as f32 * 0.37).sin());
+        let v = TokenMatrix::from_fn(tokens, d, |t, c| ((t * d + c) as f32 * 0.53).cos());
+        let blocks = (0..n_blocks)
+            .map(|b| {
+                codec.encode(
+                    &k.slice_rows(b * nr..(b + 1) * nr),
+                    &v.slice_rows(b * nr..(b + 1) * nr),
+                    scheme,
+                )
+            })
+            .collect();
+        (k, v, blocks)
+    }
+
     #[test]
     fn packed_attention_close_to_fp32_reference() {
         let layout = PackLayout::sm80_default();
         let codec = FragmentCodec::new(layout);
         let scheme = QuantScheme::kc4();
-        let nr = 128;
         let d = 32;
         let gq = 4;
-        let tokens = nr * 2;
-
-        let k: TokenMatrix = (0..tokens)
-            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.37).sin()).collect())
-            .collect();
-        let v: TokenMatrix = (0..tokens)
-            .map(|t| (0..d).map(|c| ((t * d + c) as f32 * 0.53).cos()).collect())
-            .collect();
+        let (k, v, blocks) = synth_blocks(&codec, scheme, 128, 2, d);
         let q: Vec<Vec<f32>> = (0..gq)
             .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
-            .collect();
-
-        let blocks: Vec<PackedBlock> = (0..2)
-            .map(|b| {
-                let kb = k[b * nr..(b + 1) * nr].to_vec();
-                let vb = v[b * nr..(b + 1) * nr].to_vec();
-                codec.encode(&kb, &vb, scheme)
-            })
             .collect();
 
         let scale = 1.0 / (d as f32).sqrt();
@@ -476,16 +675,115 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_materializing_path() {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        for scheme in [QuantScheme::kc4(), QuantScheme::kt4(), QuantScheme::kc2()] {
+            let nr = PackLayout::sm80_default().residual_block(scheme.int_width().unwrap());
+            let d = 32;
+            let gq = 4;
+            let (_, _, blocks) = synth_blocks(&codec, scheme, nr, 3, d);
+            let q: Vec<Vec<f32>> = (0..gq)
+                .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+                .collect();
+            let scale = 1.0 / (d as f32).sqrt();
+            for engine in [MatmulEngine::Mma, MatmulEngine::Wgmma] {
+                let mut reference = OnlineSoftmax::new(gq, d);
+                attend_packed_blocks(
+                    &q,
+                    &blocks,
+                    &codec,
+                    scheme,
+                    scale,
+                    4,
+                    true,
+                    engine,
+                    &mut reference,
+                );
+                let mut fused = OnlineSoftmax::new(gq, d);
+                let ops = attend_packed_blocks_fused(
+                    &q, &blocks, &codec, scheme, scale, engine, &mut fused,
+                );
+                assert!(ops.total() > 0, "fused path must stream dequant work");
+                let a = reference.finish();
+                let b = fused.finish();
+                for (ar, br) in a.iter().zip(&b) {
+                    for (x, y) in ar.iter().zip(br) {
+                        assert!((x - y).abs() < 1e-4, "{scheme} {engine:?}: {x} vs {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_split_k_matches_sequential() {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let scheme = QuantScheme::kc4();
+        let d = 32;
+        let gq = 4;
+        let (_, _, blocks) = synth_blocks(&codec, scheme, 128, 5, d);
+        let q: Vec<Vec<f32>> = (0..gq)
+            .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+            .collect();
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut seq = OnlineSoftmax::new(gq, d);
+        attend_packed_blocks_fused(
+            &q,
+            &blocks,
+            &codec,
+            scheme,
+            scale,
+            MatmulEngine::Mma,
+            &mut seq,
+        );
+        for shards in [2, 3, 5] {
+            let mut par = OnlineSoftmax::new(gq, d);
+            attend_packed_blocks_sharded(
+                &q,
+                &blocks,
+                &codec,
+                scheme,
+                scale,
+                MatmulEngine::Mma,
+                shards,
+                &mut par,
+            );
+            let a = seq.clone().finish();
+            let b = par.finish();
+            for (ar, br) in a.iter().zip(&b) {
+                for (x, y) in ar.iter().zip(br) {
+                    assert!((x - y).abs() < 1e-5, "shards={shards}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_empty_block_list_is_identity() {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let q = vec![vec![0.4f32; 16]; 2];
+        let mut state = OnlineSoftmax::new(2, 16);
+        let ops = attend_packed_blocks_fused(
+            &q,
+            &[],
+            &codec,
+            QuantScheme::kc4(),
+            0.25,
+            MatmulEngine::Mma,
+            &mut state,
+        );
+        assert_eq!(ops.total(), 0);
+        let out = state.finish();
+        assert!(out.iter().all(|row| row.iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
     fn residual_attention_matches_reference() {
         let d = 16;
         let gq = 2;
         let res = 7;
-        let k: TokenMatrix = (0..res)
-            .map(|t| (0..d).map(|c| ((t + c) as f32 * 0.3).sin()).collect())
-            .collect();
-        let v: TokenMatrix = (0..res)
-            .map(|t| (0..d).map(|c| ((t * 2 + c) as f32 * 0.21).cos()).collect())
-            .collect();
+        let k = TokenMatrix::from_fn(res, d, |t, c| ((t + c) as f32 * 0.3).sin());
+        let v = TokenMatrix::from_fn(res, d, |t, c| ((t * 2 + c) as f32 * 0.21).cos());
         let q: Vec<Vec<f32>> = (0..gq).map(|g| vec![0.2 * (g + 1) as f32; d]).collect();
         let scale = 0.25;
         let mut state = OnlineSoftmax::new(gq, d);

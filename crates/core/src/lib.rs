@@ -55,7 +55,11 @@ pub mod softmax;
 pub use api::{BitDecoder, BitDecoderBuilder, DecodeError, DecodeOutput, DecodeReport};
 pub use codec::FragmentCodec;
 pub use config::{query_transform, ungroup_outputs, AttentionConfig, AttentionVariant, QueryHeads};
-pub use kernels::{matmul, matmul_via_mma, matmul_via_wgmma, MatmulEngine};
+pub use kernels::{
+    attend_packed_blocks, attend_packed_blocks_fused, attend_packed_blocks_parallel,
+    attend_packed_blocks_sharded, attend_residual, matmul, matmul_via_mma, matmul_via_wgmma,
+    MatmulEngine,
+};
 pub use profiles::{
     choose_splits, combine_kernel_profile, decode_plan, overlap_for, packing_kernel_profile,
     residual_kernel_profile, ArchPath, OptimizationFlags,

@@ -11,16 +11,23 @@
 //! inconsistency (Table III's "Valid ✗" row).
 
 use bd_gpu_sim::Tile;
+use bd_kvcache::TokenRows;
 
 /// Running flash-attention state for a block of query rows.
+///
+/// The output accumulator is stored **flat** (`rows × dim` row-major in one
+/// `Vec<f32>`) — the same flat-layout discipline as
+/// [`bd_kvcache::TokenMatrix`], so per-tile rescale/accumulate loops run
+/// over contiguous slices with no per-row indirection.
 #[derive(Clone, Debug)]
 pub struct OnlineSoftmax {
     /// Running row maxima `m_i`.
     pub m: Vec<f32>,
     /// Running row denominators `l_i`.
     pub l: Vec<f32>,
-    /// Unnormalized output accumulator `O_i` (`rows × dim`).
-    pub acc: Vec<Vec<f32>>,
+    /// Unnormalized output accumulator `O_i`, flat row-major `rows × dim`.
+    acc: Vec<f32>,
+    dim: usize,
 }
 
 impl OnlineSoftmax {
@@ -29,13 +36,29 @@ impl OnlineSoftmax {
         OnlineSoftmax {
             m: vec![f32::NEG_INFINITY; rows],
             l: vec![0.0; rows],
-            acc: vec![vec![0.0; dim]; rows],
+            acc: vec![0.0; rows * dim],
+            dim,
         }
     }
 
     /// Query rows tracked.
     pub fn rows(&self) -> usize {
         self.m.len()
+    }
+
+    /// Output channels tracked.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One query row's unnormalized accumulator.
+    pub fn acc_row(&self, r: usize) -> &[f32] {
+        &self.acc[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// One query row's unnormalized accumulator, mutably.
+    pub fn acc_row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.acc[r * self.dim..(r + 1) * self.dim]
     }
 
     /// Folds one `rows × Tn` score tile and its `Tn × dim` value tile into
@@ -45,22 +68,36 @@ impl OnlineSoftmax {
     ///
     /// Panics on shape mismatch.
     pub fn step_tile(&mut self, s: &Tile, v: &Tile) {
+        self.step_rows(s, v);
+    }
+
+    /// [`OnlineSoftmax::step_tile`] over any token-matrix value
+    /// representation — the fused decode kernel feeds flat
+    /// [`bd_kvcache::TokenMatrix`] buffers here without copying them into
+    /// a [`Tile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn step_rows<V: TokenRows + ?Sized>(&mut self, s: &Tile, v: &V) {
         assert_eq!(s.rows(), self.rows(), "score tile rows");
-        assert_eq!(s.cols(), v.rows(), "score/value token mismatch");
-        assert_eq!(v.cols(), self.acc[0].len(), "value dim mismatch");
+        assert_eq!(s.cols(), v.token_count(), "score/value token mismatch");
+        assert_eq!(v.token_dim(), self.dim, "value dim mismatch");
+        let dim = self.dim;
         for i in 0..s.rows() {
             let row_max = s.row(i).iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let m_new = self.m[i].max(row_max);
             let correction = (self.m[i] - m_new).exp();
             let mut l_new = self.l[i] * correction;
-            for a in &mut self.acc[i] {
+            let acc = &mut self.acc[i * dim..(i + 1) * dim];
+            for a in acc.iter_mut() {
                 *a *= correction;
             }
             for t in 0..s.cols() {
                 let p = (s[(i, t)] - m_new).exp();
                 l_new += p;
-                for c in 0..v.cols() {
-                    self.acc[i][c] += p * v[(t, c)];
+                for (a, &vv) in acc.iter_mut().zip(v.token_row(t)) {
+                    *a += p * vv;
                 }
             }
             self.m[i] = m_new;
@@ -83,7 +120,7 @@ impl OnlineSoftmax {
     /// Panics if `wn` does not divide the tile width, or on shape mismatch.
     pub fn step_tile_warped(&mut self, s: &Tile, v: &Tile, wn: usize, cooperative: bool) {
         assert!(
-            wn > 0 && s.cols() % wn == 0,
+            wn > 0 && s.cols().is_multiple_of(wn),
             "Wn must divide the tile width"
         );
         if wn == 1 || cooperative {
@@ -100,6 +137,7 @@ impl OnlineSoftmax {
         // mixing incompatible normalizations. The stored running max ends
         // up as whichever warp wrote last.
         let slice = s.cols() / wn;
+        let dim = self.dim;
         for w in 0..wn {
             let t0 = w * slice;
             for i in 0..s.rows() {
@@ -107,11 +145,12 @@ impl OnlineSoftmax {
                 for t in t0..t0 + slice {
                     local_max = local_max.max(s[(i, t)]);
                 }
+                let acc = &mut self.acc[i * dim..(i + 1) * dim];
                 for t in t0..t0 + slice {
                     let p = (s[(i, t)] - local_max).exp();
                     self.l[i] += p;
-                    for c in 0..v.cols() {
-                        self.acc[i][c] += p * v[(t, c)];
+                    for (a, &vv) in acc.iter_mut().zip(v.row(t)) {
+                        *a += p * vv;
                     }
                 }
                 self.m[i] = local_max; // last writer wins
@@ -121,18 +160,21 @@ impl OnlineSoftmax {
 
     /// Normalizes and returns the attention output (`rows × dim`).
     pub fn finish(self) -> Vec<Vec<f32>> {
+        let dim = self.dim;
         self.acc
-            .into_iter()
+            .chunks_exact(dim.max(1))
             .zip(self.l)
             .map(|(row, l)| {
                 let inv = if l > 0.0 { 1.0 / l } else { 0.0 };
-                row.into_iter().map(|x| x * inv).collect()
+                row.iter().map(|x| x * inv).collect()
             })
             .collect()
     }
 
     /// Merges split-KV partial states (log-sum-exp combine): each partial
-    /// covered a disjoint token range; the merge is exact.
+    /// covered a disjoint token range; the merge is exact. This is the
+    /// combine step of the paper's cooperative split-K softmax, and the
+    /// reduction the parallel decode path uses to fold per-shard partials.
     ///
     /// # Panics
     ///
@@ -140,13 +182,16 @@ impl OnlineSoftmax {
     pub fn merge(partials: Vec<OnlineSoftmax>) -> OnlineSoftmax {
         let mut iter = partials.into_iter();
         let mut out = iter.next().expect("at least one partial");
+        let dim = out.dim;
         for p in iter {
             assert_eq!(p.rows(), out.rows(), "partial shape mismatch");
+            assert_eq!(p.dim, out.dim, "partial dim mismatch");
             for i in 0..out.rows() {
                 let m_new = out.m[i].max(p.m[i]);
                 let c_out = (out.m[i] - m_new).exp();
                 let c_p = (p.m[i] - m_new).exp();
-                for (a, b) in out.acc[i].iter_mut().zip(&p.acc[i]) {
+                let acc = &mut out.acc[i * dim..(i + 1) * dim];
+                for (a, b) in acc.iter_mut().zip(&p.acc[i * dim..(i + 1) * dim]) {
                     *a = *a * c_out + b * c_p;
                 }
                 out.l[i] = out.l[i] * c_out + p.l[i] * c_p;
@@ -159,27 +204,37 @@ impl OnlineSoftmax {
 
 /// Dense reference attention `softmax(Q K^T · scale) V` for testing.
 ///
-/// `q` is `rows × d`, `k`/`v` are `tokens × d`.
-pub fn reference_attention(
-    q: &[Vec<f32>],
-    k: &[Vec<f32>],
-    v: &[Vec<f32>],
-    scale: f32,
-) -> Vec<Vec<f32>> {
-    let rows = q.len();
-    let tokens = k.len();
-    let dim = v.first().map_or(0, Vec::len);
+/// `q` is `rows × d`, `k`/`v` are `tokens × d`. Accepts any token-matrix
+/// representation (flat [`bd_kvcache::TokenMatrix`] or nested
+/// `Vec<Vec<f32>>`) through [`TokenRows`].
+pub fn reference_attention<Q, K, V>(q: &Q, k: &K, v: &V, scale: f32) -> Vec<Vec<f32>>
+where
+    Q: TokenRows + ?Sized,
+    K: TokenRows + ?Sized,
+    V: TokenRows + ?Sized,
+{
+    let rows = q.token_count();
+    let tokens = k.token_count();
+    let dim = v.token_dim();
     let mut out = vec![vec![0.0f32; dim]; rows];
-    for i in 0..rows {
+    for (i, out_row) in out.iter_mut().enumerate() {
+        let q_row = q.token_row(i);
         let scores: Vec<f32> = (0..tokens)
-            .map(|t| q[i].iter().zip(&k[t]).map(|(a, b)| a * b).sum::<f32>() * scale)
+            .map(|t| {
+                q_row
+                    .iter()
+                    .zip(k.token_row(t))
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+                    * scale
+            })
             .collect();
         let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
         let l: f32 = exps.iter().sum();
         for (t, &p) in exps.iter().enumerate() {
-            for c in 0..dim {
-                out[i][c] += p / l * v[t][c];
+            for (o, &vv) in out_row.iter_mut().zip(v.token_row(t)) {
+                *o += p / l * vv;
             }
         }
     }
@@ -218,21 +273,21 @@ mod tests {
         let mut scores: Vec<Vec<f32>> = vec![Vec::new(); rows];
         let mut values: Vec<Vec<f32>> = Vec::new();
         for (s, v) in s_tiles.iter().zip(v_tiles) {
-            for i in 0..rows {
-                scores[i].extend(s.row(i));
+            for (i, row_scores) in scores.iter_mut().enumerate() {
+                row_scores.extend(s.row(i));
             }
             for t in 0..v.rows() {
                 values.push(v.row(t).to_vec());
             }
         }
         let mut out = vec![vec![0.0f32; dim]; rows];
-        for i in 0..rows {
-            let m = scores[i].iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let exps: Vec<f32> = scores[i].iter().map(|&x| (x - m).exp()).collect();
+        for (row_scores, out_row) in scores.iter().zip(out.iter_mut()) {
+            let m = row_scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let exps: Vec<f32> = row_scores.iter().map(|&x| (x - m).exp()).collect();
             let l: f32 = exps.iter().sum();
             for (t, &p) in exps.iter().enumerate() {
                 for c in 0..dim {
-                    out[i][c] += p / l * values[t][c];
+                    out_row[c] += p / l * values[t][c];
                 }
             }
         }

@@ -1,11 +1,15 @@
 //! Property-based tests for the BitDecoding engine: softmax equivalences,
-//! codec layout coordination, and split-KV invariance.
+//! codec layout coordination, split-KV invariance, and the fused
+//! flat-layout decode path against its materializing reference.
 
 use bd_core::codec::FragmentCodec;
 use bd_core::softmax::{reference_attention, OnlineSoftmax};
-use bd_core::{query_transform, ungroup_outputs, AttentionConfig};
+use bd_core::{
+    attend_packed_blocks, attend_packed_blocks_fused, attend_packed_blocks_sharded,
+    attend_residual, query_transform, ungroup_outputs, AttentionConfig, MatmulEngine,
+};
 use bd_gpu_sim::Tile;
-use bd_kvcache::{BlockCodec, PackLayout, QuantScheme, TokenMatrix};
+use bd_kvcache::{BlockCodec, PackLayout, PackedBlock, QuantScheme, TokenMatrix};
 use bd_lowbit::PackOrder;
 use proptest::prelude::*;
 
@@ -28,6 +32,43 @@ fn max_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
         .zip(b)
         .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
         .fold(0.0, f32::max)
+}
+
+fn arb_int_scheme() -> impl Strategy<Value = QuantScheme> {
+    prop_oneof![
+        Just(QuantScheme::kc4()),
+        Just(QuantScheme::kt4()),
+        Just(QuantScheme::kc2()),
+        Just(QuantScheme::kt2()),
+    ]
+}
+
+fn arb_engine() -> impl Strategy<Value = MatmulEngine> {
+    prop_oneof![Just(MatmulEngine::Mma), Just(MatmulEngine::Wgmma)]
+}
+
+/// Encodes `n_blocks` full residual blocks of synthetic KV, returning the
+/// logical matrices and the packed blocks.
+fn synth_blocks(
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    n_blocks: usize,
+    dim: usize,
+    seed: u64,
+) -> (TokenMatrix, TokenMatrix, Vec<PackedBlock>) {
+    let nr = PackLayout::sm80_default().residual_block(scheme.int_width().unwrap());
+    let k: TokenMatrix = matrix(nr * n_blocks, dim, seed).into();
+    let v: TokenMatrix = matrix(nr * n_blocks, dim, seed ^ 0xBEEF).into();
+    let blocks = (0..n_blocks)
+        .map(|b| {
+            codec.encode(
+                &k.slice_rows(b * nr..(b + 1) * nr),
+                &v.slice_rows(b * nr..(b + 1) * nr),
+                scheme,
+            )
+        })
+        .collect();
+    (k, v, blocks)
 }
 
 proptest! {
@@ -86,6 +127,47 @@ proptest! {
         prop_assert!(max_diff(&full, &merged) < 1e-4);
     }
 
+    /// N-way merge of disjoint partials equals the single-state pass for
+    /// any shard count — the invariant the thread-parallel decode relies
+    /// on (1-shard vs N-shard equivalence of `OnlineSoftmax::merge`).
+    #[test]
+    fn merge_is_shard_count_invariant(seed: u64, shards in 2usize..6) {
+        let rows = 3;
+        let dim = 8;
+        let tiles = 12;
+        let tile_tokens = 8;
+        let q = matrix(rows, dim, seed);
+        let k = matrix(tiles * tile_tokens, dim, seed ^ 5);
+        let v = matrix(tiles * tile_tokens, dim, seed ^ 6);
+        let scale = 0.2;
+
+        let step = |st: &mut OnlineSoftmax, i: usize| {
+            let base = i * tile_tokens;
+            let s = Tile::from_fn(rows, tile_tokens, |r, c| {
+                q[r].iter().zip(&k[base + c]).map(|(a, b)| a * b).sum::<f32>() * scale
+            });
+            let vt = Tile::from_fn(tile_tokens, dim, |t, c| v[base + t][c]);
+            st.step_tile(&s, &vt);
+        };
+        let mut single = OnlineSoftmax::new(rows, dim);
+        for i in 0..tiles {
+            step(&mut single, i);
+        }
+        let chunk = tiles.div_ceil(shards);
+        let partials: Vec<OnlineSoftmax> = (0..tiles)
+            .step_by(chunk)
+            .map(|start| {
+                let mut st = OnlineSoftmax::new(rows, dim);
+                for i in start..(start + chunk).min(tiles) {
+                    step(&mut st, i);
+                }
+                st
+            })
+            .collect();
+        let merged = OnlineSoftmax::merge(partials).finish();
+        prop_assert!(max_diff(&single.finish(), &merged) < 1e-4);
+    }
+
     /// Cooperative warped softmax equals the reference for every Wn that
     /// divides the tile.
     #[test]
@@ -128,12 +210,12 @@ proptest! {
         let scheme = QuantScheme::kc4();
         let layout = PackLayout::sm80_default();
         let nr = layout.residual_block(bd_lowbit::BitWidth::B4);
-        let k: TokenMatrix = matrix(nr, 32, seed);
-        let v: TokenMatrix = matrix(nr, 32, seed ^ 9);
+        let k: TokenMatrix = matrix(nr, 32, seed).into();
+        let v: TokenMatrix = matrix(nr, 32, seed ^ 9).into();
         let good = FragmentCodec::new(layout);
         let block = good.encode(&k, &v, scheme);
         let (dk, _) = good.decode(&block, scheme);
-        prop_assert!(max_diff(&dk, &k) < 0.4, "same layout must reconstruct");
+        prop_assert!(max_diff(&dk.to_rows(), &k.to_rows()) < 0.4, "same layout must reconstruct");
 
         let bad_layout = match mismatch_kind {
             0 => PackLayout { order: PackOrder::Linear, ..layout },
@@ -141,6 +223,167 @@ proptest! {
         };
         let bad = FragmentCodec::new(bad_layout);
         let (wrong, _) = bad.decode(&block, scheme);
-        prop_assert!(max_diff(&wrong, &k) > 0.4, "mismatch must corrupt");
+        prop_assert!(max_diff(&wrong.to_rows(), &k.to_rows()) > 0.4, "mismatch must corrupt");
+    }
+
+    /// The fused flat-layout decode path matches the materializing path
+    /// within f32 accumulation-order noise (1e-4 max-abs-diff) for every
+    /// integer scheme and both MMA engines, and both track the dense FP32
+    /// reference within quantization error. Row sums of the normalized
+    /// attention weights are checked implicitly: identical `l` means
+    /// identical normalization.
+    #[test]
+    fn fused_decode_matches_materializing_and_reference(
+        seed: u64,
+        scheme in arb_int_scheme(),
+        engine in arb_engine(),
+        n_blocks in 1usize..4,
+    ) {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let dim = 32;
+        let gq = 4;
+        let (k, v, blocks) = synth_blocks(&codec, scheme, n_blocks, dim, seed);
+        let q = matrix(gq, dim, seed ^ 77);
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        let mut materializing = OnlineSoftmax::new(gq, dim);
+        attend_packed_blocks(
+            &q, &blocks, &codec, scheme, scale, 4, true, engine, &mut materializing,
+        );
+        let mut fused = OnlineSoftmax::new(gq, dim);
+        let ops = attend_packed_blocks_fused(&q, &blocks, &codec, scheme, scale, engine, &mut fused);
+        prop_assert!(ops.total() > 0, "dequant work must be accounted");
+
+        let a = materializing.finish();
+        let b = fused.finish();
+        prop_assert!(
+            max_diff(&a, &b) < 1e-4,
+            "fused vs materializing diff {} ({scheme}, {engine:?})",
+            max_diff(&a, &b)
+        );
+
+        // Both paths attend over the *decoded* values; compare against the
+        // dense reference on those values (exact up to f16/engine noise).
+        let (dk, dv) = codec.decode(&blocks[0], scheme);
+        let mut dk_all = dk;
+        let mut dv_all = dv;
+        for block in &blocks[1..] {
+            let (bk, bv) = codec.decode(block, scheme);
+            dk_all.extend_rows(&bk);
+            dv_all.extend_rows(&bv);
+        }
+        prop_assert_eq!(dk_all.tokens(), k.tokens());
+        prop_assert_eq!(dv_all.tokens(), v.tokens());
+        let want = reference_attention(&q, &dk_all, &dv_all, scale);
+        prop_assert!(
+            max_diff(&b, &want) < 2e-2,
+            "fused vs dense-reference diff {}",
+            max_diff(&b, &want)
+        );
+    }
+
+    /// Thread-sharded split-K equals the sequential fused walk for any
+    /// shard count (1-thread vs N-thread equivalence through
+    /// `OnlineSoftmax::merge`).
+    #[test]
+    fn sharded_decode_is_shard_count_invariant(
+        seed: u64,
+        scheme in arb_int_scheme(),
+        shards in 1usize..6,
+        n_blocks in 1usize..5,
+    ) {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let dim = 16;
+        let gq = 2;
+        let (_, _, blocks) = synth_blocks(&codec, scheme, n_blocks, dim, seed);
+        let q = matrix(gq, dim, seed ^ 31);
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        let mut sequential = OnlineSoftmax::new(gq, dim);
+        attend_packed_blocks_fused(
+            &q, &blocks, &codec, scheme, scale, MatmulEngine::Mma, &mut sequential,
+        );
+        let mut sharded = OnlineSoftmax::new(gq, dim);
+        attend_packed_blocks_sharded(
+            &q, &blocks, &codec, scheme, scale, MatmulEngine::Mma, shards, &mut sharded,
+        );
+        prop_assert!(
+            max_diff(&sequential.finish(), &sharded.finish()) < 1e-5,
+            "shards = {shards}"
+        );
+    }
+
+    /// Edge cases of the fused path: an empty block list leaves the state
+    /// untouched, and a lone residual tail (partial block, down to a
+    /// single token) still matches the dense reference.
+    #[test]
+    fn fused_edges_empty_and_partial_tail(seed: u64, tail in 1usize..17) {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let dim = 16;
+        let gq = 2;
+        let q = matrix(gq, dim, seed ^ 13);
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        // Empty packed region: identity on the state.
+        let mut state = OnlineSoftmax::new(gq, dim);
+        let ops = attend_packed_blocks_fused(
+            &q, &[], &codec, QuantScheme::kc4(), scale, MatmulEngine::Mma, &mut state,
+        );
+        prop_assert_eq!(ops.total(), 0);
+
+        // Partial tail (1..=16 tokens, including single-token decode) runs
+        // through the residual kernel on the same state.
+        let res_k: TokenMatrix = matrix(tail, dim, seed ^ 14).into();
+        let res_v: TokenMatrix = matrix(tail, dim, seed ^ 15).into();
+        attend_residual(&q, &res_k, &res_v, scale, 4, true, MatmulEngine::Mma, &mut state);
+        let got = state.finish();
+        let want = reference_attention(&q, &res_k, &res_v, scale);
+        prop_assert!(max_diff(&got, &want) < 2e-2, "tail = {tail}");
+    }
+
+    /// Full pipeline: packed blocks + ragged residual through the fused
+    /// path equal the dense reference over the logically decoded KV.
+    #[test]
+    fn fused_pipeline_with_tail_matches_reference(
+        seed: u64,
+        scheme in arb_int_scheme(),
+        n_blocks in 1usize..3,
+        tail in 0usize..9,
+    ) {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let dim = 32;
+        let gq = 2;
+        let (k, v, blocks) = synth_blocks(&codec, scheme, n_blocks, dim, seed);
+        let res_k: TokenMatrix = matrix(tail, dim, seed ^ 21).into();
+        let res_v: TokenMatrix = matrix(tail, dim, seed ^ 22).into();
+        let q = matrix(gq, dim, seed ^ 23);
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        let mut state = OnlineSoftmax::new(gq, dim);
+        attend_packed_blocks_sharded(
+            &q, &blocks, &codec, scheme, scale, MatmulEngine::Mma, 2, &mut state,
+        );
+        if tail > 0 {
+            attend_residual(&q, &res_k, &res_v, scale, 4, true, MatmulEngine::Mma, &mut state);
+        }
+        let got = state.finish();
+
+        // Dense reference over decoded packed values + the FP16 residual.
+        let (mut dk, mut dv) = codec.decode(&blocks[0], scheme);
+        for block in &blocks[1..] {
+            let (bk, bv) = codec.decode(block, scheme);
+            dk.extend_rows(&bk);
+            dv.extend_rows(&bv);
+        }
+        dk.extend_rows(&res_k);
+        dv.extend_rows(&res_v);
+        prop_assert_eq!(dk.tokens(), k.tokens() + tail);
+        prop_assert_eq!(dv.tokens(), v.tokens() + tail);
+        let want = reference_attention(&q, &dk, &dv, scale);
+        prop_assert!(
+            max_diff(&got, &want) < 2e-2,
+            "pipeline diff {} ({scheme}, blocks {n_blocks}, tail {tail})",
+            max_diff(&got, &want)
+        );
     }
 }

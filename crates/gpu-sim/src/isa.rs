@@ -358,8 +358,8 @@ mod tests {
         let (maxes, steps) = shfl_xor_reduce(&vals, f32::max);
         let expect = vals.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         assert_eq!(steps, 5);
-        for lane in 0..WARP_LANES {
-            assert_eq!(maxes[lane], expect);
+        for &m in &maxes {
+            assert_eq!(m, expect);
         }
     }
 
@@ -411,8 +411,8 @@ mod guard_tests {
             *v = i as f32;
         }
         let (sums, _) = shfl_xor_reduce(&vals, |a, b| a + b);
-        for lane in 0..WARP_LANES {
-            assert_eq!(sums[lane], 496.0); // 0+1+..+31
+        for &s in &sums {
+            assert_eq!(s, 496.0); // 0+1+..+31
         }
     }
 }

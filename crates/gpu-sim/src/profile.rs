@@ -216,6 +216,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn overlap_presets_ordered() {
         assert!(OverlapSpec::PIPELINED.tc_cuda > OverlapSpec::FUSED_BASIC.tc_cuda);
         assert!(OverlapSpec::FUSED_BASIC.tc_cuda > OverlapSpec::SERIALIZED_DEQUANT.tc_cuda);

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn swizzle_is_a_permutation_within_each_row() {
         for row in 0..8 {
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for chunk in 0..8 {
                 let off = staged_offset(row, chunk, 128, Swizzle::Xor);
                 assert_eq!(off / 128, row);

@@ -77,8 +77,8 @@ proptest! {
         let (out, steps) = shfl_xor_reduce(&arr, f32::max);
         let expect = values.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         prop_assert_eq!(steps, 5);
-        for lane in 0..32 {
-            prop_assert_eq!(out[lane], expect);
+        for &o in &out {
+            prop_assert_eq!(o, expect);
         }
     }
 

@@ -13,8 +13,9 @@
 //! tokens and leaves the remainder resident.
 
 use crate::block::PackedBlock;
-use crate::codec::{BlockCodec, TokenMatrix};
+use crate::codec::BlockCodec;
 use crate::layout::PackLayout;
+use crate::matrix::{TokenMatrix, TokenRows};
 use crate::scheme::QuantScheme;
 use bd_lowbit::{BitWidth, F16};
 use std::fmt;
@@ -207,15 +208,16 @@ impl QuantizedKvCache {
         self.check_dim(k)?;
         self.check_dim(v)?;
         self.head(head)?;
-        let round =
-            |xs: &[f32]| -> Vec<f32> { xs.iter().map(|&x| F16::from_f32(x).to_f32()).collect() };
         let nr = self.residual_block();
+        let dim = self.config.dim;
         let slot = &mut self.heads[head];
-        slot.residual_k.push(round(k));
-        slot.residual_v.push(round(v));
-        if slot.residual_k.len() == nr {
-            let k_block = std::mem::take(&mut slot.residual_k);
-            let v_block = std::mem::take(&mut slot.residual_v);
+        // Rounding through FP16 happens in place on the flat residual tail —
+        // one contiguous extend, no per-token heap allocation.
+        push_rounded(&mut slot.residual_k, k);
+        push_rounded(&mut slot.residual_v, v);
+        if slot.residual_k.tokens() == nr {
+            let k_block = std::mem::replace(&mut slot.residual_k, TokenMatrix::new(dim));
+            let v_block = std::mem::replace(&mut slot.residual_v, TokenMatrix::new(dim));
             let packed = codec.encode(&k_block, &v_block, self.config.scheme);
             slot.packed.push(packed);
             Ok(true)
@@ -231,35 +233,39 @@ impl QuantizedKvCache {
     /// # Errors
     ///
     /// Returns [`CacheError::DimMismatch`] or [`CacheError::BadHead`].
-    pub fn prefill(
+    pub fn prefill<K, V>(
         &mut self,
         head: usize,
-        k: &TokenMatrix,
-        v: &TokenMatrix,
+        k: &K,
+        v: &V,
         codec: &impl BlockCodec,
-    ) -> Result<(), CacheError> {
-        assert_eq!(k.len(), v.len(), "K/V prefill length mismatch");
-        for row in k.iter().chain(v.iter()) {
-            self.check_dim(row)?;
+    ) -> Result<(), CacheError>
+    where
+        K: TokenRows + ?Sized,
+        V: TokenRows + ?Sized,
+    {
+        let len = k.token_count();
+        assert_eq!(len, v.token_count(), "K/V prefill length mismatch");
+        for t in 0..len {
+            self.check_dim(k.token_row(t))?;
+            self.check_dim(v.token_row(t))?;
         }
         self.head(head)?;
         let nr = self.residual_block();
-        let (packed_len, _res) = crate::layout::partition_prefill(k.len(), nr);
+        let (packed_len, _res) = crate::layout::partition_prefill(len, nr);
         let scheme = self.config.scheme;
-        let round =
-            |xs: &[f32]| -> Vec<f32> { xs.iter().map(|&x| F16::from_f32(x).to_f32()).collect() };
 
         // Values pass through the FP16 KV projection output before
         // quantization, exactly as in the append path.
         let slot = &mut self.heads[head];
         for b0 in (0..packed_len).step_by(nr) {
-            let kb: TokenMatrix = k[b0..b0 + nr].iter().map(|r| round(r)).collect();
-            let vb: TokenMatrix = v[b0..b0 + nr].iter().map(|r| round(r)).collect();
+            let kb = rounded_block(k, b0, b0 + nr);
+            let vb = rounded_block(v, b0, b0 + nr);
             slot.packed.push(codec.encode(&kb, &vb, scheme));
         }
-        for t in packed_len..k.len() {
-            slot.residual_k.push(round(&k[t]));
-            slot.residual_v.push(round(&v[t]));
+        for t in packed_len..len {
+            push_rounded(&mut slot.residual_k, k.token_row(t));
+            push_rounded(&mut slot.residual_v, v.token_row(t));
         }
         Ok(())
     }
@@ -269,15 +275,15 @@ impl QuantizedKvCache {
     /// functional attention checks.
     pub fn logical_kv(&self, head: usize, codec: &impl BlockCodec) -> (TokenMatrix, TokenMatrix) {
         let slot = &self.heads[head];
-        let mut k = Vec::with_capacity(self.len(head));
-        let mut v = Vec::with_capacity(self.len(head));
+        let mut k = TokenMatrix::with_capacity(self.len(head), self.config.dim);
+        let mut v = TokenMatrix::with_capacity(self.len(head), self.config.dim);
         for block in &slot.packed {
             let (bk, bv) = codec.decode(block, self.config.scheme);
-            k.extend(bk);
-            v.extend(bv);
+            k.extend_rows(&bk);
+            v.extend_rows(&bv);
         }
-        k.extend(slot.residual_k.iter().cloned());
-        v.extend(slot.residual_v.iter().cloned());
+        k.extend_rows(&slot.residual_k);
+        v.extend_rows(&slot.residual_v);
         (k, v)
     }
 
@@ -293,6 +299,25 @@ impl QuantizedKvCache {
     pub fn total_bytes(&self) -> usize {
         (0..self.heads.len()).map(|h| self.head_bytes(h)).sum()
     }
+}
+
+/// Appends `row` to `m`, rounding each value through FP16 in place (the KV
+/// projection output precision) — no temporary row allocation.
+fn push_rounded(m: &mut TokenMatrix, row: &[f32]) {
+    let t = m.tokens();
+    m.push_row(row);
+    for x in m.row_mut(t) {
+        *x = F16::from_f32(*x).to_f32();
+    }
+}
+
+/// Copies token range `[t0, t1)` of `src` into a fresh flat matrix with
+/// FP16 rounding applied.
+fn rounded_block<M: TokenRows + ?Sized>(src: &M, t0: usize, t1: usize) -> TokenMatrix {
+    let dim = src.token_row(t0).len();
+    TokenMatrix::from_fn(t1 - t0, dim, |t, c| {
+        F16::from_f32(src.token_row(t0 + t)[c]).to_f32()
+    })
 }
 
 #[cfg(test)]

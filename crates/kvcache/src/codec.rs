@@ -13,6 +13,20 @@
 //! Both produce the same *byte counts* and the same *quantization error*;
 //! they differ only in physical word order — which is precisely the paper's
 //! point.
+//!
+//! # Flat-layout invariants
+//!
+//! All codec value I/O uses the flat [`TokenMatrix`] (see
+//! [`crate::matrix`] for the full contract):
+//!
+//! * inputs to `encode` and outputs of `decode` are **token-major**
+//!   (`row t = data[t*dim .. (t+1)*dim]`) with one contiguous backing
+//!   buffer and no per-row allocation;
+//! * `quantize_int_codes` emits codes in the same token-major order
+//!   (`codes[t * dim + c]`), so the *logical* code index never depends on
+//!   the physical pack layout — only the word stream does;
+//! * `dequantize_int_codes` writes straight into a flat matrix, which the
+//!   fused decode kernel in `bd-core` consumes without reshaping.
 
 use crate::block::{PackedBlock, PackedPayload, PackedTensor};
 use crate::scheme::{KeyGranularity, QuantScheme, SchemeKind};
@@ -21,8 +35,7 @@ use bd_lowbit::{
     pack_u16, quant::MinMax, unpack_u16, BitWidth, BlockScale, Half2, QuantParams, E2M1,
 };
 
-/// Values for one block of tokens: `values[token][channel]`.
-pub type TokenMatrix = Vec<Vec<f32>>;
+pub use crate::matrix::{TokenMatrix, TokenRows};
 
 /// A codec converting between FP16 token blocks and packed payloads.
 ///
@@ -51,8 +64,8 @@ pub fn quantize_int_codes(
     granularity: KeyGranularity,
     group: usize,
 ) -> (Vec<u8>, Vec<Half2>) {
-    let tokens = values.len();
-    let dim = values[0].len();
+    let tokens = values.tokens();
+    let dim = values.dim();
     let mut codes = vec![0u8; tokens * dim];
     let mut params = Vec::new();
 
@@ -105,7 +118,7 @@ pub fn dequantize_int_codes(
     group: usize,
 ) -> TokenMatrix {
     let _ = width;
-    let mut out = vec![vec![0.0f32; dim]; tokens];
+    let mut out = TokenMatrix::zeros(tokens, dim);
     let param_at = |idx: usize| QuantParams::from_half2(params[idx]);
     match granularity {
         KeyGranularity::ChannelWise => {
@@ -144,8 +157,8 @@ impl ReferenceCodec {
         granularity: KeyGranularity,
         group: usize,
     ) -> PackedTensor {
-        let tokens = values.len();
-        let dim = values[0].len();
+        let tokens = values.tokens();
+        let dim = values.dim();
         let (codes, params) = quantize_int_codes(values, width, granularity, group);
 
         let per_word = width.packing_ratio();
@@ -184,8 +197,8 @@ impl ReferenceCodec {
     }
 
     fn encode_fp4(values: &TokenMatrix, kind: bd_lowbit::Fp4Kind) -> PackedTensor {
-        let tokens = values.len();
-        let dim = values[0].len();
+        let tokens = values.tokens();
+        let dim = values.dim();
         let block = kind.block_size();
         let mut nibbles: Vec<u8> = Vec::with_capacity(tokens * dim);
         let mut scales = Vec::new();
@@ -218,7 +231,7 @@ impl ReferenceCodec {
         };
         let block = kind.block_size();
         let blocks_per_token = dim.div_ceil(block);
-        let mut out = vec![vec![0.0f32; dim]; tokens];
+        let mut out = TokenMatrix::zeros(tokens, dim);
         for t in 0..tokens {
             for c in 0..dim {
                 let flat = t * dim + c;
@@ -238,7 +251,7 @@ impl ReferenceCodec {
 
 impl BlockCodec for ReferenceCodec {
     fn encode(&self, k: &TokenMatrix, v: &TokenMatrix, scheme: QuantScheme) -> PackedBlock {
-        assert_eq!(k.len(), v.len(), "K/V token count mismatch");
+        assert_eq!(k.tokens(), v.tokens(), "K/V token count mismatch");
         match scheme.kind() {
             SchemeKind::Int {
                 width,

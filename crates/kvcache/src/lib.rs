@@ -19,6 +19,7 @@ pub mod block;
 pub mod cache;
 pub mod codec;
 pub mod layout;
+pub mod matrix;
 pub mod paged;
 pub mod scheme;
 
@@ -26,8 +27,8 @@ pub use block::{PackedBlock, PackedPayload, PackedTensor};
 pub use cache::{CacheConfig, CacheError, QuantizedKvCache};
 pub use codec::{
     dequantize_int_codes, quantize_int_codes, reconstruction_error, BlockCodec, ReferenceCodec,
-    TokenMatrix,
 };
 pub use layout::{partition_prefill, PackLayout};
+pub use matrix::{TokenMatrix, TokenRows};
 pub use paged::{PageId, PagedOom, PagedPool, SeqId};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};

@@ -124,7 +124,7 @@ impl MemoryModel {
         let mut lo = 0usize;
         let mut hi = 4096usize;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if self.check(model, system, mid, seq_len).is_ok() {
                 lo = mid;
             } else {

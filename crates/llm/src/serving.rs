@@ -35,7 +35,7 @@ pub fn max_throughput(
     seq_len: usize,
 ) -> ServingReport {
     let mem = MemoryModel::new(&model, &arch, weights);
-    let batch = mem.max_batch(&model, system, seq_len).max(0);
+    let batch = mem.max_batch(&model, system, seq_len);
 
     // Paged admission: sequences allocate page-granular blocks, so the
     // usable batch is what the page pool actually admits.

@@ -44,6 +44,36 @@ impl FastDequantOps {
     }
 }
 
+impl std::ops::Add for FastDequantOps {
+    type Output = FastDequantOps;
+    fn add(self, rhs: FastDequantOps) -> FastDequantOps {
+        FastDequantOps {
+            lop3: self.lop3 + rhs.lop3,
+            shifts: self.shifts + rhs.shifts,
+            hfma2: self.hfma2 + rhs.hfma2,
+        }
+    }
+}
+
+impl std::ops::AddAssign for FastDequantOps {
+    fn add_assign(&mut self, rhs: FastDequantOps) {
+        *self = *self + rhs;
+    }
+}
+
+/// Instruction counts one 32-bit register costs on the fast path — the
+/// per-register model [`dequant_register`] charges, exposed so fused
+/// decode kernels can account dequantization work without materializing
+/// intermediate values.
+pub fn register_ops(width: BitWidth) -> FastDequantOps {
+    let steps = (codes_per_u32(width) / 2) as u32;
+    FastDequantOps {
+        lop3: steps,
+        shifts: steps.saturating_sub(1),
+        hfma2: steps,
+    }
+}
+
 /// Precomputed `half2` multiplier/bias pair for the fused scale step.
 ///
 /// `x = (1024 + c) * scale + (zero - 1024 * scale)`.
@@ -191,6 +221,15 @@ mod tests {
         let (vals, _) = dequant_register(reg, BitWidth::B4, params);
         for (v, &c) in vals.iter().zip(&codes) {
             assert_eq!(v.to_bits(), params.dequantize(c).to_bits());
+        }
+    }
+
+    #[test]
+    fn register_ops_matches_dequant_register() {
+        for width in [BitWidth::B4, BitWidth::B2] {
+            let params = QuantParams::from_min_max(0.0, 1.0, width);
+            let (_, ops) = dequant_register(0, width, params);
+            assert_eq!(ops, register_ops(width), "{width}");
         }
     }
 

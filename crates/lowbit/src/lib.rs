@@ -38,6 +38,6 @@ pub use fp4::{BlockScale, Fp4Block, Fp4Kind, E2M1, E4M3, E8M0};
 pub use half2::Half2;
 pub use pack::{
     codes_per_u16, codes_per_u32, fuse_words, pack_u16, pack_u32, split_register, unpack_u16,
-    unpack_u32, PackOrder, FAST_PERM_INT2, FAST_PERM_INT4,
+    unpack_u32, unpack_u32_into, PackOrder, FAST_PERM_INT2, FAST_PERM_INT4,
 };
 pub use quant::{quantize_group, BitWidth, MinMax, QuantParams};

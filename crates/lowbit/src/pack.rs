@@ -76,14 +76,28 @@ pub fn pack_u32(codes: &[u8], width: BitWidth, order: PackOrder) -> u32 {
 /// Unpacks a 32-bit register into codes in logical order.
 pub fn unpack_u32(word: u32, width: BitWidth, order: PackOrder) -> Vec<u8> {
     let n = codes_per_u32(width);
+    let mut out = vec![0u8; n];
+    unpack_u32_into(word, width, order, &mut out);
+    out
+}
+
+/// Allocation-free form of [`unpack_u32`]: writes the register's codes in
+/// logical order into `out[..codes_per_u32(width)]`. This is the hot-loop
+/// primitive the fused decode kernel streams registers through.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `codes_per_u32(width)`.
+#[inline]
+pub fn unpack_u32_into(word: u32, width: BitWidth, order: PackOrder, out: &mut [u8]) {
+    let n = codes_per_u32(width);
     let bits = width.bits();
     let mask = width.max_code() as u32;
-    let mut out = vec![0u8; n];
+    assert!(out.len() >= n, "output buffer too small");
     for physical in 0..n {
         let logical = perm(width, order, physical);
         out[logical] = ((word >> (physical as u32 * bits)) & mask) as u8;
     }
-    out
 }
 
 /// Packs `codes` (logical order) into a 16-bit storage word (linear layout).

@@ -82,7 +82,8 @@ impl QuantParams {
     /// unit scale so that dequantization stays finite.
     pub fn from_min_max(min: f32, max: f32, width: BitWidth) -> Self {
         let range = max - min;
-        if !(range > 0.0) || !range.is_finite() {
+        // NaN and ±inf ranges also take the degenerate path.
+        if !range.is_finite() || range <= 0.0 {
             return QuantParams {
                 scale: F16::ONE,
                 zero: F16::from_f32(min),

@@ -56,12 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = dec.decode(&q, &cache)?;
 
     // Check against FP32 attention over the original (unquantized) values.
-    let gq = attn.group_factor();
     let mut worst = 0.0f32;
-    for h in 0..attn.heads_q {
-        let _ = h / gq;
-        let reference = reference_attention(&[q[0][h].clone()], &context, &values, attn.scale());
-        for (got, want) in out.outputs[0][h].iter().zip(&reference[0]) {
+    for (q_head, out_head) in q[0].iter().zip(&out.outputs[0]) {
+        let reference = reference_attention(
+            std::slice::from_ref(q_head),
+            &context,
+            &values,
+            attn.scale(),
+        );
+        for (got, want) in out_head.iter().zip(&reference[0]) {
             worst = worst.max((got - want).abs());
         }
     }

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal wall-clock benchmark runner covering the API surface its benches
+//! use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! No statistics beyond min/mean are computed and no reports are written —
+//! each bench prints one line. Iteration counts adapt to a small per-bench
+//! time budget so slow functional-simulation benches stay tractable.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched setup values are grouped (accepted for API compatibility;
+/// the shim runs one setup per timed invocation regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Per-bench measurement driver.
+pub struct Bencher {
+    /// Nanoseconds per iteration observed (min over measurement rounds).
+    best_ns: f64,
+    /// Mean nanoseconds per iteration.
+    mean_ns: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            best_ns: f64::NAN,
+            mean_ns: f64::NAN,
+            budget,
+        }
+    }
+
+    /// Times `f` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration round.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed();
+        let per_round = ((self.budget.as_secs_f64() / 8.0) / once.as_secs_f64().max(1e-9))
+            .clamp(1.0, 1e6) as u64;
+
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..per_round {
+                std_black_box(f());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / per_round as f64;
+            best = best.min(ns);
+            total += ns * per_round as f64;
+            iters += per_round;
+        }
+        self.best_ns = best;
+        self.mean_ns = total / iters as f64;
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        // Measure at least a handful of iterations even if each is slow.
+        while start.elapsed() < self.budget || iters < 5 {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            let ns = t.elapsed().as_secs_f64() * 1e9;
+            best = best.min(ns);
+            total += ns;
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.best_ns = best;
+        self.mean_ns = total / iters as f64;
+    }
+}
+
+/// The bench registry / runner.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        println!(
+            "bench {name:<48} {:>14} ns/iter (mean {:>14})",
+            format_ns(b.best_ns),
+            format_ns(b.mean_ns)
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_owned()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(10),
+        };
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal property-testing harness covering the API surface its test
+//! suites use: the [`proptest!`] macro with `name in strategy` and
+//! `name: Type` parameters, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`prop_oneof!`], range and tuple strategies, `Just`,
+//! `prop::collection::vec`, and `any::<T>()`.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing cases
+//! are **not shrunk** — the failing inputs are reported as sampled. Case
+//! generation is deterministic per test (seeded from the test path), so
+//! failures reproduce across runs. The case count defaults to 32 and can be
+//! raised with the `PROPTEST_CASES` environment variable.
+
+/// Deterministic test-case generator state.
+pub mod test_runner {
+    /// Deterministic RNG driving case generation (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        base: u64,
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's module path + name.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test path: stable across runs and platforms.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { base: h, state: h }
+        }
+
+        /// Rewinds to the deterministic stream for case number `case`.
+        pub fn reseed_case(&mut self, case: u64) {
+            self.state = self.base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Warm up so consecutive case seeds decorrelate.
+            self.next_u64();
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "empty sample range");
+            // Modulo bias is irrelevant at test-data scales.
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each property runs (override with `PROPTEST_CASES`).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(32)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for sampling values of one type.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            })*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            let u = rng.unit_f64();
+            (f64::from(self.start) + u * (f64::from(self.end) - f64::from(self.start))) as f32
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let u = rng.unit_f64();
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {
+            $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            })*
+        };
+    }
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (the engine behind [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if no options are given.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`].
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+/// `Arbitrary` values and the `any::<T>()` strategy.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, covering several orders of magnitude.
+            ((rng.unit_f64() - 0.5) * 2e6) as f32
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The `prop::` paths used inside test bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The commonly glob-imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each function parameter is either
+/// `name in strategy` (sampled from the strategy) or `name: Type`
+/// (sampled from the type's [`arbitrary::Arbitrary`] impl).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __prop_rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    __prop_rng.reseed_case(__case);
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $crate::__prop_bind!(__prop_rng, ($($params)*));
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("property failed on case {__case}/{__cases}: {__e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: binds one `proptest!` parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident, ()) => {};
+    ($rng:ident, (mut $name:ident in $strat:expr)) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, (mut $name:ident in $strat:expr, $($rest:tt)*)) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng, ($($rest)*));
+    };
+    ($rng:ident, (mut $name:ident : $ty:ty)) => {
+        #[allow(unused_mut)]
+        let mut $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, (mut $name:ident : $ty:ty, $($rest:tt)*)) => {
+        #[allow(unused_mut)]
+        let mut $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__prop_bind!($rng, ($($rest)*));
+    };
+    ($rng:ident, ($name:ident in $strat:expr)) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, ($name:ident in $strat:expr, $($rest:tt)*)) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng, ($($rest)*));
+    };
+    ($rng:ident, ($name:ident : $ty:ty)) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)*)) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__prop_bind!($rng, ($($rest)*));
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format!($($fmt)+),
+                __l,
+                __r,
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds; Arbitrary params vary.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f32..2.0, seed: u64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+            let _ = seed;
+        }
+
+        /// Tuples, collections, and oneof compose.
+        #[test]
+        fn compound_strategies(v in prop::collection::vec((0usize..4, 1usize..9), 2..6),
+                               pick in prop_oneof![Just(1usize), Just(2), Just(3)]) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 4 && (1..9).contains(&b));
+            }
+            prop_assert!((1..=3).contains(&pick));
+        }
+
+        /// Exact-length vec form works.
+        #[test]
+        fn exact_length_vec(v in prop::collection::vec(0.0f64..1.0, 32)) {
+            prop_assert_eq!(v.len(), 32);
+        }
+
+        /// `mut` bindings and early Ok returns are accepted.
+        #[test]
+        fn mut_and_early_return(mut v in prop::collection::vec(0u32..10, 1..5)) {
+            v.push(3);
+            if v.len() == 1 {
+                return Ok(());
+            }
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        let mut a = crate::test_runner::TestRng::from_name("x::y");
+        let mut b = crate::test_runner::TestRng::from_name("x::y");
+        a.reseed_case(5);
+        b.reseed_case(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
