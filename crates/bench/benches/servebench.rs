@@ -1,0 +1,135 @@
+//! Serving microbench: aggregate KV-tokens/second of the `bd-serve`
+//! batched decode runtime vs batch size, at 4-bit and 2-bit, on a
+//! multi-worker pool. Results are printed and recorded in
+//! **`BENCH_serve.json`** at the repo root — the serving-throughput
+//! trajectory baseline for later PRs.
+//!
+//! Set `BENCH_SERVE=0` to skip the run, or `BENCH_SERVE_JSON=0` to run it
+//! without rewriting the committed baseline file.
+//!
+//! Reading the numbers: each `(sequence, kv-head)` work unit runs on the
+//! persistent pool, so aggregate throughput scales with batch up to the
+//! machine's core count. On a single-core container (the reference
+//! environment) the honest signal is *flatness*: the scheduler sustains
+//! the full single-core fused-kernel rate at every batch size — batching
+//! adds no measurable overhead — while per-sequence throughput divides by
+//! the batch. On a multi-core box the aggregate column grows with batch
+//! until cores saturate.
+
+use bd_core::AttentionConfig;
+use bd_gpu_sim::GpuArch;
+use bd_kvcache::QuantScheme;
+use bd_serve::{ServeConfig, ServeSession, SynthSequence};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PROMPT: usize = 2048;
+const GEN: usize = 6;
+const WORKERS: usize = 4;
+
+struct ServeBenchRow {
+    scheme: QuantScheme,
+    batch: usize,
+    steps: usize,
+    kv_tokens: u64,
+    kv_tok_s: f64,
+    per_seq_tok_s: f64,
+}
+
+/// Best-of-`reps` run of one (scheme, batch) configuration: each rep
+/// builds a fresh session, so the best rep reflects steady-state decode
+/// throughput rather than allocator warm-up or scheduler noise.
+fn run_best(scheme: QuantScheme, batch: usize, reps: usize) -> ServeBenchRow {
+    let mut best = run_config(scheme, batch);
+    for _ in 1..reps {
+        let row = run_config(scheme, batch);
+        if row.kv_tok_s > best.kv_tok_s {
+            best = row;
+        }
+    }
+    best
+}
+
+fn run_config(scheme: QuantScheme, batch: usize) -> ServeBenchRow {
+    let attn = AttentionConfig::gqa(4, 1, 64);
+    let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
+        .attention(attn)
+        .scheme(scheme)
+        .paged(true)
+        .build();
+    let pages_per_seq = (PROMPT + GEN).div_ceil(64) + 1;
+    let mut session = ServeSession::new(
+        decoder,
+        ServeConfig::new(batch * pages_per_seq, 64, WORKERS, batch),
+    );
+    for i in 0..batch {
+        session
+            .submit(Box::new(SynthSequence::new(attn, i as u64, PROMPT, GEN)))
+            .expect("fits pool");
+    }
+    let summary = session.run_to_completion();
+    assert_eq!(summary.completed, batch);
+    ServeBenchRow {
+        scheme,
+        batch,
+        steps: summary.steps,
+        kv_tokens: summary.kv_tokens,
+        kv_tok_s: summary.kv_tokens_per_s,
+        per_seq_tok_s: summary.kv_tokens_per_s / batch as f64,
+    }
+}
+
+fn bench_serve(_c: &mut Criterion) {
+    if std::env::var("BENCH_SERVE").as_deref() == Ok("0") {
+        println!("serve trajectory bench skipped (BENCH_SERVE=0)");
+        return;
+    }
+    let mut rows = Vec::new();
+    for scheme in [QuantScheme::kc4(), QuantScheme::kc2()] {
+        for batch in [1usize, 4, 16] {
+            // Small batches are cheap: average out noise with more reps.
+            let row = run_best(scheme, batch, if batch <= 4 { 3 } else { 2 });
+            println!(
+                "serve {:>5} batch {:>2}: {:>5} steps, {:>8} kv tokens, aggregate {:>10.0} kv-tok/s ({:>9.0} per seq)",
+                row.scheme.label(),
+                row.batch,
+                row.steps,
+                row.kv_tokens,
+                row.kv_tok_s,
+                row.per_seq_tok_s,
+            );
+            rows.push(row);
+        }
+    }
+    write_bench_json(&rows);
+}
+
+fn write_bench_json(rows: &[ServeBenchRow]) {
+    if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
+        println!("BENCH_serve.json left untouched (BENCH_SERVE_JSON=0)");
+        return;
+    }
+    let mut json = String::from(
+        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_4q_1kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 6,\n  \"workers\": 4,\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"batch\": {}, \"steps\": {}, \"kv_tokens\": {}, \"aggregate_kv_tok_s\": {:.0}, \"per_seq_kv_tok_s\": {:.0}}}{}\n",
+            r.scheme.label(),
+            r.batch,
+            r.steps,
+            r.kv_tokens,
+            r.kv_tok_s,
+            r.per_seq_tok_s,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -13,7 +13,11 @@ use crate::shape::DecodeShape;
 use crate::softmax::OnlineSoftmax;
 use bd_gpu_sim::{GpuArch, LatencyBreakdown};
 use bd_kvcache::SchemeKind;
-use bd_kvcache::{CacheConfig, CacheError, PackLayout, QuantScheme, QuantizedKvCache};
+use bd_kvcache::{
+    CacheConfig, CacheError, PackLayout, PackedBlock, QuantScheme, QuantizedKvCache, TokenMatrix,
+};
+use bd_lowbit::fastpath::FastDequantOps;
+use std::borrow::Borrow;
 use std::fmt;
 
 /// Errors returned by [`BitDecoder`] operations.
@@ -311,6 +315,57 @@ impl BitDecoder {
             }
         }
 
+        let mut outputs = Vec::with_capacity(batch);
+        let mut max_len = 0usize;
+        let mut max_res = 0usize;
+        for (b, heads) in q.iter().enumerate() {
+            let grouped = query_transform(heads, &self.attn);
+            let mut blocks_out = Vec::with_capacity(self.attn.heads_kv);
+            for (kv, q_block) in grouped.iter().enumerate() {
+                let head = b * self.attn.heads_kv + kv;
+                max_len = max_len.max(cache.len(head));
+                max_res = max_res.max(cache.residual_len(head));
+                let (res_k, res_v) = cache.residual(head);
+                let (rows, _ops) =
+                    self.attend_head(q_block, cache.packed_blocks(head), res_k, res_v);
+                blocks_out.push(rows);
+            }
+            outputs.push(ungroup_outputs(&blocks_out, &self.attn));
+        }
+
+        let shape = DecodeShape::new(batch, self.attn, max_len.max(1)).with_residual(max_res);
+        Ok(DecodeOutput {
+            outputs,
+            report: self.latency(&shape),
+        })
+    }
+
+    /// Attention for one `(sequence, kv-head)` **work unit**: the grouped
+    /// `g_q × d` query block against that head's packed blocks and FP16
+    /// residual window. This is exactly the per-head body of
+    /// [`BitDecoder::decode`], exposed so the batched serve runtime can fan
+    /// independent units across a worker pool while staying **bitwise
+    /// identical** to the single-sequence decode path.
+    ///
+    /// The block list is generic over [`Borrow<PackedBlock>`]: a contiguous
+    /// cache passes its slice, [`bd_kvcache::PagedKvStore`] passes the
+    /// references it gathered through its page table. Valid (cooperative /
+    /// single-warp) configurations run the fused flat-layout kernel with
+    /// thread-sharded split-K softmax partials merged through
+    /// [`OnlineSoftmax::merge`]; non-cooperative `Wn > 1` configurations
+    /// run the materializing walk that models the paper Table III softmax
+    /// race; Blackwell FP4 schemes run the native block-scaled MMA path.
+    ///
+    /// Returns the normalized `g_q × d` output rows plus the fast-dequant
+    /// instruction counts the fused path streamed (zero on the other
+    /// paths).
+    pub fn attend_head<B: Borrow<PackedBlock> + Sync>(
+        &self,
+        q_block: &[Vec<f32>],
+        blocks: &[B],
+        res_k: &TokenMatrix,
+        res_v: &TokenMatrix,
+    ) -> (Vec<Vec<f32>>, FastDequantOps) {
         let codec = self.codec();
         let scale = self.attn.scale();
         let wn = if self.flags.warp_parallelism {
@@ -330,69 +385,50 @@ impl BitDecoder {
             _ => None,
         };
 
-        let mut outputs = Vec::with_capacity(batch);
-        let mut max_len = 0usize;
-        let mut max_res = 0usize;
-        for (b, heads) in q.iter().enumerate() {
-            let grouped = query_transform(heads, &self.attn);
-            let mut blocks_out = Vec::with_capacity(self.attn.heads_kv);
-            for (kv, q_block) in grouped.iter().enumerate() {
-                let head = b * self.attn.heads_kv + kv;
-                max_len = max_len.max(cache.len(head));
-                max_res = max_res.max(cache.residual_len(head));
-                let mut state = OnlineSoftmax::new(q_block.len(), self.attn.head_dim);
-                if let Some(kind) = fp4_kind {
-                    attend_packed_blocks_fp4(
-                        q_block,
-                        cache.packed_blocks(head),
-                        &codec,
-                        self.scheme,
-                        kind,
-                        scale,
-                        &mut state,
-                    );
-                } else if coop || wn == 1 {
-                    // The valid configurations all compute the exact
-                    // cooperative softmax, so the hot path is the fused
-                    // flat-layout kernel with thread-sharded split-K
-                    // partials merged through `OnlineSoftmax::merge`.
-                    attend_packed_blocks_parallel(
-                        q_block,
-                        cache.packed_blocks(head),
-                        &codec,
-                        self.scheme,
-                        scale,
-                        engine,
-                        &mut state,
-                    );
-                } else {
-                    // Non-cooperative Wn > 1 models the softmax race of
-                    // paper Table III, which only the materializing
-                    // warp-sliced walk reproduces.
-                    attend_packed_blocks(
-                        q_block,
-                        cache.packed_blocks(head),
-                        &codec,
-                        self.scheme,
-                        scale,
-                        wn,
-                        coop,
-                        engine,
-                        &mut state,
-                    );
-                }
-                let (res_k, res_v) = cache.residual(head);
-                attend_residual(q_block, res_k, res_v, scale, wn, coop, engine, &mut state);
-                blocks_out.push(state.finish());
-            }
-            outputs.push(ungroup_outputs(&blocks_out, &self.attn));
+        let mut state = OnlineSoftmax::new(q_block.len(), self.attn.head_dim);
+        let mut ops = FastDequantOps::default();
+        if let Some(kind) = fp4_kind {
+            attend_packed_blocks_fp4(
+                q_block,
+                blocks,
+                &codec,
+                self.scheme,
+                kind,
+                scale,
+                &mut state,
+            );
+        } else if coop || wn == 1 {
+            // The valid configurations all compute the exact cooperative
+            // softmax, so the hot path is the fused flat-layout kernel with
+            // thread-sharded split-K partials merged through
+            // `OnlineSoftmax::merge`.
+            ops = attend_packed_blocks_parallel(
+                q_block,
+                blocks,
+                &codec,
+                self.scheme,
+                scale,
+                engine,
+                &mut state,
+            );
+        } else {
+            // Non-cooperative Wn > 1 models the softmax race of paper
+            // Table III, which only the materializing warp-sliced walk
+            // reproduces.
+            attend_packed_blocks(
+                q_block,
+                blocks,
+                &codec,
+                self.scheme,
+                scale,
+                wn,
+                coop,
+                engine,
+                &mut state,
+            );
         }
-
-        let shape = DecodeShape::new(batch, self.attn, max_len.max(1)).with_residual(max_res);
-        Ok(DecodeOutput {
-            outputs,
-            report: self.latency(&shape),
-        })
+        attend_residual(q_block, res_k, res_v, scale, wn, coop, engine, &mut state);
+        (state.finish(), ops)
     }
 
     /// Prices one decode step of the given shape on the target GPU.

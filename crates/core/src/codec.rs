@@ -4,8 +4,10 @@
 //! The Residual Kernel loads KV values with `ldmatrix`, which scatters them
 //! across lanes in the MMA B-operand fragment layout. Each lane then
 //! quantizes **its own registers** and packs them — so the physical word
-//! stream is ordered by `(k_tile, warp, lane, tile-in-warp, register)`,
-//! with the 75316420 interleave applied at 32-bit register granularity.
+//! stream is ordered by `(warp, lane, k-tile, tile-in-warp, register)`,
+//! with the 75316420 interleave applied at 32-bit register granularity and
+//! each lane's register stream chunked densely across its k-tiles (a
+//! register may span tiles; none is ever padded for a realistic shape).
 //! Unpacking with the *same* [`PackLayout`] lands every value back in its
 //! fragment slot with zero reshuffling; unpacking with a different
 //! configuration silently permutes values, which is the paper's
@@ -77,11 +79,18 @@ impl FragmentCodec {
         let per_reg32 = codes_per_u32(width);
 
         let mut words = Vec::new();
-        for ki in 0..kt {
-            for w in 0..wn {
-                for lane in 0..32 {
-                    // The lane's register stream across its warp's tiles.
-                    let mut stream = Vec::with_capacity(tiles_per_warp * regs);
+        for w in 0..wn {
+            for lane in 0..32 {
+                // The lane's register stream across ALL of its k-tiles and
+                // its warp's n-tiles. Chunking the whole stream (rather
+                // than per k-tile) keeps 32-bit registers densely filled
+                // even when one tile contributes fewer codes than a
+                // register holds (e.g. INT2's 16 codes/register vs 4
+                // B-fragment registers per tile) — no padding, no wasted
+                // storage, and the streamed register count matches the
+                // ideal `elems / codes_per_u32` the cost model charges.
+                let mut stream = Vec::with_capacity(kt * tiles_per_warp * regs);
+                for ki in 0..kt {
                     for tw in 0..tiles_per_warp {
                         let nj = w * tiles_per_warp + tw;
                         for reg in 0..regs {
@@ -89,16 +98,16 @@ impl FragmentCodec {
                             stream.push(code_at(ki * shape.k() + kl, nj * shape.n() + nl));
                         }
                     }
-                    // Pack into 32-bit registers with the configured
-                    // interleave, then split to 16-bit storage words.
-                    for chunk in stream.chunks(per_reg32) {
-                        let mut buf = chunk.to_vec();
-                        buf.resize(per_reg32, 0);
-                        let reg32 = pack_u32(&buf, width, self.layout.order);
-                        let (lo, hi) = split_register(reg32);
-                        words.push(lo);
-                        words.push(hi);
-                    }
+                }
+                // Pack into 32-bit registers with the configured
+                // interleave, then split to 16-bit storage words.
+                for chunk in stream.chunks(per_reg32) {
+                    let mut buf = chunk.to_vec();
+                    buf.resize(per_reg32, 0);
+                    let reg32 = pack_u32(&buf, width, self.layout.order);
+                    let (lo, hi) = split_register(reg32);
+                    words.push(lo);
+                    words.push(hi);
                 }
             }
         }
@@ -123,26 +132,28 @@ impl FragmentCodec {
         let tiles_per_warp = nt / wn;
         let regs = blayout.regs_per_lane();
         let per_reg32 = codes_per_u32(width);
-        let stream_len = tiles_per_warp * regs;
+        let stream_len = kt * tiles_per_warp * regs;
         let regs32_per_lane = stream_len.div_ceil(per_reg32);
 
         // One reusable register-stream buffer for the whole walk — the hot
-        // fused decode runs through here, so no per-lane allocation.
+        // fused decode runs through here, so no per-lane allocation. The
+        // stream spans all of a lane's k-tiles, mirroring the dense
+        // cross-tile chunking of `pack_b_operand`.
         let mut stream = vec![0u8; regs32_per_lane * per_reg32];
         let mut widx = 0usize;
-        for ki in 0..kt {
-            for w in 0..wn {
-                for lane in 0..32 {
-                    for r32 in 0..regs32_per_lane {
-                        let reg32 = fuse_words(words[widx], words[widx + 1]);
-                        widx += 2;
-                        unpack_u32_into(
-                            reg32,
-                            width,
-                            self.layout.order,
-                            &mut stream[r32 * per_reg32..(r32 + 1) * per_reg32],
-                        );
-                    }
+        for w in 0..wn {
+            for lane in 0..32 {
+                for r32 in 0..regs32_per_lane {
+                    let reg32 = fuse_words(words[widx], words[widx + 1]);
+                    widx += 2;
+                    unpack_u32_into(
+                        reg32,
+                        width,
+                        self.layout.order,
+                        &mut stream[r32 * per_reg32..(r32 + 1) * per_reg32],
+                    );
+                }
+                for ki in 0..kt {
                     for tw in 0..tiles_per_warp {
                         let nj = w * tiles_per_warp + tw;
                         for reg in 0..regs {
@@ -150,7 +161,7 @@ impl FragmentCodec {
                             store(
                                 ki * shape.k() + kl,
                                 nj * shape.n() + nl,
-                                stream[tw * regs + reg],
+                                stream[(ki * tiles_per_warp + tw) * regs + reg],
                             );
                         }
                     }

@@ -35,6 +35,7 @@ use bd_kvcache::{BlockCodec, PackedBlock, QuantScheme, TokenMatrix};
 use bd_lowbit::fastpath::FastDequantOps;
 use bd_lowbit::fp4::{quantize_fp4_block, E2M1};
 use bd_lowbit::{Fp4Kind, F16};
+use std::borrow::Borrow;
 
 /// Which Tensor Core instruction family executes the attention GEMMs in
 /// the functional simulator.
@@ -174,10 +175,15 @@ fn matrix_to_tile(m: &TokenMatrix) -> Tile {
 /// of the intermediate materialization; this path remains the ground truth
 /// it is tested against, and the only path that can model the
 /// non-cooperative `Wn > 1` softmax race.
+///
+/// Like every packed-attention kernel here, the block list is generic over
+/// [`Borrow<PackedBlock>`]: a contiguous cache passes its `&[PackedBlock]`
+/// slice, the paged store passes the `Vec<&PackedBlock>` it gathered
+/// through its page table — the kernel walk is identical either way.
 #[allow(clippy::too_many_arguments)]
-pub fn attend_packed_blocks(
+pub fn attend_packed_blocks<B: Borrow<PackedBlock>>(
     q: &[Vec<f32>],
-    blocks: &[PackedBlock],
+    blocks: &[B],
     codec: &FragmentCodec,
     scheme: QuantScheme,
     scale: f32,
@@ -195,7 +201,7 @@ pub fn attend_packed_blocks(
         .collect();
     let q_tile = rows_to_tile(&q_scaled);
     for block in blocks {
-        let (k, v) = codec.decode(block, scheme);
+        let (k, v) = codec.decode(block.borrow(), scheme);
         let kt_tile = matrix_to_tile(&k).transposed();
         let s = matmul(engine, &q_tile, &kt_tile);
         let v_tile = matrix_to_tile(&v);
@@ -220,9 +226,9 @@ pub fn attend_packed_blocks(
 /// accumulation-order noise.
 ///
 /// Returns the modelled fast-dequant instruction counts streamed.
-pub fn attend_packed_blocks_fused(
+pub fn attend_packed_blocks_fused<B: Borrow<PackedBlock>>(
     q: &[Vec<f32>],
-    blocks: &[PackedBlock],
+    blocks: &[B],
     codec: &FragmentCodec,
     scheme: QuantScheme,
     scale: f32,
@@ -249,7 +255,7 @@ pub fn attend_packed_blocks_fused(
     let mut k_buf = TokenMatrix::new(0);
     let mut v_buf = TokenMatrix::new(0);
     for block in blocks {
-        ops += codec.decode_block_fused(block, scheme, &mut k_buf, &mut v_buf);
+        ops += codec.decode_block_fused(block.borrow(), scheme, &mut k_buf, &mut v_buf);
         let tokens = k_buf.tokens();
         let mut s = Tile::zeros(rows, tokens);
         for (r, q_row) in q_eff.iter().enumerate() {
@@ -285,9 +291,9 @@ fn default_shards(blocks: usize) -> usize {
 /// paper's cooperative split-K softmax (`shards = 1` is the sequential
 /// fused path, bit-for-bit).
 #[allow(clippy::too_many_arguments)]
-pub fn attend_packed_blocks_sharded(
+pub fn attend_packed_blocks_sharded<B: Borrow<PackedBlock> + Sync>(
     q: &[Vec<f32>],
-    blocks: &[PackedBlock],
+    blocks: &[B],
     codec: &FragmentCodec,
     scheme: QuantScheme,
     scale: f32,
@@ -345,9 +351,9 @@ pub fn attend_packed_blocks_sharded(
 /// contexts) and merges per-shard softmax partials. This is what
 /// [`crate::BitDecoder::decode`] runs for every valid (cooperative or
 /// single-warp) configuration.
-pub fn attend_packed_blocks_parallel(
+pub fn attend_packed_blocks_parallel<B: Borrow<PackedBlock> + Sync>(
     q: &[Vec<f32>],
-    blocks: &[PackedBlock],
+    blocks: &[B],
     codec: &FragmentCodec,
     scheme: QuantScheme,
     scale: f32,
@@ -402,9 +408,9 @@ fn quantize_fp4_operand(
 /// `(channel, token)`, V along tokens (the P·V contraction dimension) read
 /// column-strided — the transpose → quantize → transpose round-trips of
 /// the earlier nested-`Vec` implementation are gone.
-pub fn attend_packed_blocks_fp4(
+pub fn attend_packed_blocks_fp4<B: Borrow<PackedBlock>>(
     q: &[Vec<f32>],
-    blocks: &[PackedBlock],
+    blocks: &[B],
     codec: &FragmentCodec,
     scheme: QuantScheme,
     kind: Fp4Kind,
@@ -420,7 +426,7 @@ pub fn attend_packed_blocks_fp4(
     let (q_codes, q_scales) = quantize_fp4_operand(rows, d, |r, c| q[r][c] * scale, kind);
 
     for packed in blocks {
-        let (k, v) = codec.decode(packed, scheme);
+        let (k, v) = codec.decode(packed.borrow(), scheme);
         let tokens = k.tokens();
         // K as the S-GEMM B operand: codes per (channel, token). Quantize
         // each token's channels (the contraction dimension) and scatter the
@@ -763,9 +769,10 @@ mod tests {
         let codec = FragmentCodec::new(PackLayout::sm80_default());
         let q = vec![vec![0.4f32; 16]; 2];
         let mut state = OnlineSoftmax::new(2, 16);
+        let none: &[PackedBlock] = &[];
         let ops = attend_packed_blocks_fused(
             &q,
-            &[],
+            none,
             &codec,
             QuantScheme::kc4(),
             0.25,

@@ -61,8 +61,8 @@ pub use kernels::{
     MatmulEngine,
 };
 pub use profiles::{
-    choose_splits, combine_kernel_profile, decode_plan, overlap_for, packing_kernel_profile,
-    residual_kernel_profile, ArchPath, OptimizationFlags,
+    choose_splits, combine_kernel_profile, decode_plan, fast_dequant_slots_per_elem, overlap_for,
+    packing_kernel_profile, residual_kernel_profile, ArchPath, OptimizationFlags,
 };
 pub use shape::DecodeShape;
 pub use softmax::{reference_attention, OnlineSoftmax};

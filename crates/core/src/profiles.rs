@@ -10,6 +10,20 @@
 use crate::shape::DecodeShape;
 use bd_gpu_sim::{conflict_factor, GpuArch, KernelProfile, OverlapSpec, Swizzle};
 use bd_kvcache::{QuantScheme, SchemeKind};
+use bd_lowbit::fastpath::register_ops;
+use bd_lowbit::{codes_per_u32, BitWidth};
+
+/// CUDA-core issue slots one dequantized element costs on the `lop3` fast
+/// path, derived from the **same** per-register instruction counts the
+/// functional fused kernel reports through
+/// [`bd_lowbit::fastpath::FastDequantOps`]:
+/// `register_ops(w).total() / codes_per_u32(w)` — 11/8 for INT4, 23/16 for
+/// INT2. Charging the model from the telemetry source keeps the analytic
+/// cost and the counted instruction stream in lock-step (see
+/// `tests/telemetry.rs`).
+pub fn fast_dequant_slots_per_elem(width: BitWidth) -> f64 {
+    f64::from(register_ops(width).total()) / codes_per_u32(width) as f64
+}
 
 /// Architecture-specific execution path of the Packing Kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -180,9 +194,12 @@ pub fn packing_kernel_profile(
         }
         _ => {
             if flags.layout_induction {
-                // lop3 fast path: 11 slots per 8 values (measured from
-                // bd_lowbit::fastpath) + params application.
-                p.cuda.dequant += elems * 11.0 / 8.0;
+                // lop3 fast path, charged at the exact per-element rate the
+                // fused kernel's FastDequantOps telemetry reports (11/8 for
+                // INT4, 23/16 for INT2). FP4-on-dequant-path packs at the
+                // INT4 ratio.
+                let width = scheme.int_width().unwrap_or(BitWidth::B4);
+                p.cuda.dequant += elems * fast_dequant_slots_per_elem(width);
             } else {
                 // static_cast per element plus in-register layout fixup.
                 p.cuda.cvt += elems * 1.0;

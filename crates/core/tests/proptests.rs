@@ -326,8 +326,9 @@ proptest! {
 
         // Empty packed region: identity on the state.
         let mut state = OnlineSoftmax::new(gq, dim);
+        let none: &[PackedBlock] = &[];
         let ops = attend_packed_blocks_fused(
-            &q, &[], &codec, QuantScheme::kc4(), scale, MatmulEngine::Mma, &mut state,
+            &q, none, &codec, QuantScheme::kc4(), scale, MatmulEngine::Mma, &mut state,
         );
         prop_assert_eq!(ops.total(), 0);
 

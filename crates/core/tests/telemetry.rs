@@ -1,0 +1,96 @@
+//! Telemetry ↔ cost-model agreement: the fast-dequant instruction counts
+//! the fused functional kernel actually streams must equal the CUDA-core
+//! dequant slots the analytic packing-kernel profile charges for the same
+//! shape — the wiring that keeps Fig. 15-style dequant fractions honest.
+
+use bd_core::codec::FragmentCodec;
+use bd_core::{
+    attend_packed_blocks_fused, fast_dequant_slots_per_elem, packing_kernel_profile, ArchPath,
+    AttentionConfig, DecodeShape, MatmulEngine, OnlineSoftmax, OptimizationFlags,
+};
+use bd_gpu_sim::GpuArch;
+use bd_kvcache::{BlockCodec, PackLayout, PackedBlock, QuantScheme, TokenMatrix};
+use bd_lowbit::BitWidth;
+
+fn synth_blocks(
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    nr: usize,
+    n_blocks: usize,
+    d: usize,
+) -> Vec<PackedBlock> {
+    (0..n_blocks)
+        .map(|b| {
+            let k =
+                TokenMatrix::from_fn(nr, d, |t, c| ((b * nr * d + t * d + c) as f32 * 0.37).sin());
+            let v =
+                TokenMatrix::from_fn(nr, d, |t, c| ((b * nr * d + t * d + c) as f32 * 0.53).cos());
+            codec.encode(&k, &v, scheme)
+        })
+        .collect()
+}
+
+/// Runs the fused kernel over one KV group and checks its counted dequant
+/// ops against the profile's `cuda.dequant` charge for the matching shape.
+fn check_scheme(scheme: QuantScheme, width: BitWidth) {
+    let layout = PackLayout::sm80_default();
+    let codec = FragmentCodec::new(layout);
+    let nr = layout.residual_block(width);
+    let d = 64;
+    let gq = 4;
+    let n_blocks = 3;
+    let blocks = synth_blocks(&codec, scheme, nr, n_blocks, d);
+    let q: Vec<Vec<f32>> = (0..gq)
+        .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+        .collect();
+
+    let mut state = OnlineSoftmax::new(gq, d);
+    let counted = attend_packed_blocks_fused(
+        &q,
+        &blocks,
+        &codec,
+        scheme,
+        1.0 / (d as f32).sqrt(),
+        MatmulEngine::Mma,
+        &mut state,
+    );
+
+    // One KV group (gq query heads sharing one KV head), all tokens packed.
+    let attn = AttentionConfig::gqa(gq, 1, d);
+    let shape = DecodeShape::new(1, attn, nr * n_blocks);
+    let profile = packing_kernel_profile(
+        &shape,
+        scheme,
+        &GpuArch::rtx4090(),
+        ArchPath::Sm80,
+        OptimizationFlags::ALL,
+        false,
+    );
+
+    let counted_slots = f64::from(counted.total());
+    assert!(
+        (profile.cuda.dequant - counted_slots).abs() < 1e-6,
+        "{scheme}: model charges {} dequant slots, fused kernel streamed {counted_slots}",
+        profile.cuda.dequant
+    );
+    // Cross-check the per-element rate itself: K and V elements together.
+    let elems = 2.0 * (nr * n_blocks * d) as f64;
+    assert!((counted_slots - elems * fast_dequant_slots_per_elem(width)).abs() < 1e-6);
+}
+
+#[test]
+fn kc4_dequant_telemetry_matches_cost_model() {
+    check_scheme(QuantScheme::kc4(), BitWidth::B4);
+}
+
+#[test]
+fn kc2_dequant_telemetry_matches_cost_model() {
+    check_scheme(QuantScheme::kc2(), BitWidth::B2);
+}
+
+#[test]
+fn int2_rate_differs_from_int4_rate() {
+    // The pre-telemetry model charged the INT4 rate for every width; the
+    // wired model must distinguish them (23/16 vs 11/8 slots per element).
+    assert!(fast_dequant_slots_per_elem(BitWidth::B2) > fast_dequant_slots_per_elem(BitWidth::B4));
+}

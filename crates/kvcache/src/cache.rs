@@ -302,8 +302,10 @@ impl QuantizedKvCache {
 }
 
 /// Appends `row` to `m`, rounding each value through FP16 in place (the KV
-/// projection output precision) — no temporary row allocation.
-fn push_rounded(m: &mut TokenMatrix, row: &[f32]) {
+/// projection output precision) — no temporary row allocation. Shared with
+/// the paged store so both containers round identically (the
+/// contiguous-equivalence invariant depends on it).
+pub(crate) fn push_rounded(m: &mut TokenMatrix, row: &[f32]) {
     let t = m.tokens();
     m.push_row(row);
     for x in m.row_mut(t) {
@@ -312,8 +314,9 @@ fn push_rounded(m: &mut TokenMatrix, row: &[f32]) {
 }
 
 /// Copies token range `[t0, t1)` of `src` into a fresh flat matrix with
-/// FP16 rounding applied.
-fn rounded_block<M: TokenRows + ?Sized>(src: &M, t0: usize, t1: usize) -> TokenMatrix {
+/// FP16 rounding applied. Shared with the paged store (see
+/// [`push_rounded`]).
+pub(crate) fn rounded_block<M: TokenRows + ?Sized>(src: &M, t0: usize, t1: usize) -> TokenMatrix {
     let dim = src.token_row(t0).len();
     TokenMatrix::from_fn(t1 - t0, dim, |t, c| {
         F16::from_f32(src.token_row(t0 + t)[c]).to_f32()

@@ -7,8 +7,9 @@
 //! [pack-layout configuration](crate::layout) that fixes the residual block
 //! size `Nr = Pn × Wn × R` (paper Eq. 1), the
 //! [packed + residual cache](crate::cache) itself, pluggable
-//! [block codecs](crate::codec), and [paged management](crate::paged) for
-//! the serving setting.
+//! [block codecs](crate::codec), [paged management](crate::paged), and the
+//! [paged physical store](crate::store) that puts packed blocks and
+//! residual windows behind the page tables for the serving setting.
 //!
 //! The cache is a *container*: how values are physically packed is decided
 //! by the [`BlockCodec`] that flushes each residual block. The
@@ -22,6 +23,7 @@ pub mod layout;
 pub mod matrix;
 pub mod paged;
 pub mod scheme;
+pub mod store;
 
 pub use block::{PackedBlock, PackedPayload, PackedTensor};
 pub use cache::{CacheConfig, CacheError, QuantizedKvCache};
@@ -32,3 +34,4 @@ pub use layout::{partition_prefill, PackLayout};
 pub use matrix::{TokenMatrix, TokenRows};
 pub use paged::{PageId, PagedOom, PagedPool, SeqId};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};
+pub use store::{PagedKvStore, StoreError};

@@ -7,7 +7,7 @@
 //! under a memory budget) and the kernel profiles charge the extra
 //! page-table indirection traffic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A physical page identifier.
@@ -40,12 +40,19 @@ impl fmt::Display for PagedOom {
 impl std::error::Error for PagedOom {}
 
 /// A fixed-capacity page pool with per-sequence page tables.
+///
+/// Allocation is **deterministic**: the free list is an ordered set and
+/// `grow` always hands out the lowest-numbered free page, and the
+/// per-sequence tables are ordered maps — so a given admit/grow/release
+/// history produces the identical physical page assignment in every
+/// process. Serve runs over the pool are therefore reproducible
+/// bit-for-bit across machines.
 #[derive(Clone, Debug)]
 pub struct PagedPool {
     page_tokens: usize,
-    free: Vec<PageId>,
-    tables: HashMap<SeqId, Vec<PageId>>,
-    seq_lens: HashMap<SeqId, usize>,
+    free: BTreeSet<PageId>,
+    tables: BTreeMap<SeqId, Vec<PageId>>,
+    seq_lens: BTreeMap<SeqId, usize>,
     next_seq: u32,
     total_pages: usize,
 }
@@ -60,9 +67,9 @@ impl PagedPool {
         assert!(page_tokens > 0, "page size must be positive");
         PagedPool {
             page_tokens,
-            free: (0..total_pages as u32).rev().map(PageId).collect(),
-            tables: HashMap::new(),
-            seq_lens: HashMap::new(),
+            free: (0..total_pages as u32).map(PageId).collect(),
+            tables: BTreeMap::new(),
+            seq_lens: BTreeMap::new(),
             next_seq: 0,
             total_pages,
         }
@@ -128,7 +135,8 @@ impl PagedPool {
         }
         let table = self.tables.get_mut(&seq).expect("unknown sequence");
         for _ in 0..extra {
-            table.push(self.free.pop().expect("checked above"));
+            // Lowest-numbered free page first: deterministic reuse.
+            table.push(self.free.pop_first().expect("checked above"));
         }
         self.seq_lens.insert(seq, new_len);
         Ok(())
@@ -230,6 +238,28 @@ mod tests {
         assert_eq!(o2, 95 % 32);
         assert_eq!(p0, pool.table(s).unwrap()[0]);
         assert_eq!(p2, pool.table(s).unwrap()[95 / 32]);
+    }
+
+    #[test]
+    fn allocation_is_deterministic_lowest_first() {
+        // Regardless of the order pages were released in, the next grow
+        // always receives the lowest-numbered free pages — the property
+        // that makes serve runs reproducible across processes.
+        let mut pool = PagedPool::new(6, 8);
+        let a = pool.admit();
+        let b = pool.admit();
+        let c = pool.admit();
+        pool.grow(a, 16).unwrap(); // pages 0,1
+        pool.grow(b, 16).unwrap(); // pages 2,3
+        pool.grow(c, 16).unwrap(); // pages 4,5
+        pool.release(c); // frees {4,5}
+        pool.release(a); // frees {0,1} — out of allocation order
+        let d = pool.admit();
+        pool.grow(d, 32).unwrap();
+        assert_eq!(
+            pool.table(d).unwrap(),
+            &[PageId(0), PageId(1), PageId(4), PageId(5)]
+        );
     }
 
     #[test]

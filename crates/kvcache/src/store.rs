@@ -1,0 +1,683 @@
+//! Paged **physical** KV storage: packed quantized blocks and FP16
+//! residual windows living behind [`PagedPool`] page tables.
+//!
+//! [`crate::paged::PagedPool`] is pure bookkeeping — it decides *which*
+//! pages a sequence owns. [`PagedKvStore`] puts real data behind that
+//! decision: a page-frame arena holds the flushed [`PackedBlock`]s of every
+//! resident sequence, each block homed on the physical page that covers its
+//! first token, while the sub-block FP16 residual window of each sequence
+//! accumulates outside the arena exactly as in the contiguous
+//! [`QuantizedKvCache`]. The serve runtime (`bd-serve`) iterates a
+//! sequence's blocks **through the page table** — the PagedAttention-style
+//! indirection of the paper's "Page" setting — and appends decode-step
+//! tokens between batch steps.
+//!
+//! # Contiguous-equivalence invariant
+//!
+//! For any append/prefill history, the blocks gathered through the page
+//! table (in logical order) plus the residual window are **bitwise
+//! identical** to what a contiguous [`QuantizedKvCache`] holds after the
+//! same history with the same codec: same FP16 rounding, same `Nr` flush
+//! boundaries, same packed payloads. Page size is free to be anything ≥ 1
+//! token — blocks may straddle pages (they stay homed on their first
+//! token's page) and pages may hold many blocks. [`PagedKvStore::matches_cache`]
+//! checks the invariant; the serve property tests drive it for arbitrary
+//! page sizes and eviction orders.
+
+use crate::block::PackedBlock;
+use crate::cache::{push_rounded, rounded_block, CacheConfig, CacheError, QuantizedKvCache};
+use crate::codec::BlockCodec;
+use crate::layout::partition_prefill;
+use crate::matrix::{TokenMatrix, TokenRows};
+use crate::paged::{PagedOom, PagedPool, SeqId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from paged-store operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The page pool could not supply the requested capacity.
+    Oom(PagedOom),
+    /// A token row had the wrong shape.
+    Cache(CacheError),
+    /// The sequence is not resident in the store.
+    UnknownSeq(SeqId),
+    /// The sequence was sealed and no longer accepts tokens.
+    Sealed(SeqId),
+    /// A per-head slice had the wrong number of heads.
+    HeadCount {
+        /// Heads provided.
+        got: usize,
+        /// Heads the store was built with.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Oom(e) => write!(f, "paged store: {e}"),
+            StoreError::Cache(e) => write!(f, "paged store: {e}"),
+            StoreError::UnknownSeq(s) => write!(f, "unknown sequence {s:?}"),
+            StoreError::Sealed(s) => write!(f, "sequence {s:?} is sealed"),
+            StoreError::HeadCount { got, expected } => {
+                write!(
+                    f,
+                    "{got} per-head rows provided, store has {expected} heads"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<PagedOom> for StoreError {
+    fn from(e: PagedOom) -> Self {
+        StoreError::Oom(e)
+    }
+}
+
+impl From<CacheError> for StoreError {
+    fn from(e: CacheError) -> Self {
+        StoreError::Cache(e)
+    }
+}
+
+/// Per-sequence state outside the page arena: the FP16 residual window per
+/// head plus logical length bookkeeping.
+#[derive(Clone, Debug)]
+struct SeqKv {
+    /// Logical tokens (packed + residual).
+    len: usize,
+    residual_k: Vec<TokenMatrix>,
+    residual_v: Vec<TokenMatrix>,
+    sealed: bool,
+}
+
+/// One physical page frame: the packed blocks homed on this page, per KV
+/// head, in logical (append) order. A frame only ever holds blocks of the
+/// single sequence that owns the page.
+type Frame = Vec<Vec<PackedBlock>>;
+
+/// Paged physical KV storage for many concurrent sequences — see the
+/// [module docs](self) for the layout and the contiguous-equivalence
+/// invariant.
+///
+/// # Examples
+///
+/// ```
+/// use bd_kvcache::{CacheConfig, PackLayout, PagedKvStore, QuantScheme, ReferenceCodec};
+///
+/// let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
+/// let mut store = PagedKvStore::new(cfg, 1, 64, 32);
+/// let seq = store.admit(200).unwrap(); // reserve 200 tokens of pages
+/// let row = vec![0.5f32; 16];
+/// store
+///     .append_step(seq, &[row.clone()], &[row], &ReferenceCodec)
+///     .unwrap();
+/// assert_eq!(store.seq_len(seq), Some(1));
+/// store.evict(seq);
+/// assert_eq!(store.free_pages(), 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PagedKvStore {
+    config: CacheConfig,
+    heads: usize,
+    pool: PagedPool,
+    frames: Vec<Frame>,
+    seqs: BTreeMap<SeqId, SeqKv>,
+}
+
+impl PagedKvStore {
+    /// Creates a store of `total_pages` pages of `page_tokens` tokens each,
+    /// holding `heads` KV heads per sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` or `page_tokens` is zero.
+    pub fn new(config: CacheConfig, heads: usize, total_pages: usize, page_tokens: usize) -> Self {
+        assert!(heads > 0, "store needs at least one KV head");
+        PagedKvStore {
+            config,
+            heads,
+            pool: PagedPool::new(total_pages, page_tokens),
+            frames: vec![vec![Vec::new(); heads]; total_pages],
+            seqs: BTreeMap::new(),
+        }
+    }
+
+    /// The cache configuration shared by every sequence.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// KV heads per sequence.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Residual block size `Nr`.
+    pub fn residual_block(&self) -> usize {
+        self.config.residual_block()
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.pool.page_tokens()
+    }
+
+    /// Pages not currently assigned.
+    pub fn free_pages(&self) -> usize {
+        self.pool.free_pages()
+    }
+
+    /// Total pool capacity in pages.
+    pub fn total_pages(&self) -> usize {
+        self.pool.total_pages()
+    }
+
+    /// Fraction of pages in use.
+    pub fn utilization(&self) -> f64 {
+        self.pool.utilization()
+    }
+
+    /// The underlying page tables (read-only).
+    pub fn pool(&self) -> &PagedPool {
+        &self.pool
+    }
+
+    /// Number of resident sequences.
+    pub fn resident(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Admits a new sequence, reserving pages for `reserve_tokens` tokens
+    /// up front (pass the prompt + generation budget to make every later
+    /// append infallible, or 0 to grow page-by-page on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] — and admits nothing — when the pool cannot
+    /// cover the reservation.
+    pub fn admit(&mut self, reserve_tokens: usize) -> Result<SeqId, PagedOom> {
+        let seq = self.pool.admit();
+        if reserve_tokens > 0 {
+            if let Err(e) = self.pool.grow(seq, reserve_tokens) {
+                self.pool.release(seq);
+                return Err(e);
+            }
+        }
+        self.seqs.insert(
+            seq,
+            SeqKv {
+                len: 0,
+                residual_k: vec![TokenMatrix::new(self.config.dim); self.heads],
+                residual_v: vec![TokenMatrix::new(self.config.dim); self.heads],
+                sealed: false,
+            },
+        );
+        Ok(seq)
+    }
+
+    /// Marks a sequence finished: no further tokens may be appended. Its
+    /// pages stay resident (readable) until [`PagedKvStore::evict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownSeq`] for a non-resident sequence.
+    pub fn seal(&mut self, seq: SeqId) -> Result<(), StoreError> {
+        self.seqs
+            .get_mut(&seq)
+            .ok_or(StoreError::UnknownSeq(seq))?
+            .sealed = true;
+        Ok(())
+    }
+
+    /// Releases a sequence: clears every page frame it owned and returns
+    /// the pages to the pool. Unknown sequences are ignored.
+    pub fn evict(&mut self, seq: SeqId) {
+        if self.seqs.remove(&seq).is_none() {
+            return;
+        }
+        if let Some(table) = self.pool.table(seq) {
+            for page in table {
+                for head_blocks in &mut self.frames[page.0 as usize] {
+                    head_blocks.clear();
+                }
+            }
+        }
+        self.pool.release(seq);
+    }
+
+    /// Logical token count of a sequence (packed + residual).
+    pub fn seq_len(&self, seq: SeqId) -> Option<usize> {
+        self.seqs.get(&seq).map(|s| s.len)
+    }
+
+    /// Tokens currently in a sequence's FP16 residual window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-resident sequence.
+    pub fn residual_len(&self, seq: SeqId) -> usize {
+        self.seqs[&seq].residual_k[0].len()
+    }
+
+    /// The residual FP16 window of one head (`(k, v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-resident sequence or bad head index.
+    pub fn residual(&self, seq: SeqId, head: usize) -> (&TokenMatrix, &TokenMatrix) {
+        let s = &self.seqs[&seq];
+        (&s.residual_k[head], &s.residual_v[head])
+    }
+
+    /// Gathers one head's packed blocks **through the page table**, oldest
+    /// first — the page-indirect iteration the fused kernel consumes. The
+    /// returned refs alias the page arena; by the contiguous-equivalence
+    /// invariant they equal the contiguous cache's block list bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-resident sequence or bad head index.
+    pub fn packed_blocks(&self, seq: SeqId, head: usize) -> Vec<&PackedBlock> {
+        assert!(head < self.heads, "head {head} out of range");
+        let table = self.pool.table(seq).expect("resident sequence");
+        let mut out = Vec::new();
+        for page in table {
+            out.extend(self.frames[page.0 as usize][head].iter());
+        }
+        out
+    }
+
+    /// Appends one decode-step token (one K/V row per head). Rows round
+    /// through FP16 and accumulate in the residual window; when the window
+    /// reaches `Nr` every head flushes one packed block into the page arena,
+    /// homed on the page covering the block's first token.
+    ///
+    /// Returns `true` when this append flushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on shape mismatch, a sealed or unknown
+    /// sequence, or pool exhaustion (the sequence is left unchanged).
+    pub fn append_step<R: AsRef<[f32]>>(
+        &mut self,
+        seq: SeqId,
+        k_rows: &[R],
+        v_rows: &[R],
+        codec: &impl BlockCodec,
+    ) -> Result<bool, StoreError> {
+        let state = self.seqs.get(&seq).ok_or(StoreError::UnknownSeq(seq))?;
+        if state.sealed {
+            return Err(StoreError::Sealed(seq));
+        }
+        for got in [k_rows.len(), v_rows.len()] {
+            if got != self.heads {
+                return Err(StoreError::HeadCount {
+                    got,
+                    expected: self.heads,
+                });
+            }
+        }
+        for row in k_rows.iter().chain(v_rows) {
+            if row.as_ref().len() != self.config.dim {
+                return Err(StoreError::Cache(CacheError::DimMismatch {
+                    expected: self.config.dim,
+                    got: row.as_ref().len(),
+                }));
+            }
+        }
+        let new_len = state.len + 1;
+        // Grow only past the reservation; within it, pages already exist.
+        if new_len > self.pool.seq_len(seq).expect("resident sequence") {
+            self.pool.grow(seq, new_len)?;
+        }
+
+        let nr = self.residual_block();
+        let dim = self.config.dim;
+        let scheme = self.config.scheme;
+        let state = self.seqs.get_mut(&seq).expect("checked above");
+        let mut flushed = false;
+        for head in 0..self.heads {
+            push_rounded(&mut state.residual_k[head], k_rows[head].as_ref());
+            push_rounded(&mut state.residual_v[head], v_rows[head].as_ref());
+            if state.residual_k[head].tokens() == nr {
+                let k_block = std::mem::replace(&mut state.residual_k[head], TokenMatrix::new(dim));
+                let v_block = std::mem::replace(&mut state.residual_v[head], TokenMatrix::new(dim));
+                let packed = codec.encode(&k_block, &v_block, scheme);
+                let start = new_len - nr;
+                let (page, _) = self.pool.translate(seq, start);
+                self.frames[page.0 as usize][head].push(packed);
+                flushed = true;
+            }
+        }
+        state.len = new_len;
+        Ok(flushed)
+    }
+
+    /// Bulk-loads a prompt for an **empty** sequence: per head, the largest
+    /// `Nr`-aligned prefix quantizes block-by-block into the page arena and
+    /// the tail becomes the residual window — the paged twin of
+    /// [`QuantizedKvCache::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on shape mismatch, unknown/sealed/non-empty
+    /// sequence, or pool exhaustion (nothing is stored on error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` head counts or per-head token counts disagree.
+    pub fn prefill<K, V>(
+        &mut self,
+        seq: SeqId,
+        k: &[K],
+        v: &[V],
+        codec: &impl BlockCodec,
+    ) -> Result<(), StoreError>
+    where
+        K: TokenRows,
+        V: TokenRows,
+    {
+        let state = self.seqs.get(&seq).ok_or(StoreError::UnknownSeq(seq))?;
+        if state.sealed {
+            return Err(StoreError::Sealed(seq));
+        }
+        assert_eq!(state.len, 0, "prefill requires an empty sequence");
+        for got in [k.len(), v.len()] {
+            if got != self.heads {
+                return Err(StoreError::HeadCount {
+                    got,
+                    expected: self.heads,
+                });
+            }
+        }
+        let len = k[0].token_count();
+        for (hk, hv) in k.iter().zip(v) {
+            assert_eq!(hk.token_count(), len, "per-head prompt length mismatch");
+            assert_eq!(hv.token_count(), len, "per-head prompt length mismatch");
+            for t in 0..len {
+                for row in [hk.token_row(t), hv.token_row(t)] {
+                    if row.len() != self.config.dim {
+                        return Err(StoreError::Cache(CacheError::DimMismatch {
+                            expected: self.config.dim,
+                            got: row.len(),
+                        }));
+                    }
+                }
+            }
+        }
+        if len > self.pool.seq_len(seq).expect("resident sequence") {
+            self.pool.grow(seq, len)?;
+        }
+
+        let nr = self.residual_block();
+        let (packed_len, _res) = partition_prefill(len, nr);
+        let scheme = self.config.scheme;
+        for head in 0..self.heads {
+            for b0 in (0..packed_len).step_by(nr) {
+                let kb = rounded_block(&k[head], b0, b0 + nr);
+                let vb = rounded_block(&v[head], b0, b0 + nr);
+                let packed = codec.encode(&kb, &vb, scheme);
+                let (page, _) = self.pool.translate(seq, b0);
+                self.frames[page.0 as usize][head].push(packed);
+            }
+        }
+        let state = self.seqs.get_mut(&seq).expect("checked above");
+        for head in 0..self.heads {
+            for t in packed_len..len {
+                push_rounded(&mut state.residual_k[head], k[head].token_row(t));
+                push_rounded(&mut state.residual_v[head], v[head].token_row(t));
+            }
+        }
+        state.len = len;
+        Ok(())
+    }
+
+    /// Checks the contiguous-equivalence invariant against a contiguous
+    /// cache that replayed the same history: for every head `h`, the blocks
+    /// gathered through the page table must equal
+    /// `cache.packed_blocks(cache_head_base + h)` bitwise, and the residual
+    /// windows must match exactly.
+    pub fn matches_cache(
+        &self,
+        seq: SeqId,
+        cache: &QuantizedKvCache,
+        cache_head_base: usize,
+    ) -> bool {
+        let Some(state) = self.seqs.get(&seq) else {
+            return false;
+        };
+        for head in 0..self.heads {
+            let ch = cache_head_base + head;
+            if state.len != cache.len(ch) {
+                return false;
+            }
+            let paged = self.packed_blocks(seq, head);
+            let contiguous = cache.packed_blocks(ch);
+            if paged.len() != contiguous.len()
+                || paged.iter().zip(contiguous).any(|(a, b)| **a != *b)
+            {
+                return false;
+            }
+            let (rk, rv) = cache.residual(ch);
+            if state.residual_k[head] != *rk || state.residual_v[head] != *rv {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Device bytes currently held by a sequence (packed payloads + FP16
+    /// residual windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-resident sequence.
+    pub fn seq_bytes(&self, seq: SeqId) -> usize {
+        let state = &self.seqs[&seq];
+        let packed: usize = (0..self.heads)
+            .map(|h| {
+                self.packed_blocks(seq, h)
+                    .iter()
+                    .map(|b| b.byte_size())
+                    .sum::<usize>()
+            })
+            .sum();
+        let residual: usize = state
+            .residual_k
+            .iter()
+            .map(|m| m.len() * self.config.dim * 2 * 2)
+            .sum();
+        packed + residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::ReferenceCodec;
+    use crate::layout::PackLayout;
+    use crate::scheme::QuantScheme;
+
+    fn cfg(dim: usize) -> CacheConfig {
+        CacheConfig::new(dim, QuantScheme::kc4(), PackLayout::sm80_default())
+    }
+
+    fn row(dim: usize, t: usize, salt: usize) -> Vec<f32> {
+        (0..dim)
+            .map(|c| ((t * dim + c + salt * 977) as f32 * 0.37).sin())
+            .collect()
+    }
+
+    /// Appends `n` tokens to both containers and returns the cache twin.
+    fn mirrored_appends(
+        store: &mut PagedKvStore,
+        seq: SeqId,
+        n: usize,
+        salt: usize,
+    ) -> QuantizedKvCache {
+        let dim = store.config().dim;
+        let heads = store.heads();
+        let mut cache = QuantizedKvCache::new(*store.config(), heads);
+        for t in 0..n {
+            let k: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t, salt + h)).collect();
+            let v: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t + 500, salt + h)).collect();
+            store.append_step(seq, &k, &v, &ReferenceCodec).unwrap();
+            for h in 0..heads {
+                cache
+                    .append_token(h, &k[h], &v[h], &ReferenceCodec)
+                    .unwrap();
+            }
+        }
+        cache
+    }
+
+    #[test]
+    fn append_path_matches_contiguous_cache() {
+        for page_tokens in [1, 7, 64, 128, 300] {
+            let mut store = PagedKvStore::new(cfg(16), 2, 2048, page_tokens);
+            let seq = store.admit(0).unwrap();
+            let cache = mirrored_appends(&mut store, seq, 128 * 2 + 37, 0);
+            assert!(
+                store.matches_cache(seq, &cache, 0),
+                "page_tokens={page_tokens}"
+            );
+            assert_eq!(store.residual_len(seq), 37);
+        }
+    }
+
+    #[test]
+    fn prefill_matches_contiguous_cache() {
+        let dim = 16;
+        let mut store = PagedKvStore::new(cfg(dim), 2, 64, 48);
+        let seq = store.admit(0).unwrap();
+        let len = 128 + 50;
+        let k: Vec<TokenMatrix> = (0..2)
+            .map(|h| TokenMatrix::from_fn(len, dim, |t, c| ((h * 7 + t * dim + c) as f32).sin()))
+            .collect();
+        let v: Vec<TokenMatrix> = (0..2)
+            .map(|h| TokenMatrix::from_fn(len, dim, |t, c| ((h * 13 + t * dim + c) as f32).cos()))
+            .collect();
+        store.prefill(seq, &k, &v, &ReferenceCodec).unwrap();
+
+        let mut cache = QuantizedKvCache::new(cfg(dim), 2);
+        for h in 0..2 {
+            cache.prefill(h, &k[h], &v[h], &ReferenceCodec).unwrap();
+        }
+        assert!(store.matches_cache(seq, &cache, 0));
+        assert_eq!(store.seq_len(seq), Some(len));
+    }
+
+    #[test]
+    fn eviction_frees_pages_and_reuse_does_not_corrupt() {
+        // Three sequences; evict the middle one, admit a fourth that reuses
+        // its pages; the survivors must still equal their contiguous twins.
+        let mut store = PagedKvStore::new(cfg(16), 1, 40, 32);
+        let a = store.admit(0).unwrap();
+        let b = store.admit(0).unwrap();
+        let c = store.admit(0).unwrap();
+        let cache_a = mirrored_appends(&mut store, a, 200, 1);
+        let _cache_b = mirrored_appends(&mut store, b, 300, 2);
+        let cache_c = mirrored_appends(&mut store, c, 150, 3);
+        let free_before = store.free_pages();
+        store.evict(b);
+        assert!(store.free_pages() > free_before);
+        let d = store.admit(0).unwrap();
+        let cache_d = mirrored_appends(&mut store, d, 280, 4);
+        assert!(store.matches_cache(a, &cache_a, 0));
+        assert!(store.matches_cache(c, &cache_c, 0));
+        assert!(store.matches_cache(d, &cache_d, 0));
+    }
+
+    #[test]
+    fn reservation_makes_appends_infallible_and_oom_is_clean() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 4, 32);
+        let seq = store.admit(128).unwrap(); // exactly the pool
+        assert_eq!(store.free_pages(), 0);
+        let err = store.admit(1).unwrap_err();
+        assert_eq!(err.requested, 1);
+        assert_eq!(store.resident(), 1);
+        for t in 0..128 {
+            let k = row(16, t, 0);
+            store
+                .append_step(
+                    seq,
+                    std::slice::from_ref(&k),
+                    std::slice::from_ref(&k),
+                    &ReferenceCodec,
+                )
+                .unwrap();
+        }
+        // Past the reservation the pool is exhausted.
+        let k = row(16, 999, 0);
+        let err = store
+            .append_step(
+                seq,
+                std::slice::from_ref(&k),
+                std::slice::from_ref(&k),
+                &ReferenceCodec,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Oom(_)));
+        assert_eq!(store.seq_len(seq), Some(128));
+    }
+
+    #[test]
+    fn sealed_sequences_reject_appends() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 8, 32);
+        let seq = store.admit(0).unwrap();
+        store.seal(seq).unwrap();
+        let k = row(16, 0, 0);
+        assert!(matches!(
+            store.append_step(
+                seq,
+                std::slice::from_ref(&k),
+                std::slice::from_ref(&k),
+                &ReferenceCodec
+            ),
+            Err(StoreError::Sealed(_))
+        ));
+        store.evict(seq);
+        assert!(store.seq_len(seq).is_none());
+        assert!(store.seal(seq).is_err());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let mut store = PagedKvStore::new(cfg(16), 2, 8, 32);
+        let seq = store.admit(0).unwrap();
+        let good = vec![vec![0.0f32; 16]; 2];
+        let bad_dim = vec![vec![0.0f32; 8]; 2];
+        assert!(matches!(
+            store.append_step(seq, &bad_dim, &good, &ReferenceCodec),
+            Err(StoreError::Cache(CacheError::DimMismatch { .. }))
+        ));
+        let bad_heads = vec![vec![0.0f32; 16]; 1];
+        assert!(matches!(
+            store.append_step(seq, &bad_heads, &good, &ReferenceCodec),
+            Err(StoreError::HeadCount {
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn block_straddling_pages_stays_homed_on_first_token_page() {
+        // Nr = 128, page_tokens = 48: block 0 covers tokens 0..128, homed on
+        // page table[0]; block 1 covers 128..256, starts at offset 32 of
+        // table[2].
+        let mut store = PagedKvStore::new(cfg(16), 1, 32, 48);
+        let seq = store.admit(0).unwrap();
+        let cache = mirrored_appends(&mut store, seq, 256, 0);
+        assert!(store.matches_cache(seq, &cache, 0));
+        assert_eq!(store.packed_blocks(seq, 0).len(), 2);
+        let table = store.pool().table(seq).unwrap().to_vec();
+        assert_eq!(table.len(), 6); // ceil(256/48)
+        assert_eq!(store.seq_bytes(seq), cache.total_bytes());
+    }
+}

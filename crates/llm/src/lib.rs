@@ -10,7 +10,8 @@
 //! * [`engine`] — decode-step/prefill/generation latency (attention system
 //!   + projection & MLP GEMMs + tensor-parallel all-reduce);
 //! * [`memory`] — weight/KV/scratch budgeting and OOM detection;
-//! * [`serving`] — paged max-batch throughput evaluation.
+//! * [`serving`] — paged max-batch throughput evaluation, both analytic
+//!   and functional (driving the `bd-serve` batched decode runtime).
 
 pub mod batching;
 pub mod engine;
@@ -22,4 +23,4 @@ pub use batching::{simulate_continuous_batching, synth_trace, BatchSimReport, Re
 pub use engine::{Engine, WeightPrecision};
 pub use memory::{MemoryModel, OomError, RESERVE_BYTES};
 pub use model::ModelConfig;
-pub use serving::{max_throughput, ServingReport};
+pub use serving::{max_throughput, serve_functional, FunctionalServeReport, ServingReport};

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # bd-serve — the batched decode runtime
+//!
+//! Where `bd-llm` *prices* serving analytically, this crate *executes* it:
+//! many concurrent sequences decode real values through the PR-1 fused
+//! flat-layout kernel over paged packed KV storage — the paper's "Page"
+//! serving setting (§VI-A, Fig. 13) as a running system rather than a cost
+//! model.
+//!
+//! Three layers compose:
+//!
+//! * **Storage** — [`bd_kvcache::PagedKvStore`]: physical page arenas
+//!   holding packed low-bit K/V blocks plus each sequence's FP16 residual
+//!   window, addressed through [`bd_kvcache::PagedPool`] page tables with a
+//!   contiguous-equivalence invariant (paged content is bitwise identical
+//!   to a contiguous cache with the same history).
+//! * **Execution** — [`workers::WorkerPool`]: a persistent pool that fans
+//!   `(sequence, kv-head)` work units across threads each decode step.
+//!   Each unit runs [`bd_core::BitDecoder::attend_head`] — the exact
+//!   per-head body of the single-sequence decode path — so batch- and
+//!   head-level parallelism compose with the kernel's own split-K sharding
+//!   while results stay **bitwise identical** to per-sequence
+//!   [`bd_core::BitDecoder::decode`], at any worker count.
+//! * **Scheduling** — [`session::ServeSession`]: submit / step / stream.
+//!   Requests admit FCFS against the page pool (prompt + generation budget
+//!   reserved up front, so a running sequence never OOMs mid-decode), every
+//!   step re-forms the batch, finished sequences are sealed and evicted so
+//!   their pages recycle, and each step reports [`session::ServeMetrics`]
+//!   (aggregate KV-tokens/s, fast-dequant telemetry, pool utilization, and
+//!   the analytic model's price for the same step shape).
+//!
+//! The driver supplies per-sequence behaviour through
+//! [`model::SequenceModel`] — the stand-in for the transformer's QKV
+//! projections and sampling. [`model::SynthSequence`] is the deterministic
+//! implementation used by the demo, benches, and property tests;
+//! [`model::replay_contiguous`] replays a request on a contiguous cache
+//! through `BitDecoder::decode` to furnish the bitwise ground truth.
+//!
+//! ```
+//! use bd_core::{AttentionConfig, BitDecoder};
+//! use bd_gpu_sim::GpuArch;
+//! use bd_kvcache::QuantScheme;
+//! use bd_serve::{ServeConfig, ServeSession, SynthSequence};
+//!
+//! let attn = AttentionConfig::gqa(4, 2, 16);
+//! let dec = BitDecoder::builder(GpuArch::rtx4090())
+//!     .attention(attn)
+//!     .scheme(QuantScheme::kc4())
+//!     .paged(true)
+//!     .build();
+//! let mut session = ServeSession::new(dec, ServeConfig::new(256, 64, 2, 8));
+//! let id = session
+//!     .submit(Box::new(SynthSequence::new(attn, 7, 40, 3)))
+//!     .unwrap();
+//! let summary = session.run_to_completion();
+//! assert_eq!(summary.completed, 1);
+//! assert_eq!(session.stream(id).unwrap().len(), 3);
+//! ```
+
+pub mod model;
+pub mod session;
+pub mod workers;
+
+pub use model::{replay_contiguous, SequenceModel, StepKv, SynthSequence};
+pub use session::{RequestId, ServeConfig, ServeMetrics, ServeSession, ServeSummary, SubmitError};
+pub use workers::WorkerPool;

@@ -1,0 +1,563 @@
+//! The decode-step scheduler and its session front end.
+//!
+//! [`ServeSession`] is the runtime's control loop: requests queue FCFS,
+//! admission reserves each request's full prompt + generation page budget
+//! against the [`PagedKvStore`] (so an admitted sequence never OOMs
+//! mid-decode — the no-preemption discipline of the paper's Page serving
+//! evaluation), and every [`ServeSession::step`] re-forms the batch, fans
+//! one work unit per `(sequence, kv-head)` across the persistent
+//! [`WorkerPool`], appends each sequence's new KV token, and retires
+//! finished sequences so their pages recycle into the admission queue.
+//!
+//! Each step yields a [`ServeMetrics`] sample pairing the *measured*
+//! aggregate KV-throughput and fast-dequant telemetry with the *analytic*
+//! price of the same step shape — the bridge between this functional
+//! runtime and the `bd-llm` cost model.
+
+use crate::model::SequenceModel;
+use crate::workers::{WorkUnit, WorkerPool};
+use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape};
+use bd_kvcache::{PagedKvStore, SeqId};
+use bd_lowbit::fastpath::FastDequantOps;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier a [`ServeSession`] assigns to a submitted request.
+pub type RequestId = u64;
+
+/// Static configuration of a serve session.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Page pool capacity in pages.
+    pub total_pages: usize,
+    /// Tokens per page.
+    pub page_tokens: usize,
+    /// Persistent decode workers (0 = run units inline).
+    pub workers: usize,
+    /// Maximum concurrently decoding sequences.
+    pub max_batch: usize,
+}
+
+impl ServeConfig {
+    /// Builds a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `page_tokens` is zero.
+    pub fn new(total_pages: usize, page_tokens: usize, workers: usize, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        assert!(page_tokens > 0, "page_tokens must be positive");
+        ServeConfig {
+            total_pages,
+            page_tokens,
+            workers,
+            max_batch,
+        }
+    }
+}
+
+/// Why a request was rejected at submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request's prompt + generation budget exceeds the whole pool; it
+    /// could never be admitted.
+    TooLarge {
+        /// Pages the request needs.
+        needed_pages: usize,
+        /// Pages the pool has in total.
+        total_pages: usize,
+    },
+    /// The request asks for zero generated tokens — there is nothing to
+    /// decode.
+    EmptyGeneration,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::TooLarge {
+                needed_pages,
+                total_pages,
+            } => write!(
+                f,
+                "request needs {needed_pages} pages but the pool only has {total_pages}"
+            ),
+            SubmitError::EmptyGeneration => write!(f, "request generates zero tokens"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Per-step runtime report.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeMetrics {
+    /// Step index within the session.
+    pub step: usize,
+    /// Sequences decoded this step.
+    pub batch: usize,
+    /// Requests admitted at the top of this step.
+    pub admitted: usize,
+    /// Requests that finished (and were evicted) this step.
+    pub completed: usize,
+    /// KV tokens attended across the batch (Σ per-sequence context length).
+    pub kv_tokens: usize,
+    /// Measured wall-clock of the decode phases — attention fan-out, model
+    /// advance, KV append — excluding admission/prefill and the models'
+    /// query construction, seconds.
+    pub wall_s: f64,
+    /// Aggregate measured KV-tokens per second for this step.
+    pub kv_tokens_per_s: f64,
+    /// Fast-dequant instructions streamed by the fused kernels this step.
+    pub dequant: FastDequantOps,
+    /// Page-pool utilization after the step.
+    pub pool_utilization: f64,
+    /// What the analytic cost model prices this step's shape at on the
+    /// session's target GPU, seconds.
+    pub modeled_step_s: f64,
+}
+
+/// Aggregate outcome of [`ServeSession::run_to_completion`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Decode steps executed.
+    pub steps: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Total KV tokens attended.
+    pub kv_tokens: u64,
+    /// Total measured decode-phase wall-clock (see
+    /// [`ServeMetrics::wall_s`]), seconds.
+    pub wall_s: f64,
+    /// Aggregate KV-tokens per second over the run.
+    pub kv_tokens_per_s: f64,
+    /// Total fast-dequant instructions streamed.
+    pub dequant: FastDequantOps,
+}
+
+struct ActiveSeq {
+    id: RequestId,
+    seq: SeqId,
+    model: Box<dyn SequenceModel>,
+    step: usize,
+    remaining: usize,
+}
+
+/// The batched decode runtime session — see the [module docs](self).
+pub struct ServeSession {
+    decoder: Arc<BitDecoder>,
+    store: Arc<PagedKvStore>,
+    pool: WorkerPool,
+    pending: VecDeque<(RequestId, Box<dyn SequenceModel>)>,
+    active: Vec<ActiveSeq>,
+    streams: BTreeMap<RequestId, Vec<u32>>,
+    finished: BTreeSet<RequestId>,
+    metrics: Vec<ServeMetrics>,
+    next_id: RequestId,
+    config: ServeConfig,
+    step_index: usize,
+}
+
+impl ServeSession {
+    /// Creates a session serving `decoder`'s model/GPU configuration under
+    /// `config`'s pool and batch limits.
+    pub fn new(decoder: BitDecoder, config: ServeConfig) -> Self {
+        let cache_config = decoder.cache_config();
+        let heads = decoder.attention().heads_kv;
+        ServeSession {
+            decoder: Arc::new(decoder),
+            store: Arc::new(PagedKvStore::new(
+                cache_config,
+                heads,
+                config.total_pages,
+                config.page_tokens,
+            )),
+            pool: WorkerPool::new(config.workers),
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            streams: BTreeMap::new(),
+            finished: BTreeSet::new(),
+            metrics: Vec::new(),
+            next_id: 0,
+            config,
+            step_index: 0,
+        }
+    }
+
+    /// The session's decoder.
+    pub fn decoder(&self) -> &BitDecoder {
+        &self.decoder
+    }
+
+    /// The paged KV store (read-only view).
+    pub fn store(&self) -> &PagedKvStore {
+        &self.store
+    }
+
+    /// Requests waiting for admission.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequences currently decoding.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The token stream emitted so far for a request.
+    pub fn stream(&self, id: RequestId) -> Option<&[u32]> {
+        self.streams.get(&id).map(Vec::as_slice)
+    }
+
+    /// `true` once a request has generated all its tokens.
+    pub fn is_finished(&self, id: RequestId) -> bool {
+        self.finished.contains(&id)
+    }
+
+    /// Per-step metrics recorded so far.
+    pub fn metrics(&self) -> &[ServeMetrics] {
+        &self.metrics
+    }
+
+    /// Queues a request. Admission happens FCFS at the next step with
+    /// enough free pages; the assigned [`RequestId`] is live immediately
+    /// (its [`ServeSession::stream`] starts empty).
+    ///
+    /// # Errors
+    ///
+    /// Rejects requests whose page budget exceeds the whole pool, and
+    /// requests with nothing to generate.
+    pub fn submit(&mut self, model: Box<dyn SequenceModel>) -> Result<RequestId, SubmitError> {
+        if model.gen_tokens() == 0 {
+            return Err(SubmitError::EmptyGeneration);
+        }
+        let total_tokens = model.prompt_tokens() + model.gen_tokens();
+        let needed_pages = total_tokens.div_ceil(self.config.page_tokens);
+        if needed_pages > self.config.total_pages {
+            return Err(SubmitError::TooLarge {
+                needed_pages,
+                total_pages: self.config.total_pages,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.insert(id, Vec::new());
+        self.pending.push_back((id, model));
+        Ok(id)
+    }
+
+    /// Regains exclusive store access after a parallel phase. Workers drop
+    /// their `Arc` clones before reporting results, so by the time every
+    /// result is collected the count is (momentarily) back to one; the spin
+    /// only covers the tail of that hand-back.
+    fn store_mut(&mut self) -> &mut PagedKvStore {
+        while Arc::strong_count(&self.store) > 1 {
+            std::thread::yield_now();
+        }
+        Arc::get_mut(&mut self.store).expect("no outstanding store refs")
+    }
+
+    /// Admits pending requests FCFS while pages and the batch cap allow;
+    /// returns how many were admitted.
+    fn try_admit(&mut self) -> usize {
+        let mut admitted = 0;
+        while self.active.len() < self.config.max_batch {
+            let Some((id, mut model)) = self.pending.pop_front() else {
+                break;
+            };
+            let reserve = model.prompt_tokens() + model.gen_tokens();
+            let codec = self.decoder.codec();
+            let store = self.store_mut();
+            let seq = match store.admit(reserve) {
+                Ok(seq) => seq,
+                Err(_oom) => {
+                    // Not enough pages *now*: stay queued (FCFS — later
+                    // requests wait behind this one).
+                    self.pending.push_front((id, model));
+                    break;
+                }
+            };
+            let (pk, pv) = model.prompt();
+            store
+                .prefill(seq, &pk, &pv, &codec)
+                .expect("reservation covers the prompt");
+            let remaining = model.gen_tokens();
+            self.active.push(ActiveSeq {
+                id,
+                seq,
+                model,
+                step: 0,
+                remaining,
+            });
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Runs one decode step: admit → batch attention over the worker pool
+    /// → advance models / append KV → retire finished sequences.
+    ///
+    /// Returns the step's metrics, or `None` when no work remains (the
+    /// session is drained).
+    pub fn step(&mut self) -> Option<ServeMetrics> {
+        let admitted = self.try_admit();
+        if self.active.is_empty() {
+            return None;
+        }
+        let attn = *self.decoder.attention();
+        let heads_kv = attn.heads_kv;
+
+        // Batch formation: one unit per (sequence, kv-head).
+        let mut units = Vec::with_capacity(self.active.len() * heads_kv);
+        let mut kv_tokens = 0usize;
+        let mut max_len = 0usize;
+        let mut max_res = 0usize;
+        for a in &mut self.active {
+            let len = self.store.seq_len(a.seq).expect("active sequence");
+            kv_tokens += len;
+            max_len = max_len.max(len);
+            max_res = max_res.max(self.store.residual_len(a.seq));
+            let q = a.model.query(a.step);
+            for (kv, q_block) in query_transform(&q, &attn).into_iter().enumerate() {
+                units.push(WorkUnit {
+                    unit: units.len(),
+                    seq: a.seq,
+                    head: kv,
+                    q_block,
+                });
+            }
+        }
+        let batch = self.active.len();
+        // Time only the decode work (attention fan-out, model advance,
+        // append) — not admission/prefill or the user model's query
+        // construction above, so kv_tokens_per_s reports the runtime's own
+        // throughput.
+        let t0 = Instant::now();
+        let mut results = self.pool.run_step(units, &self.store, &self.decoder);
+
+        // Advance every sequence and append its new KV token.
+        let mut dequant = FastDequantOps::default();
+        for r in &results {
+            dequant += r.ops;
+        }
+        let codec = self.decoder.codec();
+        let mut appends = Vec::with_capacity(batch);
+        for (a, chunk) in self.active.iter_mut().zip(results.chunks_mut(heads_kv)) {
+            // Move the rows out of the owned results — no per-step clone of
+            // the attention outputs on the scheduler's hot loop.
+            let blocks: Vec<Vec<Vec<f32>>> = chunk
+                .iter_mut()
+                .map(|r| std::mem::take(&mut r.rows))
+                .collect();
+            let output = ungroup_outputs(&blocks, &attn);
+            let step_kv = a.model.advance(a.step, &output);
+            self.streams
+                .get_mut(&a.id)
+                .expect("stream exists from submit")
+                .push(step_kv.token);
+            appends.push((a.seq, step_kv));
+            a.step += 1;
+            a.remaining -= 1;
+        }
+        {
+            let store = self.store_mut();
+            for (seq, step_kv) in &appends {
+                store
+                    .append_step(*seq, &step_kv.k, &step_kv.v, &codec)
+                    .expect("reservation covers the generation");
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        // Retire finished sequences: seal, evict, recycle pages.
+        let done: Vec<(RequestId, SeqId)> = self
+            .active
+            .iter()
+            .filter(|a| a.remaining == 0)
+            .map(|a| (a.id, a.seq))
+            .collect();
+        {
+            let store = self.store_mut();
+            for (_, seq) in &done {
+                store.seal(*seq).expect("active sequence");
+                store.evict(*seq);
+            }
+        }
+        for (id, _) in &done {
+            self.finished.insert(*id);
+        }
+        self.active.retain(|a| a.remaining > 0);
+
+        let shape = DecodeShape::new(batch, attn, max_len.max(1)).with_residual(max_res);
+        let m = ServeMetrics {
+            step: self.step_index,
+            batch,
+            admitted,
+            completed: done.len(),
+            kv_tokens,
+            wall_s,
+            kv_tokens_per_s: if wall_s > 0.0 {
+                kv_tokens as f64 / wall_s
+            } else {
+                0.0
+            },
+            dequant,
+            pool_utilization: self.store.utilization(),
+            modeled_step_s: self.decoder.latency(&shape).total_s,
+        };
+        self.step_index += 1;
+        self.metrics.push(m);
+        Some(m)
+    }
+
+    /// Steps until every submitted request has finished, returning the
+    /// aggregate summary.
+    pub fn run_to_completion(&mut self) -> ServeSummary {
+        let start = self.metrics.len();
+        while self.step().is_some() {}
+        let run = &self.metrics[start..];
+        let kv_tokens: u64 = run.iter().map(|m| m.kv_tokens as u64).sum();
+        let wall_s: f64 = run.iter().map(|m| m.wall_s).sum();
+        let mut dequant = FastDequantOps::default();
+        for m in run {
+            dequant += m.dequant;
+        }
+        ServeSummary {
+            steps: run.len(),
+            completed: run.iter().map(|m| m.completed).sum(),
+            kv_tokens,
+            wall_s,
+            kv_tokens_per_s: if wall_s > 0.0 {
+                kv_tokens as f64 / wall_s
+            } else {
+                0.0
+            },
+            dequant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{replay_contiguous, SynthSequence};
+    use bd_core::AttentionConfig;
+    use bd_gpu_sim::GpuArch;
+    use bd_kvcache::QuantScheme;
+
+    fn decoder(attn: AttentionConfig) -> BitDecoder {
+        BitDecoder::builder(GpuArch::rtx4090())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build()
+    }
+
+    #[test]
+    fn batched_streams_match_contiguous_replay_bitwise() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let dec = decoder(attn);
+        let mut session = ServeSession::new(dec.clone(), ServeConfig::new(512, 32, 2, 8));
+        let ids: Vec<RequestId> = (0..4)
+            .map(|i| {
+                session
+                    .submit(Box::new(SynthSequence::new(
+                        attn,
+                        i,
+                        100 + 40 * i as usize,
+                        4,
+                    )))
+                    .unwrap()
+            })
+            .collect();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 4);
+        for (i, id) in ids.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::new(attn, i as u64, 100 + 40 * i, 4),
+            );
+            assert_eq!(session.stream(*id).unwrap(), want, "request {i}");
+            assert!(session.is_finished(*id));
+        }
+        // All pages recycled after completion.
+        assert_eq!(session.store().free_pages(), 512);
+    }
+
+    #[test]
+    fn admission_respects_pool_and_batch_limits() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // Pool fits exactly two resident requests (each needs 2 pages).
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 64, 0, 8));
+        for i in 0..5 {
+            session
+                .submit(Box::new(SynthSequence::new(attn, i, 100, 3)))
+                .unwrap();
+        }
+        let m = session.step().unwrap();
+        assert_eq!(m.batch, 2);
+        assert_eq!(m.admitted, 2);
+        assert_eq!(session.pending(), 3);
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 5);
+        assert!(session.metrics().iter().all(|m| m.batch <= 2));
+
+        // max_batch caps admission even with free pages.
+        let mut capped = ServeSession::new(decoder(attn), ServeConfig::new(64, 64, 0, 3));
+        for i in 0..5 {
+            capped
+                .submit(Box::new(SynthSequence::new(attn, i, 10, 2)))
+                .unwrap();
+        }
+        assert_eq!(capped.step().unwrap().batch, 3);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_at_submit() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 64, 0, 8));
+        let err = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 64 * 5, 1)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::TooLarge {
+                needed_pages: 6,
+                total_pages: 4
+            }
+        );
+    }
+
+    #[test]
+    fn zero_generation_requests_are_rejected_at_submit() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 64, 0, 8));
+        let err = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 10, 0)))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::EmptyGeneration);
+        assert!(session.step().is_none());
+    }
+
+    #[test]
+    fn metrics_pair_measured_and_modeled_costs() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(256, 64, 1, 8));
+        session
+            .submit(Box::new(SynthSequence::new(attn, 3, 200, 2)))
+            .unwrap();
+        let m = session.step().unwrap();
+        assert_eq!(m.batch, 1);
+        assert_eq!(m.kv_tokens, 200);
+        assert!(m.kv_tokens_per_s > 0.0);
+        assert!(m.modeled_step_s > 0.0);
+        assert!(m.dequant.total() > 0, "fused path streams dequant work");
+        assert!(m.pool_utilization > 0.0);
+        let m2 = session.step().unwrap();
+        assert_eq!(m2.kv_tokens, 201);
+        assert_eq!(m2.completed, 1);
+        assert!(session.step().is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! The persistent decode worker pool.
+//!
+//! Every decode step fans one [`WorkUnit`] per `(sequence, kv-head)` pair
+//! over long-lived OS threads. A unit gathers its sequence's packed blocks
+//! **through the page table** ([`PagedKvStore::packed_blocks`]) and runs
+//! [`BitDecoder::attend_head`] — which internally applies the kernel's own
+//! split-K thread sharding for long contexts — so batch-, head- and
+//! split-K-level parallelism compose. Because each unit is an independent,
+//! deterministic computation, results are **invariant to the worker
+//! count** (including the inline `workers = 0` mode), bit for bit.
+//!
+//! Sharing discipline: the store and decoder cross into workers as [`Arc`]s
+//! cloned per task. The attention phase of a step never mutates the store;
+//! a worker drops its clones *before* reporting its result, so once the
+//! scheduler has collected every result it is again the sole owner and can
+//! mutate the store (appends, evictions) without locks — the
+//! compute/mutate phase separation a real serving engine enforces with
+//! stream ordering.
+
+use bd_core::BitDecoder;
+use bd_kvcache::{PagedKvStore, SeqId};
+use bd_lowbit::fastpath::FastDequantOps;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One `(sequence, kv-head)` attention work unit for the current step.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Dense index of this unit within the step (results slot).
+    pub unit: usize,
+    /// The sequence to attend over.
+    pub seq: SeqId,
+    /// The KV head within the sequence.
+    pub head: usize,
+    /// The grouped `g_q × d` query block for this head.
+    pub q_block: Vec<Vec<f32>>,
+}
+
+struct Task {
+    unit: WorkUnit,
+    store: Arc<PagedKvStore>,
+    decoder: Arc<BitDecoder>,
+}
+
+/// One unit's finished attention output.
+#[derive(Clone, Debug)]
+pub struct UnitResult {
+    /// The unit index this result fills.
+    pub unit: usize,
+    /// Normalized `g_q × d` attention rows.
+    pub rows: Vec<Vec<f32>>,
+    /// Fast-dequant instructions the fused kernel streamed for this unit.
+    pub ops: FastDequantOps,
+}
+
+/// Executes one work unit: page-table-indirect block gather + the decode
+/// path's per-head attention body. Consumes (and drops) the task — and its
+/// `Arc`s — before the caller sends the result, preserving the
+/// sole-ownership hand-back described in the [module docs](self).
+fn run_unit(task: Task) -> UnitResult {
+    let blocks = task.store.packed_blocks(task.unit.seq, task.unit.head);
+    let (res_k, res_v) = task.store.residual(task.unit.seq, task.unit.head);
+    let (rows, ops) = task
+        .decoder
+        .attend_head(&task.unit.q_block, &blocks, res_k, res_v);
+    UnitResult {
+        unit: task.unit.unit,
+        rows,
+        ops,
+    }
+}
+
+/// A persistent pool of decode workers (see the [module docs](self)).
+///
+/// With `workers = 0` the pool runs every unit inline on the caller's
+/// thread — same results, no threads; useful for tests and profiling.
+pub struct WorkerPool {
+    task_tx: Option<Sender<Task>>,
+    result_rx: Receiver<UnitResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (0 = inline execution).
+    pub fn new(workers: usize) -> Self {
+        let (task_tx, task_rx) = channel::<Task>();
+        let (result_tx, result_rx) = channel::<UnitResult>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let task_rx = Arc::clone(&task_rx);
+                let result_tx = result_tx.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the queue lock only for the dequeue, never
+                    // across the attention itself.
+                    let next = { task_rx.lock().expect("task queue").recv() };
+                    let Ok(task) = next else { break };
+                    let result = run_unit(task);
+                    if result_tx.send(result).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            task_tx: Some(task_tx),
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads (0 = inline mode).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one step's units to completion and returns the results ordered
+    /// by unit index. Blocks until every unit has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died (poisoned queue / closed channel).
+    pub fn run_step(
+        &self,
+        units: Vec<WorkUnit>,
+        store: &Arc<PagedKvStore>,
+        decoder: &Arc<BitDecoder>,
+    ) -> Vec<UnitResult> {
+        let n = units.len();
+        let mut out: Vec<Option<UnitResult>> = (0..n).map(|_| None).collect();
+        if self.handles.is_empty() {
+            for unit in units {
+                let r = run_unit(Task {
+                    unit,
+                    store: Arc::clone(store),
+                    decoder: Arc::clone(decoder),
+                });
+                let slot = r.unit;
+                out[slot] = Some(r);
+            }
+        } else {
+            let tx = self.task_tx.as_ref().expect("pool is live");
+            for unit in units {
+                tx.send(Task {
+                    unit,
+                    store: Arc::clone(store),
+                    decoder: Arc::clone(decoder),
+                })
+                .expect("worker pool alive");
+            }
+            for _ in 0..n {
+                let r = self.result_rx.recv().expect("worker result");
+                let slot = r.unit;
+                out[slot] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every unit produced a result"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the task channel ends every worker loop.
+        self.task_tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_core::{query_transform, AttentionConfig, BitDecoder};
+    use bd_gpu_sim::GpuArch;
+    use bd_kvcache::{CacheConfig, PackLayout, QuantScheme, TokenMatrix};
+
+    fn setup() -> (Arc<BitDecoder>, Arc<PagedKvStore>, Vec<WorkUnit>) {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let decoder = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .build();
+        let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
+        let mut store = PagedKvStore::new(cfg, attn.heads_kv, 64, 32);
+        let codec = decoder.codec();
+        let seq = store.admit(0).unwrap();
+        let len = 128 + 11;
+        let k: Vec<TokenMatrix> = (0..2)
+            .map(|h| TokenMatrix::from_fn(len, 16, |t, c| ((h + t * 16 + c) as f32 * 0.3).sin()))
+            .collect();
+        store.prefill(seq, &k, &k, &codec).unwrap();
+        let q: Vec<Vec<f32>> = (0..4)
+            .map(|h| (0..16).map(|c| ((h * 16 + c) as f32 * 0.7).sin()).collect())
+            .collect();
+        let units: Vec<WorkUnit> = query_transform(&q, &attn)
+            .into_iter()
+            .enumerate()
+            .map(|(head, q_block)| WorkUnit {
+                unit: head,
+                seq,
+                head,
+                q_block,
+            })
+            .collect();
+        (Arc::new(decoder), Arc::new(store), units)
+    }
+
+    #[test]
+    fn threaded_results_match_inline_bitwise() {
+        let (decoder, store, units) = setup();
+        let inline = WorkerPool::new(0).run_step(units.clone(), &store, &decoder);
+        for workers in [1, 3] {
+            let pool = WorkerPool::new(workers);
+            let threaded = pool.run_step(units.clone(), &store, &decoder);
+            for (a, b) in inline.iter().zip(&threaded) {
+                assert_eq!(a.unit, b.unit);
+                assert_eq!(a.rows, b.rows, "workers={workers}");
+                assert_eq!(a.ops, b.ops);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_multiple_steps_and_store_regains_sole_ownership() {
+        let (decoder, store, units) = setup();
+        let mut store = store;
+        let pool = WorkerPool::new(2);
+        for _ in 0..3 {
+            let _ = pool.run_step(units.clone(), &store, &decoder);
+            // All task Arcs were dropped before results were sent.
+            while Arc::strong_count(&store) > 1 {
+                std::thread::yield_now();
+            }
+            assert!(Arc::get_mut(&mut store).is_some());
+        }
+    }
+}

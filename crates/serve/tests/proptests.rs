@@ -1,0 +1,182 @@
+//! Property tests for the batched decode runtime.
+//!
+//! The two load-bearing properties from the serve design:
+//!
+//! 1. **Paged = contiguous, bitwise** — for any page size and any eviction
+//!    order of finished sequences, decoding through [`PagedKvStore`]'s
+//!    page-table indirection produces outputs identical to the contiguous
+//!    [`BitDecoder::decode`] path, bit for bit.
+//! 2. **Worker-count invariance** — the batch scheduler's token streams do
+//!    not depend on how many threads the persistent pool runs (including
+//!    the inline `workers = 0` mode).
+
+use bd_core::{query_transform, AttentionConfig, BitDecoder};
+use bd_gpu_sim::GpuArch;
+use bd_kvcache::{PagedKvStore, QuantScheme, SeqId};
+use bd_serve::{replay_contiguous, SequenceModel, ServeConfig, ServeSession, SynthSequence};
+use proptest::prelude::*;
+
+const ATTN: AttentionConfig = AttentionConfig {
+    heads_q: 4,
+    heads_kv: 2,
+    head_dim: 16,
+};
+
+fn decoder(scheme: QuantScheme) -> BitDecoder {
+    BitDecoder::builder(GpuArch::rtx4090())
+        .attention(ATTN)
+        .scheme(scheme)
+        .paged(true)
+        .build()
+}
+
+fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
+    prop_oneof![Just(QuantScheme::kc4()), Just(QuantScheme::kc2())]
+}
+
+/// Mirrors one synthetic sequence into the paged store and a contiguous
+/// cache, decoding one step after every append through both paths and
+/// asserting bitwise equality throughout.
+fn drive_mirrored(
+    dec: &BitDecoder,
+    store: &mut PagedKvStore,
+    seed: u64,
+    prompt: usize,
+    gen: usize,
+) -> Result<SeqId, String> {
+    let codec = dec.codec();
+    let mut paged_model = SynthSequence::new(ATTN, seed, prompt, gen);
+    let seq = store.admit(prompt + gen).expect("pool sized for the case");
+    {
+        let (pk, pv) = paged_model.prompt();
+        store.prefill(seq, &pk, &pv, &codec).unwrap();
+    }
+    let mut cache = dec.new_cache(1);
+    let mut contiguous_model = SynthSequence::new(ATTN, seed, prompt, gen);
+    {
+        let (pk, pv) = contiguous_model.prompt();
+        for h in 0..ATTN.heads_kv {
+            cache.prefill(h, &pk[h], &pv[h], &codec).unwrap();
+        }
+    }
+    for step in 0..gen {
+        // Paged path: per-head attention over page-table-gathered blocks.
+        let q = paged_model.query(step);
+        let grouped = query_transform(&q, &ATTN);
+        let mut heads_out = Vec::new();
+        for (kv, q_block) in grouped.iter().enumerate() {
+            let blocks = store.packed_blocks(seq, kv);
+            let (rk, rv) = store.residual(seq, kv);
+            let (rows, _) = dec.attend_head(q_block, &blocks, rk, rv);
+            heads_out.push(rows);
+        }
+        let paged_out = bd_core::ungroup_outputs(&heads_out, &ATTN);
+
+        // Contiguous path: the decode front end.
+        let cq = contiguous_model.query(step);
+        let cont_out = dec.decode(std::slice::from_ref(&cq), &cache).unwrap();
+
+        prop_assert_eq!(&paged_out, &cont_out.outputs[0], "step {}", step);
+
+        let pkv = paged_model.advance(step, &paged_out);
+        let ckv = contiguous_model.advance(step, &cont_out.outputs[0]);
+        prop_assert_eq!(pkv.token, ckv.token);
+        store.append_step(seq, &pkv.k, &pkv.v, &codec).unwrap();
+        for h in 0..ATTN.heads_kv {
+            cache.append_token(h, &ckv.k[h], &ckv.v[h], &codec).unwrap();
+        }
+        prop_assert!(
+            store.matches_cache(seq, &cache, 0),
+            "contiguous-equivalence violated at step {}",
+            step
+        );
+    }
+    Ok(seq)
+}
+
+proptest! {
+    /// Paged decode over ANY page size is bitwise identical to contiguous
+    /// decode, and the store stays contiguous-equivalent throughout.
+    #[test]
+    fn paged_decode_matches_contiguous_for_any_page_size(
+        page_tokens in 1usize..300,
+        prompt in 1usize..300,
+        gen in 1usize..5,
+        scheme in arb_scheme(),
+        seed: u64,
+    ) {
+        let dec = decoder(scheme);
+        let pages = (prompt + gen).div_ceil(page_tokens) + 1;
+        let mut store = PagedKvStore::new(
+            dec.cache_config(), ATTN.heads_kv, pages, page_tokens);
+        drive_mirrored(&dec, &mut store, seed, prompt, gen)?;
+    }
+
+    /// Random evictions of finished sequences recycle pages without
+    /// corrupting survivors: sequences admitted into recycled pages still
+    /// decode bitwise-identically to contiguous.
+    #[test]
+    fn evictions_recycle_pages_without_corruption(
+        page_tokens in 1usize..160,
+        evict_mask in 0u8..8,
+        seed: u64,
+    ) {
+        let dec = decoder(QuantScheme::kc4());
+        // Room for three resident sequences of ≤ 180 tokens each.
+        let pages = 3 * 180usize.div_ceil(page_tokens) + 3;
+        let mut store = PagedKvStore::new(
+            dec.cache_config(), ATTN.heads_kv, pages, page_tokens);
+        let sizes = [(150usize, 2usize), (170, 3), (129, 2)];
+        let mut live: Vec<SeqId> = Vec::new();
+        for (i, (prompt, gen)) in sizes.iter().enumerate() {
+            live.push(drive_mirrored(&dec, &mut store, seed ^ i as u64, *prompt, *gen)?);
+        }
+        // Evict the masked subset (they are finished), then admit fresh
+        // sequences into the recycled pages and verify them end-to-end.
+        let mut freed = 0;
+        for (i, seq) in live.into_iter().enumerate() {
+            if evict_mask & (1 << i) != 0 {
+                store.seal(seq).unwrap();
+                store.evict(seq);
+                freed += 1;
+            }
+        }
+        for i in 0..freed {
+            drive_mirrored(&dec, &mut store, seed ^ (0xA0 + i as u64), 140, 2)?;
+        }
+    }
+
+    /// The full batched session emits identical token streams at any
+    /// worker count, and they match the per-sequence contiguous replay.
+    #[test]
+    fn session_streams_invariant_to_worker_count(
+        scheme in arb_scheme(),
+        n_seqs in 1usize..5,
+        seed: u64,
+    ) {
+        let streams_at = |workers: usize| -> Vec<Vec<u32>> {
+            let mut session = ServeSession::new(
+                decoder(scheme), ServeConfig::new(512, 64, workers, 8));
+            let ids: Vec<_> = (0..n_seqs)
+                .map(|i| {
+                    let prompt = 90 + 37 * i;
+                    session
+                        .submit(Box::new(SynthSequence::new(ATTN, seed ^ i as u64, prompt, 3)))
+                        .unwrap()
+                })
+                .collect();
+            session.run_to_completion();
+            ids.iter().map(|id| session.stream(*id).unwrap().to_vec()).collect()
+        };
+        let inline = streams_at(0);
+        prop_assert_eq!(&inline, &streams_at(1));
+        prop_assert_eq!(&inline, &streams_at(3));
+        for (i, stream) in inline.iter().enumerate() {
+            let want = replay_contiguous(
+                &decoder(scheme),
+                &mut SynthSequence::new(ATTN, seed ^ i as u64, 90 + 37 * i, 3),
+            );
+            prop_assert_eq!(stream, &want, "sequence {}", i);
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`kvcache`] — quantized cache containers (packed/residual/paged);
 //! * [`core`] — the BitDecoding engine ([`BitDecoder`]);
 //! * [`baselines`] — FlashDecoding/KIVI/Atom/QServe comparison systems;
+//! * [`serve`] — the batched decode runtime (paged packed KV storage,
+//!   decode-step scheduler, persistent worker pool);
 //! * [`llm`] — end-to-end model-level simulation;
 //! * [`accuracy`] — quantization fidelity evaluation.
 //!
@@ -48,6 +50,7 @@ pub use bd_gpu_sim as gpu;
 pub use bd_kvcache as kvcache;
 pub use bd_llm as llm;
 pub use bd_lowbit as lowbit;
+pub use bd_serve as serve;
 
 pub use bd_baselines::{BitDecodingSys, CudaOnly, DecodeSystem, FlashDecoding, Kivi};
 pub use bd_core::{
@@ -55,5 +58,6 @@ pub use bd_core::{
     OptimizationFlags,
 };
 pub use bd_gpu_sim::{GpuArch, LatencyBreakdown};
-pub use bd_kvcache::{CacheConfig, PackLayout, QuantScheme, QuantizedKvCache};
+pub use bd_kvcache::{CacheConfig, PackLayout, PagedKvStore, QuantScheme, QuantizedKvCache};
 pub use bd_llm::{Engine, MemoryModel, ModelConfig, WeightPrecision};
+pub use bd_serve::{ServeConfig, ServeSession, SynthSequence};
