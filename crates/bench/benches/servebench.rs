@@ -1,47 +1,53 @@
 //! Serving microbench: aggregate KV-tokens/second of the `bd-serve`
-//! batched decode runtime vs batch size, at 4-bit and 2-bit, on a
-//! multi-worker pool. Results are printed and recorded in
-//! **`BENCH_serve.json`** at the repo root — the serving-throughput
+//! batched decode runtime vs **batch size and device count**, at 4-bit and
+//! 2-bit, on device-pinned worker groups. Results are printed and recorded
+//! in **`BENCH_serve.json`** at the repo root — the serving-throughput
 //! trajectory baseline for later PRs.
 //!
 //! Set `BENCH_SERVE=0` to skip the run, or `BENCH_SERVE_JSON=0` to run it
 //! without rewriting the committed baseline file.
 //!
-//! Reading the numbers: each `(sequence, kv-head)` work unit runs on the
-//! persistent pool, so aggregate throughput scales with batch up to the
-//! machine's core count. On a single-core container (the reference
-//! environment) the honest signal is *flatness*: the scheduler sustains
-//! the full single-core fused-kernel rate at every batch size — batching
-//! adds no measurable overhead — while per-sequence throughput divides by
-//! the batch. On a multi-core box the aggregate column grows with batch
-//! until cores saturate.
+//! Reading the numbers: each `(sequence, kv-head, device)` work unit runs
+//! on its device's pinned group, so aggregate throughput scales with
+//! batch × devices up to the machine's core count. On a single-core
+//! container (the reference environment) the honest signal is *flatness*:
+//! the scheduler sustains the full single-core fused-kernel rate at every
+//! batch size and device count — batching and sharding add no measurable
+//! overhead — while per-sequence throughput divides by the batch. On a
+//! multi-core box the aggregate column grows until cores saturate. The
+//! per-device utilization column reports load balance relative to the
+//! critical-path device (1.0 = perfectly balanced; 4 heads over 1/2/4
+//! devices always balance exactly).
 
 use bd_core::AttentionConfig;
 use bd_gpu_sim::GpuArch;
-use bd_kvcache::QuantScheme;
+use bd_kvcache::{Partitioning, QuantScheme};
 use bd_serve::{ServeConfig, ServeSession, SynthSequence};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROMPT: usize = 2048;
-const GEN: usize = 6;
-const WORKERS: usize = 4;
+const GEN: usize = 4;
+const WORKERS: usize = 2; // per device group
 
 struct ServeBenchRow {
     scheme: QuantScheme,
+    devices: usize,
     batch: usize,
     steps: usize,
     kv_tokens: u64,
     kv_tok_s: f64,
     per_seq_tok_s: f64,
+    device_utilization: f64,
+    interconnect_s: f64,
 }
 
-/// Best-of-`reps` run of one (scheme, batch) configuration: each rep
-/// builds a fresh session, so the best rep reflects steady-state decode
-/// throughput rather than allocator warm-up or scheduler noise.
-fn run_best(scheme: QuantScheme, batch: usize, reps: usize) -> ServeBenchRow {
-    let mut best = run_config(scheme, batch);
+/// Best-of-`reps` run of one (scheme, devices, batch) configuration: each
+/// rep builds a fresh session, so the best rep reflects steady-state
+/// decode throughput rather than allocator warm-up or scheduler noise.
+fn run_best(scheme: QuantScheme, devices: usize, batch: usize, reps: usize) -> ServeBenchRow {
+    let mut best = run_config(scheme, devices, batch);
     for _ in 1..reps {
-        let row = run_config(scheme, batch);
+        let row = run_config(scheme, devices, batch);
         if row.kv_tok_s > best.kv_tok_s {
             best = row;
         }
@@ -49,18 +55,17 @@ fn run_best(scheme: QuantScheme, batch: usize, reps: usize) -> ServeBenchRow {
     best
 }
 
-fn run_config(scheme: QuantScheme, batch: usize) -> ServeBenchRow {
-    let attn = AttentionConfig::gqa(4, 1, 64);
+fn run_config(scheme: QuantScheme, devices: usize, batch: usize) -> ServeBenchRow {
+    let attn = AttentionConfig::gqa(8, 4, 64);
     let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
         .attention(attn)
         .scheme(scheme)
         .paged(true)
         .build();
     let pages_per_seq = (PROMPT + GEN).div_ceil(64) + 1;
-    let mut session = ServeSession::new(
-        decoder,
-        ServeConfig::new(batch * pages_per_seq, 64, WORKERS, batch),
-    );
+    let config = ServeConfig::new(batch * pages_per_seq, 64, WORKERS, batch)
+        .with_devices(devices, Partitioning::HeadModulo);
+    let mut session = ServeSession::new(decoder, config);
     for i in 0..batch {
         session
             .submit(Box::new(SynthSequence::new(attn, i as u64, PROMPT, GEN)))
@@ -70,11 +75,14 @@ fn run_config(scheme: QuantScheme, batch: usize) -> ServeBenchRow {
     assert_eq!(summary.completed, batch);
     ServeBenchRow {
         scheme,
+        devices: summary.devices,
         batch,
         steps: summary.steps,
         kv_tokens: summary.kv_tokens,
         kv_tok_s: summary.kv_tokens_per_s,
         per_seq_tok_s: summary.kv_tokens_per_s / batch as f64,
+        device_utilization: summary.mean_device_utilization,
+        interconnect_s: summary.modeled_interconnect_s,
     }
 }
 
@@ -85,19 +93,24 @@ fn bench_serve(_c: &mut Criterion) {
     }
     let mut rows = Vec::new();
     for scheme in [QuantScheme::kc4(), QuantScheme::kc2()] {
-        for batch in [1usize, 4, 16] {
-            // Small batches are cheap: average out noise with more reps.
-            let row = run_best(scheme, batch, if batch <= 4 { 3 } else { 2 });
-            println!(
-                "serve {:>5} batch {:>2}: {:>5} steps, {:>8} kv tokens, aggregate {:>10.0} kv-tok/s ({:>9.0} per seq)",
-                row.scheme.label(),
-                row.batch,
-                row.steps,
-                row.kv_tokens,
-                row.kv_tok_s,
-                row.per_seq_tok_s,
-            );
-            rows.push(row);
+        for devices in [1usize, 2, 4] {
+            for batch in [1usize, 4, 16] {
+                // Small runs are cheap: average out noise with more reps.
+                let row = run_best(scheme, devices, batch, if batch <= 4 { 3 } else { 2 });
+                println!(
+                    "serve {:>5} dev {:>2} batch {:>2}: {:>4} steps, {:>8} kv tokens, aggregate {:>9.0} kv-tok/s ({:>8.0} per seq), dev util {:>4.2}, allreduce {:>6.1} us",
+                    row.scheme.label(),
+                    row.devices,
+                    row.batch,
+                    row.steps,
+                    row.kv_tokens,
+                    row.kv_tok_s,
+                    row.per_seq_tok_s,
+                    row.device_utilization,
+                    row.interconnect_s * 1e6,
+                );
+                rows.push(row);
+            }
         }
     }
     write_bench_json(&rows);
@@ -109,17 +122,20 @@ fn write_bench_json(rows: &[ServeBenchRow]) {
         return;
     }
     let mut json = String::from(
-        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_4q_1kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 6,\n  \"workers\": 4,\n  \"results\": [\n",
+        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_8q_4kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 4,\n  \"workers_per_device\": 2,\n  \"partitioning\": \"head_modulo\",\n  \"results\": [\n",
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"scheme\": \"{}\", \"batch\": {}, \"steps\": {}, \"kv_tokens\": {}, \"aggregate_kv_tok_s\": {:.0}, \"per_seq_kv_tok_s\": {:.0}}}{}\n",
+            "    {{\"scheme\": \"{}\", \"devices\": {}, \"batch\": {}, \"steps\": {}, \"kv_tokens\": {}, \"aggregate_kv_tok_s\": {:.0}, \"per_seq_kv_tok_s\": {:.0}, \"mean_device_utilization\": {:.3}, \"modeled_allreduce_us\": {:.1}}}{}\n",
             r.scheme.label(),
+            r.devices,
             r.batch,
             r.steps,
             r.kv_tokens,
             r.kv_tok_s,
             r.per_seq_tok_s,
+            r.device_utilization,
+            r.interconnect_s * 1e6,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

@@ -6,7 +6,7 @@ use crate::codec::FragmentCodec;
 use crate::config::{query_transform, ungroup_outputs, AttentionConfig, QueryHeads};
 use crate::kernels::{
     attend_packed_blocks, attend_packed_blocks_fp4, attend_packed_blocks_parallel, attend_residual,
-    MatmulEngine,
+    attend_residual_fused, MatmulEngine,
 };
 use crate::profiles::{decode_plan, ArchPath, OptimizationFlags};
 use crate::shape::DecodeShape;
@@ -366,6 +366,27 @@ impl BitDecoder {
         res_k: &TokenMatrix,
         res_v: &TokenMatrix,
     ) -> (Vec<Vec<f32>>, FastDequantOps) {
+        let (state, ops) = self.attend_head_partial(q_block, blocks, res_k, res_v);
+        (state.finish(), ops)
+    }
+
+    /// [`BitDecoder::attend_head`] without the final normalization: returns
+    /// the raw [`OnlineSoftmax`] partial — the `(m, l, unnormalized
+    /// weighted-V)` triple — so callers that shard a head's KV across
+    /// devices or ranges can combine partials **exactly** through
+    /// [`OnlineSoftmax::merge`] before normalizing once. This is the
+    /// all-reduce payload of the tensor-parallel serve path: merging the
+    /// device partials and then calling
+    /// [`OnlineSoftmax::finish`](OnlineSoftmax::finish) reconstructs the
+    /// single-device [`BitDecoder::attend_head`] output bit for bit
+    /// (merging a single partial is the identity).
+    pub fn attend_head_partial<B: Borrow<PackedBlock> + Sync>(
+        &self,
+        q_block: &[Vec<f32>],
+        blocks: &[B],
+        res_k: &TokenMatrix,
+        res_v: &TokenMatrix,
+    ) -> (OnlineSoftmax, FastDequantOps) {
         let codec = self.codec();
         let scale = self.attn.scale();
         let wn = if self.flags.warp_parallelism {
@@ -427,8 +448,16 @@ impl BitDecoder {
                 &mut state,
             );
         }
-        attend_residual(q_block, res_k, res_v, scale, wn, coop, engine, &mut state);
-        (state.finish(), ops)
+        if coop || wn == 1 {
+            // Valid configurations take the fused flat-layout residual walk
+            // — bitwise identical to the materializing kernel, without the
+            // tile/transpose/fragment round-trips.
+            attend_residual_fused(q_block, res_k, res_v, scale, engine, &mut state);
+        } else {
+            // The softmax-race model needs the explicit warp-sliced walk.
+            attend_residual(q_block, res_k, res_v, scale, wn, coop, engine, &mut state);
+        }
+        (state, ops)
     }
 
     /// Prices one decode step of the given shape on the target GPU.
@@ -668,6 +697,43 @@ mod tests {
             let reference = reference_attention(&[q[0][h].clone()], k, v, attn.scale());
             for (got, want) in out.outputs[0][h].iter().zip(&reference[0]) {
                 assert!((got - want).abs() < 0.25, "head {h}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn attend_head_partial_merges_to_attend_head_bitwise() {
+        // The tensor-parallel all-reduce contract: finishing a merged set of
+        // per-head partials reproduces the direct attend_head output bit
+        // for bit — both for the single-partial (head-sharded) case and
+        // for a genuine two-way token split of one head's KV.
+        let dec = decoder(GpuArch::rtx4090(), QuantScheme::kc4());
+        let mut cache = dec.new_cache(1);
+        fill_cache(&dec, &mut cache, 128 * 2 + 19);
+        let attn = *dec.attention();
+        let q = query(&dec, 0);
+        let grouped = query_transform(&q, &attn);
+        for (kv, q_block) in grouped.iter().enumerate() {
+            let blocks = cache.packed_blocks(kv);
+            let (res_k, res_v) = cache.residual(kv);
+            let (direct, ops) = dec.attend_head(q_block, blocks, res_k, res_v);
+
+            // Single partial (the head-partitioned device case).
+            let (partial, pops) = dec.attend_head_partial(q_block, blocks, res_k, res_v);
+            assert_eq!(ops, pops);
+            assert_eq!(OnlineSoftmax::merge(vec![partial]).finish(), direct);
+
+            // Two-way split of the packed region plus a residual-only
+            // partial: merge is the exact log-sum-exp combine, so the
+            // values agree to f32 merge-order noise (NOT bitwise — the
+            // summation tree differs); the exactness claim for serve rests
+            // on the single-partial identity above.
+            let empty = TokenMatrix::new(attn.head_dim);
+            let (p1, _) = dec.attend_head_partial(q_block, &blocks[..1], &empty, &empty);
+            let (p2, _) = dec.attend_head_partial(q_block, &blocks[1..], res_k, res_v);
+            let merged = OnlineSoftmax::merge(vec![p1, p2]).finish();
+            for (a, b) in merged.iter().flatten().zip(direct.iter().flatten()) {
+                assert!((a - b).abs() < 1e-5, "head {kv}: {a} vs {b}");
             }
         }
     }

@@ -509,10 +509,72 @@ pub fn attend_packed_blocks_fp4<B: Borrow<PackedBlock>>(
     }
 }
 
+/// The fused flat-layout **Residual Kernel** body: FP16 attention over the
+/// residual window computed straight from the flat token-major
+/// [`TokenMatrix`] buffers — no per-step [`Tile`] materialization, no
+/// `transposed()` round-trip, no fragment scatter/gather.
+///
+/// The arithmetic replicates the materializing [`attend_residual`] path
+/// **bitwise** for every valid (cooperative or single-warp) configuration:
+/// operands round exactly as the engine's instruction would round them
+/// (`mma` loads both operands through FP16 fragments; `wgmma_SS` consumes
+/// shared-memory tiles unrounded), and each `Q·Kᵀ` row-dot accumulates
+/// per 16-wide k-tile partials in tile order — the same f32 summation
+/// tree the tiled GEMM walk produces. Tile zero-padding adds exact zeros
+/// and so never changes a result bit. `tests::fused_residual_matches_
+/// materializing_bitwise` pins the equivalence.
+pub fn attend_residual_fused(
+    q: &[Vec<f32>],
+    res_k: &TokenMatrix,
+    res_v: &TokenMatrix,
+    scale: f32,
+    engine: MatmulEngine,
+    state: &mut OnlineSoftmax,
+) {
+    if res_k.is_empty() {
+        return;
+    }
+    // Both modelled instruction families reduce K in 16-wide tiles.
+    const K_TILE: usize = 16;
+    let round = |x: f32| match engine {
+        MatmulEngine::Mma => F16::from_f32(x).to_f32(),
+        MatmulEngine::Wgmma => x,
+    };
+    let q_eff: Vec<Vec<f32>> = q
+        .iter()
+        .map(|row| row.iter().map(|&x| round(x * scale)).collect())
+        .collect();
+    let tokens = res_k.tokens();
+    let d = res_k.dim();
+    let mut s = Tile::zeros(q.len(), tokens);
+    for (r, q_row) in q_eff.iter().enumerate() {
+        for t in 0..tokens {
+            let k_row = res_k.row(t);
+            let mut total = 0.0f32;
+            for c0 in (0..d).step_by(K_TILE) {
+                let c1 = (c0 + K_TILE).min(d);
+                let mut partial = 0.0f32;
+                for c in c0..c1 {
+                    partial += q_row[c] * round(k_row[c]);
+                }
+                total += partial;
+            }
+            s[(r, t)] = total;
+        }
+    }
+    state.step_rows(&s, res_v);
+}
+
 /// The functional **Residual Kernel** attention body for one KV group:
 /// FP16 attention over the residual region (same Tensor Core path), folded
 /// into the shared state. Flushing (quantize + pack) is handled by the
 /// cache via the codec.
+///
+/// This is the materializing walk — it builds and transposes [`Tile`]s and
+/// round-trips fragments, which is what lets it model the non-cooperative
+/// `Wn > 1` softmax race. Valid configurations should prefer
+/// [`attend_residual_fused`], which produces bitwise-identical results
+/// without the materialization.
 #[allow(clippy::too_many_arguments)]
 pub fn attend_residual(
     q: &[Vec<f32>],
@@ -782,6 +844,68 @@ mod tests {
         assert_eq!(ops.total(), 0);
         let out = state.finish();
         assert!(out.iter().all(|row| row.iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn fused_residual_matches_materializing_bitwise() {
+        // The fused flat-layout residual walk must reproduce the
+        // materializing tile path EXACTLY (bit for bit) for every valid
+        // configuration — engines, odd head dims that underfill k-tiles,
+        // window lengths from one token to a full Nr-1, and warp counts
+        // that do or do not divide the window.
+        for engine in [MatmulEngine::Mma, MatmulEngine::Wgmma] {
+            for (rows, d, tokens) in [
+                (1, 16, 1),
+                (2, 32, 7),
+                (4, 64, 20),
+                (3, 24, 13), // d not a multiple of the 16-wide k-tile
+                (4, 128, 127),
+            ] {
+                let res_k =
+                    TokenMatrix::from_fn(tokens, d, |t, c| ((t * d + c) as f32 * 0.37).sin() * 2.0);
+                let res_v =
+                    TokenMatrix::from_fn(tokens, d, |t, c| ((t * 3 + c * 7) as f32 * 0.53).cos());
+                let q: Vec<Vec<f32>> = (0..rows)
+                    .map(|g| (0..d).map(|c| ((g * d + c) as f32 * 0.71).sin()).collect())
+                    .collect();
+                let scale = 1.0 / (d as f32).sqrt();
+                for wn in [1usize, 4] {
+                    let mut materializing = OnlineSoftmax::new(rows, d);
+                    attend_residual(
+                        &q,
+                        &res_k,
+                        &res_v,
+                        scale,
+                        wn,
+                        true,
+                        engine,
+                        &mut materializing,
+                    );
+                    let mut fused = OnlineSoftmax::new(rows, d);
+                    attend_residual_fused(&q, &res_k, &res_v, scale, engine, &mut fused);
+                    let a = materializing.finish();
+                    let b = fused.finish();
+                    for (ar, br) in a.iter().zip(&b) {
+                        for (x, y) in ar.iter().zip(br) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "{engine:?} rows={rows} d={d} tokens={tokens} wn={wn}: {x} vs {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_residual_empty_window_is_identity() {
+        let mut state = OnlineSoftmax::new(2, 16);
+        let empty = TokenMatrix::new(16);
+        let q = vec![vec![0.4f32; 16]; 2];
+        attend_residual_fused(&q, &empty, &empty, 0.25, MatmulEngine::Mma, &mut state);
+        assert!(state.finish().iter().all(|r| r.iter().all(|&x| x == 0.0)));
     }
 
     #[test]

@@ -22,6 +22,69 @@ use crate::arch::{GpuArch, Precision};
 use crate::profile::KernelProfile;
 use std::fmt;
 
+/// Analytic model of the inter-device link that tensor-parallel decode
+/// all-reduces over (NVLink/PCIe-class point-to-point ring).
+///
+/// The collective modelled is a **ring all-reduce**: `2·(N−1)` pipeline
+/// steps, each moving `payload / N` bytes per device, so every device
+/// sends (and receives) `2·(N−1)/N · payload` bytes per collective plus a
+/// per-hop latency floor. A single device does no communication. The model
+/// deliberately captures only bandwidth and hop latency — no congestion,
+/// no topology (every pair is one hop), no compute/comm overlap; the
+/// ROADMAP records these limits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectModel {
+    /// Per-direction link bandwidth per device, GB/s.
+    pub link_gbs: f64,
+    /// Per-hop latency floor, microseconds.
+    pub latency_us: f64,
+}
+
+impl InterconnectModel {
+    /// A custom link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(link_gbs: f64, latency_us: f64) -> Self {
+        assert!(link_gbs > 0.0, "link bandwidth must be positive");
+        InterconnectModel {
+            link_gbs,
+            latency_us,
+        }
+    }
+
+    /// NVLink-4 class link (H100 NVL: ~450 GB/s per direction).
+    pub fn nvlink4() -> Self {
+        InterconnectModel::new(450.0, 3.0)
+    }
+
+    /// PCIe Gen5 x16 class link (~64 GB/s).
+    pub fn pcie_gen5() -> Self {
+        InterconnectModel::new(64.0, 10.0)
+    }
+
+    /// Bytes each device sends over the ring to all-reduce a
+    /// `payload_bytes` tensor across `devices` devices.
+    pub fn allreduce_bytes_per_device(&self, payload_bytes: f64, devices: usize) -> f64 {
+        if devices <= 1 {
+            0.0
+        } else {
+            2.0 * (devices - 1) as f64 / devices as f64 * payload_bytes
+        }
+    }
+
+    /// Wall-clock seconds of the ring all-reduce (bandwidth term plus the
+    /// `2·(N−1)` hop-latency floor).
+    pub fn allreduce_s(&self, payload_bytes: f64, devices: usize) -> f64 {
+        if devices <= 1 {
+            return 0.0;
+        }
+        let wire = self.allreduce_bytes_per_device(payload_bytes, devices) / (self.link_gbs * 1e9);
+        wire + 2.0 * (devices - 1) as f64 * self.latency_us * 1e-6
+    }
+}
+
 /// Latency decomposition of one kernel (all times in seconds).
 ///
 /// `t_*` fields are *ideal* unit-busy times at full occupancy; the
@@ -288,6 +351,28 @@ mod tests {
         let mut p = KernelProfile::new("fp4");
         p.tc_macs_fp4 = 1e9;
         GpuArch::a100().evaluate(&p);
+    }
+
+    #[test]
+    fn interconnect_single_device_is_free() {
+        let link = InterconnectModel::nvlink4();
+        assert_eq!(link.allreduce_s(1e9, 1), 0.0);
+        assert_eq!(link.allreduce_bytes_per_device(1e9, 1), 0.0);
+    }
+
+    #[test]
+    fn interconnect_ring_scaling() {
+        let link = InterconnectModel::new(100.0, 0.0);
+        // 2-device ring moves exactly the payload per device.
+        assert!((link.allreduce_bytes_per_device(1e6, 2) - 1e6).abs() < 1e-6);
+        // Per-device bytes grow toward 2x payload as N grows.
+        assert!(link.allreduce_bytes_per_device(1e6, 8) > link.allreduce_bytes_per_device(1e6, 2));
+        assert!(link.allreduce_bytes_per_device(1e6, 1024) < 2e6);
+        // Bandwidth term: 1 MB at 100 GB/s ≈ 10 µs for 2 devices.
+        assert!((link.allreduce_s(1e6, 2) - 1e-5).abs() < 1e-9);
+        // Latency floor dominates tiny payloads.
+        let lat = InterconnectModel::new(100.0, 5.0);
+        assert!(lat.allreduce_s(8.0, 4) > 29e-6);
     }
 
     #[test]

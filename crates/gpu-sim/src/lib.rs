@@ -39,7 +39,7 @@ pub mod smem;
 pub mod tile;
 
 pub use arch::{ArchGen, GpuArch, Precision};
-pub use cost::LatencyBreakdown;
+pub use cost::{InterconnectModel, LatencyBreakdown};
 pub use fragment::{Fragment, FragmentLayout, MmaShape, Operand, WARP_LANES};
 pub use isa::{
     ldmatrix, lop3, mma, mma_block_scaled_fp4, shfl_xor_reduce, stsm, wgmma_ss, AccFragment,

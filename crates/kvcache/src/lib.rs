@@ -7,9 +7,12 @@
 //! [pack-layout configuration](crate::layout) that fixes the residual block
 //! size `Nr = Pn × Wn × R` (paper Eq. 1), the
 //! [packed + residual cache](crate::cache) itself, pluggable
-//! [block codecs](crate::codec), [paged management](crate::paged), and the
+//! [block codecs](crate::codec), [paged management](crate::paged), the
 //! [paged physical store](crate::store) that puts packed blocks and
-//! residual windows behind the page tables for the serving setting.
+//! residual windows behind the page tables for the serving setting, and
+//! the [device/placement layer](crate::placement) with its
+//! [head-sharded multi-device store](crate::sharded) for tensor-parallel
+//! serving.
 //!
 //! The cache is a *container*: how values are physically packed is decided
 //! by the [`BlockCodec`] that flushes each residual block. The
@@ -22,7 +25,9 @@ pub mod codec;
 pub mod layout;
 pub mod matrix;
 pub mod paged;
+pub mod placement;
 pub mod scheme;
+pub mod sharded;
 pub mod store;
 
 pub use block::{PackedBlock, PackedPayload, PackedTensor};
@@ -33,5 +38,7 @@ pub use codec::{
 pub use layout::{partition_prefill, PackLayout};
 pub use matrix::{TokenMatrix, TokenRows};
 pub use paged::{PageId, PagedOom, PagedPool, SeqId};
+pub use placement::{DeviceId, Partitioning, Placement};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};
+pub use sharded::{DeviceKvStats, ShardedKvStore};
 pub use store::{PagedKvStore, StoreError};

@@ -1,0 +1,260 @@
+//! The device/placement layer: which simulated accelerator owns which KV
+//! head.
+//!
+//! Long-context serving outgrows a single device's memory even at 2-bit
+//! (the KVQuant observation), so the KV cache and its attention work must
+//! shard. BitDecoding-RS shards **tensor-parallel along KV heads**: every
+//! head's full token history lives on exactly one device, so each
+//! `(sequence, kv-head)` attention unit runs entirely locally and only the
+//! per-head softmax partials — the `(m, l, unnormalized O)` triple of
+//! [`bd-core`'s `OnlineSoftmax`] — cross the interconnect in the per-step
+//! all-reduce. A [`Placement`] is the pure function from global head index
+//! to `(device, local head slot)`; the sharded store
+//! ([`crate::sharded::ShardedKvStore`]) and the serve scheduler both
+//! consult it, so storage and compute can never disagree about ownership.
+
+use std::fmt;
+
+/// A simulated device (GPU) identifier within a placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// How KV heads are assigned to devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// Head `h` lives on device `h mod N` (round-robin; balances head
+    /// counts for any `N`).
+    HeadModulo,
+    /// Heads are split into `N` contiguous ranges (the classic
+    /// tensor-parallel column split; devices `0..heads mod N` take one
+    /// extra head when the division is uneven).
+    HeadContiguous,
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::HeadModulo => write!(f, "head-modulo"),
+            Partitioning::HeadContiguous => write!(f, "head-contiguous"),
+        }
+    }
+}
+
+/// A concrete assignment of `heads` KV heads to `devices` devices.
+///
+/// Requested device counts above the head count are clamped: a device with
+/// zero heads would hold no data and do no work, so it is physically
+/// equivalent to not existing. Both partitionings are **deterministic pure
+/// functions** — placement never depends on runtime state, which is what
+/// keeps N-device serve runs bitwise-reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Placement {
+    devices: usize,
+    partitioning: Partitioning,
+    heads: usize,
+}
+
+impl Placement {
+    /// Builds a placement of `heads` KV heads over `devices` devices
+    /// (clamped to `1..=heads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` or `devices` is zero.
+    pub fn new(devices: usize, partitioning: Partitioning, heads: usize) -> Self {
+        assert!(heads > 0, "placement needs at least one KV head");
+        assert!(devices > 0, "placement needs at least one device");
+        Placement {
+            devices: devices.min(heads),
+            partitioning,
+            heads,
+        }
+    }
+
+    /// The trivial single-device placement.
+    pub fn single(heads: usize) -> Self {
+        Placement::new(1, Partitioning::HeadContiguous, heads)
+    }
+
+    /// Devices in the placement (after clamping).
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The partitioning rule.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// Total KV heads placed.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// First head of device `d`'s contiguous range and the range length.
+    /// Devices `0..heads % N` take `ceil(heads / N)` heads, the rest take
+    /// `floor(heads / N)`.
+    fn contiguous_range(&self, d: usize) -> (usize, usize) {
+        let base = self.heads / self.devices;
+        let rem = self.heads % self.devices;
+        let len = base + usize::from(d < rem);
+        let start = d * base + d.min(rem);
+        (start, len)
+    }
+
+    /// The device owning global head `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range.
+    pub fn device_of(&self, head: usize) -> DeviceId {
+        assert!(head < self.heads, "head {head} beyond {}", self.heads);
+        let d = match self.partitioning {
+            Partitioning::HeadModulo => head % self.devices,
+            Partitioning::HeadContiguous => {
+                let base = self.heads / self.devices;
+                let rem = self.heads % self.devices;
+                let boundary = rem * (base + 1);
+                if head < boundary {
+                    head / (base + 1)
+                } else {
+                    rem + (head - boundary) / base
+                }
+            }
+        };
+        DeviceId(d as u32)
+    }
+
+    /// The head's slot index within its owning device's local store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range.
+    pub fn local_index(&self, head: usize) -> usize {
+        assert!(head < self.heads, "head {head} beyond {}", self.heads);
+        match self.partitioning {
+            Partitioning::HeadModulo => head / self.devices,
+            Partitioning::HeadContiguous => {
+                let d = self.device_of(head).0 as usize;
+                head - self.contiguous_range(d).0
+            }
+        }
+    }
+
+    /// Number of heads resident on device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn heads_on(&self, d: DeviceId) -> usize {
+        let d = d.0 as usize;
+        assert!(d < self.devices, "device {d} beyond {}", self.devices);
+        match self.partitioning {
+            Partitioning::HeadModulo => {
+                self.heads / self.devices + usize::from(d < self.heads % self.devices)
+            }
+            Partitioning::HeadContiguous => self.contiguous_range(d).1,
+        }
+    }
+
+    /// Iterates the global head indices resident on device `d`, in local
+    /// slot order.
+    pub fn heads_of(&self, d: DeviceId) -> Vec<usize> {
+        (0..self.heads)
+            .filter(|&h| self.device_of(h) == d)
+            .collect()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} heads over {} devices ({})",
+            self.heads, self.devices, self.partitioning
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_a_partition_for_all_shapes() {
+        for heads in 1..=12 {
+            for devices in 1..=10 {
+                for p in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                    let pl = Placement::new(devices, p, heads);
+                    assert!(pl.devices() <= heads, "clamped");
+                    let mut per_device = vec![0usize; pl.devices()];
+                    for h in 0..heads {
+                        let d = pl.device_of(h);
+                        let local = pl.local_index(h);
+                        assert!(local < pl.heads_on(d), "{p:?} h={h}");
+                        per_device[d.0 as usize] += 1;
+                    }
+                    for (d, &count) in per_device.iter().enumerate() {
+                        assert_eq!(
+                            count,
+                            pl.heads_on(DeviceId(d as u32)),
+                            "{p:?} heads={heads} devices={devices} d={d}"
+                        );
+                        assert!(count > 0, "no empty devices after clamping");
+                    }
+                    // Local indices are a bijection per device.
+                    for d in 0..pl.devices() {
+                        let d = DeviceId(d as u32);
+                        let heads_of = pl.heads_of(d);
+                        let locals: Vec<usize> =
+                            heads_of.iter().map(|&h| pl.local_index(h)).collect();
+                        let want: Vec<usize> = (0..pl.heads_on(d)).collect();
+                        assert_eq!(locals, want, "{p:?} {d} local order");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_round_robins() {
+        let pl = Placement::new(3, Partitioning::HeadModulo, 8);
+        let devs: Vec<u32> = (0..8).map(|h| pl.device_of(h).0).collect();
+        assert_eq!(devs, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+        assert_eq!(pl.local_index(7), 2);
+        assert_eq!(pl.heads_on(DeviceId(0)), 3);
+        assert_eq!(pl.heads_on(DeviceId(2)), 2);
+    }
+
+    #[test]
+    fn contiguous_splits_ranges() {
+        let pl = Placement::new(3, Partitioning::HeadContiguous, 8);
+        let devs: Vec<u32> = (0..8).map(|h| pl.device_of(h).0).collect();
+        assert_eq!(devs, vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        assert_eq!(pl.local_index(3), 0);
+        assert_eq!(pl.local_index(7), 1);
+    }
+
+    #[test]
+    fn oversized_device_count_is_clamped() {
+        let pl = Placement::new(8, Partitioning::HeadModulo, 2);
+        assert_eq!(pl.devices(), 2);
+        assert_eq!(pl.device_of(1), DeviceId(1));
+    }
+
+    #[test]
+    fn single_is_one_device() {
+        let pl = Placement::single(5);
+        assert_eq!(pl.devices(), 1);
+        for h in 0..5 {
+            assert_eq!(pl.device_of(h), DeviceId(0));
+            assert_eq!(pl.local_index(h), h);
+        }
+    }
+}

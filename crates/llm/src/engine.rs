@@ -4,7 +4,7 @@
 use crate::model::ModelConfig;
 use bd_baselines::DecodeSystem;
 use bd_core::DecodeShape;
-use bd_gpu_sim::{GpuArch, KernelProfile, OverlapSpec};
+use bd_gpu_sim::{GpuArch, InterconnectModel, KernelProfile, OverlapSpec};
 
 /// Weight precision of the serving stack (QServe runs W4, others FP16).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,22 +34,33 @@ pub struct Engine<'a> {
     pub arch: GpuArch,
     /// Weight precision.
     pub weights: WeightPrecision,
+    /// The link model pricing tensor-parallel all-reduces when
+    /// `model.gpus > 1`.
+    pub interconnect: InterconnectModel,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine with FP16 weights.
+    /// Creates an engine with FP16 weights and an NVLink-class (300 GB/s
+    /// effective) interconnect.
     pub fn new(model: ModelConfig, system: &'a dyn DecodeSystem, arch: GpuArch) -> Self {
         Engine {
             model,
             system,
             arch,
             weights: WeightPrecision::Fp16,
+            interconnect: InterconnectModel::new(300.0, 3.0),
         }
     }
 
     /// Sets the weight precision (builder style).
     pub fn with_weights(mut self, weights: WeightPrecision) -> Self {
         self.weights = weights;
+        self
+    }
+
+    /// Overrides the interconnect link model (builder style).
+    pub fn with_interconnect(mut self, interconnect: InterconnectModel) -> Self {
+        self.interconnect = interconnect;
         self
     }
 
@@ -98,15 +109,22 @@ impl<'a> Engine<'a> {
     /// cost per layer for multi-GPU models).
     pub fn decode_step_latency(&self, batch: usize, seq_len: usize) -> f64 {
         let linear = self.arch.evaluate(&self.linear_profile(batch)).total;
-        let allreduce = if self.model.gpus > 1 {
-            // Ring all-reduce of the hidden activations over NVLink
-            // (~300 GB/s effective), twice per layer.
-            let bytes = batch as f64 * self.model.hidden as f64 * 2.0;
-            2.0 * self.model.layers as f64 * (bytes / 300e9 + 6e-6)
-        } else {
-            0.0
-        };
-        self.attention_step_latency(batch, seq_len) + linear + allreduce + Self::STACK_OVERHEAD_S
+        self.attention_step_latency(batch, seq_len)
+            + linear
+            + self.tp_allreduce_s(batch)
+            + Self::STACK_OVERHEAD_S
+    }
+
+    /// Tensor-parallel communication per decode step: a ring all-reduce of
+    /// the hidden activations on the [`InterconnectModel`], twice per
+    /// layer (after attention-out and after the MLP). Zero for a
+    /// single-GPU model.
+    pub fn tp_allreduce_s(&self, batch: usize) -> f64 {
+        if self.model.gpus <= 1 {
+            return 0.0;
+        }
+        let bytes = batch as f64 * self.model.hidden as f64 * 2.0;
+        2.0 * self.model.layers as f64 * self.interconnect.allreduce_s(bytes, self.model.gpus)
     }
 
     /// Attention-only latency of one decode step across all layers —
@@ -213,6 +231,25 @@ mod tests {
         let engine = Engine::new(ModelConfig::llama31_70b(), &bd, GpuArch::a100());
         let t = engine.decode_step_latency(8, 32768);
         assert!(t > 5e-3 && t < 0.2, "70B step {t}");
+    }
+
+    #[test]
+    fn tp_allreduce_is_charged_on_the_link_model() {
+        let bd = BitDecodingSys::kc4();
+        let single = Engine::new(ModelConfig::llama31_8b(), &bd, GpuArch::a100());
+        assert_eq!(single.tp_allreduce_s(8), 0.0, "1 GPU = no communication");
+        let fast = Engine::new(ModelConfig::llama31_70b(), &bd, GpuArch::a100());
+        let slow = Engine::new(ModelConfig::llama31_70b(), &bd, GpuArch::a100())
+            .with_interconnect(InterconnectModel::pcie_gen5());
+        assert!(fast.tp_allreduce_s(8) > 0.0);
+        assert!(
+            slow.tp_allreduce_s(64) > fast.tp_allreduce_s(64),
+            "a slower link must cost more"
+        );
+        assert!(
+            slow.decode_step_latency(64, 32768) > fast.decode_step_latency(64, 32768),
+            "the charge reaches the step latency"
+        );
     }
 
     #[test]

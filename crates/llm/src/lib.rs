@@ -23,4 +23,6 @@ pub use batching::{simulate_continuous_batching, synth_trace, BatchSimReport, Re
 pub use engine::{Engine, WeightPrecision};
 pub use memory::{MemoryModel, OomError, RESERVE_BYTES};
 pub use model::ModelConfig;
-pub use serving::{max_throughput, serve_functional, FunctionalServeReport, ServingReport};
+pub use serving::{
+    max_throughput, serve_functional, serve_trace_functional, FunctionalServeReport, ServingReport,
+};

@@ -4,6 +4,7 @@
 //! runtime (`bd-serve`) — concurrent sequences decoding actual values
 //! through the fused kernel over paged packed storage.
 
+use crate::batching::Request;
 use crate::engine::{Engine, WeightPrecision};
 use crate::memory::MemoryModel;
 use crate::model::ModelConfig;
@@ -147,9 +148,75 @@ pub fn serve_functional(
     })
 }
 
+/// Runs the Page serving setting functionally under a **trace-driven
+/// arrival process**: the same [`Request`] traces the analytic
+/// continuous-batching simulator ([`crate::batching`]) consumes drive the
+/// real `bd-serve` runtime. Each request's `arrival_s` maps to a decode
+/// step at `steps_per_s` and joins the session through
+/// [`ServeSession::submit_at`], so sequences enter mid-run as pages free
+/// up instead of draining a pre-filled queue; an idle session
+/// fast-forwards to the next arrival. Per-request synthetic values are
+/// seeded by trace position, so the emitted streams are reproducible and
+/// bitwise-checkable against per-sequence contiguous replay.
+///
+/// # Errors
+///
+/// Propagates [`SubmitError`] when any request cannot be served under
+/// `config`.
+///
+/// # Panics
+///
+/// Panics if `steps_per_s` is not positive.
+pub fn serve_trace_functional(
+    arch: GpuArch,
+    attn: AttentionConfig,
+    scheme: QuantScheme,
+    trace: &[Request],
+    steps_per_s: f64,
+    config: ServeConfig,
+) -> Result<FunctionalServeReport, SubmitError> {
+    assert!(steps_per_s > 0.0, "steps_per_s must be positive");
+    let decoder = BitDecoder::builder(arch)
+        .attention(attn)
+        .scheme(scheme)
+        .paged(true)
+        .build();
+    let mut session = ServeSession::new(decoder, config);
+    let ids = trace
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            let arrival_step = (req.arrival_s * steps_per_s).floor() as usize;
+            session.submit_at(
+                arrival_step,
+                Box::new(SynthSequence::new(
+                    attn,
+                    i as u64,
+                    req.prompt_tokens,
+                    req.gen_tokens,
+                )),
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let summary = session.run_to_completion();
+    Ok(FunctionalServeReport {
+        sequences: trace.len(),
+        completed: summary.completed,
+        steps: summary.steps,
+        kv_tokens: summary.kv_tokens,
+        kv_tokens_per_s: summary.kv_tokens_per_s,
+        dequant_slots: u64::from(summary.dequant.total()),
+        token_streams: ids
+            .iter()
+            .map(|id| session.stream(*id).expect("submitted").to_vec())
+            .collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batching::synth_trace;
     use bd_baselines::{BitDecodingSys, CudaOnly, FlashDecoding};
     use bd_serve::replay_contiguous;
 
@@ -184,6 +251,58 @@ mod tests {
             let want = replay_contiguous(&dec, &mut SynthSequence::new(attn, i as u64, 140, 3));
             assert_eq!(stream, &want, "sequence {i}");
         }
+    }
+
+    #[test]
+    fn trace_driven_serving_admits_mid_run_and_matches_replay() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        // A tight pool: later arrivals must wait for earlier sequences'
+        // pages.
+        let trace = synth_trace(1.5, 8.0, (40, 120), 3, 7);
+        assert!(trace.len() > 2, "trace has several arrivals");
+        let config =
+            ServeConfig::new(16, 32, 0, 4).with_devices(2, bd_kvcache::Partitioning::HeadModulo);
+        let r = serve_trace_functional(
+            GpuArch::a100(),
+            attn,
+            QuantScheme::kc4(),
+            &trace,
+            2.0,
+            config,
+        )
+        .unwrap();
+        assert_eq!(r.completed, trace.len(), "every arrival is served");
+        let dec = BitDecoder::builder(GpuArch::a100())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        for (i, (req, stream)) in trace.iter().zip(&r.token_streams).enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::new(attn, i as u64, req.prompt_tokens, req.gen_tokens),
+            );
+            assert_eq!(stream, &want, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn trace_driven_serving_is_deterministic() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let trace = synth_trace(2.0, 5.0, (30, 80), 2, 11);
+        let run = || {
+            serve_trace_functional(
+                GpuArch::a100(),
+                attn,
+                QuantScheme::kc2(),
+                &trace,
+                4.0,
+                ServeConfig::new(8, 32, 1, 2),
+            )
+            .unwrap()
+            .token_streams
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,34 +1,41 @@
 #![warn(missing_docs)]
 
-//! # bd-serve — the batched decode runtime
+//! # bd-serve — the tensor-parallel batched decode runtime
 //!
 //! Where `bd-llm` *prices* serving analytically, this crate *executes* it:
 //! many concurrent sequences decode real values through the PR-1 fused
-//! flat-layout kernel over paged packed KV storage — the paper's "Page"
-//! serving setting (§VI-A, Fig. 13) as a running system rather than a cost
-//! model.
+//! flat-layout kernel over paged packed KV storage **sharded across
+//! simulated devices** — the paper's "Page" serving setting (§VI-A,
+//! Fig. 13) scaled out tensor-parallel, as a running system rather than a
+//! cost model.
 //!
-//! Three layers compose:
+//! Three layers compose, all placement-aware:
 //!
-//! * **Storage** — [`bd_kvcache::PagedKvStore`]: physical page arenas
-//!   holding packed low-bit K/V blocks plus each sequence's FP16 residual
-//!   window, addressed through [`bd_kvcache::PagedPool`] page tables with a
-//!   contiguous-equivalence invariant (paged content is bitwise identical
-//!   to a contiguous cache with the same history).
-//! * **Execution** — [`workers::WorkerPool`]: a persistent pool that fans
-//!   `(sequence, kv-head)` work units across threads each decode step.
-//!   Each unit runs [`bd_core::BitDecoder::attend_head`] — the exact
-//!   per-head body of the single-sequence decode path — so batch- and
-//!   head-level parallelism compose with the kernel's own split-K sharding
+//! * **Storage** — [`bd_kvcache::ShardedKvStore`]: KV heads partitioned
+//!   over per-device [`bd_kvcache::PagedKvStore`] page arenas (head-modulo
+//!   or head-contiguous [`bd_kvcache::Placement`]), each device with its
+//!   own deterministic page pool, capacity, and eviction accounting, under
+//!   the sharding invariant (every head's bytes identical to the
+//!   single-device layout).
+//! * **Execution** — [`workers::WorkerPool`]: persistent **device-pinned**
+//!   worker groups that fan `(sequence, kv-head, device)` work units each
+//!   decode step. Each unit runs [`bd_core::BitDecoder::attend_head_partial`]
+//!   — the per-head body of the single-sequence decode path, un-normalized
+//!   — against only its own device's arena, so batch-, head-, and
+//!   device-level parallelism compose with the kernel's split-K sharding
 //!   while results stay **bitwise identical** to per-sequence
-//!   [`bd_core::BitDecoder::decode`], at any worker count.
-//! * **Scheduling** — [`session::ServeSession`]: submit / step / stream.
-//!   Requests admit FCFS against the page pool (prompt + generation budget
-//!   reserved up front, so a running sequence never OOMs mid-decode), every
-//!   step re-forms the batch, finished sequences are sealed and evicted so
-//!   their pages recycle, and each step reports [`session::ServeMetrics`]
-//!   (aggregate KV-tokens/s, fast-dequant telemetry, pool utilization, and
-//!   the analytic model's price for the same step shape).
+//!   [`bd_core::BitDecoder::decode`], at any worker *and device* count.
+//! * **Scheduling** — [`session::ServeSession`]: submit / step / stream,
+//!   plus trace-driven arrivals ([`session::ServeSession::submit_at`]) so
+//!   sequences join mid-run when pages free up. Requests admit FCFS
+//!   against every device's page pool (prompt + generation budget reserved
+//!   up front, so a running sequence never OOMs mid-decode), every step
+//!   re-forms the batch, **merges each head's device partials** through
+//!   `OnlineSoftmax::merge` — the simulated all-reduce, exact by
+//!   construction — and each step reports [`session::ServeMetrics`]
+//!   (aggregate KV-tokens/s, fast-dequant telemetry, per-device
+//!   utilization and page occupancy, and the analytic price of the step's
+//!   compute plus its ring-all-reduce interconnect traffic).
 //!
 //! The driver supplies per-sequence behaviour through
 //! [`model::SequenceModel`] — the stand-in for the transformer's QKV
@@ -40,7 +47,7 @@
 //! ```
 //! use bd_core::{AttentionConfig, BitDecoder};
 //! use bd_gpu_sim::GpuArch;
-//! use bd_kvcache::QuantScheme;
+//! use bd_kvcache::{Partitioning, QuantScheme};
 //! use bd_serve::{ServeConfig, ServeSession, SynthSequence};
 //!
 //! let attn = AttentionConfig::gqa(4, 2, 16);
@@ -49,12 +56,14 @@
 //!     .scheme(QuantScheme::kc4())
 //!     .paged(true)
 //!     .build();
-//! let mut session = ServeSession::new(dec, ServeConfig::new(256, 64, 2, 8));
+//! let config = ServeConfig::new(256, 64, 2, 8).with_devices(2, Partitioning::HeadModulo);
+//! let mut session = ServeSession::new(dec, config);
 //! let id = session
 //!     .submit(Box::new(SynthSequence::new(attn, 7, 40, 3)))
 //!     .unwrap();
 //! let summary = session.run_to_completion();
 //! assert_eq!(summary.completed, 1);
+//! assert_eq!(summary.devices, 2);
 //! assert_eq!(session.stream(id).unwrap().len(), 3);
 //! ```
 
@@ -63,5 +72,8 @@ pub mod session;
 pub mod workers;
 
 pub use model::{replay_contiguous, SequenceModel, StepKv, SynthSequence};
-pub use session::{RequestId, ServeConfig, ServeMetrics, ServeSession, ServeSummary, SubmitError};
+pub use session::{
+    DeviceStepMetrics, RequestId, ServeConfig, ServeMetrics, ServeSession, ServeSummary,
+    SubmitError,
+};
 pub use workers::WorkerPool;

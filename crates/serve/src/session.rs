@@ -1,23 +1,29 @@
 //! The decode-step scheduler and its session front end.
 //!
-//! [`ServeSession`] is the runtime's control loop: requests queue FCFS,
-//! admission reserves each request's full prompt + generation page budget
-//! against the [`PagedKvStore`] (so an admitted sequence never OOMs
+//! [`ServeSession`] is the runtime's control loop: requests queue FCFS
+//! (either pre-filled via [`ServeSession::submit`] or joining mid-run
+//! through [`ServeSession::submit_at`]'s trace-driven arrivals), admission
+//! reserves each request's full prompt + generation page budget **on every
+//! device** of the [`ShardedKvStore`] (so an admitted sequence never OOMs
 //! mid-decode — the no-preemption discipline of the paper's Page serving
 //! evaluation), and every [`ServeSession::step`] re-forms the batch, fans
-//! one work unit per `(sequence, kv-head)` across the persistent
-//! [`WorkerPool`], appends each sequence's new KV token, and retires
-//! finished sequences so their pages recycle into the admission queue.
+//! one work unit per `(sequence, kv-head, device)` across the device-pinned
+//! [`WorkerPool`] groups, **merges each head's softmax partials** (the
+//! simulated all-reduce, exact by `OnlineSoftmax::merge`), appends each
+//! sequence's new KV token, and retires finished sequences so their pages
+//! recycle into the admission queue.
 //!
 //! Each step yields a [`ServeMetrics`] sample pairing the *measured*
-//! aggregate KV-throughput and fast-dequant telemetry with the *analytic*
-//! price of the same step shape — the bridge between this functional
-//! runtime and the `bd-llm` cost model.
+//! aggregate KV-throughput, fast-dequant telemetry, and per-device
+//! utilization with the *analytic* price of the same step shape — compute
+//! from the kernel cost model, communication from the
+//! [`InterconnectModel`]'s ring all-reduce of the step's output partials.
 
 use crate::model::SequenceModel;
 use crate::workers::{WorkUnit, WorkerPool};
-use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape};
-use bd_kvcache::{PagedKvStore, SeqId};
+use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape, OnlineSoftmax};
+use bd_gpu_sim::InterconnectModel;
+use bd_kvcache::{DeviceId, Partitioning, Placement, SeqId, ShardedKvStore};
 use bd_lowbit::fastpath::FastDequantOps;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -30,18 +36,26 @@ pub type RequestId = u64;
 /// Static configuration of a serve session.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Page pool capacity in pages.
+    /// Page pool capacity in pages, **per device**.
     pub total_pages: usize,
     /// Tokens per page.
     pub page_tokens: usize,
-    /// Persistent decode workers (0 = run units inline).
+    /// Persistent decode workers per device group (0 = run units inline).
     pub workers: usize,
     /// Maximum concurrently decoding sequences.
     pub max_batch: usize,
+    /// Simulated devices the KV heads shard across (clamped to the head
+    /// count; 1 = the single-device runtime of earlier revisions).
+    pub devices: usize,
+    /// How KV heads map to devices.
+    pub partitioning: Partitioning,
+    /// The link model pricing the per-step output all-reduce.
+    pub link: InterconnectModel,
 }
 
 impl ServeConfig {
-    /// Builds a config.
+    /// Builds a single-device config (NVLink-class link defaults apply if
+    /// later sharded via [`ServeConfig::with_devices`]).
     ///
     /// # Panics
     ///
@@ -54,19 +68,41 @@ impl ServeConfig {
             page_tokens,
             workers,
             max_batch,
+            devices: 1,
+            partitioning: Partitioning::HeadContiguous,
+            link: InterconnectModel::nvlink4(),
         }
+    }
+
+    /// Shards the session across `devices` simulated devices under
+    /// `partitioning`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn with_devices(mut self, devices: usize, partitioning: Partitioning) -> Self {
+        assert!(devices > 0, "at least one device");
+        self.devices = devices;
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// Overrides the interconnect link model.
+    pub fn with_link(mut self, link: InterconnectModel) -> Self {
+        self.link = link;
+        self
     }
 }
 
 /// Why a request was rejected at submission.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The request's prompt + generation budget exceeds the whole pool; it
-    /// could never be admitted.
+    /// The request's prompt + generation budget exceeds a device's whole
+    /// pool; it could never be admitted.
     TooLarge {
-        /// Pages the request needs.
+        /// Pages the request needs (per device).
         needed_pages: usize,
-        /// Pages the pool has in total.
+        /// Pages each device pool has in total.
         total_pages: usize,
     },
     /// The request asks for zero generated tokens — there is nothing to
@@ -82,7 +118,7 @@ impl fmt::Display for SubmitError {
                 total_pages,
             } => write!(
                 f,
-                "request needs {needed_pages} pages but the pool only has {total_pages}"
+                "request needs {needed_pages} pages but each device pool only has {total_pages}"
             ),
             SubmitError::EmptyGeneration => write!(f, "request generates zero tokens"),
         }
@@ -91,8 +127,26 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Per-step runtime report.
+/// One device's share of a decode step (the measured half of the
+/// tensor-parallel trajectory).
 #[derive(Clone, Copy, Debug)]
+pub struct DeviceStepMetrics {
+    /// The device.
+    pub device: usize,
+    /// Work units (sequence × local head) this device executed.
+    pub units: usize,
+    /// KV tokens this device's units attended.
+    pub kv_tokens: usize,
+    /// This device's attended tokens relative to the critical-path device
+    /// (1.0 = on the critical path; lower = idle tail in a synchronous
+    /// step).
+    pub utilization: f64,
+    /// Page occupancy of this device's pool after the step.
+    pub page_occupancy: f64,
+}
+
+/// Per-step runtime report.
+#[derive(Clone, Debug)]
 pub struct ServeMetrics {
     /// Step index within the session.
     pub step: usize,
@@ -104,19 +158,38 @@ pub struct ServeMetrics {
     pub completed: usize,
     /// KV tokens attended across the batch (Σ per-sequence context length).
     pub kv_tokens: usize,
-    /// Measured wall-clock of the decode phases — attention fan-out, model
-    /// advance, KV append — excluding admission/prefill and the models'
-    /// query construction, seconds.
+    /// Measured wall-clock of the decode phases — attention fan-out,
+    /// partial merge, model advance, KV append — excluding
+    /// admission/prefill and the models' query construction, seconds.
     pub wall_s: f64,
     /// Aggregate measured KV-tokens per second for this step.
     pub kv_tokens_per_s: f64,
     /// Fast-dequant instructions streamed by the fused kernels this step.
     pub dequant: FastDequantOps,
-    /// Page-pool utilization after the step.
+    /// Aggregate page-pool utilization after the step (all devices).
     pub pool_utilization: f64,
     /// What the analytic cost model prices this step's shape at on the
-    /// session's target GPU, seconds.
+    /// session's target GPU, seconds (compute only).
     pub modeled_step_s: f64,
+    /// Devices the step sharded across.
+    pub devices: usize,
+    /// Per-device execution/occupancy breakdown.
+    pub per_device: Vec<DeviceStepMetrics>,
+    /// Bytes each device moved over the link to all-reduce the step's
+    /// output partials (0 for a single device).
+    pub allreduce_bytes_per_device: f64,
+    /// What the link model prices that all-reduce at, seconds.
+    pub modeled_interconnect_s: f64,
+}
+
+impl ServeMetrics {
+    /// Mean per-device utilization (1.0 = perfectly balanced step).
+    pub fn mean_device_utilization(&self) -> f64 {
+        if self.per_device.is_empty() {
+            return 0.0;
+        }
+        self.per_device.iter().map(|d| d.utilization).sum::<f64>() / self.per_device.len() as f64
+    }
 }
 
 /// Aggregate outcome of [`ServeSession::run_to_completion`].
@@ -135,6 +208,12 @@ pub struct ServeSummary {
     pub kv_tokens_per_s: f64,
     /// Total fast-dequant instructions streamed.
     pub dequant: FastDequantOps,
+    /// Devices the session sharded across.
+    pub devices: usize,
+    /// Mean over steps of the mean per-device utilization.
+    pub mean_device_utilization: f64,
+    /// Total modeled all-reduce time across the run, seconds.
+    pub modeled_interconnect_s: f64,
 }
 
 struct ActiveSeq {
@@ -148,8 +227,11 @@ struct ActiveSeq {
 /// The batched decode runtime session — see the [module docs](self).
 pub struct ServeSession {
     decoder: Arc<BitDecoder>,
-    store: Arc<PagedKvStore>,
+    store: Arc<ShardedKvStore>,
     pool: WorkerPool,
+    /// Trace arrivals not yet due, sorted by arrival step (FCFS within a
+    /// step).
+    arrivals: VecDeque<(usize, RequestId, Box<dyn SequenceModel>)>,
     pending: VecDeque<(RequestId, Box<dyn SequenceModel>)>,
     active: Vec<ActiveSeq>,
     streams: BTreeMap<RequestId, Vec<u32>>,
@@ -162,19 +244,21 @@ pub struct ServeSession {
 
 impl ServeSession {
     /// Creates a session serving `decoder`'s model/GPU configuration under
-    /// `config`'s pool and batch limits.
+    /// `config`'s pool, batch, and device limits.
     pub fn new(decoder: BitDecoder, config: ServeConfig) -> Self {
         let cache_config = decoder.cache_config();
         let heads = decoder.attention().heads_kv;
+        let placement = Placement::new(config.devices, config.partitioning, heads);
         ServeSession {
             decoder: Arc::new(decoder),
-            store: Arc::new(PagedKvStore::new(
+            store: Arc::new(ShardedKvStore::new(
                 cache_config,
-                heads,
+                placement,
                 config.total_pages,
                 config.page_tokens,
             )),
-            pool: WorkerPool::new(config.workers),
+            pool: WorkerPool::new(config.workers, placement.devices()),
+            arrivals: VecDeque::new(),
             pending: VecDeque::new(),
             active: Vec::new(),
             streams: BTreeMap::new(),
@@ -191,14 +275,24 @@ impl ServeSession {
         &self.decoder
     }
 
-    /// The paged KV store (read-only view).
-    pub fn store(&self) -> &PagedKvStore {
+    /// The sharded KV store (read-only view).
+    pub fn store(&self) -> &ShardedKvStore {
         &self.store
     }
 
-    /// Requests waiting for admission.
+    /// Devices the session shards across (after placement clamping).
+    pub fn devices(&self) -> usize {
+        self.store.devices()
+    }
+
+    /// Requests waiting for admission (due arrivals + FCFS queue).
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Requests whose arrival step has not been reached yet.
+    pub fn future_arrivals(&self) -> usize {
+        self.arrivals.len()
     }
 
     /// Sequences currently decoding.
@@ -221,15 +315,7 @@ impl ServeSession {
         &self.metrics
     }
 
-    /// Queues a request. Admission happens FCFS at the next step with
-    /// enough free pages; the assigned [`RequestId`] is live immediately
-    /// (its [`ServeSession::stream`] starts empty).
-    ///
-    /// # Errors
-    ///
-    /// Rejects requests whose page budget exceeds the whole pool, and
-    /// requests with nothing to generate.
-    pub fn submit(&mut self, model: Box<dyn SequenceModel>) -> Result<RequestId, SubmitError> {
+    fn validate(&self, model: &dyn SequenceModel) -> Result<(), SubmitError> {
         if model.gen_tokens() == 0 {
             return Err(SubmitError::EmptyGeneration);
         }
@@ -241,6 +327,19 @@ impl ServeSession {
                 total_pages: self.config.total_pages,
             });
         }
+        Ok(())
+    }
+
+    /// Queues a request. Admission happens FCFS at the next step with
+    /// enough free pages; the assigned [`RequestId`] is live immediately
+    /// (its [`ServeSession::stream`] starts empty).
+    ///
+    /// # Errors
+    ///
+    /// Rejects requests whose per-device page budget exceeds a whole
+    /// device pool, and requests with nothing to generate.
+    pub fn submit(&mut self, model: Box<dyn SequenceModel>) -> Result<RequestId, SubmitError> {
+        self.validate(model.as_ref())?;
         let id = self.next_id;
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
@@ -248,20 +347,62 @@ impl ServeSession {
         Ok(id)
     }
 
+    /// Queues a request that **arrives** at decode step `arrival_step`
+    /// (trace-driven admission): it stays invisible to the scheduler until
+    /// that step, then joins the FCFS queue and is admitted when pages free
+    /// up — sequences join mid-run instead of draining a pre-filled queue.
+    /// An idle session fast-forwards to the next arrival rather than
+    /// spinning empty steps.
+    ///
+    /// Arrivals at or before the current step behave exactly like
+    /// [`ServeSession::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same rejection rules as [`ServeSession::submit`].
+    pub fn submit_at(
+        &mut self,
+        arrival_step: usize,
+        model: Box<dyn SequenceModel>,
+    ) -> Result<RequestId, SubmitError> {
+        self.validate(model.as_ref())?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.insert(id, Vec::new());
+        if arrival_step <= self.step_index {
+            self.pending.push_back((id, model));
+        } else {
+            // Sorted insert; FCFS among equal arrival steps.
+            let pos = self
+                .arrivals
+                .partition_point(|(s, _, _)| *s <= arrival_step);
+            self.arrivals.insert(pos, (arrival_step, id, model));
+        }
+        Ok(id)
+    }
+
     /// Regains exclusive store access after a parallel phase. Workers drop
     /// their `Arc` clones before reporting results, so by the time every
     /// result is collected the count is (momentarily) back to one; the spin
     /// only covers the tail of that hand-back.
-    fn store_mut(&mut self) -> &mut PagedKvStore {
+    fn store_mut(&mut self) -> &mut ShardedKvStore {
         while Arc::strong_count(&self.store) > 1 {
             std::thread::yield_now();
         }
         Arc::get_mut(&mut self.store).expect("no outstanding store refs")
     }
 
-    /// Admits pending requests FCFS while pages and the batch cap allow;
-    /// returns how many were admitted.
-    fn try_admit(&mut self) -> usize {
+    /// Moves arrivals due at the current step into the FCFS queue, then
+    /// admits pending requests while pages (on every device) and the batch
+    /// cap allow; returns how many were admitted.
+    fn admit_due(&mut self) -> usize {
+        while let Some((step, _, _)) = self.arrivals.front() {
+            if *step > self.step_index {
+                break;
+            }
+            let (_, id, model) = self.arrivals.pop_front().expect("checked front");
+            self.pending.push_back((id, model));
+        }
         let mut admitted = 0;
         while self.active.len() < self.config.max_batch {
             let Some((id, mut model)) = self.pending.pop_front() else {
@@ -296,24 +437,34 @@ impl ServeSession {
         admitted
     }
 
-    /// Runs one decode step: admit → batch attention over the worker pool
-    /// → advance models / append KV → retire finished sequences.
+    /// Runs one decode step: admit (arrivals + FCFS queue) → batch
+    /// attention over the device-pinned worker groups → merge per-head
+    /// partials (the simulated all-reduce) → advance models / append KV →
+    /// retire finished sequences.
     ///
     /// Returns the step's metrics, or `None` when no work remains (the
-    /// session is drained).
+    /// session is drained). If the session is idle but future arrivals
+    /// exist, it fast-forwards to the next arrival step.
     pub fn step(&mut self) -> Option<ServeMetrics> {
-        let admitted = self.try_admit();
-        if self.active.is_empty() {
-            return None;
+        let mut admitted = self.admit_due();
+        while self.active.is_empty() {
+            // Idle: jump to the next trace arrival (or drain).
+            let &(next, _, _) = self.arrivals.front()?;
+            self.step_index = next.max(self.step_index);
+            admitted += self.admit_due();
         }
         let attn = *self.decoder.attention();
         let heads_kv = attn.heads_kv;
+        let placement = *self.store.placement();
+        let devices = placement.devices();
 
-        // Batch formation: one unit per (sequence, kv-head).
+        // Batch formation: one unit per (sequence, kv-head, owning device).
         let mut units = Vec::with_capacity(self.active.len() * heads_kv);
         let mut kv_tokens = 0usize;
         let mut max_len = 0usize;
         let mut max_res = 0usize;
+        let mut dev_units = vec![0usize; devices];
+        let mut dev_tokens = vec![0usize; devices];
         for a in &mut self.active {
             let len = self.store.seq_len(a.seq).expect("active sequence");
             kv_tokens += len;
@@ -321,19 +472,23 @@ impl ServeSession {
             max_res = max_res.max(self.store.residual_len(a.seq));
             let q = a.model.query(a.step);
             for (kv, q_block) in query_transform(&q, &attn).into_iter().enumerate() {
+                let device = placement.device_of(kv);
+                dev_units[device.0 as usize] += 1;
+                dev_tokens[device.0 as usize] += len;
                 units.push(WorkUnit {
                     unit: units.len(),
                     seq: a.seq,
                     head: kv,
+                    device,
                     q_block,
                 });
             }
         }
         let batch = self.active.len();
-        // Time only the decode work (attention fan-out, model advance,
-        // append) — not admission/prefill or the user model's query
-        // construction above, so kv_tokens_per_s reports the runtime's own
-        // throughput.
+        // Time only the decode work (attention fan-out, partial merge,
+        // model advance, append) — not admission/prefill or the user
+        // model's query construction above, so kv_tokens_per_s reports the
+        // runtime's own throughput.
         let t0 = Instant::now();
         let mut results = self.pool.run_step(units, &self.store, &self.decoder);
 
@@ -345,11 +500,17 @@ impl ServeSession {
         let codec = self.decoder.codec();
         let mut appends = Vec::with_capacity(batch);
         for (a, chunk) in self.active.iter_mut().zip(results.chunks_mut(heads_kv)) {
-            // Move the rows out of the owned results — no per-step clone of
-            // the attention outputs on the scheduler's hot loop.
+            // The simulated all-reduce: each head's device partials merge
+            // through the exact log-sum-exp combine, then normalize once.
+            // Under head placement every head has exactly one partial, so
+            // the merge is the identity and the output is bitwise equal to
+            // the single-device path.
             let blocks: Vec<Vec<Vec<f32>>> = chunk
                 .iter_mut()
-                .map(|r| std::mem::take(&mut r.rows))
+                .map(|r| {
+                    let partial = std::mem::replace(&mut r.partial, OnlineSoftmax::new(0, 0));
+                    Self::reduce_head_partials(std::iter::once(partial))
+                })
                 .collect();
             let output = ungroup_outputs(&blocks, &attn);
             let step_kv = a.model.advance(a.step, &output);
@@ -390,6 +551,33 @@ impl ServeSession {
         }
         self.active.retain(|a| a.remaining > 0);
 
+        // Per-device trajectory: tokens attended vs the critical path,
+        // plus each device's page occupancy.
+        let max_dev_tokens = dev_tokens.iter().copied().max().unwrap_or(0);
+        let per_device: Vec<DeviceStepMetrics> = (0..devices)
+            .map(|d| DeviceStepMetrics {
+                device: d,
+                units: dev_units[d],
+                kv_tokens: dev_tokens[d],
+                utilization: if max_dev_tokens > 0 {
+                    dev_tokens[d] as f64 / max_dev_tokens as f64
+                } else {
+                    0.0
+                },
+                page_occupancy: self.store.device_stats(DeviceId(d as u32)).utilization,
+            })
+            .collect();
+
+        // The all-reduce payload: every head's un-normalized partial —
+        // g_q rows of (d accumulators + m + l) f32s — for every sequence.
+        let payload_bytes =
+            (batch * attn.heads_q * (attn.head_dim + 2) * std::mem::size_of::<f32>()) as f64;
+        let allreduce_bytes_per_device = self
+            .config
+            .link
+            .allreduce_bytes_per_device(payload_bytes, devices);
+        let modeled_interconnect_s = self.config.link.allreduce_s(payload_bytes, devices);
+
         let shape = DecodeShape::new(batch, attn, max_len.max(1)).with_residual(max_res);
         let m = ServeMetrics {
             step: self.step_index,
@@ -406,10 +594,22 @@ impl ServeSession {
             dequant,
             pool_utilization: self.store.utilization(),
             modeled_step_s: self.decoder.latency(&shape).total_s,
+            devices,
+            per_device,
+            allreduce_bytes_per_device,
+            modeled_interconnect_s,
         };
         self.step_index += 1;
-        self.metrics.push(m);
+        self.metrics.push(m.clone());
         Some(m)
+    }
+
+    /// Folds one head's device partials into normalized output rows —
+    /// `OnlineSoftmax::merge` over however many partials the placement
+    /// produced (exactly one under head partitioning; the merge is exact
+    /// for any split).
+    fn reduce_head_partials(partials: impl Iterator<Item = OnlineSoftmax>) -> Vec<Vec<f32>> {
+        OnlineSoftmax::merge(partials.collect()).finish()
     }
 
     /// Steps until every submitted request has finished, returning the
@@ -435,6 +635,16 @@ impl ServeSession {
                 0.0
             },
             dequant,
+            devices: self.devices(),
+            mean_device_utilization: if run.is_empty() {
+                0.0
+            } else {
+                run.iter()
+                    .map(ServeMetrics::mean_device_utilization)
+                    .sum::<f64>()
+                    / run.len() as f64
+            },
+            modeled_interconnect_s: run.iter().map(|m| m.modeled_interconnect_s).sum(),
         }
     }
 }
@@ -487,6 +697,95 @@ mod tests {
     }
 
     #[test]
+    fn sharded_session_streams_match_single_device_bitwise() {
+        let attn = AttentionConfig::gqa(8, 4, 16);
+        let streams_at = |devices: usize, part: Partitioning| -> Vec<Vec<u32>> {
+            let config = ServeConfig::new(128, 32, 1, 4).with_devices(devices, part);
+            let mut session = ServeSession::new(decoder(attn), config);
+            let ids: Vec<_> = (0..3)
+                .map(|i| {
+                    session
+                        .submit(Box::new(SynthSequence::new(
+                            attn,
+                            i,
+                            80 + 30 * i as usize,
+                            3,
+                        )))
+                        .unwrap()
+                })
+                .collect();
+            let summary = session.run_to_completion();
+            assert_eq!(summary.completed, 3);
+            assert_eq!(summary.devices, devices.min(attn.heads_kv));
+            ids.iter()
+                .map(|id| session.stream(*id).unwrap().to_vec())
+                .collect()
+        };
+        let single = streams_at(1, Partitioning::HeadContiguous);
+        for devices in [2usize, 3, 4] {
+            for part in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                assert_eq!(
+                    single,
+                    streams_at(devices, part),
+                    "devices={devices} {part}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_metrics_report_per_device_breakdown() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let config = ServeConfig::new(64, 32, 0, 4).with_devices(2, Partitioning::HeadModulo);
+        let mut session = ServeSession::new(decoder(attn), config);
+        session
+            .submit(Box::new(SynthSequence::new(attn, 7, 50, 2)))
+            .unwrap();
+        let m = session.step().unwrap();
+        assert_eq!(m.devices, 2);
+        assert_eq!(m.per_device.len(), 2);
+        // One head per device: perfectly balanced.
+        for d in &m.per_device {
+            assert_eq!(d.units, 1);
+            assert_eq!(d.kv_tokens, 50);
+            assert_eq!(d.utilization, 1.0);
+            assert!(d.page_occupancy > 0.0);
+        }
+        assert_eq!(m.mean_device_utilization(), 1.0);
+        // The all-reduce is priced: 2 devices move the full partial
+        // payload once around the ring.
+        // batch 1 × h_q 4 × (d 16 + m,l 2) × 4 bytes.
+        let payload = (4 * (16 + 2) * 4) as f64;
+        assert_eq!(m.allreduce_bytes_per_device, payload);
+        assert!(m.modeled_interconnect_s > 0.0);
+
+        // Single device: no communication.
+        let mut solo = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 4));
+        solo.submit(Box::new(SynthSequence::new(attn, 7, 50, 2)))
+            .unwrap();
+        let ms = solo.step().unwrap();
+        assert_eq!(ms.allreduce_bytes_per_device, 0.0);
+        assert_eq!(ms.modeled_interconnect_s, 0.0);
+    }
+
+    #[test]
+    fn uneven_head_split_shows_in_device_utilization() {
+        // 3 KV heads over 2 devices (contiguous): device 0 takes 2 heads,
+        // device 1 takes 1 — its utilization is half the critical path.
+        let attn = AttentionConfig::gqa(3, 3, 16);
+        let config = ServeConfig::new(64, 32, 0, 4).with_devices(2, Partitioning::HeadContiguous);
+        let mut session = ServeSession::new(decoder(attn), config);
+        session
+            .submit(Box::new(SynthSequence::new(attn, 1, 40, 1)))
+            .unwrap();
+        let m = session.step().unwrap();
+        assert_eq!(m.per_device[0].units, 2);
+        assert_eq!(m.per_device[1].units, 1);
+        assert_eq!(m.per_device[0].utilization, 1.0);
+        assert_eq!(m.per_device[1].utilization, 0.5);
+    }
+
+    #[test]
     fn admission_respects_pool_and_batch_limits() {
         let attn = AttentionConfig::gqa(2, 1, 16);
         // Pool fits exactly two resident requests (each needs 2 pages).
@@ -512,6 +811,78 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(capped.step().unwrap().batch, 3);
+    }
+
+    #[test]
+    fn trace_arrivals_join_mid_run() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 40, 4)))
+            .unwrap();
+        // Arrives at step 2 — must not decode earlier.
+        let b = session
+            .submit_at(2, Box::new(SynthSequence::new(attn, 1, 40, 3)))
+            .unwrap();
+        assert_eq!(session.future_arrivals(), 1);
+        let m0 = session.step().unwrap();
+        assert_eq!((m0.batch, m0.admitted), (1, 1));
+        let m1 = session.step().unwrap();
+        assert_eq!((m1.batch, m1.admitted), (1, 0));
+        let m2 = session.step().unwrap();
+        assert_eq!((m2.batch, m2.admitted), (2, 1), "arrival joins at step 2");
+        assert_eq!(session.future_arrivals(), 0);
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 2);
+        // Streams still match the per-sequence contiguous replay.
+        for (id, seed, prompt, gen) in [(a, 0u64, 40usize, 4usize), (b, 1, 40, 3)] {
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, seed, prompt, gen),
+            );
+            assert_eq!(session.stream(id).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn idle_session_fast_forwards_to_next_arrival() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+        session
+            .submit_at(10, Box::new(SynthSequence::new(attn, 3, 20, 2)))
+            .unwrap();
+        // No work before step 10 — the session jumps there instead of
+        // emitting empty steps.
+        let m = session.step().unwrap();
+        assert_eq!(m.step, 10);
+        assert_eq!(m.batch, 1);
+        assert!(session.step().is_some());
+        assert!(session.step().is_none());
+    }
+
+    #[test]
+    fn arrivals_wait_for_pages_to_free_up() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // One page of 64 tokens: only one 40+3-token request fits at a
+        // time.
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(1, 64, 0, 8));
+        session
+            .submit(Box::new(SynthSequence::new(attn, 0, 40, 3)))
+            .unwrap();
+        session
+            .submit_at(1, Box::new(SynthSequence::new(attn, 1, 40, 2)))
+            .unwrap();
+        let m0 = session.step().unwrap();
+        assert_eq!(m0.batch, 1);
+        // Step 1: the arrival is due but the pool is full — it queues.
+        let m1 = session.step().unwrap();
+        assert_eq!(m1.admitted, 0);
+        assert_eq!(session.pending(), 1);
+        let summary = session.run_to_completion();
+        // Both requests finish in the remaining steps: the first completes,
+        // frees its page, and the queued arrival is finally admitted.
+        assert_eq!(summary.completed, 2);
+        assert_eq!(session.pending(), 0);
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! The persistent decode worker pool.
+//! The persistent, device-pinned decode worker pool.
 //!
-//! Every decode step fans one [`WorkUnit`] per `(sequence, kv-head)` pair
-//! over long-lived OS threads. A unit gathers its sequence's packed blocks
-//! **through the page table** ([`PagedKvStore::packed_blocks`]) and runs
-//! [`BitDecoder::attend_head`] — which internally applies the kernel's own
-//! split-K thread sharding for long contexts — so batch-, head- and
-//! split-K-level parallelism compose. Because each unit is an independent,
-//! deterministic computation, results are **invariant to the worker
-//! count** (including the inline `workers = 0` mode), bit for bit.
+//! Every decode step fans one [`WorkUnit`] per `(sequence, kv-head,
+//! device)` triple over long-lived OS threads. Workers are organized into
+//! **per-device groups**: each group has its own task queue and only ever
+//! executes units whose KV head is placed on its device, so a worker
+//! touches exactly one device's page arena — the simulated analogue of a
+//! tensor-parallel rank that can only dereference its own HBM. A unit
+//! gathers its head's packed blocks through the owning device's page table
+//! ([`bd_kvcache::PagedKvStore::packed_blocks`] on
+//! [`ShardedKvStore::device`]) and runs
+//! [`BitDecoder::attend_head_partial`] — the per-head body of the decode
+//! path *without* the final normalization, so the scheduler can combine
+//! per-device partials through `OnlineSoftmax::merge` (the simulated
+//! all-reduce) before normalizing once.
+//!
+//! Because each unit is an independent, deterministic computation and the
+//! merge of a head's partial set is exact, results are **invariant to the
+//! worker count and the device count** (including the inline `workers = 0`
+//! mode), bit for bit.
 //!
 //! Sharing discipline: the store and decoder cross into workers as [`Arc`]s
 //! cloned per task. The attention phase of a step never mutates the store;
@@ -17,119 +27,168 @@
 //! compute/mutate phase separation a real serving engine enforces with
 //! stream ordering.
 
-use bd_core::BitDecoder;
-use bd_kvcache::{PagedKvStore, SeqId};
+use bd_core::{BitDecoder, OnlineSoftmax};
+use bd_kvcache::{DeviceId, SeqId, ShardedKvStore};
 use bd_lowbit::fastpath::FastDequantOps;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// One `(sequence, kv-head)` attention work unit for the current step.
+/// One `(sequence, kv-head, device)` attention work unit for the current
+/// step.
 #[derive(Clone, Debug)]
 pub struct WorkUnit {
     /// Dense index of this unit within the step (results slot).
     pub unit: usize,
     /// The sequence to attend over.
     pub seq: SeqId,
-    /// The KV head within the sequence.
+    /// The **global** KV head within the sequence.
     pub head: usize,
+    /// The device owning that head's KV shard — the worker group this
+    /// unit is routed to.
+    pub device: DeviceId,
     /// The grouped `g_q × d` query block for this head.
     pub q_block: Vec<Vec<f32>>,
 }
 
 struct Task {
     unit: WorkUnit,
-    store: Arc<PagedKvStore>,
+    store: Arc<ShardedKvStore>,
     decoder: Arc<BitDecoder>,
 }
 
-/// One unit's finished attention output.
+/// One unit's finished attention partial.
 #[derive(Clone, Debug)]
 pub struct UnitResult {
     /// The unit index this result fills.
     pub unit: usize,
-    /// Normalized `g_q × d` attention rows.
-    pub rows: Vec<Vec<f32>>,
+    /// The device that computed it.
+    pub device: DeviceId,
+    /// The un-normalized softmax partial — the all-reduce payload. The
+    /// scheduler merges a head's partials with `OnlineSoftmax::merge` and
+    /// normalizes once.
+    pub partial: OnlineSoftmax,
     /// Fast-dequant instructions the fused kernel streamed for this unit.
     pub ops: FastDequantOps,
 }
 
-/// Executes one work unit: page-table-indirect block gather + the decode
-/// path's per-head attention body. Consumes (and drops) the task — and its
-/// `Arc`s — before the caller sends the result, preserving the
-/// sole-ownership hand-back described in the [module docs](self).
+/// Executes one work unit on its owning device: local-arena block gather +
+/// the decode path's per-head attention body, un-normalized. Consumes (and
+/// drops) the task — and its `Arc`s — before the caller sends the result,
+/// preserving the sole-ownership hand-back described in the
+/// [module docs](self).
+///
+/// # Panics
+///
+/// Panics if the unit's head is not placed on the unit's device — the
+/// device-locality contract a real TP rank enforces physically.
 fn run_unit(task: Task) -> UnitResult {
-    let blocks = task.store.packed_blocks(task.unit.seq, task.unit.head);
-    let (res_k, res_v) = task.store.residual(task.unit.seq, task.unit.head);
-    let (rows, ops) = task
-        .decoder
-        .attend_head(&task.unit.q_block, &blocks, res_k, res_v);
+    let placement = task.store.placement();
+    assert_eq!(
+        placement.device_of(task.unit.head),
+        task.unit.device,
+        "unit routed to a device that does not own its head"
+    );
+    // Read ONLY this device's arena: the gather goes through the local
+    // store and the head's local slot, never through another device.
+    let local = placement.local_index(task.unit.head);
+    let dev_store = task.store.device(task.unit.device);
+    let blocks = dev_store.packed_blocks(task.unit.seq, local);
+    let (res_k, res_v) = dev_store.residual(task.unit.seq, local);
+    let (partial, ops) =
+        task.decoder
+            .attend_head_partial(&task.unit.q_block, &blocks, res_k, res_v);
     UnitResult {
         unit: task.unit.unit,
-        rows,
+        device: task.unit.device,
+        partial,
         ops,
     }
 }
 
-/// A persistent pool of decode workers (see the [module docs](self)).
-///
-/// With `workers = 0` the pool runs every unit inline on the caller's
-/// thread — same results, no threads; useful for tests and profiling.
-pub struct WorkerPool {
+/// One device's worker group: its own task queue, its own threads.
+struct DeviceGroup {
     task_tx: Option<Sender<Task>>,
-    result_rx: Receiver<UnitResult>,
     handles: Vec<JoinHandle<()>>,
 }
 
+/// A persistent pool of device-pinned decode workers (see the
+/// [module docs](self)).
+///
+/// With `workers_per_device = 0` the pool runs every unit inline on the
+/// caller's thread — same results, no threads; useful for tests and
+/// profiling.
+pub struct WorkerPool {
+    groups: Vec<DeviceGroup>,
+    result_rx: Receiver<UnitResult>,
+    workers_per_device: usize,
+}
+
 impl WorkerPool {
-    /// Spawns `workers` persistent threads (0 = inline execution).
-    pub fn new(workers: usize) -> Self {
-        let (task_tx, task_rx) = channel::<Task>();
+    /// Spawns `workers_per_device` persistent threads for each of
+    /// `devices` device groups (0 = inline execution).
+    pub fn new(workers_per_device: usize, devices: usize) -> Self {
         let (result_tx, result_rx) = channel::<UnitResult>();
-        let task_rx = Arc::new(Mutex::new(task_rx));
-        let handles = (0..workers)
+        let groups = (0..devices.max(1))
             .map(|_| {
-                let task_rx = Arc::clone(&task_rx);
-                let result_tx = result_tx.clone();
-                std::thread::spawn(move || loop {
-                    // Hold the queue lock only for the dequeue, never
-                    // across the attention itself.
-                    let next = { task_rx.lock().expect("task queue").recv() };
-                    let Ok(task) = next else { break };
-                    let result = run_unit(task);
-                    if result_tx.send(result).is_err() {
-                        break;
-                    }
-                })
+                let (task_tx, task_rx) = channel::<Task>();
+                let task_rx = Arc::new(Mutex::new(task_rx));
+                let handles = (0..workers_per_device)
+                    .map(|_| {
+                        let task_rx = Arc::clone(&task_rx);
+                        let result_tx = result_tx.clone();
+                        std::thread::spawn(move || loop {
+                            // Hold the queue lock only for the dequeue,
+                            // never across the attention itself.
+                            let next = { task_rx.lock().expect("task queue").recv() };
+                            let Ok(task) = next else { break };
+                            let result = run_unit(task);
+                            if result_tx.send(result).is_err() {
+                                break;
+                            }
+                        })
+                    })
+                    .collect();
+                DeviceGroup {
+                    task_tx: Some(task_tx),
+                    handles,
+                }
             })
             .collect();
         WorkerPool {
-            task_tx: Some(task_tx),
+            groups,
             result_rx,
-            handles,
+            workers_per_device,
         }
     }
 
-    /// Number of worker threads (0 = inline mode).
+    /// Worker threads per device group (0 = inline mode).
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.workers_per_device
+    }
+
+    /// Device groups in the pool.
+    pub fn devices(&self) -> usize {
+        self.groups.len()
     }
 
     /// Runs one step's units to completion and returns the results ordered
-    /// by unit index. Blocks until every unit has finished.
+    /// by unit index. Each unit is dispatched to its device's group; the
+    /// call blocks until every unit has finished.
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread died (poisoned queue / closed channel).
+    /// Panics if a worker thread died (poisoned queue / closed channel) or
+    /// a unit names a device outside the pool.
     pub fn run_step(
         &self,
         units: Vec<WorkUnit>,
-        store: &Arc<PagedKvStore>,
+        store: &Arc<ShardedKvStore>,
         decoder: &Arc<BitDecoder>,
     ) -> Vec<UnitResult> {
         let n = units.len();
         let mut out: Vec<Option<UnitResult>> = (0..n).map(|_| None).collect();
-        if self.handles.is_empty() {
+        if self.workers_per_device == 0 {
             for unit in units {
                 let r = run_unit(Task {
                     unit,
@@ -140,14 +199,18 @@ impl WorkerPool {
                 out[slot] = Some(r);
             }
         } else {
-            let tx = self.task_tx.as_ref().expect("pool is live");
             for unit in units {
-                tx.send(Task {
-                    unit,
-                    store: Arc::clone(store),
-                    decoder: Arc::clone(decoder),
-                })
-                .expect("worker pool alive");
+                let group = &self.groups[unit.device.0 as usize];
+                group
+                    .task_tx
+                    .as_ref()
+                    .expect("pool is live")
+                    .send(Task {
+                        unit,
+                        store: Arc::clone(store),
+                        decoder: Arc::clone(decoder),
+                    })
+                    .expect("worker pool alive");
             }
             for _ in 0..n {
                 let r = self.result_rx.recv().expect("worker result");
@@ -163,10 +226,14 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the task channel ends every worker loop.
-        self.task_tx.take();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // Closing the task channels ends every worker loop.
+        for group in &mut self.groups {
+            group.task_tx.take();
+        }
+        for group in &mut self.groups {
+            for h in group.handles.drain(..) {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -176,16 +243,17 @@ mod tests {
     use super::*;
     use bd_core::{query_transform, AttentionConfig, BitDecoder};
     use bd_gpu_sim::GpuArch;
-    use bd_kvcache::{CacheConfig, PackLayout, QuantScheme, TokenMatrix};
+    use bd_kvcache::{CacheConfig, PackLayout, Partitioning, Placement, QuantScheme, TokenMatrix};
 
-    fn setup() -> (Arc<BitDecoder>, Arc<PagedKvStore>, Vec<WorkUnit>) {
+    fn setup(devices: usize) -> (Arc<BitDecoder>, Arc<ShardedKvStore>, Vec<WorkUnit>) {
         let attn = AttentionConfig::gqa(4, 2, 16);
         let decoder = BitDecoder::builder(GpuArch::rtx4090())
             .attention(attn)
             .scheme(QuantScheme::kc4())
             .build();
         let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
-        let mut store = PagedKvStore::new(cfg, attn.heads_kv, 64, 32);
+        let placement = Placement::new(devices, Partitioning::HeadModulo, attn.heads_kv);
+        let mut store = ShardedKvStore::new(cfg, placement, 64, 32);
         let codec = decoder.codec();
         let seq = store.admit(0).unwrap();
         let len = 128 + 11;
@@ -203,6 +271,7 @@ mod tests {
                 unit: head,
                 seq,
                 head,
+                device: placement.device_of(head),
                 q_block,
             })
             .collect();
@@ -210,25 +279,53 @@ mod tests {
     }
 
     #[test]
-    fn threaded_results_match_inline_bitwise() {
-        let (decoder, store, units) = setup();
-        let inline = WorkerPool::new(0).run_step(units.clone(), &store, &decoder);
-        for workers in [1, 3] {
-            let pool = WorkerPool::new(workers);
-            let threaded = pool.run_step(units.clone(), &store, &decoder);
-            for (a, b) in inline.iter().zip(&threaded) {
-                assert_eq!(a.unit, b.unit);
-                assert_eq!(a.rows, b.rows, "workers={workers}");
-                assert_eq!(a.ops, b.ops);
+    fn threaded_results_match_inline_bitwise_at_any_device_count() {
+        let (decoder, store1, units1) = setup(1);
+        let inline = WorkerPool::new(0, 1).run_step(units1, &store1, &decoder);
+        for devices in [1usize, 2] {
+            let (_, store, units) = setup(devices);
+            for workers in [0usize, 1, 3] {
+                let pool = WorkerPool::new(workers, devices);
+                let got = pool.run_step(units.clone(), &store, &decoder);
+                for (a, b) in inline.iter().zip(&got) {
+                    assert_eq!(a.unit, b.unit);
+                    assert_eq!(
+                        a.partial.clone().finish(),
+                        b.partial.clone().finish(),
+                        "devices={devices} workers={workers}"
+                    );
+                    assert_eq!(a.ops, b.ops);
+                }
             }
         }
     }
 
     #[test]
+    fn units_are_routed_to_owning_device_groups() {
+        let (decoder, store, units) = setup(2);
+        let pool = WorkerPool::new(2, 2);
+        assert_eq!(pool.devices(), 2);
+        let results = pool.run_step(units.clone(), &store, &decoder);
+        for (u, r) in units.iter().zip(&results) {
+            assert_eq!(r.device, u.device);
+            assert_eq!(r.device, store.placement().device_of(u.head));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own its head")]
+    fn misrouted_unit_is_rejected() {
+        let (decoder, store, mut units) = setup(2);
+        // Head 0 lives on device 0 under head-modulo; claim device 1.
+        units[0].device = DeviceId(1);
+        WorkerPool::new(0, 2).run_step(units, &store, &decoder);
+    }
+
+    #[test]
     fn pool_survives_multiple_steps_and_store_regains_sole_ownership() {
-        let (decoder, store, units) = setup();
+        let (decoder, store, units) = setup(2);
         let mut store = store;
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2, 2);
         for _ in 0..3 {
             let _ = pool.run_step(units.clone(), &store, &decoder);
             // All task Arcs were dropped before results were sent.

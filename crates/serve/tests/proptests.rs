@@ -1,6 +1,6 @@
 //! Property tests for the batched decode runtime.
 //!
-//! The two load-bearing properties from the serve design:
+//! The load-bearing properties from the serve design:
 //!
 //! 1. **Paged = contiguous, bitwise** — for any page size and any eviction
 //!    order of finished sequences, decoding through [`PagedKvStore`]'s
@@ -9,10 +9,15 @@
 //! 2. **Worker-count invariance** — the batch scheduler's token streams do
 //!    not depend on how many threads the persistent pool runs (including
 //!    the inline `workers = 0` mode).
+//! 3. **Sharded = single-device, bitwise** — for any device count (1–8),
+//!    head partitioning, page size, and worker count, decoding over
+//!    [`ShardedKvStore`]'s per-device arenas with the per-head all-reduce
+//!    merge produces token streams identical to the single-device session
+//!    and to per-sequence contiguous replay, bit for bit.
 
 use bd_core::{query_transform, AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
-use bd_kvcache::{PagedKvStore, QuantScheme, SeqId};
+use bd_kvcache::{PagedKvStore, Partitioning, Placement, QuantScheme, SeqId, ShardedKvStore};
 use bd_serve::{replay_contiguous, SequenceModel, ServeConfig, ServeSession, SynthSequence};
 use proptest::prelude::*;
 
@@ -94,7 +99,129 @@ fn drive_mirrored(
     Ok(seq)
 }
 
+/// Eight KV heads so device counts up to 8 are all distinct placements.
+const ATTN_WIDE: AttentionConfig = AttentionConfig {
+    heads_q: 8,
+    heads_kv: 8,
+    head_dim: 16,
+};
+
+fn arb_partitioning() -> impl Strategy<Value = Partitioning> {
+    prop_oneof![
+        Just(Partitioning::HeadModulo),
+        Just(Partitioning::HeadContiguous)
+    ]
+}
+
 proptest! {
+    /// The full tensor-parallel session: for ANY device count (1–8), head
+    /// partitioning, page size, and worker count, the sharded session's
+    /// token streams equal the single-device session's AND the
+    /// per-sequence contiguous replay, bit for bit.
+    #[test]
+    fn sharded_session_matches_single_device_bitwise(
+        devices in 1usize..9,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..160,
+        workers in 0usize..3,
+        n_seqs in 1usize..4,
+        scheme in arb_scheme(),
+        seed: u64,
+    ) {
+        let prompt = |i: usize| 60 + 47 * i;
+        let streams_at = |devices: usize, partitioning: Partitioning, workers: usize| {
+            // Per-device pages for the largest request, times the batch.
+            let pages = n_seqs * 230usize.div_ceil(page_tokens) + 1;
+            let config = ServeConfig::new(pages, page_tokens, workers, 8)
+                .with_devices(devices, partitioning);
+            let dec = BitDecoder::builder(GpuArch::rtx4090())
+                .attention(ATTN_WIDE)
+                .scheme(scheme)
+                .paged(true)
+                .build();
+            let mut session = ServeSession::new(dec, config);
+            let ids: Vec<_> = (0..n_seqs)
+                .map(|i| {
+                    session
+                        .submit(Box::new(SynthSequence::new(
+                            ATTN_WIDE, seed ^ i as u64, prompt(i), 2)))
+                        .unwrap()
+                })
+                .collect();
+            let summary = session.run_to_completion();
+            assert_eq!(summary.completed, n_seqs);
+            ids.iter().map(|id| session.stream(*id).unwrap().to_vec()).collect::<Vec<_>>()
+        };
+        let single = streams_at(1, partitioning, 0);
+        prop_assert_eq!(
+            &single,
+            &streams_at(devices, partitioning, workers),
+            "devices={} {:?} workers={}", devices, partitioning, workers
+        );
+        for (i, stream) in single.iter().enumerate() {
+            let dec = BitDecoder::builder(GpuArch::rtx4090())
+                .attention(ATTN_WIDE)
+                .scheme(scheme)
+                .paged(true)
+                .build();
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::new(ATTN_WIDE, seed ^ i as u64, prompt(i), 2),
+            );
+            prop_assert_eq!(stream, &want, "sequence {}", i);
+        }
+    }
+
+    /// Storage-level sharding invariant: for any device count and
+    /// partitioning, every global head's blocks/residuals gathered from
+    /// the sharded store equal the single-device [`PagedKvStore`]'s
+    /// bitwise, and attention over the two gathers is identical.
+    #[test]
+    fn sharded_store_gathers_match_single_device_bitwise(
+        devices in 1usize..9,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..140,
+        tokens in 1usize..300,
+        seed: u64,
+    ) {
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_WIDE)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        let codec = dec.codec();
+        let heads = ATTN_WIDE.heads_kv;
+        let pages = tokens.div_ceil(page_tokens) + 1;
+        let placement = Placement::new(devices, partitioning, heads);
+        let mut sharded = ShardedKvStore::new(dec.cache_config(), placement, pages, page_tokens);
+        let mut single = PagedKvStore::new(dec.cache_config(), heads, pages, page_tokens);
+        let sseq = sharded.admit(tokens).unwrap();
+        let pseq = single.admit(tokens).unwrap();
+        let mut model = SynthSequence::new(ATTN_WIDE, seed, tokens, 1);
+        let (pk, pv) = model.prompt();
+        sharded.prefill(sseq, &pk, &pv, &codec).unwrap();
+        single.prefill(pseq, &pk, &pv, &codec).unwrap();
+
+        let q = model.query(0);
+        let grouped = query_transform(&q, &ATTN_WIDE);
+        for (head, q_block) in grouped.iter().enumerate() {
+            let sb = sharded.packed_blocks(sseq, head);
+            let pb = single.packed_blocks(pseq, head);
+            prop_assert_eq!(sb.len(), pb.len());
+            for (a, b) in sb.iter().zip(&pb) {
+                prop_assert!(*a == *b, "head {} block payload differs", head);
+            }
+            let (srk, srv) = sharded.residual(sseq, head);
+            let (prk, prv) = single.residual(pseq, head);
+            prop_assert_eq!(srk, prk);
+            prop_assert_eq!(srv, prv);
+            let (s_rows, s_ops) = dec.attend_head(q_block, &sb, srk, srv);
+            let (p_rows, p_ops) = dec.attend_head(q_block, &pb, prk, prv);
+            prop_assert_eq!(s_rows, p_rows, "head {} attention differs", head);
+            prop_assert_eq!(s_ops, p_ops);
+        }
+    }
+
     /// Paged decode over ANY page size is bitwise identical to contiguous
     /// decode, and the store stays contiguous-equivalent throughout.
     #[test]

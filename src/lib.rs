@@ -57,7 +57,10 @@ pub use bd_core::{
     AttentionConfig, BitDecoder, DecodeError, DecodeOutput, DecodeReport, DecodeShape,
     OptimizationFlags,
 };
-pub use bd_gpu_sim::{GpuArch, LatencyBreakdown};
-pub use bd_kvcache::{CacheConfig, PackLayout, PagedKvStore, QuantScheme, QuantizedKvCache};
+pub use bd_gpu_sim::{GpuArch, InterconnectModel, LatencyBreakdown};
+pub use bd_kvcache::{
+    CacheConfig, DeviceId, PackLayout, PagedKvStore, Partitioning, Placement, QuantScheme,
+    QuantizedKvCache, ShardedKvStore,
+};
 pub use bd_llm::{Engine, MemoryModel, ModelConfig, WeightPrecision};
 pub use bd_serve::{ServeConfig, ServeSession, SynthSequence};
