@@ -22,7 +22,8 @@
 use bd_core::AttentionConfig;
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{Partitioning, QuantScheme};
-use bd_serve::{ServeConfig, ServeSession, SynthSequence};
+use bd_llm::ServePolicy;
+use bd_serve::{RequestId, ServeConfig, ServeSession, SynthSequence};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROMPT: usize = 2048;
@@ -86,6 +87,81 @@ fn run_config(scheme: QuantScheme, devices: usize, batch: usize) -> ServeBenchRo
     }
 }
 
+/// One policy's outcome on the over-subscribed scenario.
+struct PolicyBenchRow {
+    policy: &'static str,
+    kv_tok_s: f64,
+    p50_completion: usize,
+    p95_completion: usize,
+    late_small_completion: usize,
+    preemptions: usize,
+    swap_mib: f64,
+}
+
+/// Percentile over completion steps (nearest-rank).
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+/// The head-of-line scenario: a page pool sized for roughly **half** the
+/// offered load, hit by four big early requests and four small late
+/// arrivals. FCFS makes the small requests wait out the big ones;
+/// preemption and SRF let them through. All three policies decode the
+/// identical token values (the proptests pin that down bitwise); only the
+/// completion-step distribution moves.
+fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
+    let attn = AttentionConfig::gqa(8, 4, 64);
+    let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
+        .attention(attn)
+        .scheme(QuantScheme::kc4())
+        .paged(true)
+        .build();
+    let page_tokens = 64;
+    let big = (1024usize, 16usize);
+    let small = (128usize, 8usize);
+    let demand =
+        4 * (big.0 + big.1).div_ceil(page_tokens) + 4 * (small.0 + small.1).div_ceil(page_tokens);
+    let config = ServeConfig::new(demand / 2, page_tokens, WORKERS, 8);
+    let mut session = policy.install(ServeSession::new(decoder, config));
+    let mut ids: Vec<RequestId> = Vec::new();
+    for i in 0..4u64 {
+        ids.push(
+            session
+                .submit(Box::new(SynthSequence::new(attn, i, big.0, big.1)))
+                .expect("fits pool"),
+        );
+    }
+    // The small requests arrive once the big ones are decoding.
+    for i in 4..8u64 {
+        ids.push(
+            session
+                .submit_at(
+                    2 + i as usize,
+                    Box::new(SynthSequence::new(attn, i, small.0, small.1)),
+                )
+                .expect("fits pool"),
+        );
+    }
+    let summary = session.run_to_completion();
+    assert_eq!(summary.completed, 8);
+    let mut completions: Vec<usize> = ids
+        .iter()
+        .map(|id| session.completion_step(*id).expect("completed"))
+        .collect();
+    let late_small_completion = completions[7];
+    completions.sort_unstable();
+    PolicyBenchRow {
+        policy: session.policy_label(),
+        kv_tok_s: summary.kv_tokens_per_s,
+        p50_completion: percentile(&completions, 50.0),
+        p95_completion: percentile(&completions, 95.0),
+        late_small_completion,
+        preemptions: summary.preemptions,
+        swap_mib: summary.swap_bytes / (1024.0 * 1024.0),
+    }
+}
+
 fn bench_serve(_c: &mut Criterion) {
     if std::env::var("BENCH_SERVE").as_deref() == Ok("0") {
         println!("serve trajectory bench skipped (BENCH_SERVE=0)");
@@ -113,10 +189,32 @@ fn bench_serve(_c: &mut Criterion) {
             }
         }
     }
-    write_bench_json(&rows);
+    // Scheduler-policy comparison under an over-subscribed pool (~half
+    // the offered load).
+    let policy_rows: Vec<PolicyBenchRow> = [
+        ServePolicy::Fcfs,
+        ServePolicy::FcfsPreempt,
+        ServePolicy::ShortestRemainingFirst,
+    ]
+    .into_iter()
+    .map(run_oversubscribed)
+    .collect();
+    for r in &policy_rows {
+        println!(
+            "oversubscribed {:>24}: {:>9.0} kv-tok/s, completion p50 {:>3} p95 {:>3}, late small done @{:>3}, {} preemptions, {:>6.2} MiB swapped",
+            r.policy,
+            r.kv_tok_s,
+            r.p50_completion,
+            r.p95_completion,
+            r.late_small_completion,
+            r.preemptions,
+            r.swap_mib,
+        );
+    }
+    write_bench_json(&rows, &policy_rows);
 }
 
-fn write_bench_json(rows: &[ServeBenchRow]) {
+fn write_bench_json(rows: &[ServeBenchRow], policy_rows: &[PolicyBenchRow]) {
     if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
         println!("BENCH_serve.json left untouched (BENCH_SERVE_JSON=0)");
         return;
@@ -137,6 +235,20 @@ fn write_bench_json(rows: &[ServeBenchRow]) {
             r.device_utilization,
             r.interconnect_s * 1e6,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"oversubscribed\": [\n");
+    for (i, r) in policy_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"aggregate_kv_tok_s\": {:.0}, \"p50_completion_step\": {}, \"p95_completion_step\": {}, \"late_small_completion_step\": {}, \"preemptions\": {}, \"swap_mib\": {:.2}}}{}\n",
+            r.policy,
+            r.kv_tok_s,
+            r.p50_completion,
+            r.p95_completion,
+            r.late_small_completion,
+            r.preemptions,
+            r.swap_mib,
+            if i + 1 == policy_rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");

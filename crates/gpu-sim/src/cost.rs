@@ -83,6 +83,14 @@ impl InterconnectModel {
         let wire = self.allreduce_bytes_per_device(payload_bytes, devices) / (self.link_gbs * 1e9);
         wire + 2.0 * (devices - 1) as f64 * self.latency_us * 1e-6
     }
+
+    /// Wall-clock seconds of a single point-to-point transfer of
+    /// `payload_bytes` over the link (bandwidth term plus one hop-latency
+    /// floor) — the primitive a KV swap-out/swap-in over a PCIe-class
+    /// host link is priced with. Zero bytes still pay the hop latency.
+    pub fn transfer_s(&self, payload_bytes: f64) -> f64 {
+        payload_bytes / (self.link_gbs * 1e9) + self.latency_us * 1e-6
+    }
 }
 
 /// Latency decomposition of one kernel (all times in seconds).
@@ -373,6 +381,19 @@ mod tests {
         // Latency floor dominates tiny payloads.
         let lat = InterconnectModel::new(100.0, 5.0);
         assert!(lat.allreduce_s(8.0, 4) > 29e-6);
+    }
+
+    #[test]
+    fn interconnect_point_to_point_transfer() {
+        // 64 MB over a 64 GB/s PCIe-class link ≈ 1 ms + 10 µs hop floor.
+        let link = InterconnectModel::pcie_gen5();
+        let t = link.transfer_s(64e6);
+        assert!((t - (1e-3 + 10e-6)).abs() < 1e-9);
+        // Zero bytes still pay the hop latency.
+        assert!((link.transfer_s(0.0) - 10e-6).abs() < 1e-12);
+        // A transfer is cheaper than an all-reduce of the same payload on
+        // the same link (one hop vs 2·(N−1)).
+        assert!(link.transfer_s(1e6) < link.allreduce_s(1e6, 2));
     }
 
     #[test]

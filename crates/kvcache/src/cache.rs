@@ -88,7 +88,7 @@ impl CacheConfig {
 }
 
 /// Cache state for a single `(batch, kv_head)` pair.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct HeadCache {
     packed: Vec<PackedBlock>,
     residual_k: TokenMatrix,
@@ -96,6 +96,19 @@ struct HeadCache {
 }
 
 impl HeadCache {
+    /// An empty slot whose residual window already carries the head
+    /// dimension. (A defaulted `TokenMatrix` has `dim == 0` until its
+    /// first push; a prefill of exactly `Nr`-aligned length never pushes
+    /// into the window, and an empty dim-0 window would then compare
+    /// unequal to the paged store's empty dim-`d` window even though both
+    /// hold zero bytes.)
+    fn new(dim: usize) -> Self {
+        HeadCache {
+            packed: Vec::new(),
+            residual_k: TokenMatrix::new(dim),
+            residual_v: TokenMatrix::new(dim),
+        }
+    }
     fn packed_tokens(&self) -> usize {
         self.packed.iter().map(PackedBlock::tokens).sum()
     }
@@ -127,7 +140,7 @@ impl QuantizedKvCache {
     pub fn new(config: CacheConfig, heads: usize) -> Self {
         QuantizedKvCache {
             config,
-            heads: vec![HeadCache::default(); heads],
+            heads: vec![HeadCache::new(config.dim); heads],
         }
     }
 

@@ -40,5 +40,5 @@ pub use matrix::{TokenMatrix, TokenRows};
 pub use paged::{PageId, PagedOom, PagedPool, SeqId};
 pub use placement::{DeviceId, Partitioning, Placement};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};
-pub use sharded::{DeviceKvStats, ShardedKvStore};
-pub use store::{PagedKvStore, StoreError};
+pub use sharded::{DeviceKvStats, ShardedKvStore, SwappedShardedSeq};
+pub use store::{PagedKvStore, StoreError, SwappedSeq};

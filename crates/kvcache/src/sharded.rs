@@ -31,7 +31,7 @@ use crate::codec::BlockCodec;
 use crate::matrix::{TokenMatrix, TokenRows};
 use crate::paged::{PagedOom, SeqId};
 use crate::placement::{DeviceId, Placement};
-use crate::store::{PagedKvStore, StoreError};
+use crate::store::{PagedKvStore, StoreError, SwappedSeq};
 
 /// Per-device occupancy/eviction snapshot (the storage half of the serve
 /// layer's per-device metrics).
@@ -51,6 +51,49 @@ pub struct DeviceKvStats {
     pub evicted_seqs: u64,
     /// Pages those evictions returned to this device's pool.
     pub evicted_pages: u64,
+}
+
+/// A sequence swapped out of every device of a [`ShardedKvStore`]: one
+/// [`SwappedSeq`] per device (each holding that device's share of the
+/// heads). Produced by [`ShardedKvStore::swap_out`]; restored bitwise by
+/// [`ShardedKvStore::swap_in`].
+#[derive(Clone, Debug)]
+pub struct SwappedShardedSeq {
+    per_device: Vec<SwappedSeq>,
+}
+
+impl SwappedShardedSeq {
+    /// Devices the blob spans.
+    pub fn devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Logical tokens held in the blob (identical on every device).
+    pub fn len(&self) -> usize {
+        self.per_device[0].len()
+    }
+
+    /// `true` when the blob holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total host bytes across all device shares — the traffic one swap
+    /// direction moves over the host link.
+    pub fn host_bytes(&self) -> usize {
+        self.per_device.iter().map(SwappedSeq::host_bytes).sum()
+    }
+
+    /// Pages [`ShardedKvStore::swap_in`] must reserve **per device**,
+    /// given the store's page size (identical on every device, since all
+    /// devices mirror the same reservation).
+    pub fn pages_needed(&self, page_tokens: usize) -> usize {
+        self.per_device
+            .iter()
+            .map(|b| b.pages_needed(page_tokens))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// KV-head-sharded paged storage over `N` simulated devices — see the
@@ -187,9 +230,30 @@ impl ShardedKvStore {
         self.devices[0].resident()
     }
 
+    /// Fails fast when any device cannot supply `need` pages, so the
+    /// all-device operations below never start a reservation they would
+    /// have to roll back. (A rollback via `evict` could not restore the
+    /// per-device id counters, so it would burn a [`SeqId`] on the devices
+    /// that had already admitted — diverging them from a failure-free
+    /// history and from the single-device store.)
+    fn preflight_pages(&self, need: usize) -> Result<(), PagedOom> {
+        for dev in &self.devices {
+            if need > dev.free_pages() {
+                return Err(PagedOom {
+                    requested: need,
+                    free: dev.free_pages(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Admits a new sequence on **every** device, reserving pages for
     /// `reserve_tokens` tokens per device up front. The reservation is
-    /// atomic: on failure nothing is admitted anywhere.
+    /// atomic: the page budget is pre-checked on every device before any
+    /// pool is touched, so on failure nothing is admitted anywhere and no
+    /// device's [`SeqId`] counter advances — a failed admit leaves every
+    /// device in the exact state of a history without the attempt.
     ///
     /// Every per-device pool sees the identical admit/evict order, so all
     /// devices assign the same [`SeqId`]; that shared id is returned and
@@ -199,30 +263,18 @@ impl ShardedKvStore {
     ///
     /// Returns [`PagedOom`] when any device cannot cover the reservation.
     pub fn admit(&mut self, reserve_tokens: usize) -> Result<SeqId, PagedOom> {
-        let mut ids: Vec<(usize, SeqId)> = Vec::with_capacity(self.devices.len());
-        let mut failure: Option<PagedOom> = None;
-        for (d, dev) in self.devices.iter_mut().enumerate() {
-            match dev.admit(reserve_tokens) {
-                Ok(id) => ids.push((d, id)),
-                Err(e) => {
-                    // Capacities and histories are identical across
-                    // devices, so in practice all fail together; keep
-                    // attempting every device so the per-pool SeqId
-                    // counters stay in lockstep, then roll back any that
-                    // did admit.
-                    failure.get_or_insert(e);
-                }
-            }
-        }
-        if let Some(e) = failure {
-            for (d, id) in &ids {
-                self.devices[*d].evict(*id);
-            }
-            return Err(e);
-        }
-        let id = ids[0].1;
+        self.preflight_pages(reserve_tokens.div_ceil(self.page_tokens()))?;
+        let ids: Vec<SeqId> = self
+            .devices
+            .iter_mut()
+            .map(|dev| {
+                dev.admit(reserve_tokens)
+                    .expect("reservation pre-checked on every device")
+            })
+            .collect();
+        let id = ids[0];
         debug_assert!(
-            ids.iter().all(|&(_, i)| i == id),
+            ids.iter().all(|&i| i == id),
             "device pools diverged on SeqId assignment"
         );
         Ok(id)
@@ -253,6 +305,67 @@ impl ShardedKvStore {
                 self.evicted_pages[d] += (dev.free_pages() - free_before) as u64;
             }
         }
+    }
+
+    /// Swaps a sequence out of **every** device at once: each device
+    /// serializes its share of the heads into a [`SwappedSeq`] and frees
+    /// its pages, so after the call the sequence holds no pages anywhere.
+    /// The operation is atomic — the residency check happens up front and
+    /// swap-out itself cannot fail, so either every device swaps or none
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownSeq`] for a non-resident sequence (and
+    /// changes nothing on any device).
+    pub fn swap_out(&mut self, seq: SeqId) -> Result<SwappedShardedSeq, StoreError> {
+        if self.seq_len(seq).is_none() {
+            return Err(StoreError::UnknownSeq(seq));
+        }
+        let per_device = self
+            .devices
+            .iter_mut()
+            .map(|dev| dev.swap_out(seq).expect("resident on every device"))
+            .collect();
+        Ok(SwappedShardedSeq { per_device })
+    }
+
+    /// Swaps a blob back in on **every** device atomically: the page
+    /// budget is pre-checked on each device before any pool is touched, so
+    /// on failure nothing changes anywhere (and, as with
+    /// [`ShardedKvStore::admit`], no [`SeqId`] is burned). All devices
+    /// assign the same new id, which is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] when any device cannot cover the blob's page
+    /// reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob's device count disagrees with the store's.
+    pub fn swap_in(&mut self, blob: &SwappedShardedSeq) -> Result<SeqId, PagedOom> {
+        assert_eq!(
+            blob.per_device.len(),
+            self.devices.len(),
+            "blob/store device count"
+        );
+        self.preflight_pages(blob.pages_needed(self.page_tokens()))?;
+        let ids: Vec<SeqId> = self
+            .devices
+            .iter_mut()
+            .zip(&blob.per_device)
+            .map(|(dev, b)| {
+                dev.swap_in(b)
+                    .expect("reservation pre-checked on every device")
+            })
+            .collect();
+        let id = ids[0];
+        debug_assert!(
+            ids.iter().all(|&i| i == id),
+            "device pools diverged on SeqId assignment"
+        );
+        Ok(id)
     }
 
     /// Logical token count of a sequence (identical on every device).
@@ -503,6 +616,91 @@ mod tests {
         // The failed admit left every pool clean: a fresh reservation of
         // the full capacity succeeds.
         assert!(store.admit(128).is_ok());
+    }
+
+    #[test]
+    fn failed_admit_keeps_seq_id_streams_in_lockstep_with_single_device() {
+        // The same admit/evict history — including a failed admit — must
+        // hand out identical SeqIds on a sharded store and a single-device
+        // store.
+        let placement = Placement::new(2, Partitioning::HeadModulo, 2);
+        let mut sharded = ShardedKvStore::new(cfg(16), placement, 4, 32);
+        let mut single = crate::store::PagedKvStore::new(cfg(16), 2, 4, 32);
+        let a = sharded.admit(64).unwrap();
+        assert_eq!(single.admit(64).unwrap(), a);
+        let err = sharded.admit(128).unwrap_err(); // needs 4, 2 free
+        assert_eq!(err, single.admit(128).unwrap_err());
+        assert_eq!(
+            err,
+            PagedOom {
+                requested: 4,
+                free: 2
+            }
+        );
+        // Rollback was total: every device still has its 2 free pages.
+        for d in [DeviceId(0), DeviceId(1)] {
+            assert_eq!(sharded.device_stats(d).free_pages, 2);
+        }
+        let b = sharded.admit(32).unwrap();
+        assert_eq!(single.admit(32).unwrap(), b);
+        assert_eq!(b.0, a.0 + 1, "failed admit burned a SeqId");
+        sharded.evict(a);
+        single.evict(a);
+        let c = sharded.admit(96).unwrap();
+        assert_eq!(single.admit(96).unwrap(), c);
+    }
+
+    #[test]
+    fn swap_round_trip_is_bitwise_across_devices() {
+        for devices in [1, 2, 3, 4] {
+            for part in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                let placement = Placement::new(devices, part, 4);
+                let mut store = ShardedKvStore::new(cfg(16), placement, 64, 48);
+                let free_before = store.free_pages();
+                let seq = store.admit(300).unwrap();
+                let cache = mirrored_appends(&mut store, seq, 128 + 37, 0);
+                let blob = store.swap_out(seq).unwrap();
+                assert_eq!(blob.devices(), store.devices());
+                assert_eq!(blob.len(), 128 + 37);
+                assert!(blob.host_bytes() > 0);
+                assert_eq!(
+                    store.free_pages(),
+                    free_before,
+                    "devices={devices} {part}: swap-out left pages behind"
+                );
+                assert!(store.swap_out(seq).is_err());
+                let back = store.swap_in(&blob).unwrap();
+                assert!(
+                    store.matches_cache(back, &cache, 0),
+                    "devices={devices} {part}: swap round trip not bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_swap_in_oom_is_atomic() {
+        let placement = Placement::new(2, Partitioning::HeadModulo, 2);
+        let mut store = ShardedKvStore::new(cfg(16), placement, 4, 32);
+        let seq = store.admit(96).unwrap(); // 3 pages/device
+        mirrored_appends(&mut store, seq, 60, 0);
+        let blob = store.swap_out(seq).unwrap();
+        let hog = store.admit(64).unwrap(); // 2 pages/device
+        let err = store.swap_in(&blob).unwrap_err();
+        assert_eq!(
+            err,
+            PagedOom {
+                requested: 3,
+                free: 2
+            }
+        );
+        // Nothing changed anywhere: the hog is intact, pages unchanged.
+        assert_eq!(store.resident(), 1);
+        assert_eq!(store.free_pages(), 4);
+        store.evict(hog);
+        let back = store.swap_in(&blob).unwrap();
+        assert_eq!(back.0, hog.0 + 1, "failed swap-in burned a SeqId");
+        assert_eq!(store.seq_len(back), Some(60));
     }
 
     #[test]

@@ -100,6 +100,65 @@ struct SeqKv {
 /// single sequence that owns the page.
 type Frame = Vec<Vec<PackedBlock>>;
 
+/// A sequence swapped out of the page arena into host memory: the packed
+/// blocks of every head in logical order plus the FP16 residual window,
+/// with enough bookkeeping ([`SwappedSeq::reserved_tokens`]) for
+/// [`PagedKvStore::swap_in`] to re-reserve the sequence's full page budget
+/// and restore it **bitwise**. Produced by [`PagedKvStore::swap_out`].
+#[derive(Clone, Debug)]
+pub struct SwappedSeq {
+    /// Head dimension (consistency check on swap-in).
+    dim: usize,
+    /// Logical tokens (packed + residual) at swap-out.
+    len: usize,
+    /// Token length the page pool had reserved (≥ `len`; the prompt +
+    /// generation budget under up-front reservation).
+    reserved_tokens: usize,
+    /// Whether the sequence was sealed.
+    sealed: bool,
+    /// Per head, the packed blocks in logical (append) order.
+    blocks: Vec<Vec<PackedBlock>>,
+    /// Per head, the FP16 residual K window.
+    residual_k: Vec<TokenMatrix>,
+    /// Per head, the FP16 residual V window.
+    residual_v: Vec<TokenMatrix>,
+}
+
+impl SwappedSeq {
+    /// Logical tokens held in the blob.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the blob holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pages [`PagedKvStore::swap_in`] must reserve, given the store's
+    /// page size.
+    pub fn pages_needed(&self, page_tokens: usize) -> usize {
+        self.reserved_tokens.div_ceil(page_tokens)
+    }
+
+    /// Host bytes the blob occupies (packed payloads + FP16 residual
+    /// windows) — the traffic one swap direction moves over the host link.
+    pub fn host_bytes(&self) -> usize {
+        let packed: usize = self
+            .blocks
+            .iter()
+            .flat_map(|head| head.iter().map(PackedBlock::byte_size))
+            .sum();
+        let residual: usize = self
+            .residual_k
+            .iter()
+            .chain(&self.residual_v)
+            .map(|m| m.len() * self.dim * 2)
+            .sum();
+        packed + residual
+    }
+}
+
 /// Paged physical KV storage for many concurrent sequences — see the
 /// [module docs](self) for the layout and the contiguous-equivalence
 /// invariant.
@@ -196,17 +255,32 @@ impl PagedKvStore {
     /// up front (pass the prompt + generation budget to make every later
     /// append infallible, or 0 to grow page-by-page on demand).
     ///
+    /// A failed admission leaves the store **completely** unchanged: in
+    /// particular it does not consume a [`SeqId`], so an
+    /// admit-fail → admit-success history hands out the same id stream as
+    /// one without the failure — the property that keeps every device of a
+    /// [`crate::ShardedKvStore`] in [`SeqId`] lockstep.
+    ///
     /// # Errors
     ///
     /// Returns [`PagedOom`] — and admits nothing — when the pool cannot
     /// cover the reservation.
     pub fn admit(&mut self, reserve_tokens: usize) -> Result<SeqId, PagedOom> {
+        // Pre-check the reservation before touching the pool: `PagedPool::
+        // admit` advances the id counter unconditionally, so checking after
+        // the fact would burn a SeqId on failure.
+        let need = reserve_tokens.div_ceil(self.pool.page_tokens());
+        if need > self.pool.free_pages() {
+            return Err(PagedOom {
+                requested: need,
+                free: self.pool.free_pages(),
+            });
+        }
         let seq = self.pool.admit();
         if reserve_tokens > 0 {
-            if let Err(e) = self.pool.grow(seq, reserve_tokens) {
-                self.pool.release(seq);
-                return Err(e);
-            }
+            self.pool
+                .grow(seq, reserve_tokens)
+                .expect("reservation pre-checked against the free list");
         }
         self.seqs.insert(
             seq,
@@ -234,12 +308,10 @@ impl PagedKvStore {
         Ok(())
     }
 
-    /// Releases a sequence: clears every page frame it owned and returns
-    /// the pages to the pool. Unknown sequences are ignored.
-    pub fn evict(&mut self, seq: SeqId) {
-        if self.seqs.remove(&seq).is_none() {
-            return;
-        }
+    /// Clears every page frame `seq` owns and returns its pages to the
+    /// pool (the storage half shared by [`PagedKvStore::evict`] and
+    /// [`PagedKvStore::swap_out`]).
+    fn release_pages(&mut self, seq: SeqId) {
         if let Some(table) = self.pool.table(seq) {
             for page in table {
                 for head_blocks in &mut self.frames[page.0 as usize] {
@@ -248,6 +320,89 @@ impl PagedKvStore {
             }
         }
         self.pool.release(seq);
+    }
+
+    /// Releases a sequence: clears every page frame it owned and returns
+    /// the pages to the pool — **all** of them, whether the residual window
+    /// was sealed, unsealed, or mid-append (pages are owned via the page
+    /// table alone; the residual window lives outside the arena and is
+    /// dropped with the sequence state). Unknown sequences are ignored.
+    pub fn evict(&mut self, seq: SeqId) {
+        if self.seqs.remove(&seq).is_none() {
+            return;
+        }
+        self.release_pages(seq);
+    }
+
+    /// Swaps a sequence out to host memory: serializes its packed blocks
+    /// (in logical order, per head) and FP16 residual window into a
+    /// [`SwappedSeq`] blob, then frees every page it held. The blob plus
+    /// [`PagedKvStore::swap_in`] restore the sequence **bitwise** — the
+    /// physical pages may differ after the round trip, but the
+    /// page-table-gathered blocks and the residual window are byte-equal,
+    /// so decode is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownSeq`] for a non-resident sequence (and
+    /// changes nothing).
+    pub fn swap_out(&mut self, seq: SeqId) -> Result<SwappedSeq, StoreError> {
+        if !self.seqs.contains_key(&seq) {
+            return Err(StoreError::UnknownSeq(seq));
+        }
+        let blocks: Vec<Vec<PackedBlock>> = (0..self.heads)
+            .map(|h| self.packed_blocks(seq, h).into_iter().cloned().collect())
+            .collect();
+        let reserved_tokens = self.pool.seq_len(seq).expect("resident sequence");
+        let state = self.seqs.remove(&seq).expect("checked above");
+        self.release_pages(seq);
+        Ok(SwappedSeq {
+            dim: self.config.dim,
+            len: state.len,
+            reserved_tokens,
+            sealed: state.sealed,
+            blocks,
+            residual_k: state.residual_k,
+            residual_v: state.residual_v,
+        })
+    }
+
+    /// Swaps a previously swapped-out sequence back in: re-reserves the
+    /// blob's full page budget (so later appends stay infallible), re-homes
+    /// every packed block on the page covering its first token, and
+    /// restores the residual window. Returns the sequence's new [`SeqId`]
+    /// (ids are never reused; the pool hands out the next one).
+    ///
+    /// Like [`PagedKvStore::admit`], a failed swap-in leaves the store —
+    /// including the id counter — completely unchanged, and the blob is
+    /// untouched either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] when the pool cannot cover the blob's page
+    /// reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob's head count or dimension disagrees with the
+    /// store's configuration.
+    pub fn swap_in(&mut self, blob: &SwappedSeq) -> Result<SeqId, PagedOom> {
+        assert_eq!(blob.blocks.len(), self.heads, "blob/store head count");
+        assert_eq!(blob.dim, self.config.dim, "blob/store dimension");
+        let seq = self.admit(blob.reserved_tokens)?;
+        let nr = self.residual_block();
+        for (head, head_blocks) in blob.blocks.iter().enumerate() {
+            for (b, block) in head_blocks.iter().enumerate() {
+                let (page, _) = self.pool.translate(seq, b * nr);
+                self.frames[page.0 as usize][head].push(block.clone());
+            }
+        }
+        let state = self.seqs.get_mut(&seq).expect("just admitted");
+        state.len = blob.len;
+        state.sealed = blob.sealed;
+        state.residual_k = blob.residual_k.clone();
+        state.residual_v = blob.residual_v.clone();
+        Ok(seq)
     }
 
     /// Logical token count of a sequence (packed + residual).
@@ -573,6 +728,34 @@ mod tests {
     }
 
     #[test]
+    fn exact_block_multiple_prefill_matches_contiguous_cache() {
+        // A prompt of exactly k·Nr tokens leaves the residual window
+        // empty on both sides; the empty windows must still compare equal
+        // (regression: the contiguous cache used to leave a dim-0 default
+        // matrix there, failing matches_cache — and swap round trips —
+        // despite holding identical bytes).
+        for len in [128usize, 256] {
+            let dim = 16;
+            let mut store = PagedKvStore::new(cfg(dim), 2, 64, 48);
+            let seq = store.admit(0).unwrap();
+            let k: Vec<TokenMatrix> = (0..2)
+                .map(|h| TokenMatrix::from_fn(len, dim, |t, c| ((h + t * dim + c) as f32).sin()))
+                .collect();
+            store.prefill(seq, &k, &k, &ReferenceCodec).unwrap();
+            let mut cache = QuantizedKvCache::new(cfg(dim), 2);
+            for (h, kh) in k.iter().enumerate() {
+                cache.prefill(h, kh, kh, &ReferenceCodec).unwrap();
+            }
+            assert_eq!(store.residual_len(seq), 0);
+            assert!(store.matches_cache(seq, &cache, 0), "len={len}");
+            // And the swap round trip holds on the empty-residual state.
+            let blob = store.swap_out(seq).unwrap();
+            let back = store.swap_in(&blob).unwrap();
+            assert!(store.matches_cache(back, &cache, 0), "len={len} swapped");
+        }
+    }
+
+    #[test]
     fn eviction_frees_pages_and_reuse_does_not_corrupt() {
         // Three sequences; evict the middle one, admit a fourth that reuses
         // its pages; the survivors must still equal their contiguous twins.
@@ -663,6 +846,133 @@ mod tests {
                 got: 1,
                 expected: 2
             })
+        ));
+    }
+
+    #[test]
+    fn failed_admit_does_not_burn_a_seq_id() {
+        // admit-fail → admit-success must hand out the same SeqId stream
+        // as a history without the failure: ids are part of the
+        // deterministic-replay contract (and the sharded store's
+        // cross-device lockstep).
+        let mut store = PagedKvStore::new(cfg(16), 1, 4, 32);
+        let a = store.admit(64).unwrap(); // 2 pages
+        let err = store.admit(128).unwrap_err(); // needs 4, only 2 free
+        assert_eq!(
+            err,
+            PagedOom {
+                requested: 4,
+                free: 2
+            }
+        );
+        let b = store.admit(64).unwrap();
+        assert_eq!(b.0, a.0 + 1, "failed admit consumed a SeqId");
+        // A parallel store that never saw the failure agrees.
+        let mut twin = PagedKvStore::new(cfg(16), 1, 4, 32);
+        assert_eq!(twin.admit(64).unwrap(), a);
+        assert_eq!(twin.admit(64).unwrap(), b);
+    }
+
+    #[test]
+    fn evict_returns_all_pages_at_any_residual_state() {
+        // Pages must return to the pre-admit count whether the sequence is
+        // evicted before sealing, after sealing, or mid-append with an
+        // unsealed residual window (`Nr` = 128 here, so 200 tokens leave 72
+        // residual tokens unflushed).
+        let scenarios: [fn(&mut PagedKvStore, SeqId); 3] = [
+            |_, _| {},                 // evict-before-seal
+            |s, q| s.seal(q).unwrap(), // evict-after-seal
+            |s, q| {
+                // evict-mid-append: window partly filled post-flush
+                let k = vec![row(16, 1000, 9), row(16, 1001, 9)];
+                s.append_step(q, &k, &k, &ReferenceCodec).unwrap();
+            },
+        ];
+        for (i, prep) in scenarios.iter().enumerate() {
+            let mut store = PagedKvStore::new(cfg(16), 2, 64, 48);
+            let free_before = store.free_pages();
+            let seq = store.admit(0).unwrap();
+            mirrored_appends(&mut store, seq, 200, i);
+            assert!(store.residual_len(seq) > 0, "window unsealed mid-run");
+            prep(&mut store, seq);
+            store.evict(seq);
+            assert_eq!(store.free_pages(), free_before, "scenario {i} leaked pages");
+            assert_eq!(store.resident(), 0);
+        }
+    }
+
+    #[test]
+    fn swap_round_trip_is_bitwise_and_frees_pages_between() {
+        for page_tokens in [1, 7, 48, 64, 300] {
+            let mut store = PagedKvStore::new(cfg(16), 2, 2048, page_tokens);
+            let free_before = store.free_pages();
+            let seq = store.admit(300).unwrap();
+            let cache = mirrored_appends(&mut store, seq, 128 * 2 + 37, 0);
+            let held = free_before - store.free_pages();
+            let bytes = store.seq_bytes(seq);
+
+            let blob = store.swap_out(seq).unwrap();
+            assert_eq!(store.free_pages(), free_before, "swap-out frees all pages");
+            assert_eq!(store.resident(), 0);
+            assert_eq!(blob.host_bytes(), bytes);
+            assert_eq!(blob.pages_needed(page_tokens), held);
+            assert!(store.swap_out(seq).is_err(), "already swapped out");
+
+            let seq2 = store.swap_in(&blob).unwrap();
+            assert_ne!(seq2, seq, "ids are never reused");
+            assert!(
+                store.matches_cache(seq2, &cache, 0),
+                "page_tokens={page_tokens}: swap round trip not bitwise"
+            );
+            // The restored sequence keeps its full reservation: appends
+            // up to the original budget stay infallible.
+            let k = row(16, 2000, 0);
+            store
+                .append_step(
+                    seq2,
+                    &[k.clone(), k.clone()],
+                    &[k.clone(), k],
+                    &ReferenceCodec,
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn swap_in_oom_is_clean_and_burns_nothing() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 8, 32);
+        let seq = store.admit(128).unwrap(); // 4 pages
+        let cache = mirrored_appends(&mut store, seq, 100, 0);
+        let blob = store.swap_out(seq).unwrap();
+        // Occupy too many pages for the blob to come back.
+        let hog = store.admit(192).unwrap(); // 6 of 8 pages
+        let err = store.swap_in(&blob).unwrap_err();
+        assert_eq!(err.requested, 4);
+        assert_eq!(err.free, 2);
+        store.evict(hog);
+        // The failed swap-in burned no id and left the blob reusable.
+        let back = store.swap_in(&blob).unwrap();
+        assert_eq!(back.0, hog.0 + 1);
+        assert!(store.matches_cache(back, &cache, 0));
+    }
+
+    #[test]
+    fn swapped_sequences_preserve_sealed_state() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 8, 32);
+        let seq = store.admit(64).unwrap();
+        mirrored_appends(&mut store, seq, 20, 0);
+        store.seal(seq).unwrap();
+        let blob = store.swap_out(seq).unwrap();
+        let back = store.swap_in(&blob).unwrap();
+        let k = row(16, 0, 0);
+        assert!(matches!(
+            store.append_step(
+                back,
+                std::slice::from_ref(&k),
+                std::slice::from_ref(&k),
+                &ReferenceCodec
+            ),
+            Err(StoreError::Sealed(_))
         ));
     }
 

@@ -12,7 +12,44 @@ use bd_baselines::DecodeSystem;
 use bd_core::{AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{PagedPool, QuantScheme};
-use bd_serve::{ServeConfig, ServeSession, SubmitError, SynthSequence};
+use bd_serve::{
+    FcfsPreempt, ServeConfig, ServeSession, ShortestRemainingFirst, SubmitError, SynthSequence,
+};
+
+/// Scheduling-policy selector for the functional serve entry points — a
+/// plain enum mirror of `bd_serve`'s policy structs so callers (benches,
+/// CLIs) can pick one without touching trait objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Strict FCFS, never preempts (the default).
+    Fcfs,
+    /// FCFS with last-in preemption (swap-out/swap-in) under page
+    /// pressure.
+    FcfsPreempt,
+    /// Shortest-remaining-generation-first, never preempts.
+    ShortestRemainingFirst,
+}
+
+impl ServePolicy {
+    /// The policy's serve-layer label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServePolicy::Fcfs => "fcfs",
+            ServePolicy::FcfsPreempt => "fcfs-preempt",
+            ServePolicy::ShortestRemainingFirst => "shortest-remaining-first",
+        }
+    }
+
+    /// Installs the selected policy on a session (benches and CLIs share
+    /// this instead of re-matching on policy structs).
+    pub fn install(self, session: ServeSession) -> ServeSession {
+        match self {
+            ServePolicy::Fcfs => session,
+            ServePolicy::FcfsPreempt => session.with_policy(FcfsPreempt::default()),
+            ServePolicy::ShortestRemainingFirst => session.with_policy(ShortestRemainingFirst),
+        }
+    }
+}
 
 /// Result of a serving-throughput evaluation.
 #[derive(Clone, Debug)]
@@ -95,8 +132,17 @@ pub struct FunctionalServeReport {
     pub kv_tokens_per_s: f64,
     /// Total fast-dequant instruction slots streamed by the fused kernels.
     pub dequant_slots: u64,
+    /// Sequences preempted (swapped out) during the run.
+    pub preemptions: usize,
+    /// Preempted sequences swapped back in during the run.
+    pub resumes: usize,
+    /// Host bytes moved by swap traffic, both directions.
+    pub swap_bytes: f64,
     /// The emitted token stream of every request, in submission order.
     pub token_streams: Vec<Vec<u32>>,
+    /// The decode step at which each request completed, in submission
+    /// order.
+    pub completion_steps: Vec<usize>,
 }
 
 /// Runs the paper's Page serving setting **functionally**: `sequences`
@@ -134,18 +180,35 @@ pub fn serve_functional(
         })
         .collect::<Result<Vec<_>, _>>()?;
     let summary = session.run_to_completion();
-    Ok(FunctionalServeReport {
-        sequences,
+    Ok(report_from(&session, &ids, &summary))
+}
+
+/// Collects the per-request streams/latencies and run totals into a
+/// [`FunctionalServeReport`].
+fn report_from(
+    session: &ServeSession,
+    ids: &[bd_serve::RequestId],
+    summary: &bd_serve::ServeSummary,
+) -> FunctionalServeReport {
+    FunctionalServeReport {
+        sequences: ids.len(),
         completed: summary.completed,
         steps: summary.steps,
         kv_tokens: summary.kv_tokens,
         kv_tokens_per_s: summary.kv_tokens_per_s,
         dequant_slots: u64::from(summary.dequant.total()),
+        preemptions: summary.preemptions,
+        resumes: summary.resumes,
+        swap_bytes: summary.swap_bytes,
         token_streams: ids
             .iter()
             .map(|id| session.stream(*id).expect("submitted").to_vec())
             .collect(),
-    })
+        completion_steps: ids
+            .iter()
+            .map(|id| session.completion_step(*id).expect("completed"))
+            .collect(),
+    }
 }
 
 /// Runs the Page serving setting functionally under a **trace-driven
@@ -175,13 +238,49 @@ pub fn serve_trace_functional(
     steps_per_s: f64,
     config: ServeConfig,
 ) -> Result<FunctionalServeReport, SubmitError> {
+    serve_trace_policy_functional(
+        arch,
+        attn,
+        scheme,
+        trace,
+        steps_per_s,
+        config,
+        ServePolicy::Fcfs,
+    )
+}
+
+/// [`serve_trace_functional`] under an explicit [`ServePolicy`]: the same
+/// trace-driven Page setting, but admission (and, for
+/// [`ServePolicy::FcfsPreempt`], swap-out/swap-in preemption under page
+/// pressure) follows the chosen scheduling policy. Streams stay
+/// bitwise-checkable against per-sequence contiguous replay under every
+/// policy — preemption reorders *when* sequences decode, never *what*
+/// they emit.
+///
+/// # Errors
+///
+/// Propagates [`SubmitError`] when any request cannot be served under
+/// `config`.
+///
+/// # Panics
+///
+/// Panics if `steps_per_s` is not positive.
+pub fn serve_trace_policy_functional(
+    arch: GpuArch,
+    attn: AttentionConfig,
+    scheme: QuantScheme,
+    trace: &[Request],
+    steps_per_s: f64,
+    config: ServeConfig,
+    policy: ServePolicy,
+) -> Result<FunctionalServeReport, SubmitError> {
     assert!(steps_per_s > 0.0, "steps_per_s must be positive");
     let decoder = BitDecoder::builder(arch)
         .attention(attn)
         .scheme(scheme)
         .paged(true)
         .build();
-    let mut session = ServeSession::new(decoder, config);
+    let mut session = policy.install(ServeSession::new(decoder, config));
     let ids = trace
         .iter()
         .enumerate()
@@ -199,18 +298,7 @@ pub fn serve_trace_functional(
         })
         .collect::<Result<Vec<_>, _>>()?;
     let summary = session.run_to_completion();
-    Ok(FunctionalServeReport {
-        sequences: trace.len(),
-        completed: summary.completed,
-        steps: summary.steps,
-        kv_tokens: summary.kv_tokens,
-        kv_tokens_per_s: summary.kv_tokens_per_s,
-        dequant_slots: u64::from(summary.dequant.total()),
-        token_streams: ids
-            .iter()
-            .map(|id| session.stream(*id).expect("submitted").to_vec())
-            .collect(),
-    })
+    Ok(report_from(&session, &ids, &summary))
 }
 
 #[cfg(test)]
@@ -283,6 +371,63 @@ mod tests {
                 &mut SynthSequence::new(attn, i as u64, req.prompt_tokens, req.gen_tokens),
             );
             assert_eq!(stream, &want, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn preempting_policy_unblocks_late_arrivals_in_the_trace_setting() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // A big request owns the whole 4-page pool; a small one arrives
+        // while it decodes.
+        let trace = [
+            Request {
+                arrival_s: 0.0,
+                prompt_tokens: 64,
+                gen_tokens: 40,
+            },
+            Request {
+                arrival_s: 5.0,
+                prompt_tokens: 16,
+                gen_tokens: 3,
+            },
+        ];
+        let config = ServeConfig::new(4, 32, 0, 8);
+        let run = |policy| {
+            serve_trace_policy_functional(
+                GpuArch::a100(),
+                attn,
+                QuantScheme::kc4(),
+                &trace,
+                1.0,
+                config,
+                policy,
+            )
+            .unwrap()
+        };
+        let fcfs = run(ServePolicy::Fcfs);
+        let pre = run(ServePolicy::FcfsPreempt);
+        assert_eq!((fcfs.preemptions, fcfs.resumes), (0, 0));
+        assert_eq!((pre.preemptions, pre.resumes), (1, 1));
+        assert!(pre.swap_bytes > 0.0);
+        // The late small request completes strictly earlier under
+        // preemption…
+        assert!(pre.completion_steps[1] < fcfs.completion_steps[1]);
+        // …and every stream still equals the uninterrupted contiguous
+        // replay under both policies.
+        let dec = BitDecoder::builder(GpuArch::a100())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        for report in [&fcfs, &pre] {
+            assert_eq!(report.completed, 2);
+            for (i, (req, stream)) in trace.iter().zip(&report.token_streams).enumerate() {
+                let want = replay_contiguous(
+                    &dec,
+                    &mut SynthSequence::new(attn, i as u64, req.prompt_tokens, req.gen_tokens),
+                );
+                assert_eq!(stream, &want, "sequence {i}");
+            }
         }
     }
 

@@ -27,15 +27,21 @@
 //!   [`bd_core::BitDecoder::decode`], at any worker *and device* count.
 //! * **Scheduling** — [`session::ServeSession`]: submit / step / stream,
 //!   plus trace-driven arrivals ([`session::ServeSession::submit_at`]) so
-//!   sequences join mid-run when pages free up. Requests admit FCFS
-//!   against every device's page pool (prompt + generation budget reserved
-//!   up front, so a running sequence never OOMs mid-decode), every step
-//!   re-forms the batch, **merges each head's device partials** through
+//!   sequences join mid-run when pages free up. Admission runs under a
+//!   pluggable [`scheduler::SchedulerPolicy`] — [`scheduler::Fcfs`]
+//!   (default), [`scheduler::FcfsPreempt`] (under page pressure the
+//!   youngest running sequence swaps out to a host blob and re-queues at
+//!   the front, so due arrivals make progress), or
+//!   [`scheduler::ShortestRemainingFirst`] — always reserving each
+//!   request's full prompt + generation budget on every device, so a
+//!   running sequence never OOMs mid-decode. Every step re-forms the
+//!   batch, **merges each head's device partials** through
 //!   `OnlineSoftmax::merge` — the simulated all-reduce, exact by
-//!   construction — and each step reports [`session::ServeMetrics`]
-//!   (aggregate KV-tokens/s, fast-dequant telemetry, per-device
-//!   utilization and page occupancy, and the analytic price of the step's
-//!   compute plus its ring-all-reduce interconnect traffic).
+//!   construction — and reports [`session::ServeMetrics`] (aggregate
+//!   KV-tokens/s, fast-dequant telemetry, per-device utilization and page
+//!   occupancy, preemption/swap counters, and the analytic price of the
+//!   step's compute, its ring-all-reduce interconnect traffic, and its
+//!   swap traffic over a PCIe-class host link).
 //!
 //! The driver supplies per-sequence behaviour through
 //! [`model::SequenceModel`] — the stand-in for the transformer's QKV
@@ -68,10 +74,14 @@
 //! ```
 
 pub mod model;
+pub mod scheduler;
 pub mod session;
 pub mod workers;
 
 pub use model::{replay_contiguous, SequenceModel, StepKv, SynthSequence};
+pub use scheduler::{
+    Fcfs, FcfsPreempt, QueuedRequest, RunningSeq, SchedulerPolicy, ShortestRemainingFirst,
+};
 pub use session::{
     DeviceStepMetrics, RequestId, ServeConfig, ServeMetrics, ServeSession, ServeSummary,
     SubmitError,

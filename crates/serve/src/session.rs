@@ -1,29 +1,39 @@
 //! The decode-step scheduler and its session front end.
 //!
-//! [`ServeSession`] is the runtime's control loop: requests queue FCFS
-//! (either pre-filled via [`ServeSession::submit`] or joining mid-run
-//! through [`ServeSession::submit_at`]'s trace-driven arrivals), admission
-//! reserves each request's full prompt + generation page budget **on every
-//! device** of the [`ShardedKvStore`] (so an admitted sequence never OOMs
-//! mid-decode — the no-preemption discipline of the paper's Page serving
-//! evaluation), and every [`ServeSession::step`] re-forms the batch, fans
-//! one work unit per `(sequence, kv-head, device)` across the device-pinned
+//! [`ServeSession`] is the runtime's control loop: requests queue (either
+//! pre-filled via [`ServeSession::submit`] or joining mid-run through
+//! [`ServeSession::submit_at`]'s trace-driven arrivals), admission — under
+//! a pluggable [`SchedulerPolicy`], FCFS by default — reserves each
+//! request's full prompt + generation page budget **on every device** of
+//! the [`ShardedKvStore`] (so an admitted sequence never OOMs mid-decode),
+//! and every [`ServeSession::step`] re-forms the batch, fans one work unit
+//! per `(sequence, kv-head, device)` across the device-pinned
 //! [`WorkerPool`] groups, **merges each head's softmax partials** (the
 //! simulated all-reduce, exact by `OnlineSoftmax::merge`), appends each
 //! sequence's new KV token, and retires finished sequences so their pages
 //! recycle into the admission queue.
 //!
+//! Under page pressure a preempting policy (e.g.
+//! [`crate::scheduler::FcfsPreempt`]) may **swap out** a running sequence:
+//! its packed pages and FP16 residual window serialize into a host-side
+//! blob ([`ShardedKvStore::swap_out`]), its pages free on every device,
+//! and the request re-queues at the front with its model state intact.
+//! Swap-in restores the blob bitwise, so a preempted stream is identical
+//! to an uninterrupted one.
+//!
 //! Each step yields a [`ServeMetrics`] sample pairing the *measured*
 //! aggregate KV-throughput, fast-dequant telemetry, and per-device
 //! utilization with the *analytic* price of the same step shape — compute
 //! from the kernel cost model, communication from the
-//! [`InterconnectModel`]'s ring all-reduce of the step's output partials.
+//! [`InterconnectModel`]'s ring all-reduce of the step's output partials,
+//! and swap traffic from the session's host link (PCIe-class by default).
 
 use crate::model::SequenceModel;
+use crate::scheduler::{Fcfs, QueuedRequest, RunningSeq, SchedulerPolicy};
 use crate::workers::{WorkUnit, WorkerPool};
 use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape, OnlineSoftmax};
 use bd_gpu_sim::InterconnectModel;
-use bd_kvcache::{DeviceId, Partitioning, Placement, SeqId, ShardedKvStore};
+use bd_kvcache::{DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, SwappedShardedSeq};
 use bd_lowbit::fastpath::FastDequantOps;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -51,6 +61,10 @@ pub struct ServeConfig {
     pub partitioning: Partitioning,
     /// The link model pricing the per-step output all-reduce.
     pub link: InterconnectModel,
+    /// The host link model pricing preemption swap traffic (PCIe-class by
+    /// default — swapped KV crosses the device↔host boundary, not the
+    /// device↔device fabric).
+    pub swap_link: InterconnectModel,
 }
 
 impl ServeConfig {
@@ -71,6 +85,7 @@ impl ServeConfig {
             devices: 1,
             partitioning: Partitioning::HeadContiguous,
             link: InterconnectModel::nvlink4(),
+            swap_link: InterconnectModel::pcie_gen5(),
         }
     }
 
@@ -90,6 +105,12 @@ impl ServeConfig {
     /// Overrides the interconnect link model.
     pub fn with_link(mut self, link: InterconnectModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Overrides the host link model pricing swap traffic.
+    pub fn with_swap_link(mut self, link: InterconnectModel) -> Self {
+        self.swap_link = link;
         self
     }
 }
@@ -180,6 +201,17 @@ pub struct ServeMetrics {
     pub allreduce_bytes_per_device: f64,
     /// What the link model prices that all-reduce at, seconds.
     pub modeled_interconnect_s: f64,
+    /// Running sequences preempted (swapped out and re-queued) during this
+    /// step's admission pass.
+    pub preempted: usize,
+    /// Previously preempted requests that swapped back in this step.
+    pub resumed: usize,
+    /// Host bytes the step's swap-outs and swap-ins moved, both
+    /// directions combined.
+    pub swap_bytes: f64,
+    /// What the session's host link prices that swap traffic at, seconds
+    /// (one point-to-point transfer per swap event).
+    pub modeled_swap_s: f64,
 }
 
 impl ServeMetrics {
@@ -214,6 +246,14 @@ pub struct ServeSummary {
     pub mean_device_utilization: f64,
     /// Total modeled all-reduce time across the run, seconds.
     pub modeled_interconnect_s: f64,
+    /// Total preemptions (swap-outs) across the run.
+    pub preemptions: usize,
+    /// Total swap-ins (resumed preempted requests) across the run.
+    pub resumes: usize,
+    /// Total host bytes moved by swaps, both directions.
+    pub swap_bytes: f64,
+    /// Total modeled swap-transfer time across the run, seconds.
+    pub modeled_swap_s: f64,
 }
 
 struct ActiveSeq {
@@ -222,6 +262,76 @@ struct ActiveSeq {
     model: Box<dyn SequenceModel>,
     step: usize,
     remaining: usize,
+    /// Decode step of (the most recent) admission — what a preempting
+    /// policy uses to find the youngest victim and to spare same-step
+    /// admits.
+    admitted_step: usize,
+}
+
+/// KV state of a preempted request waiting to resume.
+struct ResumeState {
+    blob: SwappedShardedSeq,
+    step: usize,
+    remaining: usize,
+}
+
+/// One queued request: fresh (never ran — admission prefills its prompt)
+/// or preempted (resumes by swapping its KV blob back in).
+struct QueueEntry {
+    id: RequestId,
+    model: Box<dyn SequenceModel>,
+    resume: Option<ResumeState>,
+}
+
+impl QueueEntry {
+    fn fresh(id: RequestId, model: Box<dyn SequenceModel>) -> Self {
+        QueueEntry {
+            id,
+            model,
+            resume: None,
+        }
+    }
+
+    /// The policy-facing view of this entry.
+    fn view(&self, page_tokens: usize) -> QueuedRequest {
+        match &self.resume {
+            Some(r) => QueuedRequest {
+                id: self.id,
+                prompt_tokens: self.model.prompt_tokens(),
+                remaining_tokens: r.remaining,
+                needed_pages: r.blob.pages_needed(page_tokens),
+                resumable: true,
+            },
+            None => QueuedRequest {
+                id: self.id,
+                prompt_tokens: self.model.prompt_tokens(),
+                remaining_tokens: self.model.gen_tokens(),
+                needed_pages: (self.model.prompt_tokens() + self.model.gen_tokens())
+                    .div_ceil(page_tokens),
+                resumable: false,
+            },
+        }
+    }
+}
+
+/// Swap/preemption traffic of one admission pass.
+#[derive(Clone, Copy, Debug, Default)]
+struct AdmissionStats {
+    admitted: usize,
+    preempted: usize,
+    resumed: usize,
+    swap_bytes: f64,
+    modeled_swap_s: f64,
+}
+
+impl AdmissionStats {
+    fn absorb(&mut self, other: AdmissionStats) {
+        self.admitted += other.admitted;
+        self.preempted += other.preempted;
+        self.resumed += other.resumed;
+        self.swap_bytes += other.swap_bytes;
+        self.modeled_swap_s += other.modeled_swap_s;
+    }
 }
 
 /// The batched decode runtime session — see the [module docs](self).
@@ -229,13 +339,16 @@ pub struct ServeSession {
     decoder: Arc<BitDecoder>,
     store: Arc<ShardedKvStore>,
     pool: WorkerPool,
-    /// Trace arrivals not yet due, sorted by arrival step (FCFS within a
-    /// step).
+    /// Trace arrivals not yet due, sorted by `(arrival step, id)` — id
+    /// order makes FCFS within a step explicit and stable.
     arrivals: VecDeque<(usize, RequestId, Box<dyn SequenceModel>)>,
-    pending: VecDeque<(RequestId, Box<dyn SequenceModel>)>,
+    pending: VecDeque<QueueEntry>,
     active: Vec<ActiveSeq>,
+    policy: Box<dyn SchedulerPolicy>,
     streams: BTreeMap<RequestId, Vec<u32>>,
     finished: BTreeSet<RequestId>,
+    /// Step at which each finished request completed.
+    finished_step: BTreeMap<RequestId, usize>,
     metrics: Vec<ServeMetrics>,
     next_id: RequestId,
     config: ServeConfig,
@@ -261,13 +374,27 @@ impl ServeSession {
             arrivals: VecDeque::new(),
             pending: VecDeque::new(),
             active: Vec::new(),
+            policy: Box::new(Fcfs),
             streams: BTreeMap::new(),
             finished: BTreeSet::new(),
+            finished_step: BTreeMap::new(),
             metrics: Vec::new(),
             next_id: 0,
             config,
             step_index: 0,
         }
+    }
+
+    /// Replaces the admission/preemption policy (default:
+    /// [`Fcfs`] — the strict no-preemption behavior of earlier revisions).
+    pub fn with_policy(mut self, policy: impl SchedulerPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// The active scheduling policy's label.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
     }
 
     /// The session's decoder.
@@ -310,6 +437,13 @@ impl ServeSession {
         self.finished.contains(&id)
     }
 
+    /// The decode step at which a request finished (`None` while it is
+    /// still queued or running) — the per-request latency signal the
+    /// policy benches aggregate into completion-step percentiles.
+    pub fn completion_step(&self, id: RequestId) -> Option<usize> {
+        self.finished_step.get(&id).copied()
+    }
+
     /// Per-step metrics recorded so far.
     pub fn metrics(&self) -> &[ServeMetrics] {
         &self.metrics
@@ -330,9 +464,10 @@ impl ServeSession {
         Ok(())
     }
 
-    /// Queues a request. Admission happens FCFS at the next step with
-    /// enough free pages; the assigned [`RequestId`] is live immediately
-    /// (its [`ServeSession::stream`] starts empty).
+    /// Queues a request. Admission happens under the session's
+    /// [`SchedulerPolicy`] (FCFS by default) at the next step with enough
+    /// free pages; the assigned [`RequestId`] is live immediately (its
+    /// [`ServeSession::stream`] starts empty).
     ///
     /// # Errors
     ///
@@ -343,7 +478,7 @@ impl ServeSession {
         let id = self.next_id;
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
-        self.pending.push_back((id, model));
+        self.pending.push_back(QueueEntry::fresh(id, model));
         Ok(id)
     }
 
@@ -370,12 +505,15 @@ impl ServeSession {
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
         if arrival_step <= self.step_index {
-            self.pending.push_back((id, model));
+            self.pending.push_back(QueueEntry::fresh(id, model));
         } else {
-            // Sorted insert; FCFS among equal arrival steps.
+            // Sorted insert on the full `(arrival step, id)` key: two
+            // requests due at the same step keep **submission** order (ids
+            // are handed out in submission order), so FCFS ties are stable
+            // by construction rather than by insert-position accident.
             let pos = self
                 .arrivals
-                .partition_point(|(s, _, _)| *s <= arrival_step);
+                .partition_point(|&(s, other, _)| (s, other) <= (arrival_step, id));
             self.arrivals.insert(pos, (arrival_step, id, model));
         }
         Ok(id)
@@ -392,49 +530,210 @@ impl ServeSession {
         Arc::get_mut(&mut self.store).expect("no outstanding store refs")
     }
 
-    /// Moves arrivals due at the current step into the FCFS queue, then
-    /// admits pending requests while pages (on every device) and the batch
-    /// cap allow; returns how many were admitted.
-    fn admit_due(&mut self) -> usize {
+    /// Moves arrivals due at the current step into the pending queue, then
+    /// admits under the session's [`SchedulerPolicy`] while pages (on
+    /// every device) and the batch cap allow — preempting running
+    /// sequences when the policy names victims. Returns the pass's
+    /// admission/swap accounting.
+    fn admit_due(&mut self) -> AdmissionStats {
         while let Some((step, _, _)) = self.arrivals.front() {
             if *step > self.step_index {
                 break;
             }
             let (_, id, model) = self.arrivals.pop_front().expect("checked front");
-            self.pending.push_back((id, model));
+            self.pending.push_back(QueueEntry::fresh(id, model));
         }
-        let mut admitted = 0;
+        let mut stats = AdmissionStats::default();
+        let page_tokens = self.config.page_tokens;
+        // Requests that stayed blocked this pass: excluded from further
+        // `pick_next` views (a backfilling policy moves on to others; a
+        // strict one stops at the first of them anyway).
+        let mut blocked: BTreeSet<RequestId> = BTreeSet::new();
         while self.active.len() < self.config.max_batch {
-            let Some((id, mut model)) = self.pending.pop_front() else {
+            let eligible: Vec<(usize, QueuedRequest)> = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !blocked.contains(&e.id))
+                .map(|(i, e)| (i, e.view(page_tokens)))
+                .collect();
+            let views: Vec<QueuedRequest> = eligible.iter().map(|(_, v)| *v).collect();
+            let Some(pick) = self.policy.pick_next(&views) else {
                 break;
             };
-            let reserve = model.prompt_tokens() + model.gen_tokens();
-            let codec = self.decoder.codec();
-            let store = self.store_mut();
-            let seq = match store.admit(reserve) {
-                Ok(seq) => seq,
-                Err(_oom) => {
-                    // Not enough pages *now*: stay queued (FCFS — later
-                    // requests wait behind this one).
-                    self.pending.push_front((id, model));
-                    break;
+            let idx = eligible[pick].0;
+            let mut entry = self
+                .pending
+                .remove(idx)
+                .expect("policy picked a live queue index");
+            // Retry the same candidate after each preemption; when the
+            // policy names no (further) victim, put it back where it was —
+            // it keeps its queue position for the next pages that free up
+            // — and either stop the pass (strict policies) or move on to
+            // later queued requests (backfilling ones). Victims pushed to
+            // the queue front during the retries shift positions, so the
+            // re-insert offsets by their count to land the candidate
+            // behind them, in its original slot.
+            let mut victims_pushed = 0usize;
+            loop {
+                match self.try_admit(entry, &mut stats) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        entry = back;
+                        let candidate = entry.view(page_tokens);
+                        let running: Vec<RunningSeq> = self
+                            .active
+                            .iter()
+                            .map(|a| RunningSeq {
+                                id: a.id,
+                                admitted_step: a.admitted_step,
+                                remaining_tokens: a.remaining,
+                                held_pages: self
+                                    .store
+                                    .device(DeviceId(0))
+                                    .pool()
+                                    .table(a.seq)
+                                    .map_or(0, |t| t.len()),
+                            })
+                            .collect();
+                        // Futility guard: even preempting every victim the
+                        // policy may name (same-step admits are off limits
+                        // by the trait contract) cannot free enough pages
+                        // — don't swap anyone out for nothing.
+                        let free = self.store.device(DeviceId(0)).free_pages();
+                        let preemptible: usize = running
+                            .iter()
+                            .filter(|r| r.admitted_step < self.step_index)
+                            .map(|r| r.held_pages)
+                            .sum();
+                        let victim = if candidate.needed_pages > free + preemptible {
+                            None
+                        } else {
+                            self.policy
+                                .pick_victim(&candidate, &running, self.step_index)
+                        };
+                        match victim {
+                            Some(v) => {
+                                self.preempt(v, &mut stats);
+                                victims_pushed += 1;
+                            }
+                            None => {
+                                blocked.insert(entry.id);
+                                self.pending
+                                    .insert((idx + victims_pushed).min(self.pending.len()), entry);
+                                if self
+                                    .policy
+                                    .continue_after_block(&candidate, self.step_index)
+                                {
+                                    break;
+                                }
+                                return stats;
+                            }
+                        }
+                    }
                 }
-            };
-            let (pk, pv) = model.prompt();
-            store
-                .prefill(seq, &pk, &pv, &codec)
-                .expect("reservation covers the prompt");
-            let remaining = model.gen_tokens();
-            self.active.push(ActiveSeq {
-                id,
-                seq,
-                model,
-                step: 0,
-                remaining,
-            });
-            admitted += 1;
+            }
         }
-        admitted
+        stats
+    }
+
+    /// Tries to admit one queued request — fresh requests reserve their
+    /// full page budget and prefill; preempted ones swap their KV blob
+    /// back in bitwise. On page exhaustion the entry is handed back
+    /// unchanged.
+    fn try_admit(
+        &mut self,
+        entry: QueueEntry,
+        stats: &mut AdmissionStats,
+    ) -> Result<(), QueueEntry> {
+        let now = self.step_index;
+        let QueueEntry {
+            id,
+            mut model,
+            resume,
+        } = entry;
+        match resume {
+            Some(res) => match self.store_mut().swap_in(&res.blob) {
+                Ok(seq) => {
+                    let bytes = res.blob.host_bytes() as f64;
+                    stats.resumed += 1;
+                    stats.swap_bytes += bytes;
+                    stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
+                    // Ground truth for aging policies: silence is not a
+                    // resume (batch-full steps never consult them).
+                    self.policy.on_resumed(id);
+                    self.active.push(ActiveSeq {
+                        id,
+                        seq,
+                        model,
+                        step: res.step,
+                        remaining: res.remaining,
+                        admitted_step: now,
+                    });
+                    Ok(())
+                }
+                Err(_oom) => Err(QueueEntry {
+                    id,
+                    model,
+                    resume: Some(res),
+                }),
+            },
+            None => {
+                let reserve = model.prompt_tokens() + model.gen_tokens();
+                let codec = self.decoder.codec();
+                let store = self.store_mut();
+                match store.admit(reserve) {
+                    Ok(seq) => {
+                        let (pk, pv) = model.prompt();
+                        store
+                            .prefill(seq, &pk, &pv, &codec)
+                            .expect("reservation covers the prompt");
+                        let remaining = model.gen_tokens();
+                        stats.admitted += 1;
+                        self.active.push(ActiveSeq {
+                            id,
+                            seq,
+                            model,
+                            step: 0,
+                            remaining,
+                            admitted_step: now,
+                        });
+                        Ok(())
+                    }
+                    Err(_oom) => Err(QueueEntry {
+                        id,
+                        model,
+                        resume: None,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Swaps out the running sequence at `index` (admission order) and
+    /// re-queues it at the **front** of the pending queue with its model
+    /// state and generation position intact; the swap-in path restores its
+    /// KV bitwise, so the preempted stream stays identical to an
+    /// uninterrupted one.
+    fn preempt(&mut self, index: usize, stats: &mut AdmissionStats) {
+        let victim = self.active.remove(index);
+        let blob = self
+            .store_mut()
+            .swap_out(victim.seq)
+            .expect("active sequence is resident");
+        let bytes = blob.host_bytes() as f64;
+        stats.preempted += 1;
+        stats.swap_bytes += bytes;
+        stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
+        self.pending.push_front(QueueEntry {
+            id: victim.id,
+            model: victim.model,
+            resume: Some(ResumeState {
+                blob,
+                step: victim.step,
+                remaining: victim.remaining,
+            }),
+        });
     }
 
     /// Runs one decode step: admit (arrivals + FCFS queue) → batch
@@ -446,12 +745,12 @@ impl ServeSession {
     /// session is drained). If the session is idle but future arrivals
     /// exist, it fast-forwards to the next arrival step.
     pub fn step(&mut self) -> Option<ServeMetrics> {
-        let mut admitted = self.admit_due();
+        let mut adm = self.admit_due();
         while self.active.is_empty() {
             // Idle: jump to the next trace arrival (or drain).
             let &(next, _, _) = self.arrivals.front()?;
             self.step_index = next.max(self.step_index);
-            admitted += self.admit_due();
+            adm.absorb(self.admit_due());
         }
         let attn = *self.decoder.attention();
         let heads_kv = attn.heads_kv;
@@ -548,6 +847,7 @@ impl ServeSession {
         }
         for (id, _) in &done {
             self.finished.insert(*id);
+            self.finished_step.insert(*id, self.step_index);
         }
         self.active.retain(|a| a.remaining > 0);
 
@@ -582,7 +882,7 @@ impl ServeSession {
         let m = ServeMetrics {
             step: self.step_index,
             batch,
-            admitted,
+            admitted: adm.admitted,
             completed: done.len(),
             kv_tokens,
             wall_s,
@@ -598,6 +898,10 @@ impl ServeSession {
             per_device,
             allreduce_bytes_per_device,
             modeled_interconnect_s,
+            preempted: adm.preempted,
+            resumed: adm.resumed,
+            swap_bytes: adm.swap_bytes,
+            modeled_swap_s: adm.modeled_swap_s,
         };
         self.step_index += 1;
         self.metrics.push(m.clone());
@@ -645,6 +949,10 @@ impl ServeSession {
                     / run.len() as f64
             },
             modeled_interconnect_s: run.iter().map(|m| m.modeled_interconnect_s).sum(),
+            preemptions: run.iter().map(|m| m.preempted).sum(),
+            resumes: run.iter().map(|m| m.resumed).sum(),
+            swap_bytes: run.iter().map(|m| m.swap_bytes).sum(),
+            modeled_swap_s: run.iter().map(|m| m.modeled_swap_s).sum(),
         }
     }
 }
@@ -653,6 +961,7 @@ impl ServeSession {
 mod tests {
     use super::*;
     use crate::model::{replay_contiguous, SynthSequence};
+    use crate::scheduler::{FcfsPreempt, ShortestRemainingFirst};
     use bd_core::AttentionConfig;
     use bd_gpu_sim::GpuArch;
     use bd_kvcache::QuantScheme;
@@ -883,6 +1192,430 @@ mod tests {
         // frees its page, and the queued arrival is finally admitted.
         assert_eq!(summary.completed, 2);
         assert_eq!(session.pending(), 0);
+    }
+
+    /// The head-of-line scenario: a big request owns the whole pool when a
+    /// small one arrives. Returns each policy's session plus the two ids.
+    fn oversubscribed_session(
+        policy: impl crate::scheduler::SchedulerPolicy + 'static,
+    ) -> (ServeSession, RequestId, RequestId) {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // 4 pages × 32 tokens: request A (64 + 40 tokens) fills the pool.
+        let mut session =
+            ServeSession::new(decoder(attn), ServeConfig::new(4, 32, 0, 8)).with_policy(policy);
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 64, 40)))
+            .unwrap();
+        // B arrives at step 5: 16 + 3 tokens, a single page.
+        let b = session
+            .submit_at(5, Box::new(SynthSequence::new(attn, 1, 16, 3)))
+            .unwrap();
+        session.run_to_completion();
+        (session, a, b)
+    }
+
+    #[test]
+    fn preemption_unblocks_late_arrival_and_stays_bitwise() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let (fcfs, _, fcfs_b) = oversubscribed_session(super::Fcfs);
+        let (pre, pre_a, pre_b) = oversubscribed_session(FcfsPreempt::default());
+
+        // Acceptance: under page pressure FcfsPreempt completes the small
+        // late request in strictly fewer steps than Fcfs.
+        let fcfs_done = fcfs.completion_step(fcfs_b).unwrap();
+        let pre_done = pre.completion_step(pre_b).unwrap();
+        assert!(
+            pre_done < fcfs_done,
+            "preemption did not help: {pre_done} vs {fcfs_done}"
+        );
+        // B decodes immediately on arrival (steps 5..7), not after A.
+        assert_eq!(pre_done, 7);
+
+        // The preemption really happened and was priced.
+        let s = |sess: &ServeSession| {
+            let run = sess.metrics();
+            (
+                run.iter().map(|m| m.preempted).sum::<usize>(),
+                run.iter().map(|m| m.resumed).sum::<usize>(),
+                run.iter().map(|m| m.swap_bytes).sum::<f64>(),
+                run.iter().map(|m| m.modeled_swap_s).sum::<f64>(),
+            )
+        };
+        assert_eq!(s(&fcfs), (0, 0, 0.0, 0.0));
+        let (preempted, resumed, bytes, swap_s) = s(&pre);
+        assert_eq!((preempted, resumed), (1, 1));
+        assert!(bytes > 0.0, "swap moved bytes");
+        assert!(swap_s > 0.0, "swap was priced by the host link");
+
+        // Every stream — preempted or not — is bitwise identical to the
+        // uninterrupted contiguous replay, under both policies.
+        for (sess, a, b) in [(&fcfs, 0, fcfs_b), (&pre, pre_a, pre_b)] {
+            let want_a =
+                replay_contiguous(&decoder(attn), &mut SynthSequence::new(attn, 0, 64, 40));
+            let want_b = replay_contiguous(&decoder(attn), &mut SynthSequence::new(attn, 1, 16, 3));
+            assert_eq!(sess.stream(a).unwrap(), want_a, "big stream diverged");
+            assert_eq!(sess.stream(b).unwrap(), want_b, "small stream diverged");
+        }
+        // All pages recycled in both sessions.
+        assert_eq!(pre.store().free_pages(), 4);
+    }
+
+    #[test]
+    fn shortest_remaining_first_overtakes_without_swapping() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // Pool fits one request at a time; both are pending from step 0.
+        let build = |policy_is_srf: bool| {
+            let session = ServeSession::new(decoder(attn), ServeConfig::new(4, 32, 0, 8));
+            let mut session = if policy_is_srf {
+                session.with_policy(ShortestRemainingFirst)
+            } else {
+                session
+            };
+            let long = session
+                .submit(Box::new(SynthSequence::new(attn, 0, 64, 30)))
+                .unwrap();
+            let short = session
+                .submit(Box::new(SynthSequence::new(attn, 1, 64, 4)))
+                .unwrap();
+            session.run_to_completion();
+            (session, long, short)
+        };
+        let (fcfs, _, fcfs_short) = build(false);
+        let (srf, srf_long, srf_short) = build(true);
+        // SRF serves the short request first even though it was submitted
+        // second…
+        assert!(
+            srf.completion_step(srf_short).unwrap() < fcfs.completion_step(fcfs_short).unwrap()
+        );
+        assert!(srf.completion_step(srf_short).unwrap() < srf.completion_step(srf_long).unwrap());
+        // …without any swap traffic.
+        assert!(srf.metrics().iter().all(|m| m.preempted == 0));
+        // Streams are unaffected by the reordering.
+        for (id, seed, gen) in [(srf_long, 0u64, 30usize), (srf_short, 1, 4)] {
+            let want =
+                replay_contiguous(&decoder(attn), &mut SynthSequence::new(attn, seed, 64, gen));
+            assert_eq!(srf.stream(id).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn preempted_victims_resume_after_blocker_drains() {
+        // Two sequences resident; a fresh arrival preempts the youngest
+        // (and only the youngest); the victim swaps back in later and its
+        // stream is intact.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        // Two 2-page residents fill the 4-page pool.
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 40, 20)))
+            .unwrap();
+        let b = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 40, 20)))
+            .unwrap();
+        // C arrives at step 3 needing 2 pages: preempts B (youngest), not A.
+        let c = session
+            .submit_at(3, Box::new(SynthSequence::new(attn, 2, 40, 4)))
+            .unwrap();
+        session.run_to_completion();
+        let m3 = session.metrics().iter().find(|m| m.step == 3).unwrap();
+        assert_eq!(m3.preempted, 1);
+        assert_eq!(m3.admitted, 1);
+        assert!(session.completion_step(c).unwrap() < session.completion_step(b).unwrap());
+        assert!(session.completion_step(a).unwrap() < session.completion_step(b).unwrap());
+        for (id, seed, gen) in [(a, 0u64, 20usize), (b, 1, 20), (c, 2, 4)] {
+            let want =
+                replay_contiguous(&decoder(attn), &mut SynthSequence::new(attn, seed, 40, gen));
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+    }
+
+    #[test]
+    fn futile_preemptions_are_not_attempted() {
+        // A candidate that cannot fit even after preempting every eligible
+        // victim must not swap anyone out: swapping A out just to swap it
+        // back in the same step would pay two transfers for nothing.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(5, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 40, 20)))
+            .unwrap(); // 2 pages
+        let x = session
+            .submit_at(3, Box::new(SynthSequence::new(attn, 1, 16, 2)))
+            .unwrap(); // 1 page, fits free pool
+        let f = session
+            .submit_at(3, Box::new(SynthSequence::new(attn, 2, 100, 56)))
+            .unwrap(); // 5 pages: needs the whole pool
+        session.run_to_completion();
+        // Step 3: X (same-step admit) is spared, so the most F could free
+        // is A's 2 pages — 5 > free(2) + preemptible(2), futile. Without
+        // the guard this step would swap A out and straight back in,
+        // paying two transfers for nothing.
+        let m3 = session.metrics().iter().find(|m| m.step == 3).unwrap();
+        assert_eq!((m3.preempted, m3.resumed), (0, 0), "futile swap at step 3");
+        // From step 4 X is preemptible too; evicting both residents is
+        // enough, so F admits through two useful preemptions.
+        let m4 = session.metrics().iter().find(|m| m.step == 4).unwrap();
+        assert_eq!(m4.preempted, 2);
+        let total: usize = session.metrics().iter().map(|m| m.preempted).sum();
+        assert_eq!(total, 2);
+        for (id, seed, prompt, gen) in [(a, 0u64, 40usize, 20usize), (x, 1, 16, 2), (f, 2, 100, 56)]
+        {
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, seed, prompt, gen),
+            );
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+    }
+
+    #[test]
+    fn blocked_swapped_head_does_not_stall_backfill() {
+        // A swapped-out sequence parked at the queue head must not
+        // re-create head-of-line blocking under FcfsPreempt: later
+        // requests that fit the leftover pages admit right past it.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 64, 40)))
+            .unwrap(); // 4 pages: the whole pool
+        let b = session
+            .submit_at(2, Box::new(SynthSequence::new(attn, 1, 64, 30)))
+            .unwrap(); // 3 pages: preempts A, which then blocks at the head
+        let c = session
+            .submit_at(3, Box::new(SynthSequence::new(attn, 2, 16, 2)))
+            .unwrap(); // 1 page: fits the leftover page while A is parked
+        session.run_to_completion();
+        let m3 = session.metrics().iter().find(|m| m.step == 3).unwrap();
+        assert_eq!(
+            (m3.admitted, m3.batch),
+            (1, 2),
+            "C admitted past the blocked swapped head"
+        );
+        assert_eq!(session.completion_step(c), Some(4));
+        for (id, seed, prompt, gen) in [(a, 0u64, 64usize, 40usize), (b, 1, 64, 30), (c, 2, 16, 2)]
+        {
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, seed, prompt, gen),
+            );
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+    }
+
+    #[test]
+    fn aging_bounds_swapped_sequence_starvation_under_sustained_load() {
+        // A parked swapped-out sequence must not starve behind an endless
+        // stream of fresh arrivals that backfill past it: after its
+        // patience runs out, admissions pause and it swaps back in.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 32, 0, 8))
+            .with_policy(FcfsPreempt::with_patience(4));
+        // A needs the whole 4-page pool.
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 100, 26)))
+            .unwrap();
+        // B preempts A at step 2; A parks, needing 4 pages.
+        session
+            .submit_at(2, Box::new(SynthSequence::new(attn, 1, 40, 6)))
+            .unwrap(); // 2 pages
+                       // Fresh 2-page requests arrive every other step through step 29 —
+                       // without aging, each would backfill (or preempt its predecessor)
+                       // past parked A for the whole stretch.
+        let mut small = Vec::new();
+        for (i, at) in (3..30).step_by(2).enumerate() {
+            small.push(
+                session
+                    .submit_at(at, Box::new(SynthSequence::new(attn, 2 + i as u64, 40, 4)))
+                    .unwrap(),
+            );
+        }
+        session.run_to_completion();
+        // A resumes within patience + drain of its preemption, not after
+        // the arrival stream ends at step 29.
+        let first_resume = session
+            .metrics()
+            .iter()
+            .find(|m| m.resumed > 0)
+            .map(|m| m.step)
+            .expect("A resumed");
+        assert!(
+            first_resume < 20,
+            "aging failed: first resume at step {first_resume}"
+        );
+        // Every stream — A's interrupted one and all the smalls — still
+        // equals the uninterrupted contiguous replay.
+        let want_a = replay_contiguous(&decoder(attn), &mut SynthSequence::new(attn, 0, 100, 26));
+        assert_eq!(session.stream(a).unwrap(), want_a);
+        for (i, id) in small.iter().enumerate() {
+            assert!(session.is_finished(*id));
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, 2 + i as u64, 40, 4),
+            );
+            assert_eq!(session.stream(*id).unwrap(), want, "small {i}");
+        }
+    }
+
+    #[test]
+    fn aging_survives_victim_churn() {
+        // Every new preemption parks a fresh victim at the queue front,
+        // and that newest victim blocks first each step. The aging
+        // tracker must keep following the oldest parked sequence through
+        // that churn — if each newcomer stole the tracker, the patience
+        // bound would never fire and the first victim would starve for
+        // the whole load duration.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // 8-page pool; every request needs 4 pages.
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(8, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 100, 26)))
+            .unwrap();
+        let b = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 100, 26)))
+            .unwrap();
+        let mut churn = Vec::new();
+        for at in 1..30usize {
+            churn.push(
+                session
+                    .submit_at(
+                        at,
+                        Box::new(SynthSequence::new(attn, 10 + at as u64, 100, 4)),
+                    )
+                    .unwrap(),
+            );
+        }
+        session.run_to_completion();
+        // B (preempted at step 1) must complete within a few aging/drain
+        // cycles, not after the entire churn stream drains.
+        let b_done = session.completion_step(b).unwrap();
+        assert!(b_done < 150, "first victim starved until step {b_done}");
+        for (id, seed, gen) in churn
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, 11 + i as u64, 4usize))
+            .chain([(a, 0u64, 26usize), (b, 1, 26)])
+        {
+            assert!(session.is_finished(id));
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, seed, 100, gen),
+            );
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+    }
+
+    #[test]
+    fn aging_counts_blocked_steps_across_batch_full_gaps() {
+        // With the batch cap pinned at 3, most steps never run an
+        // admission pass at all, so the parked sequence is consulted only
+        // in bursts when a slot opens. The patience bound must fire from
+        // those consultations — inferring a resume from the silent
+        // batch-full stretches would reset the count every burst and
+        // starve the parked sequence until the arrival stream ends.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let config = ServeConfig::new(12, 32, 0, 3);
+        let mut session =
+            ServeSession::new(decoder(attn), config).with_policy(FcfsPreempt::with_patience(3));
+        // A long 5-page resident plus a 6-page victim.
+        let a = session
+            .submit(Box::new(SynthSequence::new(attn, 0, 100, 60)))
+            .unwrap();
+        let p = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 150, 42)))
+            .unwrap();
+        // 3-page arrivals: the first preempts P at step 2, the rest keep
+        // the batch full in stretches.
+        let mut small = Vec::new();
+        for at in (2..40).step_by(4) {
+            small.push(
+                session
+                    .submit_at(
+                        at,
+                        Box::new(SynthSequence::new(attn, 10 + at as u64, 76, 8)),
+                    )
+                    .unwrap(),
+            );
+        }
+        session.run_to_completion();
+        let first_resume = session
+            .metrics()
+            .iter()
+            .find(|m| m.resumed > 0)
+            .map(|m| m.step)
+            .expect("P resumed");
+        assert!(
+            first_resume < 30,
+            "batch-cap gaps reset aging: first resume at step {first_resume}"
+        );
+        for (id, seed, prompt, gen) in small
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, 10 + (2 + 4 * i) as u64, 76usize, 8usize))
+            .chain([(a, 0, 100, 60), (p, 1, 150, 42)])
+        {
+            assert!(session.is_finished(id));
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::new(attn, seed, prompt, gen),
+            );
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+    }
+
+    #[test]
+    fn same_step_arrivals_admit_in_submission_order() {
+        // Stable FCFS among equal arrival steps: whatever order the sorted
+        // insert saw them in, equal-step arrivals admit in submission
+        // order.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(8, 32, 0, 1));
+        // Interleave inserts around the tied step so an unstable insert
+        // would reorder them.
+        let x = session
+            .submit_at(4, Box::new(SynthSequence::new(attn, 0, 16, 2)))
+            .unwrap();
+        let early = session
+            .submit_at(2, Box::new(SynthSequence::new(attn, 1, 16, 2)))
+            .unwrap();
+        let y = session
+            .submit_at(4, Box::new(SynthSequence::new(attn, 2, 16, 2)))
+            .unwrap();
+        let z = session
+            .submit_at(4, Box::new(SynthSequence::new(attn, 3, 16, 2)))
+            .unwrap();
+        session.run_to_completion();
+        // max_batch = 1 serializes admission, so completion order is
+        // admission order.
+        let done = |id| session.completion_step(id).unwrap();
+        assert!(done(early) < done(x));
+        assert!(done(x) < done(y), "tied arrivals out of submission order");
+        assert!(done(y) < done(z), "tied arrivals out of submission order");
+    }
+
+    #[test]
+    fn occupancy_metrics_reflect_post_evict_state() {
+        // A completing sequence is evicted within its final step; that
+        // step's occupancy metrics must show the post-evict pool, not the
+        // pre-evict snapshot.
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let config = ServeConfig::new(8, 32, 0, 4).with_devices(2, Partitioning::HeadModulo);
+        let mut session = ServeSession::new(decoder(attn), config);
+        session
+            .submit(Box::new(SynthSequence::new(attn, 5, 40, 2)))
+            .unwrap();
+        let m0 = session.step().unwrap();
+        assert!(m0.pool_utilization > 0.0);
+        let m1 = session.step().unwrap();
+        assert_eq!(m1.completed, 1);
+        assert_eq!(m1.pool_utilization, 0.0, "post-evict occupancy");
+        for d in &m1.per_device {
+            assert_eq!(d.page_occupancy, 0.0, "post-evict device occupancy");
+        }
+        assert_eq!(session.store().free_pages(), 2 * 8);
     }
 
     #[test]

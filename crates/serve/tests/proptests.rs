@@ -14,11 +14,22 @@
 //!    [`ShardedKvStore`]'s per-device arenas with the per-head all-reduce
 //!    merge produces token streams identical to the single-device session
 //!    and to per-sequence contiguous replay, bit for bit.
+//! 4. **Preemption is invisible in the values** — any interleaving of
+//!    preempt / swap-out / swap-in produced by any scheduling policy
+//!    yields token streams bitwise identical to uninterrupted contiguous
+//!    decode, for devices 1–4 × partitioning × page size; and the
+//!    storage-level swap round trip itself is bitwise at any page size,
+//!    paged and sharded.
 
 use bd_core::{query_transform, AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
-use bd_kvcache::{PagedKvStore, Partitioning, Placement, QuantScheme, SeqId, ShardedKvStore};
-use bd_serve::{replay_contiguous, SequenceModel, ServeConfig, ServeSession, SynthSequence};
+use bd_kvcache::{
+    DeviceId, PagedKvStore, Partitioning, Placement, QuantScheme, SeqId, ShardedKvStore,
+};
+use bd_serve::{
+    replay_contiguous, FcfsPreempt, SequenceModel, ServeConfig, ServeSession,
+    ShortestRemainingFirst, SynthSequence,
+};
 use proptest::prelude::*;
 
 const ATTN: AttentionConfig = AttentionConfig {
@@ -103,6 +114,15 @@ fn drive_mirrored(
 const ATTN_WIDE: AttentionConfig = AttentionConfig {
     heads_q: 8,
     heads_kv: 8,
+    head_dim: 16,
+};
+
+/// Four KV heads: device counts 1–4 are all distinct placements (the
+/// preemption property's required range) at half the width of
+/// [`ATTN_WIDE`].
+const ATTN_QUAD: AttentionConfig = AttentionConfig {
+    heads_q: 4,
+    heads_kv: 4,
     head_dim: 16,
 };
 
@@ -271,6 +291,144 @@ proptest! {
         for i in 0..freed {
             drive_mirrored(&dec, &mut store, seed ^ (0xA0 + i as u64), 140, 2)?;
         }
+    }
+
+    /// Any interleaving of preempt / swap-out / swap-in produced by any
+    /// shipped scheduling policy yields token streams bitwise identical to
+    /// uninterrupted contiguous decode — devices 1–4 × partitioning ×
+    /// page size × scheme. Along the way, every step's occupancy metrics
+    /// must agree with the store's actual (post-evict) free-page counts.
+    #[test]
+    fn preempted_streams_match_contiguous_bitwise(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..80,
+        policy_id in 0usize..3,
+        scheme in arb_scheme(),
+        seed: u64,
+    ) {
+        // Three staggered arrivals into a pool sized for the biggest
+        // single request plus one page: over-subscribed for the offered
+        // load, so admission queues and (under FcfsPreempt) preempts.
+        let sizes = [(70usize, 3usize), (40, 2), (25, 4)];
+        let arrivals = [0usize, 1, 3];
+        let pages = 73usize.div_ceil(page_tokens) + 1;
+        let config = ServeConfig::new(pages, page_tokens, 0, 8)
+            .with_devices(devices, partitioning);
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(scheme)
+            .paged(true)
+            .build();
+        let session = ServeSession::new(dec.clone(), config);
+        let mut session = match policy_id {
+            0 => session,
+            1 => session.with_policy(FcfsPreempt::default()),
+            _ => session.with_policy(ShortestRemainingFirst),
+        };
+        let ids: Vec<_> = sizes
+            .iter()
+            .zip(arrivals)
+            .enumerate()
+            .map(|(i, (&(prompt, gen), at))| {
+                session
+                    .submit_at(at, Box::new(SynthSequence::new(
+                        ATTN_QUAD, seed ^ i as u64, prompt, gen)))
+                    .unwrap()
+            })
+            .collect();
+        while let Some(m) = session.step() {
+            let store = session.store();
+            prop_assert!(
+                (m.pool_utilization - store.utilization()).abs() < 1e-12,
+                "step {}: pool occupancy is not the post-evict state", m.step
+            );
+            for d in &m.per_device {
+                let stats = store.device_stats(DeviceId(d.device as u32));
+                prop_assert!(
+                    (d.page_occupancy - stats.utilization).abs() < 1e-12,
+                    "step {}: device {} occupancy is not the post-evict state",
+                    m.step, d.device
+                );
+            }
+        }
+        for (i, (id, &(prompt, gen))) in ids.iter().zip(&sizes).enumerate() {
+            prop_assert!(session.is_finished(*id), "request {} unserved", i);
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::new(ATTN_QUAD, seed ^ i as u64, prompt, gen),
+            );
+            prop_assert_eq!(
+                session.stream(*id).unwrap(), &want[..],
+                "policy {} request {}", session.policy_label(), i
+            );
+        }
+        // Everything drained: all pages back on every device.
+        prop_assert_eq!(session.store().free_pages(), session.store().total_pages());
+    }
+
+    /// The storage-level swap round trip is bitwise for any page size and
+    /// any device count/partitioning: swap-out frees every page, swap-in
+    /// restores blocks and residual windows byte-for-byte, and the
+    /// restored sequence keeps accepting appends that stay
+    /// contiguous-equivalent.
+    #[test]
+    fn swap_round_trip_is_bitwise_at_storage_level(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..160,
+        tokens in 1usize..260,
+        extra in 1usize..4,
+        seed: u64,
+    ) {
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        let codec = dec.codec();
+        let heads = ATTN_QUAD.heads_kv;
+        let budget = tokens + extra;
+        let pages = budget.div_ceil(page_tokens) + 1;
+        let placement = Placement::new(devices, partitioning, heads);
+        let mut sharded = ShardedKvStore::new(dec.cache_config(), placement, pages, page_tokens);
+        let mut single = PagedKvStore::new(dec.cache_config(), heads, pages, page_tokens);
+        let mut cache = dec.new_cache(1);
+        let mut model = SynthSequence::new(ATTN_QUAD, seed, tokens, 1);
+        let (pk, pv) = model.prompt();
+        let sseq = sharded.admit(budget).unwrap();
+        let pseq = single.admit(budget).unwrap();
+        sharded.prefill(sseq, &pk, &pv, &codec).unwrap();
+        single.prefill(pseq, &pk, &pv, &codec).unwrap();
+        for h in 0..heads {
+            cache.prefill(h, &pk[h], &pv[h], &codec).unwrap();
+        }
+
+        let sblob = sharded.swap_out(sseq).unwrap();
+        let pblob = single.swap_out(pseq).unwrap();
+        prop_assert_eq!(sharded.free_pages(), sharded.total_pages());
+        prop_assert_eq!(single.free_pages(), single.total_pages());
+        prop_assert_eq!(sblob.host_bytes(), pblob.host_bytes(),
+            "sharding must not change the swapped payload size");
+
+        let sback = sharded.swap_in(&sblob).unwrap();
+        let pback = single.swap_in(&pblob).unwrap();
+        prop_assert!(sharded.matches_cache(sback, &cache, 0), "sharded round trip");
+        prop_assert!(single.matches_cache(pback, &cache, 0), "paged round trip");
+
+        // The restored reservation still covers post-resume appends.
+        for t in 0..extra {
+            let k: Vec<Vec<f32>> = (0..heads)
+                .map(|h| (0..16).map(|c| ((seed as usize + h * 31 + t * 7 + c) as f32 * 0.11).sin()).collect())
+                .collect();
+            sharded.append_step(sback, &k, &k, &codec).unwrap();
+            single.append_step(pback, &k, &k, &codec).unwrap();
+            for (h, kh) in k.iter().enumerate() {
+                cache.append_token(h, kh, kh, &codec).unwrap();
+            }
+        }
+        prop_assert!(sharded.matches_cache(sback, &cache, 0), "post-resume sharded");
+        prop_assert!(single.matches_cache(pback, &cache, 0), "post-resume paged");
     }
 
     /// The full batched session emits identical token streams at any

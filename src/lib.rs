@@ -16,7 +16,8 @@
 //! * [`core`] — the BitDecoding engine ([`BitDecoder`]);
 //! * [`baselines`] — FlashDecoding/KIVI/Atom/QServe comparison systems;
 //! * [`serve`] — the batched decode runtime (paged packed KV storage,
-//!   decode-step scheduler, persistent worker pool);
+//!   pluggable scheduling policies with swap-out/swap-in preemption,
+//!   persistent worker pool);
 //! * [`llm`] — end-to-end model-level simulation;
 //! * [`accuracy`] — quantization fidelity evaluation.
 //!
@@ -63,4 +64,7 @@ pub use bd_kvcache::{
     QuantizedKvCache, ShardedKvStore,
 };
 pub use bd_llm::{Engine, MemoryModel, ModelConfig, WeightPrecision};
-pub use bd_serve::{ServeConfig, ServeSession, SynthSequence};
+pub use bd_serve::{
+    Fcfs, FcfsPreempt, SchedulerPolicy, ServeConfig, ServeSession, ShortestRemainingFirst,
+    SynthSequence,
+};
