@@ -22,7 +22,7 @@
 use bd_core::AttentionConfig;
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{Partitioning, QuantScheme};
-use bd_llm::ServePolicy;
+use bd_llm::{serve_shared_prompt_functional, ServePolicy};
 use bd_serve::{RequestId, ServeConfig, ServeSession, SynthSequence};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -162,6 +162,48 @@ fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
     }
 }
 
+/// One shared-prefix scenario's outcome: `sequences` requests carrying
+/// the same long prompt, served with and without copy-on-write prefix
+/// sharing.
+struct SharedPrefixRow {
+    sequences: usize,
+    mode: &'static str,
+    peak_pages: usize,
+    kv_tok_s: f64,
+    forks: usize,
+    bytes_saved_kib: f64,
+}
+
+/// N sequences sharing the 2048-token prompt vs the same N prefilling it
+/// privately — identical token output (the proptests pin that down
+/// bitwise), different physical page footprint.
+fn run_shared_prefix(sequences: usize, share: bool) -> SharedPrefixRow {
+    let attn = AttentionConfig::gqa(8, 4, 64);
+    let page_tokens = 64;
+    let pages_per_seq = (PROMPT + GEN).div_ceil(page_tokens) + 1;
+    let config = ServeConfig::new(sequences * pages_per_seq, page_tokens, WORKERS, sequences);
+    let report = serve_shared_prompt_functional(
+        GpuArch::rtx4090(),
+        attn,
+        QuantScheme::kc4(),
+        sequences,
+        PROMPT,
+        GEN,
+        share,
+        config,
+    )
+    .expect("fits pool");
+    assert_eq!(report.completed, sequences);
+    SharedPrefixRow {
+        sequences,
+        mode: if share { "shared" } else { "unshared" },
+        peak_pages: report.peak_physical_pages,
+        kv_tok_s: report.kv_tokens_per_s,
+        forks: report.forks,
+        bytes_saved_kib: report.peak_shared_bytes_saved as f64 / 1024.0,
+    }
+}
+
 fn bench_serve(_c: &mut Criterion) {
     if std::env::var("BENCH_SERVE").as_deref() == Ok("0") {
         println!("serve trajectory bench skipped (BENCH_SERVE=0)");
@@ -211,10 +253,38 @@ fn bench_serve(_c: &mut Criterion) {
             r.swap_mib,
         );
     }
-    write_bench_json(&rows, &policy_rows);
+    // Shared-prefix comparison: N sequences over one 2048-token prompt,
+    // with and without copy-on-write page sharing.
+    let mut shared_rows = Vec::new();
+    for sequences in [4usize, 8] {
+        for share in [false, true] {
+            let row = run_shared_prefix(sequences, share);
+            println!(
+                "shared-prefix {:>2} seqs {:>8}: peak {:>4} pages, {:>9.0} kv-tok/s, {} forks, {:>7.1} KiB deduped",
+                row.sequences, row.mode, row.peak_pages, row.kv_tok_s, row.forks, row.bytes_saved_kib,
+            );
+            shared_rows.push(row);
+        }
+    }
+    // The acceptance bar: at equal output, the shared run's physical page
+    // usage is strictly below the unshared run's.
+    for pair in shared_rows.chunks(2) {
+        assert!(
+            pair[1].peak_pages < pair[0].peak_pages,
+            "sharing did not shrink the page footprint at {} seqs ({} vs {})",
+            pair[0].sequences,
+            pair[1].peak_pages,
+            pair[0].peak_pages,
+        );
+    }
+    write_bench_json(&rows, &policy_rows, &shared_rows);
 }
 
-fn write_bench_json(rows: &[ServeBenchRow], policy_rows: &[PolicyBenchRow]) {
+fn write_bench_json(
+    rows: &[ServeBenchRow],
+    policy_rows: &[PolicyBenchRow],
+    shared_rows: &[SharedPrefixRow],
+) {
     if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
         println!("BENCH_serve.json left untouched (BENCH_SERVE_JSON=0)");
         return;
@@ -249,6 +319,19 @@ fn write_bench_json(rows: &[ServeBenchRow], policy_rows: &[PolicyBenchRow]) {
             r.preemptions,
             r.swap_mib,
             if i + 1 == policy_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"shared_prefix\": [\n");
+    for (i, r) in shared_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sequences\": {}, \"mode\": \"{}\", \"peak_physical_pages\": {}, \"aggregate_kv_tok_s\": {:.0}, \"forks\": {}, \"peak_bytes_deduped_kib\": {:.1}}}{}\n",
+            r.sequences,
+            r.mode,
+            r.peak_pages,
+            r.kv_tok_s,
+            r.forks,
+            r.bytes_saved_kib,
+            if i + 1 == shared_rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");

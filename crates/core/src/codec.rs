@@ -295,10 +295,10 @@ impl FragmentCodec {
 
     /// Decodes one packed block straight into reusable flat buffers in the
     /// orientation the fused attention kernel consumes (`k_out`/`v_out`
-    /// token-major). Integer schemes stream through
-    /// [`FragmentCodec::decode_int_fused`]; FP4 blocks (hardware block-scale
-    /// layout) decode through the reference nibble walk, which is already
-    /// flat token-major.
+    /// token-major). Integer schemes stream through the fused int decode
+    /// path (`FragmentCodec::decode_int_fused`); FP4 blocks (hardware
+    /// block-scale layout) decode through the reference nibble walk, which
+    /// is already flat token-major.
     pub fn decode_block_fused(
         &self,
         block: &PackedBlock,

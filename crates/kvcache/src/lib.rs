@@ -41,4 +41,4 @@ pub use paged::{PageId, PagedOom, PagedPool, SeqId};
 pub use placement::{DeviceId, Partitioning, Placement};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};
 pub use sharded::{DeviceKvStats, ShardedKvStore, SwappedShardedSeq};
-pub use store::{PagedKvStore, StoreError, SwappedSeq};
+pub use store::{KvSharingStats, PagedKvStore, StoreError, SwappedSeq};

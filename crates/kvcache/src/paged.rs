@@ -6,6 +6,16 @@
 //! pages. The serving simulator uses this for admission control (max batch
 //! under a memory budget) and the kernel profiles charge the extra
 //! page-table indirection traffic.
+//!
+//! Physical pages are **reference-counted** so several sequences can map
+//! the same page (copy-on-write prefix sharing): [`PagedPool::adopt`]
+//! admits a sequence whose table prefix aliases already-allocated pages,
+//! [`PagedPool::cow`] gives a writer a private copy of one shared table
+//! slot, and [`PagedPool::release`] only returns a page to the free list
+//! when its last reference drops. Every page carries a **generation**
+//! ([`PagedPool::generation`]) that bumps when the page is freed, so a
+//! stale reference (e.g. recorded in a swapped-out blob) can detect that
+//! its page was recycled.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -53,6 +63,13 @@ pub struct PagedPool {
     free: BTreeSet<PageId>,
     tables: BTreeMap<SeqId, Vec<PageId>>,
     seq_lens: BTreeMap<SeqId, usize>,
+    /// Reference count per **allocated** page (absent = free). A page is
+    /// shared when its count exceeds one.
+    refs: BTreeMap<PageId, u32>,
+    /// Free-generation per page: bumped every time the page returns to the
+    /// free list, so stale references can detect recycling. Absent = never
+    /// freed (generation 0).
+    gens: BTreeMap<PageId, u64>,
     next_seq: u32,
     total_pages: usize,
 }
@@ -70,6 +87,8 @@ impl PagedPool {
             free: (0..total_pages as u32).map(PageId).collect(),
             tables: BTreeMap::new(),
             seq_lens: BTreeMap::new(),
+            refs: BTreeMap::new(),
+            gens: BTreeMap::new(),
             next_seq: 0,
             total_pages,
         }
@@ -133,21 +152,160 @@ impl PagedPool {
                 free: self.free.len(),
             });
         }
-        let table = self.tables.get_mut(&seq).expect("unknown sequence");
         for _ in 0..extra {
             // Lowest-numbered free page first: deterministic reuse.
-            table.push(self.free.pop_first().expect("checked above"));
+            let page = self.free.pop_first().expect("checked above");
+            self.refs.insert(page, 1);
+            self.tables
+                .get_mut(&seq)
+                .expect("unknown sequence")
+                .push(page);
         }
         self.seq_lens.insert(seq, new_len);
         Ok(())
     }
 
-    /// Releases a sequence and returns its pages to the pool.
-    pub fn release(&mut self, seq: SeqId) {
+    /// Admits a new sequence whose table **adopts** existing pages:
+    /// `slots[i] = Some(page)` aliases an already-allocated page at table
+    /// slot `i` (its refcount is bumped — copy-on-write prefix sharing),
+    /// `None` (and every slot past `slots`) draws a fresh page. The table
+    /// is sized for `tokens` tokens (or `slots.len()`, whichever covers
+    /// more) and `tokens` are reserved exactly as by a `grow` to `tokens`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] — admitting nothing and bumping no refcount —
+    /// when the pool cannot supply the fresh slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any adopted page is not currently allocated.
+    pub fn adopt(&mut self, slots: &[Option<PageId>], tokens: usize) -> Result<SeqId, PagedOom> {
+        for page in slots.iter().flatten() {
+            assert!(
+                self.refs.contains_key(page),
+                "cannot adopt free page {page:?}"
+            );
+        }
+        let total_slots = tokens.div_ceil(self.page_tokens).max(slots.len());
+        let fresh = total_slots - slots.iter().flatten().count();
+        if fresh > self.free.len() {
+            return Err(PagedOom {
+                requested: fresh,
+                free: self.free.len(),
+            });
+        }
+        let mut table = Vec::with_capacity(total_slots);
+        for i in 0..total_slots {
+            match slots.get(i) {
+                Some(Some(page)) => {
+                    *self.refs.get_mut(page).expect("checked above") += 1;
+                    table.push(*page);
+                }
+                _ => {
+                    let page = self.free.pop_first().expect("checked above");
+                    self.refs.insert(page, 1);
+                    table.push(page);
+                }
+            }
+        }
+        let id = SeqId(self.next_seq);
+        self.next_seq += 1;
+        self.tables.insert(id, table);
+        self.seq_lens.insert(id, tokens);
+        Ok(id)
+    }
+
+    /// Copy-on-write: replaces table slot `slot` of `seq` — which must map
+    /// a **shared** page (refcount ≥ 2) — with a fresh private page,
+    /// dropping one reference on the shared page. Returns
+    /// `(shared_page, private_page)` so the caller can migrate the slot's
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagedOom`] (changing nothing) when no free page exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown sequence, an out-of-range slot, or a slot
+    /// whose page is exclusively owned (nothing to copy from).
+    pub fn cow(&mut self, seq: SeqId, slot: usize) -> Result<(PageId, PageId), PagedOom> {
+        let old = self.tables[&seq][slot];
+        let count = self.refs.get_mut(&old).expect("allocated page");
+        assert!(*count >= 2, "cow on exclusively owned page {old:?}");
+        let Some(new) = self.free.pop_first() else {
+            return Err(PagedOom {
+                requested: 1,
+                free: 0,
+            });
+        };
+        *count -= 1;
+        self.refs.insert(new, 1);
+        self.tables.get_mut(&seq).expect("unknown sequence")[slot] = new;
+        Ok((old, new))
+    }
+
+    /// Releases a sequence, dropping one reference on each of its pages;
+    /// pages whose **last** reference dropped return to the free list (and
+    /// bump their generation). Returns exactly those freed pages, in table
+    /// order — pages still referenced by a sharing sequence stay allocated
+    /// and are not listed.
+    pub fn release(&mut self, seq: SeqId) -> Vec<PageId> {
+        let mut freed = Vec::new();
         if let Some(pages) = self.tables.remove(&seq) {
-            self.free.extend(pages);
+            for page in pages {
+                let count = self.refs.get_mut(&page).expect("allocated page");
+                *count -= 1;
+                if *count == 0 {
+                    self.refs.remove(&page);
+                    *self.gens.entry(page).or_insert(0) += 1;
+                    self.free.insert(page);
+                    freed.push(page);
+                }
+            }
             self.seq_lens.remove(&seq);
         }
+        freed
+    }
+
+    /// References currently held on a page (0 = free).
+    pub fn refcount(&self, page: PageId) -> u32 {
+        self.refs.get(&page).copied().unwrap_or(0)
+    }
+
+    /// How many times the page has been freed **or mutated in place** —
+    /// compare against a recorded value to detect that a page was recycled
+    /// (or its frame rewritten) in between.
+    pub fn generation(&self, page: PageId) -> u64 {
+        self.gens.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Invalidates outstanding references to a page without freeing it:
+    /// the storage layer bumps this when it rewrites an allocated page's
+    /// frame in place (reclaiming a departed sharer's blocks), so a
+    /// swapped-out blob recorded against the old contents refuses to
+    /// re-share it.
+    pub(crate) fn bump_generation(&mut self, page: PageId) {
+        *self.gens.entry(page).or_insert(0) += 1;
+    }
+
+    /// Allocated pages mapped by more than one sequence.
+    pub fn shared_pages(&self) -> usize {
+        self.refs.values().filter(|&&c| c > 1).count()
+    }
+
+    /// Iterates every allocated page with its current refcount, in page
+    /// order.
+    pub fn refcounts(&self) -> impl Iterator<Item = (PageId, u32)> + '_ {
+        self.refs.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Table entries summed over all sequences — what the pool would hold
+    /// without sharing. `logical_pages() - (total_pages() - free_pages())`
+    /// is the number of pages sharing saves.
+    pub fn logical_pages(&self) -> usize {
+        self.tables.values().map(Vec::len).sum()
     }
 
     /// Current token length of a sequence.
@@ -260,6 +418,81 @@ mod tests {
             pool.table(d).unwrap(),
             &[PageId(0), PageId(1), PageId(4), PageId(5)]
         );
+    }
+
+    #[test]
+    fn adopt_shares_pages_and_release_frees_at_refcount_zero() {
+        let mut pool = PagedPool::new(6, 16);
+        let a = pool.admit();
+        pool.grow(a, 48).unwrap(); // pages 0,1,2
+        let table: Vec<Option<PageId>> = pool.table(a).unwrap().iter().map(|&p| Some(p)).collect();
+        let b = pool.adopt(&table[..2], 64).unwrap(); // share 0,1 + fresh 3,4
+        assert_eq!(
+            pool.table(b).unwrap(),
+            &[PageId(0), PageId(1), PageId(3), PageId(4)]
+        );
+        assert_eq!(pool.refcount(PageId(0)), 2);
+        assert_eq!(pool.refcount(PageId(2)), 1);
+        assert_eq!(pool.shared_pages(), 2);
+        assert_eq!(pool.logical_pages(), 7);
+        assert_eq!(pool.free_pages(), 1);
+        // Releasing the sharer frees only its private pages.
+        assert_eq!(pool.release(b), vec![PageId(3), PageId(4)]);
+        assert_eq!(pool.refcount(PageId(0)), 1);
+        assert_eq!(pool.free_pages(), 3);
+        assert_eq!(pool.release(a), vec![PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(pool.free_pages(), 6);
+    }
+
+    #[test]
+    fn adopt_oom_bumps_no_refcount_and_burns_no_id() {
+        let mut pool = PagedPool::new(3, 16);
+        let a = pool.admit();
+        pool.grow(a, 32).unwrap(); // pages 0,1
+        let shared = [Some(PageId(0))];
+        let err = pool.adopt(&shared, 48).unwrap_err(); // needs 2 fresh, 1 free
+        assert_eq!(
+            err,
+            PagedOom {
+                requested: 2,
+                free: 1
+            }
+        );
+        assert_eq!(pool.refcount(PageId(0)), 1);
+        let b = pool.adopt(&shared, 32).unwrap();
+        assert_eq!(b.0, a.0 + 1, "failed adopt consumed a SeqId");
+    }
+
+    #[test]
+    fn cow_swaps_one_slot_for_a_private_page() {
+        let mut pool = PagedPool::new(4, 16);
+        let a = pool.admit();
+        pool.grow(a, 32).unwrap(); // pages 0,1
+        let table: Vec<Option<PageId>> = pool.table(a).unwrap().iter().map(|&p| Some(p)).collect();
+        let b = pool.adopt(&table, 32).unwrap();
+        let (old, new) = pool.cow(b, 1).unwrap();
+        assert_eq!((old, new), (PageId(1), PageId(2)));
+        assert_eq!(pool.table(b).unwrap(), &[PageId(0), PageId(2)]);
+        assert_eq!(pool.table(a).unwrap(), &[PageId(0), PageId(1)]);
+        assert_eq!(pool.refcount(PageId(1)), 1);
+        // With every page now singly held, another cow is a caller bug.
+        pool.grow(a, 48).unwrap(); // page 3: pool full
+        assert_eq!(pool.cow(b, 0).unwrap_err().requested, 1);
+    }
+
+    #[test]
+    fn generations_count_frees() {
+        let mut pool = PagedPool::new(2, 16);
+        assert_eq!(pool.generation(PageId(0)), 0);
+        let a = pool.admit();
+        pool.grow(a, 16).unwrap();
+        pool.release(a);
+        assert_eq!(pool.generation(PageId(0)), 1);
+        let b = pool.admit();
+        pool.grow(b, 16).unwrap();
+        assert_eq!(pool.generation(PageId(0)), 1, "allocation does not bump");
+        pool.release(b);
+        assert_eq!(pool.generation(PageId(0)), 2);
     }
 
     #[test]

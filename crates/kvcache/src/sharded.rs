@@ -211,6 +211,15 @@ impl ShardedKvStore {
         }
     }
 
+    /// Page-sharing snapshot summed over every device.
+    pub fn sharing_stats(&self) -> crate::store::KvSharingStats {
+        let mut stats = crate::store::KvSharingStats::default();
+        for dev in &self.devices {
+            stats.absorb(dev.sharing_stats());
+        }
+        stats
+    }
+
     /// Per-device occupancy and eviction accounting.
     pub fn device_stats(&self, d: DeviceId) -> DeviceKvStats {
         let s = &self.devices[d.0 as usize];
@@ -280,6 +289,67 @@ impl ShardedKvStore {
         Ok(id)
     }
 
+    /// `true` when [`ShardedKvStore::fork`] at `at_token` would succeed on
+    /// residency/boundary grounds (identical on every device — sequences
+    /// mirror their token history everywhere).
+    pub fn can_fork(&self, parent: SeqId, at_token: usize) -> bool {
+        self.devices[0].can_fork(parent, at_token)
+    }
+
+    /// Pages a [`ShardedKvStore::fork`] would newly allocate **per
+    /// device**, or `None` when the fork is invalid. Identical on every
+    /// device, since page math depends only on token counts.
+    pub fn fork_new_pages(
+        &self,
+        parent: SeqId,
+        at_token: usize,
+        reserve_tokens: usize,
+    ) -> Option<usize> {
+        self.devices[0].fork_new_pages(parent, at_token, reserve_tokens)
+    }
+
+    /// Forks a child sequence off `parent` on **every** device atomically:
+    /// each device aliases its share of the parent's prefix pages
+    /// copy-on-write and deep-copies its residual window, exactly as
+    /// [`PagedKvStore::fork`]. The private-page budget is pre-checked on
+    /// every device before any pool is touched, so on failure nothing
+    /// changes anywhere and no [`SeqId`] is burned. All devices assign the
+    /// same child id, which is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ForkBoundary`] / [`StoreError::UnknownSeq`]
+    /// exactly as the per-device fork, and [`StoreError::Oom`] when any
+    /// device cannot supply the child's private pages.
+    pub fn fork(
+        &mut self,
+        parent: SeqId,
+        at_token: usize,
+        reserve_tokens: usize,
+    ) -> Result<SeqId, StoreError> {
+        let Some(need) = self.fork_new_pages(parent, at_token, reserve_tokens) else {
+            // Delegate to the per-device fork for the precise error.
+            return Err(self.devices[0]
+                .fork(parent, at_token, reserve_tokens)
+                .expect_err("fork_new_pages said invalid"));
+        };
+        self.preflight_pages(need).map_err(StoreError::Oom)?;
+        let ids: Vec<SeqId> = self
+            .devices
+            .iter_mut()
+            .map(|dev| {
+                dev.fork(parent, at_token, reserve_tokens)
+                    .expect("fork pre-checked on every device")
+            })
+            .collect();
+        let id = ids[0];
+        debug_assert!(
+            ids.iter().all(|&i| i == id),
+            "device pools diverged on SeqId assignment"
+        );
+        Ok(id)
+    }
+
     /// Marks a sequence finished on every device.
     ///
     /// # Errors
@@ -330,9 +400,24 @@ impl ShardedKvStore {
         Ok(SwappedShardedSeq { per_device })
     }
 
+    /// Pages a [`ShardedKvStore::swap_in`] of `blob` would **newly**
+    /// allocate per device given current residency — blob pages whose
+    /// shared prefix is still resident re-share instead of re-reserving
+    /// (the worst device governs, though the counts are identical in
+    /// practice).
+    pub fn swap_in_new_pages(&self, blob: &SwappedShardedSeq) -> usize {
+        self.devices
+            .iter()
+            .zip(&blob.per_device)
+            .map(|(dev, b)| dev.swap_in_new_pages(b))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Swaps a blob back in on **every** device atomically: the page
-    /// budget is pre-checked on each device before any pool is touched, so
-    /// on failure nothing changes anywhere (and, as with
+    /// budget — only the pages not re-shared from a still-resident prefix
+    /// — is pre-checked on each device before any pool is touched, so on
+    /// failure nothing changes anywhere (and, as with
     /// [`ShardedKvStore::admit`], no [`SeqId`] is burned). All devices
     /// assign the same new id, which is returned.
     ///
@@ -350,7 +435,15 @@ impl ShardedKvStore {
             self.devices.len(),
             "blob/store device count"
         );
-        self.preflight_pages(blob.pages_needed(self.page_tokens()))?;
+        for (dev, b) in self.devices.iter().zip(&blob.per_device) {
+            let need = dev.swap_in_new_pages(b);
+            if need > dev.free_pages() {
+                return Err(PagedOom {
+                    requested: need,
+                    free: dev.free_pages(),
+                });
+            }
+        }
         let ids: Vec<SeqId> = self
             .devices
             .iter_mut()
@@ -701,6 +794,107 @@ mod tests {
         let back = store.swap_in(&blob).unwrap();
         assert_eq!(back.0, hog.0 + 1, "failed swap-in burned a SeqId");
         assert_eq!(store.seq_len(back), Some(60));
+    }
+
+    #[test]
+    fn forks_share_prefix_pages_on_every_device_in_lockstep() {
+        for devices in [1, 2, 3, 4] {
+            for part in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                let placement = Placement::new(devices, part, 4);
+                let mut sharded = ShardedKvStore::new(cfg(16), placement, 64, 48);
+                let mut single = crate::store::PagedKvStore::new(cfg(16), 4, 64, 48);
+                let sp = sharded.admit(300).unwrap();
+                let pp = single.admit(300).unwrap();
+                let mut parent_cache = mirrored_appends(&mut sharded, sp, 256, 0);
+                {
+                    // Mirror the same history into the single-device twin.
+                    let dim = 16;
+                    for t in 0..256 {
+                        let k: Vec<Vec<f32>> = (0..4).map(|h| row(dim, t, h)).collect();
+                        let v: Vec<Vec<f32>> = (0..4).map(|h| row(dim, t + 500, h)).collect();
+                        single.append_step(pp, &k, &v, &ReferenceCodec).unwrap();
+                    }
+                }
+                let mut child_cache = parent_cache.clone();
+                assert_eq!(
+                    sharded.fork_new_pages(sp, 256, 300),
+                    single.fork_new_pages(pp, 256, 300)
+                );
+                let sc = sharded.fork(sp, 256, 300).unwrap();
+                let pc = single.fork(pp, 256, 300).unwrap();
+                assert_eq!(sc, pc, "fork ids out of lockstep");
+                assert!(sharded.matches_cache(sc, &child_cache, 0));
+                // Divergent continuations stay independent across devices.
+                for t in 256..300 {
+                    let k: Vec<Vec<f32>> = (0..4).map(|h| row(16, t, 70 + h)).collect();
+                    sharded.append_step(sc, &k, &k, &ReferenceCodec).unwrap();
+                    for (h, kh) in k.iter().enumerate() {
+                        child_cache
+                            .append_token(h, kh, kh, &ReferenceCodec)
+                            .unwrap();
+                    }
+                    let k: Vec<Vec<f32>> = (0..4).map(|h| row(16, t, 90 + h)).collect();
+                    sharded.append_step(sp, &k, &k, &ReferenceCodec).unwrap();
+                    for (h, kh) in k.iter().enumerate() {
+                        parent_cache
+                            .append_token(h, kh, kh, &ReferenceCodec)
+                            .unwrap();
+                    }
+                }
+                assert!(
+                    sharded.matches_cache(sc, &child_cache, 0),
+                    "devices={devices} {part}: child diverged"
+                );
+                assert!(
+                    sharded.matches_cache(sp, &parent_cache, 0),
+                    "devices={devices} {part}: parent corrupted"
+                );
+                let stats = sharded.sharing_stats();
+                assert_eq!(stats.shared_pages, devices * 256usize.div_ceil(48));
+                sharded.evict(sp);
+                sharded.evict(sc);
+                assert_eq!(sharded.free_pages(), sharded.total_pages());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fork_oom_is_atomic_and_boundary_errors_propagate() {
+        let placement = Placement::new(2, Partitioning::HeadModulo, 2);
+        let mut store = ShardedKvStore::new(cfg(16), placement, 6, 32);
+        let parent = store.admit(128).unwrap(); // 4 pages/device
+        mirrored_appends(&mut store, parent, 128, 0);
+        // Child: 4 shared + 3 private per device; only 2 free per device.
+        let err = store.fork(parent, 128, 128 + 96).unwrap_err();
+        assert!(matches!(err, StoreError::Oom(_)));
+        for d in [DeviceId(0), DeviceId(1)] {
+            assert_eq!(store.device_stats(d).free_pages, 2);
+            assert_eq!(store.device(d).sharing_stats().shared_pages, 0);
+        }
+        assert!(matches!(
+            store.fork(parent, 100, 200),
+            Err(StoreError::ForkBoundary { .. })
+        ));
+        let child = store.fork(parent, 128, 128 + 64).unwrap();
+        assert_eq!(child.0, parent.0 + 1, "failed fork burned a SeqId");
+    }
+
+    #[test]
+    fn sharing_sequence_swap_round_trip_reshares_across_devices() {
+        let placement = Placement::new(2, Partitioning::HeadContiguous, 2);
+        let mut store = ShardedKvStore::new(cfg(16), placement, 8, 32);
+        let parent = store.admit(160).unwrap(); // 5 pages/device
+        let cache = mirrored_appends(&mut store, parent, 128, 0);
+        let child = store.fork(parent, 128, 160).unwrap();
+        let free_before = store.free_pages();
+        let blob = store.swap_out(child).unwrap();
+        // Only the private page frees on each device.
+        assert_eq!(store.free_pages(), free_before + 2);
+        assert_eq!(store.swap_in_new_pages(&blob), 1);
+        let back = store.swap_in(&blob).unwrap();
+        assert_eq!(store.free_pages(), free_before);
+        assert!(store.matches_cache(back, &cache, 0));
+        assert_eq!(store.sharing_stats().shared_pages, 2 * 4);
     }
 
     #[test]

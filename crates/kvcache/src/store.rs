@@ -29,7 +29,7 @@ use crate::cache::{push_rounded, rounded_block, CacheConfig, CacheError, Quantiz
 use crate::codec::BlockCodec;
 use crate::layout::partition_prefill;
 use crate::matrix::{TokenMatrix, TokenRows};
-use crate::paged::{PagedOom, PagedPool, SeqId};
+use crate::paged::{PageId, PagedOom, PagedPool, SeqId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -51,6 +51,19 @@ pub enum StoreError {
         /// Heads the store was built with.
         expected: usize,
     },
+    /// A fork boundary fell inside an already-quantized packed block: the
+    /// FP16 rows the child's residual window would need were flushed (and
+    /// quantized) past recovery. Valid boundaries are `Nr`-aligned token
+    /// counts, or any count whose residual rows are still in the parent's
+    /// FP16 window.
+    ForkBoundary {
+        /// The requested fork boundary, in tokens.
+        at_token: usize,
+        /// The parent's logical length at the fork attempt.
+        parent_len: usize,
+        /// The residual block size `Nr` of the store.
+        residual_block: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -64,6 +77,17 @@ impl fmt::Display for StoreError {
                 write!(
                     f,
                     "{got} per-head rows provided, store has {expected} heads"
+                )
+            }
+            StoreError::ForkBoundary {
+                at_token,
+                parent_len,
+                residual_block,
+            } => {
+                write!(
+                    f,
+                    "cannot fork at token {at_token}: parent of length {parent_len} \
+                     (Nr = {residual_block}) no longer holds those rows in FP16"
                 )
             }
         }
@@ -81,6 +105,37 @@ impl From<PagedOom> for StoreError {
 impl From<CacheError> for StoreError {
     fn from(e: CacheError) -> Self {
         StoreError::Cache(e)
+    }
+}
+
+/// Page-sharing occupancy snapshot of a [`PagedKvStore`] (or, summed, of a
+/// [`crate::ShardedKvStore`]) — the storage half of the serve layer's
+/// shared-vs-owned metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvSharingStats {
+    /// Physical pages currently allocated.
+    pub physical_pages: usize,
+    /// Page-table entries summed over resident sequences — what an
+    /// unshared store would have to allocate for the same residents.
+    pub logical_pages: usize,
+    /// Physical pages mapped by more than one sequence.
+    pub shared_pages: usize,
+    /// Physical pages mapped by exactly one sequence.
+    pub owned_pages: usize,
+    /// Packed-payload bytes deduplication saves right now: for every
+    /// shared page, `(refcount − 1) ×` the bytes of the blocks homed on
+    /// it.
+    pub bytes_saved: usize,
+}
+
+impl KvSharingStats {
+    /// Accumulates another snapshot (per-device aggregation).
+    pub fn absorb(&mut self, other: KvSharingStats) {
+        self.physical_pages += other.physical_pages;
+        self.logical_pages += other.logical_pages;
+        self.shared_pages += other.shared_pages;
+        self.owned_pages += other.owned_pages;
+        self.bytes_saved += other.bytes_saved;
     }
 }
 
@@ -102,9 +157,10 @@ type Frame = Vec<Vec<PackedBlock>>;
 
 /// A sequence swapped out of the page arena into host memory: the packed
 /// blocks of every head in logical order plus the FP16 residual window,
-/// with enough bookkeeping ([`SwappedSeq::reserved_tokens`]) for
-/// [`PagedKvStore::swap_in`] to re-reserve the sequence's full page budget
-/// and restore it **bitwise**. Produced by [`PagedKvStore::swap_out`].
+/// with enough bookkeeping (the reserved token budget, and the shared
+/// pages that stayed resident) for [`PagedKvStore::swap_in`] to
+/// re-reserve the sequence's full page budget and restore it **bitwise**.
+/// Produced by [`PagedKvStore::swap_out`].
 #[derive(Clone, Debug)]
 pub struct SwappedSeq {
     /// Head dimension (consistency check on swap-in).
@@ -122,6 +178,13 @@ pub struct SwappedSeq {
     residual_k: Vec<TokenMatrix>,
     /// Per head, the FP16 residual V window.
     residual_v: Vec<TokenMatrix>,
+    /// Per table slot at swap-out: `Some((page, generation))` when the
+    /// slot mapped a **shared** page that stays resident (held by a
+    /// sharing sequence) after this swap-out. [`PagedKvStore::swap_in`]
+    /// re-adopts such a page — restoring the sequence *into re-shared
+    /// pages* — whenever the recorded generation still matches, i.e. the
+    /// page was never freed in between.
+    reshare: Vec<Option<(PageId, u64)>>,
 }
 
 impl SwappedSeq {
@@ -294,6 +357,132 @@ impl PagedKvStore {
         Ok(seq)
     }
 
+    /// `true` when [`PagedKvStore::fork`] at `at_token` would succeed on
+    /// residency/boundary grounds (pages permitting): the parent is
+    /// resident and either `at_token` is `Nr`-aligned or the rows past the
+    /// last aligned boundary are still in the parent's FP16 residual
+    /// window.
+    pub fn can_fork(&self, parent: SeqId, at_token: usize) -> bool {
+        let Some(state) = self.seqs.get(&parent) else {
+            return false;
+        };
+        let nr = self.residual_block();
+        at_token <= state.len && (at_token.is_multiple_of(nr) || at_token / nr == state.len / nr)
+    }
+
+    /// Pages a [`PagedKvStore::fork`] would **newly** allocate (the shared
+    /// prefix costs nothing), or `None` when the fork itself is invalid —
+    /// what admission preflight should charge a shared-prompt request.
+    pub fn fork_new_pages(
+        &self,
+        parent: SeqId,
+        at_token: usize,
+        reserve_tokens: usize,
+    ) -> Option<usize> {
+        if !self.can_fork(parent, at_token) {
+            return None;
+        }
+        let pt = self.page_tokens();
+        let shared = at_token.div_ceil(pt);
+        let total = reserve_tokens.max(at_token).div_ceil(pt).max(shared);
+        Some(total - shared)
+    }
+
+    /// Admits a **child** sequence sharing the parent's first `at_token`
+    /// tokens copy-on-write: every page covering the shared prefix is
+    /// aliased (refcount bumped, zero bytes copied), the partial residual
+    /// window — the rows past the last `Nr` boundary — is deep-copied, and
+    /// pages for the rest of `reserve_tokens` are drawn fresh. The child
+    /// is bitwise indistinguishable from a sequence that prefilled the
+    /// same `at_token` tokens itself; either side's first flush into a
+    /// still-shared page triggers copy-on-write of only that page.
+    ///
+    /// `at_token` must be `Nr`-aligned **or** within reach of the parent's
+    /// FP16 residual window (`at_token / Nr == parent_len / Nr`): rows
+    /// inside an already-quantized block cannot be recovered at full
+    /// precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ForkBoundary`] for an unreachable boundary,
+    /// [`StoreError::UnknownSeq`] for a non-resident parent, and
+    /// [`StoreError::Oom`] — admitting nothing — when the pool cannot
+    /// supply the child's private pages.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bd_kvcache::{CacheConfig, PackLayout, PagedKvStore, QuantScheme, ReferenceCodec};
+    ///
+    /// let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
+    /// let mut store = PagedKvStore::new(cfg, 1, 64, 32);
+    /// let parent = store.admit(256).unwrap();
+    /// let prompt: Vec<Vec<f32>> = (0..256).map(|t| vec![t as f32 * 0.01; 16]).collect();
+    /// store.prefill(parent, &[prompt.clone()], &[prompt], &ReferenceCodec).unwrap();
+    ///
+    /// let free_before = store.free_pages();
+    /// let child = store.fork(parent, 256, 256 + 32).unwrap();
+    /// // The child shares all 8 prompt pages; only its private tail
+    /// // reservation (one 32-token page) was newly allocated.
+    /// assert_eq!(free_before - store.free_pages(), 1);
+    /// assert_eq!(store.seq_len(child), Some(256));
+    /// // Shared bytes are gathered identically through both page tables.
+    /// assert_eq!(store.packed_blocks(parent, 0), store.packed_blocks(child, 0));
+    /// // Divergent appends stay private: the parent's stream is untouched.
+    /// let row = vec![0.5f32; 16];
+    /// store.append_step(child, &[row.clone()], &[row], &ReferenceCodec).unwrap();
+    /// assert_eq!(store.seq_len(parent), Some(256));
+    /// assert_eq!(store.seq_len(child), Some(257));
+    /// ```
+    pub fn fork(
+        &mut self,
+        parent: SeqId,
+        at_token: usize,
+        reserve_tokens: usize,
+    ) -> Result<SeqId, StoreError> {
+        let state = self
+            .seqs
+            .get(&parent)
+            .ok_or(StoreError::UnknownSeq(parent))?;
+        let nr = self.residual_block();
+        if !(at_token <= state.len
+            && (at_token.is_multiple_of(nr) || at_token / nr == state.len / nr))
+        {
+            return Err(StoreError::ForkBoundary {
+                at_token,
+                parent_len: state.len,
+                residual_block: nr,
+            });
+        }
+        // Deep-copy the shared prefix of the parent's residual window (the
+        // rows of tokens `at_token - at_token % Nr .. at_token`).
+        let res = at_token % nr;
+        let copy_prefix =
+            |m: &TokenMatrix| TokenMatrix::from_fn(res, self.config.dim, |t, c| m.row(t)[c]);
+        let residual_k: Vec<TokenMatrix> = state.residual_k.iter().map(copy_prefix).collect();
+        let residual_v: Vec<TokenMatrix> = state.residual_v.iter().map(copy_prefix).collect();
+        let shared_slots = at_token.div_ceil(self.pool.page_tokens());
+        let slots: Vec<Option<PageId>> = self.pool.table(parent).expect("resident sequence")
+            [..shared_slots]
+            .iter()
+            .map(|&p| Some(p))
+            .collect();
+        let child = self
+            .pool
+            .adopt(&slots, reserve_tokens.max(at_token))
+            .map_err(StoreError::Oom)?;
+        self.seqs.insert(
+            child,
+            SeqKv {
+                len: at_token,
+                residual_k,
+                residual_v,
+                sealed: false,
+            },
+        );
+        Ok(child)
+    }
+
     /// Marks a sequence finished: no further tokens may be appended. Its
     /// pages stay resident (readable) until [`PagedKvStore::evict`].
     ///
@@ -308,18 +497,16 @@ impl PagedKvStore {
         Ok(())
     }
 
-    /// Clears every page frame `seq` owns and returns its pages to the
-    /// pool (the storage half shared by [`PagedKvStore::evict`] and
-    /// [`PagedKvStore::swap_out`]).
+    /// Drops one reference on every page `seq` maps and clears the frames
+    /// of pages whose **last** reference dropped (the storage half shared
+    /// by [`PagedKvStore::evict`] and [`PagedKvStore::swap_out`]). Pages
+    /// still mapped by a sharing sequence keep their frames untouched.
     fn release_pages(&mut self, seq: SeqId) {
-        if let Some(table) = self.pool.table(seq) {
-            for page in table {
-                for head_blocks in &mut self.frames[page.0 as usize] {
-                    head_blocks.clear();
-                }
+        for page in self.pool.release(seq) {
+            for head_blocks in &mut self.frames[page.0 as usize] {
+                head_blocks.clear();
             }
         }
-        self.pool.release(seq);
     }
 
     /// Releases a sequence: clears every page frame it owned and returns
@@ -354,6 +541,17 @@ impl PagedKvStore {
             .map(|h| self.packed_blocks(seq, h).into_iter().cloned().collect())
             .collect();
         let reserved_tokens = self.pool.seq_len(seq).expect("resident sequence");
+        // Shared pages survive this swap-out (a sharing sequence still
+        // references them); record them with their generation so swap-in
+        // can re-share instead of re-materializing, when they are still
+        // resident.
+        let reshare: Vec<Option<(PageId, u64)>> = self
+            .pool
+            .table(seq)
+            .expect("resident sequence")
+            .iter()
+            .map(|&p| (self.pool.refcount(p) > 1).then(|| (p, self.pool.generation(p))))
+            .collect();
         let state = self.seqs.remove(&seq).expect("checked above");
         self.release_pages(seq);
         Ok(SwappedSeq {
@@ -364,6 +562,7 @@ impl PagedKvStore {
             blocks,
             residual_k: state.residual_k,
             residual_v: state.residual_v,
+            reshare,
         })
     }
 
@@ -389,20 +588,60 @@ impl PagedKvStore {
     pub fn swap_in(&mut self, blob: &SwappedSeq) -> Result<SeqId, PagedOom> {
         assert_eq!(blob.blocks.len(), self.heads, "blob/store head count");
         assert_eq!(blob.dim, self.config.dim, "blob/store dimension");
-        let seq = self.admit(blob.reserved_tokens)?;
+        let slots = self.reshare_slots(blob);
+        let seq = self.pool.adopt(&slots, blob.reserved_tokens)?;
         let nr = self.residual_block();
+        let pt = self.page_tokens();
         for (head, head_blocks) in blob.blocks.iter().enumerate() {
             for (b, block) in head_blocks.iter().enumerate() {
+                // Blocks homed on a re-shared page are already resident
+                // in that page's frame — only private slots re-home.
+                if slots.get((b * nr) / pt).copied().flatten().is_some() {
+                    continue;
+                }
                 let (page, _) = self.pool.translate(seq, b * nr);
                 self.frames[page.0 as usize][head].push(block.clone());
             }
         }
-        let state = self.seqs.get_mut(&seq).expect("just admitted");
-        state.len = blob.len;
-        state.sealed = blob.sealed;
-        state.residual_k = blob.residual_k.clone();
-        state.residual_v = blob.residual_v.clone();
+        self.seqs.insert(
+            seq,
+            SeqKv {
+                len: blob.len,
+                residual_k: blob.residual_k.clone(),
+                residual_v: blob.residual_v.clone(),
+                sealed: blob.sealed,
+            },
+        );
         Ok(seq)
+    }
+
+    /// Resolves which of `blob`'s recorded shared pages are still resident
+    /// (alive with an unchanged free-generation): those table slots
+    /// re-share instead of drawing fresh pages.
+    fn reshare_slots(&self, blob: &SwappedSeq) -> Vec<Option<PageId>> {
+        blob.reshare
+            .iter()
+            .map(|entry| {
+                entry.and_then(|(page, gen)| {
+                    (self.pool.refcount(page) > 0 && self.pool.generation(page) == gen)
+                        .then_some(page)
+                })
+            })
+            .collect()
+    }
+
+    /// Pages a [`PagedKvStore::swap_in`] of `blob` would **newly**
+    /// allocate given the store's current residency — recorded shared
+    /// pages that are still alive re-share rather than re-reserve, so
+    /// admission preflight should count this, not
+    /// [`SwappedSeq::pages_needed`].
+    pub fn swap_in_new_pages(&self, blob: &SwappedSeq) -> usize {
+        let slots = self.reshare_slots(blob);
+        let total = blob
+            .reserved_tokens
+            .div_ceil(self.page_tokens())
+            .max(slots.len());
+        total - slots.iter().flatten().count()
     }
 
     /// Logical token count of a sequence (packed + residual).
@@ -434,15 +673,28 @@ impl PagedKvStore {
     /// returned refs alias the page arena; by the contiguous-equivalence
     /// invariant they equal the contiguous cache's block list bitwise.
     ///
+    /// The gather stops at the sequence's own flushed-block count: a page
+    /// shared with a forked relative may additionally hold blocks the
+    /// original writer flushed **past** the shared boundary, and those
+    /// always sort after every block of this sequence (block homing is
+    /// monotone in the block index), so the count-truncated walk returns
+    /// exactly this sequence's blocks.
+    ///
     /// # Panics
     ///
     /// Panics on a non-resident sequence or bad head index.
     pub fn packed_blocks(&self, seq: SeqId, head: usize) -> Vec<&PackedBlock> {
         assert!(head < self.heads, "head {head} out of range");
+        let own = self.seqs[&seq].len / self.residual_block();
         let table = self.pool.table(seq).expect("resident sequence");
-        let mut out = Vec::new();
-        for page in table {
-            out.extend(self.frames[page.0 as usize][head].iter());
+        let mut out = Vec::with_capacity(own);
+        'gather: for page in table {
+            for block in &self.frames[page.0 as usize][head] {
+                if out.len() == own {
+                    break 'gather;
+                }
+                out.push(block);
+            }
         }
         out
     }
@@ -486,12 +738,65 @@ impl PagedKvStore {
             }
         }
         let new_len = state.len + 1;
+        let nr = self.residual_block();
+        // Preflight this append's whole page demand — a grow past the
+        // reservation and/or a copy-on-write of a shared flush target —
+        // before mutating anything, so an OOM leaves the sequence (and its
+        // sharing relatives) unchanged.
+        let reserved = self.pool.seq_len(seq).expect("resident sequence");
+        let pt = self.pool.page_tokens();
+        let table_len = self.pool.table(seq).expect("resident sequence").len();
+        let grow_pages = if new_len > reserved {
+            new_len.div_ceil(pt).saturating_sub(table_len)
+        } else {
+            0
+        };
+        let will_flush = state.residual_k[0].tokens() + 1 == nr;
+        // A flush target beyond the current table is about to be grown
+        // fresh (private by construction) — only existing shared pages CoW.
+        let cow_slot = will_flush.then(|| (new_len - nr) / pt).filter(|&slot| {
+            slot < table_len
+                && self
+                    .pool
+                    .refcount(self.pool.table(seq).expect("resident")[slot])
+                    > 1
+        });
+        let need = grow_pages + usize::from(cow_slot.is_some());
+        if need > self.pool.free_pages() {
+            return Err(StoreError::Oom(PagedOom {
+                requested: need,
+                free: self.pool.free_pages(),
+            }));
+        }
+        if let Some(slot) = cow_slot {
+            // First write past a shared boundary: copy only the affected
+            // page before flushing into it.
+            self.cow_slot(seq, slot);
+        }
         // Grow only past the reservation; within it, pages already exist.
-        if new_len > self.pool.seq_len(seq).expect("resident sequence") {
-            self.pool.grow(seq, new_len)?;
+        if new_len > reserved {
+            self.pool.grow(seq, new_len).expect("preflighted");
+        }
+        if will_flush {
+            // The flush target may have been inherited from a departed
+            // sharer whose past-boundary blocks are still in the frame
+            // (frames are only cleared at refcount zero, and the CoW guard
+            // above never fires once we are the sole owner). Reclaim the
+            // frame: truncate it to our own block prefix before appending,
+            // and bump the page's generation — a departed sharer's swap
+            // blob may reference the removed blocks, and the bump makes it
+            // restore privately instead of re-sharing a mutated frame.
+            let slot = (new_len - nr) / pt;
+            let (page, _) = self.pool.translate(seq, new_len - nr);
+            let own_here = self.own_blocks_on_slot(seq, slot);
+            if self.frames[page.0 as usize][0].len() > own_here {
+                self.pool.bump_generation(page);
+                for head_blocks in &mut self.frames[page.0 as usize] {
+                    head_blocks.truncate(own_here);
+                }
+            }
         }
 
-        let nr = self.residual_block();
         let dim = self.config.dim;
         let scheme = self.config.scheme;
         let state = self.seqs.get_mut(&seq).expect("checked above");
@@ -626,6 +931,84 @@ impl PagedKvStore {
         true
     }
 
+    /// Blocks of `seq` homed on table slot `slot`: indices in
+    /// `[ceil(slot·pt/Nr), ceil((slot+1)·pt/Nr))`, capped at the
+    /// sequence's own flushed count — and always a **prefix** of the
+    /// slot's frame, since frames hold blocks in index order and foreign
+    /// blocks on a shared frame carry indices past every sharer's count.
+    fn own_blocks_on_slot(&self, seq: SeqId, slot: usize) -> usize {
+        let pt = self.pool.page_tokens();
+        let nr = self.residual_block();
+        let own_total = self.seqs[&seq].len / nr;
+        let before = (slot * pt).div_ceil(nr).min(own_total);
+        ((slot + 1) * pt).div_ceil(nr).min(own_total) - before
+    }
+
+    /// Gives `seq` a private copy of table slot `slot`: draws a fresh page,
+    /// copies the slot's **own** block prefix (a shared frame may
+    /// additionally hold blocks its original writer flushed past the
+    /// shared boundary — those are not this sequence's), and drops one
+    /// reference on the shared page. The shared page's frame is untouched:
+    /// every other mapper still reads its bytes unchanged.
+    fn cow_slot(&mut self, seq: SeqId, slot: usize) {
+        let own_here = self.own_blocks_on_slot(seq, slot);
+        let (old, new) = self.pool.cow(seq, slot).expect("preflighted free page");
+        for head in 0..self.heads {
+            let prefix = self.frames[old.0 as usize][head][..own_here].to_vec();
+            self.frames[new.0 as usize][head] = prefix;
+        }
+    }
+
+    /// Page-sharing snapshot: physical vs logical occupancy and the packed
+    /// bytes deduplication currently saves.
+    ///
+    /// `bytes_saved` counts only bytes a sharer actually *reads*: per
+    /// shared page, the sum over sharers of their own block-prefix bytes,
+    /// minus the largest such prefix (stored once). Blocks the original
+    /// writer flushed past every sharer's boundary are its private data,
+    /// not a saving.
+    pub fn sharing_stats(&self) -> KvSharingStats {
+        let physical_pages = self.total_pages() - self.free_pages();
+        let shared_pages = self.pool.shared_pages();
+        if shared_pages == 0 {
+            // Nothing shared (the common unforked case): skip the
+            // per-sequence byte walk — this runs every serve step.
+            return KvSharingStats {
+                physical_pages,
+                logical_pages: self.pool.logical_pages(),
+                shared_pages: 0,
+                owned_pages: physical_pages,
+                bytes_saved: 0,
+            };
+        }
+        // Per shared page: (sum, max) of the sharers' own-prefix bytes.
+        let mut per_page: BTreeMap<PageId, (usize, usize)> = BTreeMap::new();
+        for &seq in self.seqs.keys() {
+            let table = self.pool.table(seq).expect("resident sequence");
+            for (slot, &page) in table.iter().enumerate() {
+                if self.pool.refcount(page) <= 1 {
+                    continue;
+                }
+                let own_here = self.own_blocks_on_slot(seq, slot);
+                let own_bytes: usize = self.frames[page.0 as usize]
+                    .iter()
+                    .flat_map(|head| head.iter().take(own_here).map(PackedBlock::byte_size))
+                    .sum();
+                let entry = per_page.entry(page).or_insert((0, 0));
+                entry.0 += own_bytes;
+                entry.1 = entry.1.max(own_bytes);
+            }
+        }
+        let bytes_saved = per_page.values().map(|&(sum, max)| sum - max).sum();
+        KvSharingStats {
+            physical_pages,
+            logical_pages: self.pool.logical_pages(),
+            shared_pages,
+            owned_pages: physical_pages - shared_pages,
+            bytes_saved,
+        }
+    }
+
     /// Device bytes currently held by a sequence (packed payloads + FP16
     /// residual windows).
     ///
@@ -668,17 +1051,19 @@ mod tests {
             .collect()
     }
 
-    /// Appends `n` tokens to both containers and returns the cache twin.
-    fn mirrored_appends(
+    /// Appends tokens `t0 .. t0 + n` (values salted by `salt`) to both the
+    /// paged sequence and its contiguous twin.
+    fn append_both(
         store: &mut PagedKvStore,
         seq: SeqId,
+        cache: &mut QuantizedKvCache,
         n: usize,
         salt: usize,
-    ) -> QuantizedKvCache {
+        t0: usize,
+    ) {
         let dim = store.config().dim;
         let heads = store.heads();
-        let mut cache = QuantizedKvCache::new(*store.config(), heads);
-        for t in 0..n {
+        for t in t0..t0 + n {
             let k: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t, salt + h)).collect();
             let v: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t + 500, salt + h)).collect();
             store.append_step(seq, &k, &v, &ReferenceCodec).unwrap();
@@ -688,6 +1073,17 @@ mod tests {
                     .unwrap();
             }
         }
+    }
+
+    /// Appends `n` tokens to both containers and returns the cache twin.
+    fn mirrored_appends(
+        store: &mut PagedKvStore,
+        seq: SeqId,
+        n: usize,
+        salt: usize,
+    ) -> QuantizedKvCache {
+        let mut cache = QuantizedKvCache::new(*store.config(), store.heads());
+        append_both(store, seq, &mut cache, n, salt, 0);
         cache
     }
 
@@ -974,6 +1370,283 @@ mod tests {
             ),
             Err(StoreError::Sealed(_))
         ));
+    }
+
+    #[test]
+    fn fork_shares_pages_and_divergent_lineages_stay_bitwise() {
+        // Page sizes straddling every regime: pages much smaller than a
+        // block (3, 7), block-aligned-ish (32, 48), and one page holding
+        // several blocks (300). Nr = 128 here, so the 256-token prompt is
+        // block-aligned and every prompt page is shareable.
+        for page_tokens in [3usize, 7, 32, 48, 300] {
+            let prompt = 256;
+            let budget = prompt + 64;
+            let mut store = PagedKvStore::new(cfg(16), 2, 2048, page_tokens);
+            let parent = store.admit(budget).unwrap();
+            let mut parent_cache = mirrored_appends(&mut store, parent, prompt, 0);
+            let mut child_cache = parent_cache.clone();
+
+            let free_before = store.free_pages();
+            let predicted = store.fork_new_pages(parent, prompt, budget).unwrap();
+            let child = store.fork(parent, prompt, budget).unwrap();
+            assert_eq!(
+                free_before - store.free_pages(),
+                predicted,
+                "page_tokens={page_tokens}: fork_new_pages mispredicted"
+            );
+            assert_eq!(
+                predicted,
+                budget.div_ceil(page_tokens) - prompt.div_ceil(page_tokens),
+                "only the private tail is newly allocated"
+            );
+            let stats = store.sharing_stats();
+            assert_eq!(stats.shared_pages, prompt.div_ceil(page_tokens));
+            assert!(stats.bytes_saved > 0);
+            assert_eq!(
+                stats.logical_pages - stats.physical_pages,
+                stats.shared_pages
+            );
+            assert!(
+                store.matches_cache(child, &child_cache, 0),
+                "page_tokens={page_tokens}: child is not the prefix bitwise"
+            );
+
+            // Divergent continuations: both lineages flush into (what was)
+            // shared territory; copy-on-write must keep them independent.
+            append_both(&mut store, parent, &mut parent_cache, 70, 1000, prompt);
+            append_both(&mut store, child, &mut child_cache, 70, 2000, prompt);
+            assert!(
+                store.matches_cache(parent, &parent_cache, 0),
+                "page_tokens={page_tokens}: child writes leaked into the parent"
+            );
+            assert!(
+                store.matches_cache(child, &child_cache, 0),
+                "page_tokens={page_tokens}: parent writes leaked into the child"
+            );
+
+            // Releasing both lineages returns every page: refcounts hit
+            // zero exactly once per physical page.
+            store.evict(parent);
+            assert!(
+                store.matches_cache(child, &child_cache, 0),
+                "page_tokens={page_tokens}: parent eviction corrupted the child"
+            );
+            store.evict(child);
+            assert_eq!(store.free_pages(), store.total_pages());
+        }
+    }
+
+    #[test]
+    fn fork_mid_residual_copies_the_window_prefix() {
+        // Prompt 100 < Nr (128): nothing is packed, the whole prompt sits
+        // in the FP16 window. A fork at 100 deep-copies those rows even
+        // after the parent generated a few more (un-flushed) tokens.
+        let mut store = PagedKvStore::new(cfg(16), 2, 64, 32);
+        let parent = store.admit(200).unwrap();
+        let mut parent_cache = mirrored_appends(&mut store, parent, 100, 0);
+        let mut child_cache = parent_cache.clone();
+        append_both(&mut store, parent, &mut parent_cache, 20, 50, 100);
+
+        let child = store.fork(parent, 100, 200).unwrap();
+        assert_eq!(store.residual_len(child), 100);
+        assert!(store.matches_cache(child, &child_cache, 0));
+        append_both(&mut store, child, &mut child_cache, 60, 60, 100);
+        assert!(store.matches_cache(child, &child_cache, 0));
+        assert!(store.matches_cache(parent, &parent_cache, 0));
+    }
+
+    #[test]
+    fn fork_boundaries_inside_packed_blocks_are_rejected() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 64, 32);
+        let parent = store.admit(400).unwrap();
+        mirrored_appends(&mut store, parent, 300, 0); // 2 blocks + 44 residual
+        assert!(store.can_fork(parent, 128));
+        assert!(store.can_fork(parent, 256));
+        assert!(store.can_fork(parent, 270), "within the residual window");
+        assert!(store.can_fork(parent, 300));
+        assert!(!store.can_fork(parent, 100), "inside packed block 0");
+        assert!(!store.can_fork(parent, 200), "inside packed block 1");
+        assert!(!store.can_fork(parent, 301), "beyond the parent");
+        assert!(matches!(
+            store.fork(parent, 200, 400),
+            Err(StoreError::ForkBoundary {
+                at_token: 200,
+                parent_len: 300,
+                residual_block: 128,
+            })
+        ));
+        assert!(store.fork_new_pages(parent, 200, 400).is_none());
+        assert!(matches!(
+            store.fork(SeqId(99), 0, 10),
+            Err(StoreError::UnknownSeq(SeqId(99)))
+        ));
+    }
+
+    #[test]
+    fn fork_oom_admits_nothing_and_bumps_no_refcount() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 8, 32);
+        let parent = store.admit(128).unwrap(); // 4 of 8 pages
+        mirrored_appends(&mut store, parent, 128, 0);
+        // Child wants 128 shared + 160 private = 5 fresh pages; only 4 free.
+        let err = store.fork(parent, 128, 128 + 160).unwrap_err();
+        assert!(matches!(err, StoreError::Oom(_)));
+        assert_eq!(store.free_pages(), 4);
+        assert_eq!(store.sharing_stats().shared_pages, 0);
+        // The failed fork burned no SeqId.
+        let child = store.fork(parent, 128, 128 + 32).unwrap();
+        assert_eq!(child.0, parent.0 + 1);
+    }
+
+    #[test]
+    fn cow_oom_leaves_the_sequence_unchanged() {
+        // Nr = 128, one page of 128 tokens shared; the child's flush at
+        // token 128... no wait — make the flush land ON the shared page:
+        // page_tokens 192 covers tokens 0..192, so the child's first flush
+        // (block 1, home token 128) needs a CoW of the shared page. With
+        // zero free pages that append must fail cleanly.
+        let mut store = PagedKvStore::new(cfg(16), 1, 3, 192);
+        let parent = store.admit(192).unwrap(); // 1 page
+        let mut cache = mirrored_appends(&mut store, parent, 128, 0);
+        let child = store.fork(parent, 128, 256).unwrap(); // 1 shared + 1 fresh
+        assert_eq!(store.free_pages(), 1);
+        let hog = store.admit(192).unwrap(); // last free page
+        let mut child_cache = cache.clone();
+        append_both(&mut store, child, &mut child_cache, 127, 9, 128);
+        // The 128th append flushes block 1 onto the shared page → CoW →
+        // OOM. Nothing may change.
+        let k = row(16, 999, 9);
+        let err = store
+            .append_step(
+                child,
+                std::slice::from_ref(&k),
+                std::slice::from_ref(&k),
+                &ReferenceCodec,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Oom(_)));
+        assert_eq!(store.seq_len(child), Some(255));
+        assert!(store.matches_cache(child, &child_cache, 0));
+        // Freeing the hog lets the same append CoW and proceed.
+        store.evict(hog);
+        append_both(&mut store, child, &mut child_cache, 1, 9, 255);
+        assert!(store.matches_cache(child, &child_cache, 0));
+        append_both(&mut store, parent, &mut cache, 10, 4, 128);
+        assert!(store.matches_cache(parent, &cache, 0));
+    }
+
+    #[test]
+    fn swap_out_of_a_sharing_sequence_restores_into_reshared_pages() {
+        let mut store = PagedKvStore::new(cfg(16), 2, 64, 32);
+        let parent = store.admit(160).unwrap(); // 5 pages
+        let mut parent_cache = mirrored_appends(&mut store, parent, 128, 0);
+        let child_cache = parent_cache.clone();
+        let child = store.fork(parent, 128, 160).unwrap(); // 4 shared + 1 fresh
+        let free_before = store.free_pages();
+
+        // Swap the child out: only its private page frees (the shared
+        // prefix survives through the parent).
+        let blob = store.swap_out(child).unwrap();
+        assert_eq!(store.free_pages(), free_before + 1);
+        // Swap-in while the prefix is resident re-shares: one new page.
+        assert_eq!(store.swap_in_new_pages(&blob), 1);
+        let back = store.swap_in(&blob).unwrap();
+        assert_eq!(store.free_pages(), free_before);
+        assert!(store.matches_cache(back, &child_cache, 0));
+        assert_eq!(store.sharing_stats().shared_pages, 4);
+
+        // Parent untouched throughout.
+        append_both(&mut store, parent, &mut parent_cache, 5, 3, 128);
+        assert!(store.matches_cache(parent, &parent_cache, 0));
+
+        // Once the prefix leaves the store, an old blob restores fully
+        // private — still bitwise.
+        let blob2 = store.swap_out(back).unwrap();
+        store.evict(parent);
+        assert_eq!(store.free_pages(), store.total_pages());
+        assert_eq!(store.swap_in_new_pages(&blob2), 5);
+        let solo = store.swap_in(&blob2).unwrap();
+        assert!(store.matches_cache(solo, &child_cache, 0));
+        assert_eq!(store.sharing_stats().shared_pages, 0);
+    }
+
+    #[test]
+    fn survivor_reclaims_departed_siblings_blocks_from_inherited_frames() {
+        // Nr = 128, page_tokens = 48. The parent decodes to 256 BEFORE the
+        // fork, homing its block 1 (tokens 128..256) on page slot 2 — a
+        // slot the child's 128-token shared prefix also covers. When the
+        // parent then departs, the child becomes sole owner of a frame
+        // still carrying the parent's past-boundary block (frames only
+        // clear at refcount zero); its own block-1 flush must reclaim the
+        // frame rather than append after the stale foreign block
+        // (regression: the count-truncated gather used to return the
+        // parent's divergent block as the child's — silent corruption).
+        let mut store = PagedKvStore::new(cfg(16), 1, 64, 48);
+        let parent = store.admit(300).unwrap();
+        let mut parent_cache = mirrored_appends(&mut store, parent, 128, 0);
+        let mut child_cache = parent_cache.clone();
+        append_both(&mut store, parent, &mut parent_cache, 128, 11, 128);
+        assert_eq!(store.packed_blocks(parent, 0).len(), 2);
+
+        let child = store.fork(parent, 128, 300).unwrap();
+        store.evict(parent);
+        // The child decodes past the boundary: its block 1 homes on the
+        // inherited slot-2 frame.
+        append_both(&mut store, child, &mut child_cache, 128, 22, 128);
+        assert_eq!(store.packed_blocks(child, 0).len(), 2);
+        assert!(
+            store.matches_cache(child, &child_cache, 0),
+            "child gathered the departed parent's block as its own"
+        );
+        store.evict(child);
+        assert_eq!(store.free_pages(), store.total_pages());
+    }
+
+    #[test]
+    fn frame_reclaim_invalidates_outstanding_swap_reshare() {
+        // Same shape, but the parent is swapped out (not evicted) before
+        // the child's reclaiming flush. The parent's blob recorded the
+        // shared slot-2 page for re-sharing; the child's truncation bumps
+        // that page's generation, so the blob must restore its block 1
+        // privately instead of re-sharing a frame that no longer holds it.
+        let mut store = PagedKvStore::new(cfg(16), 1, 64, 48);
+        let parent = store.admit(300).unwrap();
+        let mut parent_cache = mirrored_appends(&mut store, parent, 128, 0);
+        let mut child_cache = parent_cache.clone();
+        append_both(&mut store, parent, &mut parent_cache, 128, 11, 128);
+        let child = store.fork(parent, 128, 300).unwrap();
+
+        let blob = store.swap_out(parent).unwrap();
+        append_both(&mut store, child, &mut child_cache, 128, 22, 128);
+        assert!(store.matches_cache(child, &child_cache, 0));
+
+        let back = store.swap_in(&blob).unwrap();
+        assert!(
+            store.matches_cache(back, &parent_cache, 0),
+            "parent re-shared a frame its sibling had reclaimed"
+        );
+        // The untouched prefix slots (0 and 1) still re-shared.
+        assert!(store.sharing_stats().shared_pages >= 2);
+        store.evict(back);
+        store.evict(child);
+        assert_eq!(store.free_pages(), store.total_pages());
+    }
+
+    #[test]
+    fn reshare_detects_recycled_pages_by_generation() {
+        // The shared prefix is evicted and its pages re-used by an
+        // unrelated sequence before the blob returns: the generation check
+        // must reject re-sharing even though the PageIds are alive again.
+        let mut store = PagedKvStore::new(cfg(16), 1, 16, 32);
+        let parent = store.admit(128).unwrap();
+        let cache = mirrored_appends(&mut store, parent, 128, 0);
+        let child = store.fork(parent, 128, 128).unwrap();
+        let blob = store.swap_out(child).unwrap();
+        store.evict(parent); // prefix gone; pages 0..4 freed
+        let squatter = store.admit(128).unwrap(); // re-uses pages 0..4
+        mirrored_appends(&mut store, squatter, 128, 7);
+        assert_eq!(store.swap_in_new_pages(&blob), 4, "no false re-share");
+        let back = store.swap_in(&blob).unwrap();
+        assert!(store.matches_cache(back, &cache, 0));
     }
 
     #[test]

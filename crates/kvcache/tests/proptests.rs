@@ -138,6 +138,127 @@ proptest! {
         }
     }
 
+    /// Copy-on-write fork lineages: for any page size, fork boundary
+    /// flavor (Nr-aligned or mid-residual), divergent append lengths, and
+    /// evict/swap interleaving, (1) both lineages stay **bitwise**
+    /// contiguous-equivalent — a CoW'd page's bytes are independent of its
+    /// sibling's subsequent writes in either direction — and (2) no page
+    /// ever leaks: when the last lineage member leaves, every refcount has
+    /// returned to zero and the pool is whole again.
+    #[test]
+    fn fork_lineages_leak_no_pages_and_cow_isolates_bytes(
+        page_tokens in 1usize..80,
+        prompt in 1usize..300,
+        parent_extra in 0usize..150,
+        child_extra in 0usize..150,
+        boundary_sel in 0usize..3,
+        order in 0usize..4,
+        seed: u64,
+    ) {
+        let dim = 8;
+        let cfg = CacheConfig::new(dim, QuantScheme::kc4(), PackLayout::sm80_default());
+        let nr = cfg.residual_block();
+        let row = |t: usize, salt: u64| -> Vec<f32> {
+            matrix(1, dim, (t as u64) << 9 ^ salt ^ seed).row(0).to_vec()
+        };
+        let append = |store: &mut PagedKvStore,
+                      seq: SeqId,
+                      cache: &mut QuantizedKvCache,
+                      t0: usize,
+                      n: usize,
+                      salt: u64| {
+            for t in t0..t0 + n {
+                let k = row(t, salt);
+                let v = row(t + 100_000, salt);
+                store
+                    .append_step(seq, std::slice::from_ref(&k), std::slice::from_ref(&v),
+                                 &ReferenceCodec)
+                    .unwrap();
+                cache.append_token(0, &k, &v, &ReferenceCodec).unwrap();
+            }
+        };
+        // Fork at the parent's exact length (residual rows recoverable),
+        // at the largest aligned boundary, or at an *earlier* aligned
+        // boundary — the last leaves the parent's past-boundary blocks on
+        // pages the child shares, exercising frame reclaim after a
+        // departure.
+        let at = match boundary_sel {
+            0 => prompt,
+            1 => prompt - prompt % nr,
+            _ => (prompt / nr / 2) * nr,
+        };
+        let budget = prompt + parent_extra + at + child_extra + 82;
+        let pages = budget.div_ceil(page_tokens) + 8;
+        let mut store = PagedKvStore::new(cfg, 1, pages, page_tokens);
+        let total = store.total_pages();
+
+        let parent = store.admit(prompt + parent_extra).unwrap();
+        let mut parent_cache = QuantizedKvCache::new(cfg, 1);
+        append(&mut store, parent, &mut parent_cache, 0, prompt, 1);
+        // The child's ground truth replays only the shared prefix.
+        let mut child_cache = QuantizedKvCache::new(cfg, 1);
+        {
+            let mut scratch = PagedKvStore::new(cfg, 1, pages, page_tokens);
+            let s = scratch.admit(at).unwrap();
+            append(&mut scratch, s, &mut child_cache, 0, at, 1);
+        }
+        let child = store.fork(parent, at, at + child_extra).unwrap();
+        prop_assert!(store.matches_cache(child, &child_cache, 0), "fork is not the prefix");
+
+        // Divergent continuations through (what was) shared territory.
+        append(&mut store, parent, &mut parent_cache, prompt, parent_extra, 2);
+        append(&mut store, child, &mut child_cache, at, child_extra, 3);
+        prop_assert!(store.matches_cache(parent, &parent_cache, 0), "child leaked into parent");
+        prop_assert!(store.matches_cache(child, &child_cache, 0), "parent leaked into child");
+
+        // Interleave departures: evicts and swap round trips in every
+        // order, with the survivor decoding on (through any frames it
+        // inherits from the departed sibling); survivors must stay bitwise
+        // and the pool must end whole.
+        let plen = prompt + parent_extra;
+        let clen = at + child_extra;
+        match order {
+            0 => {
+                store.evict(parent);
+                append(&mut store, child, &mut child_cache, clen, 40, 4);
+                prop_assert!(store.matches_cache(child, &child_cache, 0),
+                    "departed parent's blocks leaked into the child");
+                store.evict(child);
+            }
+            1 => {
+                store.evict(child);
+                append(&mut store, parent, &mut parent_cache, plen, 40, 5);
+                prop_assert!(store.matches_cache(parent, &parent_cache, 0),
+                    "departed child's blocks leaked into the parent");
+                store.evict(parent);
+            }
+            2 => {
+                let blob = store.swap_out(child).unwrap();
+                append(&mut store, parent, &mut parent_cache, plen, 40, 5);
+                prop_assert!(store.matches_cache(parent, &parent_cache, 0));
+                let back = store.swap_in(&blob).unwrap();
+                prop_assert!(store.matches_cache(back, &child_cache, 0), "swap round trip");
+                store.evict(back);
+                store.evict(parent);
+            }
+            _ => {
+                // The survivor's continued decode may reclaim inherited
+                // frames; the swapped parent must then restore privately
+                // (generation bump) and still come back bitwise.
+                let blob = store.swap_out(parent).unwrap();
+                append(&mut store, child, &mut child_cache, clen, 40, 4);
+                prop_assert!(store.matches_cache(child, &child_cache, 0));
+                let back = store.swap_in(&blob).unwrap();
+                prop_assert!(store.matches_cache(back, &parent_cache, 0),
+                    "swapped parent re-shared a reclaimed frame");
+                store.evict(back);
+                store.evict(child);
+            }
+        }
+        prop_assert_eq!(store.free_pages(), total, "pages leaked (refcount > 0 left behind)");
+        prop_assert_eq!(store.sharing_stats().logical_pages, 0);
+    }
+
     /// Prefill partitioning always covers all tokens with an Nr-aligned
     /// packed prefix.
     #[test]

@@ -24,6 +24,6 @@ pub use engine::{Engine, WeightPrecision};
 pub use memory::{MemoryModel, OomError, RESERVE_BYTES};
 pub use model::ModelConfig;
 pub use serving::{
-    max_throughput, serve_functional, serve_trace_functional, serve_trace_policy_functional,
-    FunctionalServeReport, ServePolicy, ServingReport,
+    max_throughput, serve_functional, serve_shared_prompt_functional, serve_trace_functional,
+    serve_trace_policy_functional, FunctionalServeReport, ServePolicy, ServingReport,
 };

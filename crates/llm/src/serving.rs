@@ -136,6 +136,14 @@ pub struct FunctionalServeReport {
     pub preemptions: usize,
     /// Preempted sequences swapped back in during the run.
     pub resumes: usize,
+    /// Shared-prompt requests admitted by forking a live parent
+    /// (copy-on-write page sharing instead of a fresh prefill).
+    pub forks: usize,
+    /// Highest physical page allocation any step ended on — the run's
+    /// page footprint, which prefix sharing shrinks.
+    pub peak_physical_pages: usize,
+    /// Highest per-step packed-byte deduplication sharing achieved.
+    pub peak_shared_bytes_saved: usize,
     /// Host bytes moved by swap traffic, both directions.
     pub swap_bytes: f64,
     /// The emitted token stream of every request, in submission order.
@@ -199,6 +207,9 @@ fn report_from(
         dequant_slots: u64::from(summary.dequant.total()),
         preemptions: summary.preemptions,
         resumes: summary.resumes,
+        forks: summary.forks,
+        peak_physical_pages: summary.peak_physical_pages,
+        peak_shared_bytes_saved: summary.peak_shared_bytes_saved,
         swap_bytes: summary.swap_bytes,
         token_streams: ids
             .iter()
@@ -209,6 +220,60 @@ fn report_from(
             .map(|id| session.completion_step(*id).expect("completed"))
             .collect(),
     }
+}
+
+/// Runs the dominant serving pattern **functionally**: `sequences`
+/// requests all carrying the same `prompt_len`-token system prompt, each
+/// generating `gen_tokens` of its own continuation (per-request values
+/// seeded by position). With `share_prompt` the first request is submitted
+/// normally and every later one through
+/// [`ServeSession::submit_forked`], so admission aliases the shared
+/// prompt's packed pages copy-on-write instead of re-prefilling and
+/// re-storing them; without it every request prefills privately — the
+/// baseline the report's `peak_physical_pages` column is compared
+/// against. Token streams are identical either way (sharing is a storage
+/// optimization, bitwise invisible).
+///
+/// # Errors
+///
+/// Propagates [`SubmitError`] when a request cannot be served under
+/// `config`.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_shared_prompt_functional(
+    arch: GpuArch,
+    attn: AttentionConfig,
+    scheme: QuantScheme,
+    sequences: usize,
+    prompt_len: usize,
+    gen_tokens: usize,
+    share_prompt: bool,
+    config: ServeConfig,
+) -> Result<FunctionalServeReport, SubmitError> {
+    let decoder = BitDecoder::builder(arch)
+        .attention(attn)
+        .scheme(scheme)
+        .paged(true)
+        .build();
+    let mut session = ServeSession::new(decoder, config);
+    // One prompt seed for everyone, a distinct generation seed each.
+    const PROMPT_SEED: u64 = 0xBD;
+    let mut ids = Vec::with_capacity(sequences);
+    for i in 0..sequences {
+        let model = Box::new(SynthSequence::forked(
+            attn,
+            PROMPT_SEED,
+            i as u64,
+            prompt_len,
+            gen_tokens,
+        ));
+        ids.push(if share_prompt && i > 0 {
+            session.submit_forked(ids[0], model)?
+        } else {
+            session.submit(model)?
+        });
+    }
+    let summary = session.run_to_completion();
+    Ok(report_from(&session, &ids, &summary))
 }
 
 /// Runs the Page serving setting functionally under a **trace-driven
@@ -428,6 +493,53 @@ mod tests {
                 );
                 assert_eq!(stream, &want, "sequence {i}");
             }
+        }
+    }
+
+    #[test]
+    fn shared_prompt_serving_saves_pages_and_is_bitwise_invisible() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let config = ServeConfig::new(256, 32, 0, 8);
+        let run = |share: bool| {
+            serve_shared_prompt_functional(
+                GpuArch::a100(),
+                attn,
+                QuantScheme::kc4(),
+                4,
+                256,
+                3,
+                share,
+                config,
+            )
+            .unwrap()
+        };
+        let shared = run(true);
+        let unshared = run(false);
+        assert_eq!(shared.completed, 4);
+        assert_eq!((shared.forks, unshared.forks), (3, 0));
+        // The page footprint shrinks at equal output…
+        assert!(
+            shared.peak_physical_pages < unshared.peak_physical_pages,
+            "{} vs {}",
+            shared.peak_physical_pages,
+            unshared.peak_physical_pages
+        );
+        assert!(shared.peak_shared_bytes_saved > 0);
+        assert_eq!(unshared.peak_shared_bytes_saved, 0);
+        // …while every stream is identical to the unshared run and to the
+        // per-sequence contiguous replay.
+        assert_eq!(shared.token_streams, unshared.token_streams);
+        let dec = BitDecoder::builder(GpuArch::a100())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        for (i, stream) in shared.token_streams.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::forked(attn, 0xBD, i as u64, 256, 3),
+            );
+            assert_eq!(stream, &want, "sequence {i}");
         }
     }
 

@@ -57,6 +57,9 @@ pub trait SequenceModel: Send {
 #[derive(Clone, Debug)]
 pub struct SynthSequence {
     attn: bd_core::AttentionConfig,
+    /// Seeds the prompt K/V (shared-prompt siblings share this).
+    prompt_seed: u64,
+    /// Seeds queries and next-token K/V (distinct per sibling).
     seed: u64,
     prompt_len: usize,
     gen: usize,
@@ -104,7 +107,30 @@ impl SynthSequence {
     pub fn new(attn: bd_core::AttentionConfig, seed: u64, prompt_len: usize, gen: usize) -> Self {
         SynthSequence {
             attn,
+            prompt_seed: seed,
             seed,
+            prompt_len,
+            gen,
+            last_token: 0,
+        }
+    }
+
+    /// A shared-prompt sibling: the prompt K/V derive from `prompt_seed`
+    /// (identical across every sibling built from it — the contract
+    /// `ServeSession::submit_forked` relies on) while queries and
+    /// generated K/V derive from `gen_seed`, so siblings decode distinct
+    /// continuations off one shared prefix.
+    pub fn forked(
+        attn: bd_core::AttentionConfig,
+        prompt_seed: u64,
+        gen_seed: u64,
+        prompt_len: usize,
+        gen: usize,
+    ) -> Self {
+        SynthSequence {
+            attn,
+            prompt_seed,
+            seed: gen_seed,
             prompt_len,
             gen,
             last_token: 0,
@@ -121,10 +147,10 @@ impl SequenceModel for SynthSequence {
             })
         };
         let k = (0..self.attn.heads_kv)
-            .map(|h| make(TAG_PROMPT_K, h, self.seed, self.prompt_len))
+            .map(|h| make(TAG_PROMPT_K, h, self.prompt_seed, self.prompt_len))
             .collect();
         let v = (0..self.attn.heads_kv)
-            .map(|h| make(TAG_PROMPT_V, h, self.seed, self.prompt_len))
+            .map(|h| make(TAG_PROMPT_V, h, self.prompt_seed, self.prompt_len))
             .collect();
         (k, v)
     }

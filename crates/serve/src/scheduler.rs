@@ -71,7 +71,9 @@ pub struct RunningSeq {
     pub admitted_step: usize,
     /// Tokens still to generate.
     pub remaining_tokens: usize,
-    /// Pages the sequence holds per device (what preempting it frees).
+    /// Pages preempting this sequence would actually free per device: its
+    /// exclusively-held pages. Prefix pages shared with a forked relative
+    /// survive the swap-out and are not counted.
     pub held_pages: usize,
 }
 

@@ -129,6 +129,9 @@ pub enum SubmitError {
     /// The request asks for zero generated tokens — there is nothing to
     /// decode.
     EmptyGeneration,
+    /// A forked submission named a parent request this session never
+    /// issued.
+    UnknownParent(RequestId),
 }
 
 impl fmt::Display for SubmitError {
@@ -142,6 +145,9 @@ impl fmt::Display for SubmitError {
                 "request needs {needed_pages} pages but each device pool only has {total_pages}"
             ),
             SubmitError::EmptyGeneration => write!(f, "request generates zero tokens"),
+            SubmitError::UnknownParent(id) => {
+                write!(f, "fork parent request {id} was never submitted")
+            }
         }
     }
 }
@@ -175,6 +181,9 @@ pub struct ServeMetrics {
     pub batch: usize,
     /// Requests admitted at the top of this step.
     pub admitted: usize,
+    /// Of those, shared-prompt requests admitted by **forking** a live
+    /// parent (prompt pages aliased copy-on-write, no re-prefill).
+    pub forked: usize,
     /// Requests that finished (and were evicted) this step.
     pub completed: usize,
     /// KV tokens attended across the batch (Σ per-sequence context length).
@@ -212,6 +221,18 @@ pub struct ServeMetrics {
     /// What the session's host link prices that swap traffic at, seconds
     /// (one point-to-point transfer per swap event).
     pub modeled_swap_s: f64,
+    /// Physical pages allocated across all devices after the step
+    /// (post-evict, like the occupancy columns).
+    pub physical_pages: usize,
+    /// Page-table entries summed over resident sequences across all
+    /// devices — what an unshared store would have to allocate.
+    pub logical_pages: usize,
+    /// Physical pages mapped by more than one sequence (shared prefix
+    /// pages); `physical_pages - shared_pages` are singly owned.
+    pub shared_pages: usize,
+    /// Packed-payload bytes prefix sharing deduplicates right now, summed
+    /// over devices.
+    pub shared_bytes_saved: usize,
 }
 
 impl ServeMetrics {
@@ -250,6 +271,13 @@ pub struct ServeSummary {
     pub preemptions: usize,
     /// Total swap-ins (resumed preempted requests) across the run.
     pub resumes: usize,
+    /// Total shared-prompt admissions that forked a live parent.
+    pub forks: usize,
+    /// Highest physical page allocation any step ended on — the run's
+    /// true page footprint (what sharing shrinks vs an unshared run).
+    pub peak_physical_pages: usize,
+    /// Highest per-step packed-byte deduplication sharing achieved.
+    pub peak_shared_bytes_saved: usize,
     /// Total host bytes moved by swaps, both directions.
     pub swap_bytes: f64,
     /// Total modeled swap-transfer time across the run, seconds.
@@ -275,12 +303,18 @@ struct ResumeState {
     remaining: usize,
 }
 
-/// One queued request: fresh (never ran — admission prefills its prompt)
-/// or preempted (resumes by swapping its KV blob back in).
+/// One queued request: fresh (never ran — admission prefills its prompt,
+/// or forks a live parent when `fork_of` names one), or preempted
+/// (resumes by swapping its KV blob back in).
 struct QueueEntry {
     id: RequestId,
     model: Box<dyn SequenceModel>,
     resume: Option<ResumeState>,
+    /// The parent request whose prompt this request shares
+    /// ([`ServeSession::submit_forked`]): admission forks the parent's
+    /// sequence copy-on-write instead of prefilling, whenever the parent
+    /// is still decoding and its fork boundary is reachable.
+    fork_of: Option<RequestId>,
 }
 
 impl QueueEntry {
@@ -289,27 +323,7 @@ impl QueueEntry {
             id,
             model,
             resume: None,
-        }
-    }
-
-    /// The policy-facing view of this entry.
-    fn view(&self, page_tokens: usize) -> QueuedRequest {
-        match &self.resume {
-            Some(r) => QueuedRequest {
-                id: self.id,
-                prompt_tokens: self.model.prompt_tokens(),
-                remaining_tokens: r.remaining,
-                needed_pages: r.blob.pages_needed(page_tokens),
-                resumable: true,
-            },
-            None => QueuedRequest {
-                id: self.id,
-                prompt_tokens: self.model.prompt_tokens(),
-                remaining_tokens: self.model.gen_tokens(),
-                needed_pages: (self.model.prompt_tokens() + self.model.gen_tokens())
-                    .div_ceil(page_tokens),
-                resumable: false,
-            },
+            fork_of: None,
         }
     }
 }
@@ -318,6 +332,7 @@ impl QueueEntry {
 #[derive(Clone, Copy, Debug, Default)]
 struct AdmissionStats {
     admitted: usize,
+    forked: usize,
     preempted: usize,
     resumed: usize,
     swap_bytes: f64,
@@ -327,6 +342,7 @@ struct AdmissionStats {
 impl AdmissionStats {
     fn absorb(&mut self, other: AdmissionStats) {
         self.admitted += other.admitted;
+        self.forked += other.forked;
         self.preempted += other.preempted;
         self.resumed += other.resumed;
         self.swap_bytes += other.swap_bytes;
@@ -341,7 +357,7 @@ pub struct ServeSession {
     pool: WorkerPool,
     /// Trace arrivals not yet due, sorted by `(arrival step, id)` — id
     /// order makes FCFS within a step explicit and stable.
-    arrivals: VecDeque<(usize, RequestId, Box<dyn SequenceModel>)>,
+    arrivals: VecDeque<(usize, QueueEntry)>,
     pending: VecDeque<QueueEntry>,
     active: Vec<ActiveSeq>,
     policy: Box<dyn SchedulerPolicy>,
@@ -482,6 +498,90 @@ impl ServeSession {
         Ok(id)
     }
 
+    /// Queues a request that **shares its prompt** with a previously
+    /// submitted `parent`: at admission, if the parent is still decoding
+    /// and its fork boundary is reachable, the child is admitted by
+    /// [`ShardedKvStore::fork`] — its prompt pages alias the parent's
+    /// copy-on-write (no re-prefill, no duplicate bytes) and its page
+    /// preflight counts only the private tail. When the parent has
+    /// finished, been preempted, or decoded past the boundary, the child
+    /// falls back to an ordinary prefill admission; either way its stream
+    /// is bitwise identical to an unshared run.
+    ///
+    /// **Caller contract:** `model.prompt()` must produce exactly the
+    /// parent's prompt (same tokens, same length) — the fork aliases the
+    /// parent's packed prompt rather than reading the child's.
+    ///
+    /// # Errors
+    ///
+    /// Rejects like [`ServeSession::submit`], plus
+    /// [`SubmitError::UnknownParent`] when `parent` was never issued.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bd_core::{AttentionConfig, BitDecoder};
+    /// use bd_gpu_sim::GpuArch;
+    /// use bd_kvcache::QuantScheme;
+    /// use bd_serve::{ServeConfig, ServeSession, SynthSequence};
+    ///
+    /// let attn = AttentionConfig::gqa(4, 2, 16);
+    /// let dec = BitDecoder::builder(GpuArch::rtx4090())
+    ///     .attention(attn)
+    ///     .scheme(QuantScheme::kc4())
+    ///     .paged(true)
+    ///     .build();
+    /// let mut session = ServeSession::new(dec, ServeConfig::new(64, 32, 0, 8));
+    /// // Parent and child share a 128-token prompt (prompt seed 7) but
+    /// // generate different continuations (gen seeds 7 vs 99).
+    /// let parent = session
+    ///     .submit(Box::new(SynthSequence::new(attn, 7, 128, 4)))
+    ///     .unwrap();
+    /// let child = session
+    ///     .submit_forked(parent, Box::new(SynthSequence::forked(attn, 7, 99, 128, 4)))
+    ///     .unwrap();
+    /// let summary = session.run_to_completion();
+    /// assert_eq!(summary.completed, 2);
+    /// assert_eq!(summary.forks, 1, "the child admitted by forking");
+    /// assert_ne!(session.stream(parent), session.stream(child));
+    /// ```
+    pub fn submit_forked(
+        &mut self,
+        parent: RequestId,
+        model: Box<dyn SequenceModel>,
+    ) -> Result<RequestId, SubmitError> {
+        self.submit_forked_at(self.step_index, parent, model)
+    }
+
+    /// [`ServeSession::submit_forked`] with a trace arrival step, exactly
+    /// as [`ServeSession::submit_at`] extends [`ServeSession::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same rejection rules as [`ServeSession::submit_forked`].
+    pub fn submit_forked_at(
+        &mut self,
+        arrival_step: usize,
+        parent: RequestId,
+        model: Box<dyn SequenceModel>,
+    ) -> Result<RequestId, SubmitError> {
+        if parent >= self.next_id {
+            return Err(SubmitError::UnknownParent(parent));
+        }
+        self.validate(model.as_ref())?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.insert(id, Vec::new());
+        let entry = QueueEntry {
+            id,
+            model,
+            resume: None,
+            fork_of: Some(parent),
+        };
+        self.queue_at(arrival_step, entry);
+        Ok(id)
+    }
+
     /// Queues a request that **arrives** at decode step `arrival_step`
     /// (trace-driven admission): it stays invisible to the scheduler until
     /// that step, then joins the FCFS queue and is admitted when pages free
@@ -504,8 +604,14 @@ impl ServeSession {
         let id = self.next_id;
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
+        self.queue_at(arrival_step, QueueEntry::fresh(id, model));
+        Ok(id)
+    }
+
+    /// Queues an entry either immediately or at its future arrival step.
+    fn queue_at(&mut self, arrival_step: usize, entry: QueueEntry) {
         if arrival_step <= self.step_index {
-            self.pending.push_back(QueueEntry::fresh(id, model));
+            self.pending.push_back(entry);
         } else {
             // Sorted insert on the full `(arrival step, id)` key: two
             // requests due at the same step keep **submission** order (ids
@@ -513,10 +619,9 @@ impl ServeSession {
             // by construction rather than by insert-position accident.
             let pos = self
                 .arrivals
-                .partition_point(|&(s, other, _)| (s, other) <= (arrival_step, id));
-            self.arrivals.insert(pos, (arrival_step, id, model));
+                .partition_point(|(s, e)| (*s, e.id) <= (arrival_step, entry.id));
+            self.arrivals.insert(pos, (arrival_step, entry));
         }
-        Ok(id)
     }
 
     /// Regains exclusive store access after a parallel phase. Workers drop
@@ -536,15 +641,14 @@ impl ServeSession {
     /// sequences when the policy names victims. Returns the pass's
     /// admission/swap accounting.
     fn admit_due(&mut self) -> AdmissionStats {
-        while let Some((step, _, _)) = self.arrivals.front() {
+        while let Some((step, _)) = self.arrivals.front() {
             if *step > self.step_index {
                 break;
             }
-            let (_, id, model) = self.arrivals.pop_front().expect("checked front");
-            self.pending.push_back(QueueEntry::fresh(id, model));
+            let (_, entry) = self.arrivals.pop_front().expect("checked front");
+            self.pending.push_back(entry);
         }
         let mut stats = AdmissionStats::default();
-        let page_tokens = self.config.page_tokens;
         // Requests that stayed blocked this pass: excluded from further
         // `pick_next` views (a backfilling policy moves on to others; a
         // strict one stops at the first of them anyway).
@@ -555,7 +659,7 @@ impl ServeSession {
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| !blocked.contains(&e.id))
-                .map(|(i, e)| (i, e.view(page_tokens)))
+                .map(|(i, e)| (i, self.entry_view(e)))
                 .collect();
             let views: Vec<QueuedRequest> = eligible.iter().map(|(_, v)| *v).collect();
             let Some(pick) = self.policy.pick_next(&views) else {
@@ -580,7 +684,11 @@ impl ServeSession {
                     Ok(()) => break,
                     Err(back) => {
                         entry = back;
-                        let candidate = entry.view(page_tokens);
+                        let candidate = self.entry_view(&entry);
+                        // `held_pages` = what preempting the sequence
+                        // actually frees: only exclusively-held pages —
+                        // a shared prefix page survives its sharers.
+                        let pool = self.store.device(DeviceId(0)).pool();
                         let running: Vec<RunningSeq> = self
                             .active
                             .iter()
@@ -588,24 +696,35 @@ impl ServeSession {
                                 id: a.id,
                                 admitted_step: a.admitted_step,
                                 remaining_tokens: a.remaining,
-                                held_pages: self
-                                    .store
-                                    .device(DeviceId(0))
-                                    .pool()
-                                    .table(a.seq)
-                                    .map_or(0, |t| t.len()),
+                                held_pages: pool.table(a.seq).map_or(0, |t| {
+                                    t.iter().filter(|&&p| pool.refcount(p) == 1).count()
+                                }),
                             })
                             .collect();
                         // Futility guard: even preempting every victim the
                         // policy may name (same-step admits are off limits
                         // by the trait contract) cannot free enough pages
-                        // — don't swap anyone out for nothing.
+                        // — don't swap anyone out for nothing. A page frees
+                        // once its *last* reference drops, so count pages
+                        // whose every reference belongs to an eligible
+                        // victim — prefix pages shared only among victims
+                        // free when the last sharer swaps out (summing
+                        // per-victim exclusive pages would miss them).
                         let free = self.store.device(DeviceId(0)).free_pages();
-                        let preemptible: usize = running
+                        let mut victim_refs: BTreeMap<bd_kvcache::PageId, u32> = BTreeMap::new();
+                        for a in self
+                            .active
                             .iter()
-                            .filter(|r| r.admitted_step < self.step_index)
-                            .map(|r| r.held_pages)
-                            .sum();
+                            .filter(|a| a.admitted_step < self.step_index)
+                        {
+                            for &p in pool.table(a.seq).unwrap_or(&[]) {
+                                *victim_refs.entry(p).or_insert(0) += 1;
+                            }
+                        }
+                        let preemptible = victim_refs
+                            .iter()
+                            .filter(|(&p, &c)| c == pool.refcount(p))
+                            .count();
                         let victim = if candidate.needed_pages > free + preemptible {
                             None
                         } else {
@@ -637,20 +756,68 @@ impl ServeSession {
         stats
     }
 
+    /// The policy-facing view of one queued entry, with `needed_pages`
+    /// computed against the store's **current** residency: a preempted
+    /// request counts only the pages its still-resident shared prefix
+    /// cannot re-supply, and a shared-prompt fork counts only its private
+    /// tail — so the preemption and futility math sees the true admission
+    /// cost, not the unshared worst case.
+    fn entry_view(&self, entry: &QueueEntry) -> QueuedRequest {
+        let prompt_tokens = entry.model.prompt_tokens();
+        match &entry.resume {
+            Some(r) => QueuedRequest {
+                id: entry.id,
+                prompt_tokens,
+                remaining_tokens: r.remaining,
+                needed_pages: self.store.swap_in_new_pages(&r.blob),
+                resumable: true,
+            },
+            None => {
+                let total = prompt_tokens + entry.model.gen_tokens();
+                let needed_pages = self
+                    .forkable_parent(entry)
+                    .and_then(|seq| self.store.fork_new_pages(seq, prompt_tokens, total))
+                    .unwrap_or_else(|| total.div_ceil(self.config.page_tokens));
+                QueuedRequest {
+                    id: entry.id,
+                    prompt_tokens,
+                    remaining_tokens: entry.model.gen_tokens(),
+                    needed_pages,
+                    resumable: false,
+                }
+            }
+        }
+    }
+
+    /// The live parent sequence `entry` can fork off **right now**: the
+    /// entry was submitted as a fork, its parent is actively decoding, and
+    /// the shared-prompt boundary is still within reach of the parent's
+    /// residual window.
+    fn forkable_parent(&self, entry: &QueueEntry) -> Option<SeqId> {
+        let pid = entry.fork_of?;
+        let parent = self.active.iter().find(|a| a.id == pid)?;
+        self.store
+            .can_fork(parent.seq, entry.model.prompt_tokens())
+            .then_some(parent.seq)
+    }
+
     /// Tries to admit one queued request — fresh requests reserve their
-    /// full page budget and prefill; preempted ones swap their KV blob
-    /// back in bitwise. On page exhaustion the entry is handed back
-    /// unchanged.
+    /// full page budget and prefill (or fork their live parent
+    /// copy-on-write when submitted with a shared prompt); preempted ones
+    /// swap their KV blob back in bitwise. On page exhaustion the entry is
+    /// handed back unchanged.
     fn try_admit(
         &mut self,
         entry: QueueEntry,
         stats: &mut AdmissionStats,
     ) -> Result<(), QueueEntry> {
         let now = self.step_index;
+        let fork_seq = self.forkable_parent(&entry);
         let QueueEntry {
             id,
             mut model,
             resume,
+            fork_of,
         } = entry;
         match resume {
             Some(res) => match self.store_mut().swap_in(&res.blob) {
@@ -676,18 +843,33 @@ impl ServeSession {
                     id,
                     model,
                     resume: Some(res),
+                    fork_of,
                 }),
             },
             None => {
                 let reserve = model.prompt_tokens() + model.gen_tokens();
-                let codec = self.decoder.codec();
-                let store = self.store_mut();
-                match store.admit(reserve) {
-                    Ok(seq) => {
+                // Shared-prompt admission: fork the live parent instead of
+                // re-prefilling — the child's prompt pages alias the
+                // parent's copy-on-write, so only the private tail is
+                // reserved (and no prompt quantization re-runs). When the
+                // parent is gone or its boundary was quantized away, take
+                // the ordinary full-prefill path instead.
+                let admitted = if let Some(pseq) = fork_seq {
+                    let seq = self.store_mut().fork(pseq, model.prompt_tokens(), reserve);
+                    stats.forked += usize::from(seq.is_ok());
+                    seq.ok()
+                } else {
+                    let codec = self.decoder.codec();
+                    let store = self.store_mut();
+                    store.admit(reserve).ok().inspect(|&seq| {
                         let (pk, pv) = model.prompt();
                         store
                             .prefill(seq, &pk, &pv, &codec)
                             .expect("reservation covers the prompt");
+                    })
+                };
+                match admitted {
+                    Some(seq) => {
                         let remaining = model.gen_tokens();
                         stats.admitted += 1;
                         self.active.push(ActiveSeq {
@@ -700,10 +882,11 @@ impl ServeSession {
                         });
                         Ok(())
                     }
-                    Err(_oom) => Err(QueueEntry {
+                    None => Err(QueueEntry {
                         id,
                         model,
                         resume: None,
+                        fork_of,
                     }),
                 }
             }
@@ -733,6 +916,9 @@ impl ServeSession {
                 step: victim.step,
                 remaining: victim.remaining,
             }),
+            // Resume restores the KV blob (re-sharing what it can); the
+            // fork lineage no longer matters.
+            fork_of: None,
         });
     }
 
@@ -748,7 +934,7 @@ impl ServeSession {
         let mut adm = self.admit_due();
         while self.active.is_empty() {
             // Idle: jump to the next trace arrival (or drain).
-            let &(next, _, _) = self.arrivals.front()?;
+            let next = self.arrivals.front()?.0;
             self.step_index = next.max(self.step_index);
             adm.absorb(self.admit_due());
         }
@@ -879,10 +1065,12 @@ impl ServeSession {
         let modeled_interconnect_s = self.config.link.allreduce_s(payload_bytes, devices);
 
         let shape = DecodeShape::new(batch, attn, max_len.max(1)).with_residual(max_res);
+        let sharing = self.store.sharing_stats();
         let m = ServeMetrics {
             step: self.step_index,
             batch,
             admitted: adm.admitted,
+            forked: adm.forked,
             completed: done.len(),
             kv_tokens,
             wall_s,
@@ -902,6 +1090,10 @@ impl ServeSession {
             resumed: adm.resumed,
             swap_bytes: adm.swap_bytes,
             modeled_swap_s: adm.modeled_swap_s,
+            physical_pages: sharing.physical_pages,
+            logical_pages: sharing.logical_pages,
+            shared_pages: sharing.shared_pages,
+            shared_bytes_saved: sharing.bytes_saved,
         };
         self.step_index += 1;
         self.metrics.push(m.clone());
@@ -951,6 +1143,9 @@ impl ServeSession {
             modeled_interconnect_s: run.iter().map(|m| m.modeled_interconnect_s).sum(),
             preemptions: run.iter().map(|m| m.preempted).sum(),
             resumes: run.iter().map(|m| m.resumed).sum(),
+            forks: run.iter().map(|m| m.forked).sum(),
+            peak_physical_pages: run.iter().map(|m| m.physical_pages).max().unwrap_or(0),
+            peak_shared_bytes_saved: run.iter().map(|m| m.shared_bytes_saved).max().unwrap_or(0),
             swap_bytes: run.iter().map(|m| m.swap_bytes).sum(),
             modeled_swap_s: run.iter().map(|m| m.modeled_swap_s).sum(),
         }
@@ -1643,6 +1838,208 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SubmitError::EmptyGeneration);
         assert!(session.step().is_none());
+    }
+
+    #[test]
+    fn forked_requests_share_prompt_pages_and_stay_bitwise() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        // Prompt 128 = Nr: block-aligned, every prompt page shareable.
+        let (prompt, gen) = (128usize, 6usize);
+        let gen_seeds = [7u64, 100, 101, 102];
+        let run = |forked: bool| {
+            let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+            let parent = session
+                .submit(Box::new(SynthSequence::new(attn, 7, prompt, gen)))
+                .unwrap();
+            let mut ids = vec![parent];
+            for &gs in &gen_seeds[1..] {
+                let model = Box::new(SynthSequence::forked(attn, 7, gs, prompt, gen));
+                ids.push(if forked {
+                    session.submit_forked(parent, model).unwrap()
+                } else {
+                    session.submit(model).unwrap()
+                });
+            }
+            let summary = session.run_to_completion();
+            assert_eq!(summary.completed, 4);
+            (session, ids, summary)
+        };
+        let (shared, shared_ids, ssum) = run(true);
+        let (unshared, unshared_ids, usum) = run(false);
+        assert_eq!(ssum.forks, 3);
+        assert_eq!(usum.forks, 0);
+        let m0 = &shared.metrics()[0];
+        assert_eq!((m0.admitted, m0.forked), (4, 3));
+        assert_eq!(m0.shared_pages, prompt / 32, "all 4 prompt pages shared");
+        assert_eq!(m0.logical_pages - m0.physical_pages, 3 * (prompt / 32));
+        assert!(m0.shared_bytes_saved > 0);
+        // The acceptance bar: strictly fewer physical pages at equal
+        // output.
+        assert!(
+            ssum.peak_physical_pages < usum.peak_physical_pages,
+            "sharing did not shrink the footprint: {} vs {}",
+            ssum.peak_physical_pages,
+            usum.peak_physical_pages
+        );
+        // Every stream — parent and every forked child — is bitwise
+        // identical to its unshared twin and to the contiguous replay.
+        for (i, (sid, uid)) in shared_ids.iter().zip(&unshared_ids).enumerate() {
+            assert_eq!(shared.stream(*sid), unshared.stream(*uid), "request {i}");
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::forked(attn, 7, gen_seeds[i], prompt, gen),
+            );
+            assert_eq!(shared.stream(*sid).unwrap(), want, "request {i}");
+        }
+        // Everything drained and every refcount returned to zero.
+        assert_eq!(shared.store().free_pages(), shared.store().total_pages());
+    }
+
+    #[test]
+    fn fork_falls_back_to_prefill_when_parent_is_gone() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+        let parent = session
+            .submit(Box::new(SynthSequence::new(attn, 3, 96, 2)))
+            .unwrap();
+        // The child arrives long after the parent finished: no live
+        // sequence to fork — admission must prefill instead, bitwise.
+        let child = session
+            .submit_forked_at(
+                10,
+                parent,
+                Box::new(SynthSequence::forked(attn, 3, 55, 96, 3)),
+            )
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.forks, 0, "nothing to fork off");
+        let want = replay_contiguous(
+            &decoder(attn),
+            &mut SynthSequence::forked(attn, 3, 55, 96, 3),
+        );
+        assert_eq!(session.stream(child).unwrap(), want);
+        // A boundary quantized away also falls back: prompt 100 < Nr, but
+        // the parent decodes past the flush boundary before the child
+        // arrives (100 + 40 > 128), so the residual rows are gone.
+        let mut s2 = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+        let p2 = s2
+            .submit(Box::new(SynthSequence::new(attn, 4, 100, 40)))
+            .unwrap();
+        let c2 = s2
+            .submit_forked_at(35, p2, Box::new(SynthSequence::forked(attn, 4, 66, 100, 2)))
+            .unwrap();
+        let sum2 = s2.run_to_completion();
+        assert_eq!(sum2.completed, 2);
+        assert_eq!(sum2.forks, 0, "boundary out of reach");
+        let want2 = replay_contiguous(
+            &decoder(attn),
+            &mut SynthSequence::forked(attn, 4, 66, 100, 2),
+        );
+        assert_eq!(s2.stream(c2).unwrap(), want2);
+    }
+
+    #[test]
+    fn unknown_fork_parents_are_rejected_at_submit() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(4, 64, 0, 8));
+        let err = session
+            .submit_forked(42, Box::new(SynthSequence::new(attn, 0, 10, 2)))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::UnknownParent(42));
+    }
+
+    #[test]
+    fn preempted_forked_child_resumes_into_reshared_pages() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        // 6 pages of 32 tokens. Parent: 64-prompt + 40 gen = 4 pages.
+        // The child forks at 64 sharing both prompt pages, adding one
+        // private page (5 physical, 1 free). The late fresh request needs
+        // 2 pages → preempts the child (youngest), whose swap-out frees
+        // only its private page (the prompt survives through the parent);
+        // its blob later swaps back in re-sharing that resident prompt.
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(6, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        let parent = session
+            .submit(Box::new(SynthSequence::new(attn, 9, 64, 40)))
+            .unwrap();
+        let child = session
+            .submit_forked(parent, Box::new(SynthSequence::forked(attn, 9, 77, 64, 30)))
+            .unwrap();
+        let late = session
+            .submit_at(4, Box::new(SynthSequence::new(attn, 5, 40, 4)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.forks, 1);
+        assert_eq!(summary.preemptions, 1);
+        assert_eq!(summary.resumes, 1);
+        for (id, model) in [
+            (parent, SynthSequence::new(attn, 9, 64, 40)),
+            (child, SynthSequence::forked(attn, 9, 77, 64, 30)),
+            (late, SynthSequence::new(attn, 5, 40, 4)),
+        ] {
+            let mut model = model;
+            let want = replay_contiguous(&decoder(attn), &mut model);
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+        assert_eq!(session.store().free_pages(), 6, "refcounts drained");
+    }
+
+    #[test]
+    fn futility_guard_counts_pages_shared_only_among_victims() {
+        // 5 pages of 32 tokens. Parent (64+2, 3 pages) forks two children
+        // (64+30 each: 2 shared prompt pages + 1 private page apiece) and
+        // finishes at step 2, leaving the prompt pages shared ONLY between
+        // the two children (refcount 2) and 1 page free. A late request
+        // needing 4 pages then arrives: per-victim exclusive pages sum to
+        // just 2, but preempting BOTH children frees all 4 of their pages
+        // (the second swap-out drops the shared pages' last references).
+        // The futility guard must see that and let the preemptions happen
+        // (regression: summing exclusively-held pages declared this futile
+        // and the late request waited out the children's 30-token runs).
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(5, 32, 0, 8))
+            .with_policy(FcfsPreempt::default());
+        let parent = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 64, 2)))
+            .unwrap();
+        let kids: Vec<RequestId> = [30u64, 31]
+            .iter()
+            .map(|&gs| {
+                session
+                    .submit_forked(parent, Box::new(SynthSequence::forked(attn, 1, gs, 64, 30)))
+                    .unwrap()
+            })
+            .collect();
+        let late = session
+            .submit_at(4, Box::new(SynthSequence::new(attn, 7, 100, 2)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.forks, 2);
+        assert_eq!(
+            summary.preemptions, 2,
+            "guard declared a viable double preemption futile"
+        );
+        let late_done = session.completion_step(late).unwrap();
+        for kid in &kids {
+            assert!(
+                late_done < session.completion_step(*kid).unwrap(),
+                "late request waited out the children"
+            );
+        }
+        for (id, model) in [
+            (parent, SynthSequence::new(attn, 1, 64, 2)),
+            (kids[0], SynthSequence::forked(attn, 1, 30, 64, 30)),
+            (kids[1], SynthSequence::forked(attn, 1, 31, 64, 30)),
+            (late, SynthSequence::new(attn, 7, 100, 2)),
+        ] {
+            let mut model = model;
+            let want = replay_contiguous(&decoder(attn), &mut model);
+            assert_eq!(session.stream(id).unwrap(), want, "request {id}");
+        }
+        assert_eq!(session.store().free_pages(), 5);
     }
 
     #[test]

@@ -367,6 +367,94 @@ proptest! {
         prop_assert_eq!(session.store().free_pages(), session.store().total_pages());
     }
 
+    /// Shared-prompt forks are bitwise invisible: a parent, two children
+    /// admitted through `submit_forked` (their prompt pages aliased
+    /// copy-on-write off the live parent), and a late fresh request that
+    /// over-subscribes the pool, decoded across devices 1–4 ×
+    /// partitioning × page size × every scheduling policy. Whatever CoW,
+    /// preemption, and swap interleaving the run produces, every stream
+    /// must equal the **unshared** per-sequence contiguous replay bit for
+    /// bit, and every refcount must drain.
+    #[test]
+    fn forked_streams_match_unshared_contiguous_replay_bitwise(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..80,
+        policy_id in 0usize..3,
+        scheme in arb_scheme(),
+        seed: u64,
+    ) {
+        let prompt = 128usize;
+        let parent_gen = 8usize;
+        let child_gens = [4usize, 5];
+        // Pool: the parent, both children's private tails, and one spare —
+        // the late fresh request (40 + 3 tokens) over-subscribes it, so a
+        // preempting policy swaps a sharing sequence out and back in.
+        let shared_slots = prompt.div_ceil(page_tokens);
+        let child_new = |g: usize| {
+            (prompt + g).div_ceil(page_tokens).max(shared_slots) - shared_slots
+        };
+        let pages = (prompt + parent_gen).div_ceil(page_tokens)
+            + child_new(child_gens[0])
+            + child_new(child_gens[1])
+            + 1;
+        let config = ServeConfig::new(pages, page_tokens, 0, 8)
+            .with_devices(devices, partitioning);
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(scheme)
+            .paged(true)
+            .build();
+        let session = ServeSession::new(dec.clone(), config);
+        let mut session = match policy_id {
+            0 => session,
+            1 => session.with_policy(FcfsPreempt::default()),
+            _ => session.with_policy(ShortestRemainingFirst),
+        };
+        let parent = session
+            .submit(Box::new(SynthSequence::forked(
+                ATTN_QUAD, seed, seed ^ 1, prompt, parent_gen)))
+            .unwrap();
+        let mut ids = vec![(parent, seed ^ 1, prompt, parent_gen)];
+        for (i, &gen) in child_gens.iter().enumerate() {
+            let id = session
+                .submit_forked_at(1 + i, parent, Box::new(SynthSequence::forked(
+                    ATTN_QUAD, seed, seed ^ (2 + i as u64), prompt, gen)))
+                .unwrap();
+            ids.push((id, seed ^ (2 + i as u64), prompt, gen));
+        }
+        let late = session
+            .submit_at(3, Box::new(SynthSequence::forked(
+                ATTN_QUAD, seed ^ 9, seed ^ 9, 40, 3)))
+            .unwrap();
+        ids.push((late, seed ^ 9, 40, 3));
+        let summary = session.run_to_completion();
+        prop_assert_eq!(summary.completed, 4);
+        // The children arrive while the parent is decoding and their
+        // private tails are reserved in the pool, so both must have been
+        // admitted by forking (the prompt is reachable under every scheme:
+        // Nr-aligned at KC-4, within the residual window at KC-2).
+        prop_assert_eq!(
+            summary.forks, 2,
+            "policy {} devices {}: children did not fork", session.policy_label(), devices
+        );
+        for (i, (id, gen_seed, p, g)) in ids.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::forked(
+                    ATTN_QUAD, if i < 3 { seed } else { seed ^ 9 }, *gen_seed, *p, *g),
+            );
+            prop_assert_eq!(
+                session.stream(*id).unwrap(), &want[..],
+                "policy {} request {}: forked stream diverged", session.policy_label(), i
+            );
+        }
+        prop_assert_eq!(
+            session.store().free_pages(), session.store().total_pages(),
+            "refcounts did not drain"
+        );
+    }
+
     /// The storage-level swap round trip is bitwise for any page size and
     /// any device count/partitioning: swap-out frees every page, swap-in
     /// restores blocks and residual windows byte-for-byte, and the
