@@ -23,7 +23,7 @@ use bd_core::AttentionConfig;
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{Partitioning, QuantScheme};
 use bd_llm::{serve_shared_prompt_functional, ServePolicy};
-use bd_serve::{RequestId, ServeConfig, ServeSession, SynthSequence};
+use bd_serve::{FaultPlan, RequestId, ServeConfig, ServeSession, SynthSequence};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROMPT: usize = 2048;
@@ -204,6 +204,80 @@ fn run_shared_prefix(sequences: usize, share: bool) -> SharedPrefixRow {
     }
 }
 
+/// One degraded-mode scenario's outcome: the fixed 6-request workload
+/// under a fault plan (or none).
+struct DegradedRow {
+    mode: &'static str,
+    devices_end: usize,
+    kv_tok_s: f64,
+    mean_first_token_step: f64,
+    mean_completion_step: f64,
+    faults: usize,
+    recoveries: usize,
+    degraded_steps: usize,
+}
+
+/// The same 6-request workload on 4 devices, three ways: healthy,
+/// post-failure (a device dies before decode starts, so the whole run
+/// executes on 3 survivors), and recovery-in-progress (the loss strikes
+/// mid-run, so the run also pays the recompute replays). Token values are
+/// identical in all three (the chaos proptests pin that down bitwise);
+/// only throughput and the completion/TTFT trajectory move.
+fn run_degraded(mode: &'static str, plan: FaultPlan) -> DegradedRow {
+    let attn = AttentionConfig::gqa(8, 4, 64);
+    let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
+        .attention(attn)
+        .scheme(QuantScheme::kc4())
+        .paged(true)
+        .build();
+    let (batch, prompt, gen, page_tokens) = (6usize, 512usize, 8usize, 64usize);
+    let pages = batch * (prompt + gen).div_ceil(page_tokens) + 2;
+    let config = ServeConfig::new(pages, page_tokens, WORKERS, batch)
+        .with_devices(4, Partitioning::HeadModulo);
+    let mut session = ServeSession::new(decoder, config).with_faults(plan);
+    let ids: Vec<RequestId> = (0..batch)
+        .map(|i| {
+            session
+                .submit(Box::new(SynthSequence::new(attn, i as u64, prompt, gen)))
+                .expect("fits pool")
+        })
+        .collect();
+    let mut first_token: Vec<Option<usize>> = vec![None; ids.len()];
+    let start = session.metrics().len();
+    while let Some(m) = session.step() {
+        for (slot, id) in first_token.iter_mut().zip(&ids) {
+            if slot.is_none() && session.stream(*id).is_some_and(|s| !s.is_empty()) {
+                *slot = Some(m.step);
+            }
+        }
+    }
+    let run = &session.metrics()[start..];
+    let kv_tokens: u64 = run.iter().map(|m| m.kv_tokens as u64).sum();
+    let wall_s: f64 = run.iter().map(|m| m.wall_s).sum();
+    let completions: Vec<usize> = ids
+        .iter()
+        .map(|id| session.completion_step(*id).expect("completed"))
+        .collect();
+    DegradedRow {
+        mode,
+        devices_end: session.devices(),
+        kv_tok_s: if wall_s > 0.0 {
+            kv_tokens as f64 / wall_s
+        } else {
+            0.0
+        },
+        mean_first_token_step: first_token
+            .iter()
+            .map(|t| t.expect("streamed") as f64)
+            .sum::<f64>()
+            / ids.len() as f64,
+        mean_completion_step: completions.iter().sum::<usize>() as f64 / ids.len() as f64,
+        faults: run.iter().map(|m| m.faults_injected).sum(),
+        recoveries: run.iter().map(|m| m.recoveries).sum(),
+        degraded_steps: run.iter().map(|m| m.degraded_steps).sum(),
+    }
+}
+
 fn bench_serve(_c: &mut Criterion) {
     if std::env::var("BENCH_SERVE").as_deref() == Ok("0") {
         println!("serve trajectory bench skipped (BENCH_SERVE=0)");
@@ -277,13 +351,46 @@ fn bench_serve(_c: &mut Criterion) {
             pair[0].peak_pages,
         );
     }
-    write_bench_json(&rows, &policy_rows, &shared_rows);
+    // Degraded-mode trajectory: the same workload healthy, after a
+    // device loss, and with the loss striking mid-run.
+    let degraded_rows: Vec<DegradedRow> = [
+        ("healthy_4dev", FaultPlan::new()),
+        ("post_failure_3dev", FaultPlan::new().device_loss(0, 2)),
+        ("recovery_in_progress", FaultPlan::new().device_loss(4, 2)),
+    ]
+    .into_iter()
+    .map(|(mode, plan)| run_degraded(mode, plan))
+    .collect();
+    for r in &degraded_rows {
+        println!(
+            "degraded {:>22}: {:>9.0} kv-tok/s on {} devices, first token @{:>4.1}, completion @{:>4.1}, {} faults, {} recoveries, {} degraded steps",
+            r.mode,
+            r.kv_tok_s,
+            r.devices_end,
+            r.mean_first_token_step,
+            r.mean_completion_step,
+            r.faults,
+            r.recoveries,
+            r.degraded_steps,
+        );
+    }
+    // The acceptance bar: the mid-run loss pays its recompute replays in
+    // completion steps, and both faulted runs end on 3 devices.
+    assert_eq!(degraded_rows[0].devices_end, 4);
+    assert_eq!(degraded_rows[1].devices_end, 3);
+    assert_eq!(degraded_rows[2].devices_end, 3);
+    assert!(
+        degraded_rows[2].mean_completion_step >= degraded_rows[0].mean_completion_step,
+        "recovery-in-progress cannot complete earlier than healthy"
+    );
+    write_bench_json(&rows, &policy_rows, &shared_rows, &degraded_rows);
 }
 
 fn write_bench_json(
     rows: &[ServeBenchRow],
     policy_rows: &[PolicyBenchRow],
     shared_rows: &[SharedPrefixRow],
+    degraded_rows: &[DegradedRow],
 ) {
     if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
         println!("BENCH_serve.json left untouched (BENCH_SERVE_JSON=0)");
@@ -332,6 +439,21 @@ fn write_bench_json(
             r.forks,
             r.bytes_saved_kib,
             if i + 1 == shared_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"degraded\": [\n");
+    for (i, r) in degraded_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"devices_end\": {}, \"aggregate_kv_tok_s\": {:.0}, \"mean_first_token_step\": {:.1}, \"mean_completion_step\": {:.1}, \"faults_injected\": {}, \"recoveries\": {}, \"degraded_steps\": {}}}{}\n",
+            r.mode,
+            r.devices_end,
+            r.kv_tok_s,
+            r.mean_first_token_step,
+            r.mean_completion_step,
+            r.faults,
+            r.recoveries,
+            r.degraded_steps,
+            if i + 1 == degraded_rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");

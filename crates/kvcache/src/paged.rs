@@ -141,7 +141,9 @@ impl PagedPool {
     ///
     /// Panics if the sequence is unknown or `new_len` shrinks the sequence.
     pub fn grow(&mut self, seq: SeqId, new_len: usize) -> Result<(), PagedOom> {
-        let cur_len = *self.seq_lens.get(&seq).expect("unknown sequence");
+        let Some(&cur_len) = self.seq_lens.get(&seq) else {
+            panic!("unknown sequence {seq:?}");
+        };
         assert!(new_len >= cur_len, "sequences cannot shrink; free instead");
         let have = self.tables[&seq].len();
         let need = new_len.div_ceil(self.page_tokens);
@@ -154,12 +156,14 @@ impl PagedPool {
         }
         for _ in 0..extra {
             // Lowest-numbered free page first: deterministic reuse.
-            let page = self.free.pop_first().expect("checked above");
+            let Some(page) = self.free.pop_first() else {
+                unreachable!("checked above");
+            };
             self.refs.insert(page, 1);
-            self.tables
-                .get_mut(&seq)
-                .expect("unknown sequence")
-                .push(page);
+            let Some(table) = self.tables.get_mut(&seq) else {
+                unreachable!("table exists for every known sequence");
+            };
+            table.push(page);
         }
         self.seq_lens.insert(seq, new_len);
         Ok(())
@@ -199,11 +203,16 @@ impl PagedPool {
         for i in 0..total_slots {
             match slots.get(i) {
                 Some(Some(page)) => {
-                    *self.refs.get_mut(page).expect("checked above") += 1;
+                    let Some(count) = self.refs.get_mut(page) else {
+                        unreachable!("checked above");
+                    };
+                    *count += 1;
                     table.push(*page);
                 }
                 _ => {
-                    let page = self.free.pop_first().expect("checked above");
+                    let Some(page) = self.free.pop_first() else {
+                        unreachable!("checked above");
+                    };
                     self.refs.insert(page, 1);
                     table.push(page);
                 }
@@ -232,7 +241,9 @@ impl PagedPool {
     /// whose page is exclusively owned (nothing to copy from).
     pub fn cow(&mut self, seq: SeqId, slot: usize) -> Result<(PageId, PageId), PagedOom> {
         let old = self.tables[&seq][slot];
-        let count = self.refs.get_mut(&old).expect("allocated page");
+        let Some(count) = self.refs.get_mut(&old) else {
+            panic!("cow on free page {old:?}");
+        };
         assert!(*count >= 2, "cow on exclusively owned page {old:?}");
         let Some(new) = self.free.pop_first() else {
             return Err(PagedOom {
@@ -242,7 +253,10 @@ impl PagedPool {
         };
         *count -= 1;
         self.refs.insert(new, 1);
-        self.tables.get_mut(&seq).expect("unknown sequence")[slot] = new;
+        let Some(table) = self.tables.get_mut(&seq) else {
+            unreachable!("table indexed above");
+        };
+        table[slot] = new;
         Ok((old, new))
     }
 
@@ -255,7 +269,9 @@ impl PagedPool {
         let mut freed = Vec::new();
         if let Some(pages) = self.tables.remove(&seq) {
             for page in pages {
-                let count = self.refs.get_mut(&page).expect("allocated page");
+                let Some(count) = self.refs.get_mut(&page) else {
+                    unreachable!("every mapped page is allocated");
+                };
                 *count -= 1;
                 if *count == 0 {
                     self.refs.remove(&page);

@@ -94,6 +94,31 @@ impl SwappedShardedSeq {
             .max()
             .unwrap_or(0)
     }
+
+    /// Verifies every device share against its recorded checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptBlob`] when any share's payload
+    /// changed since swap-out.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        for share in &self.per_device {
+            share.verify()?;
+        }
+        Ok(())
+    }
+
+    /// Flips one payload bit of device `device`'s share (taken modulo the
+    /// device count) **without** updating its checksum — the tamper hook
+    /// the fault injector and the corruption tests use. See
+    /// [`SwappedSeq::flip_bit`].
+    pub fn flip_bit(&mut self, device: usize, bit: u64) {
+        if self.per_device.is_empty() {
+            return;
+        }
+        let d = device % self.per_device.len();
+        self.per_device[d].flip_bit(bit);
+    }
 }
 
 /// KV-head-sharded paged storage over `N` simulated devices — see the
@@ -278,7 +303,7 @@ impl ShardedKvStore {
             .iter_mut()
             .map(|dev| {
                 dev.admit(reserve_tokens)
-                    .expect("reservation pre-checked on every device")
+                    .unwrap_or_else(|_| unreachable!("reservation pre-checked on every device"))
             })
             .collect();
         let id = ids[0];
@@ -329,9 +354,10 @@ impl ShardedKvStore {
     ) -> Result<SeqId, StoreError> {
         let Some(need) = self.fork_new_pages(parent, at_token, reserve_tokens) else {
             // Delegate to the per-device fork for the precise error.
-            return Err(self.devices[0]
-                .fork(parent, at_token, reserve_tokens)
-                .expect_err("fork_new_pages said invalid"));
+            return match self.devices[0].fork(parent, at_token, reserve_tokens) {
+                Err(e) => Err(e),
+                Ok(_) => unreachable!("fork_new_pages said invalid"),
+            };
         };
         self.preflight_pages(need).map_err(StoreError::Oom)?;
         let ids: Vec<SeqId> = self
@@ -339,7 +365,7 @@ impl ShardedKvStore {
             .iter_mut()
             .map(|dev| {
                 dev.fork(parent, at_token, reserve_tokens)
-                    .expect("fork pre-checked on every device")
+                    .unwrap_or_else(|_| unreachable!("fork pre-checked on every device"))
             })
             .collect();
         let id = ids[0];
@@ -395,7 +421,10 @@ impl ShardedKvStore {
         let per_device = self
             .devices
             .iter_mut()
-            .map(|dev| dev.swap_out(seq).expect("resident on every device"))
+            .map(|dev| {
+                dev.swap_out(seq)
+                    .unwrap_or_else(|_| unreachable!("resident on every device"))
+            })
             .collect();
         Ok(SwappedShardedSeq { per_device })
     }
@@ -423,25 +452,29 @@ impl ShardedKvStore {
     ///
     /// # Errors
     ///
-    /// Returns [`PagedOom`] when any device cannot cover the blob's page
-    /// reservation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the blob's device count disagrees with the store's.
-    pub fn swap_in(&mut self, blob: &SwappedShardedSeq) -> Result<SeqId, PagedOom> {
-        assert_eq!(
-            blob.per_device.len(),
-            self.devices.len(),
-            "blob/store device count"
-        );
+    /// - [`StoreError::DeviceCount`] when the blob spans a different
+    ///   device count than the store (e.g. it predates a device loss and
+    ///   the placement rebuild that followed).
+    /// - [`StoreError::CorruptBlob`] when **any** device share fails its
+    ///   integrity check — verified across all devices before any pool is
+    ///   touched, so a corrupt blob changes nothing anywhere.
+    /// - [`StoreError::Oom`] when any device cannot cover the blob's page
+    ///   reservation.
+    pub fn swap_in(&mut self, blob: &SwappedShardedSeq) -> Result<SeqId, StoreError> {
+        if blob.per_device.len() != self.devices.len() {
+            return Err(StoreError::DeviceCount {
+                got: blob.per_device.len(),
+                expected: self.devices.len(),
+            });
+        }
+        blob.verify()?;
         for (dev, b) in self.devices.iter().zip(&blob.per_device) {
             let need = dev.swap_in_new_pages(b);
             if need > dev.free_pages() {
-                return Err(PagedOom {
+                return Err(StoreError::Oom(PagedOom {
                     requested: need,
                     free: dev.free_pages(),
-                });
+                }));
             }
         }
         let ids: Vec<SeqId> = self
@@ -450,7 +483,7 @@ impl ShardedKvStore {
             .zip(&blob.per_device)
             .map(|(dev, b)| {
                 dev.swap_in(b)
-                    .expect("reservation pre-checked on every device")
+                    .unwrap_or_else(|_| unreachable!("reservation pre-checked on every device"))
             })
             .collect();
         let id = ids[0];
@@ -782,10 +815,10 @@ mod tests {
         let err = store.swap_in(&blob).unwrap_err();
         assert_eq!(
             err,
-            PagedOom {
+            StoreError::Oom(PagedOom {
                 requested: 3,
                 free: 2
-            }
+            })
         );
         // Nothing changed anywhere: the hog is intact, pages unchanged.
         assert_eq!(store.resident(), 1);
@@ -939,5 +972,39 @@ mod tests {
                 expected: 4
             })
         ));
+    }
+
+    #[test]
+    fn corrupt_device_share_is_rejected_before_any_pool_is_touched() {
+        let placement = Placement::new(2, Partitioning::HeadModulo, 4);
+        let mut store = ShardedKvStore::new(cfg(16), placement, 64, 48);
+        let seq = store.admit(200).unwrap();
+        let _cache = mirrored_appends(&mut store, seq, 150, 1);
+        let clean = store.swap_out(seq).unwrap();
+        let free: Vec<usize> = (0..store.devices())
+            .map(|d| store.device(DeviceId(d as u32)).free_pages())
+            .collect();
+        // Damage only the *second* device's share: verification must span
+        // all shares and reject before device 0's pool adopts anything.
+        let mut blob = clean.clone();
+        blob.flip_bit(1, 9_999);
+        assert!(matches!(
+            blob.verify().unwrap_err(),
+            StoreError::CorruptBlob { .. }
+        ));
+        assert!(matches!(
+            store.swap_in(&blob).unwrap_err(),
+            StoreError::CorruptBlob { .. }
+        ));
+        for (d, want) in free.iter().enumerate() {
+            assert_eq!(
+                store.device(DeviceId(d as u32)).free_pages(),
+                *want,
+                "device {d} pool touched by a rejected swap-in"
+            );
+        }
+        // SeqId lockstep: the failed attempt burned nothing — the clean
+        // blob restores with the next id on every device.
+        assert!(store.swap_in(&clean).is_ok());
     }
 }

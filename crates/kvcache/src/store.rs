@@ -24,7 +24,7 @@
 //! checks the invariant; the serve property tests drive it for arbitrary
 //! page sizes and eviction orders.
 
-use crate::block::PackedBlock;
+use crate::block::{PackedBlock, PackedPayload};
 use crate::cache::{push_rounded, rounded_block, CacheConfig, CacheError, QuantizedKvCache};
 use crate::codec::BlockCodec;
 use crate::layout::partition_prefill;
@@ -64,6 +64,25 @@ pub enum StoreError {
         /// The residual block size `Nr` of the store.
         residual_block: usize,
     },
+    /// A swap blob failed its integrity check: the checksum recorded at
+    /// swap-out no longer matches the blob's contents, so restoring it
+    /// would install silently corrupted KV. Swap-in rejects the blob
+    /// before touching any pool.
+    CorruptBlob {
+        /// The checksum recorded at swap-out.
+        expected: u64,
+        /// The checksum recomputed from the blob at swap-in.
+        got: u64,
+    },
+    /// A sharded swap blob spans a different device count than the store
+    /// — e.g. it predates a device loss and the placement rebuild that
+    /// followed, so its per-device shares no longer line up.
+    DeviceCount {
+        /// Devices the blob was swapped out across.
+        got: usize,
+        /// Devices the store currently has.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -89,6 +108,16 @@ impl fmt::Display for StoreError {
                     "cannot fork at token {at_token}: parent of length {parent_len} \
                      (Nr = {residual_block}) no longer holds those rows in FP16"
                 )
+            }
+            StoreError::CorruptBlob { expected, got } => {
+                write!(
+                    f,
+                    "swap blob failed integrity check: checksum {got:#018x}, \
+                     expected {expected:#018x}"
+                )
+            }
+            StoreError::DeviceCount { got, expected } => {
+                write!(f, "swap blob spans {got} devices, store has {expected}")
             }
         }
     }
@@ -185,6 +214,24 @@ pub struct SwappedSeq {
     /// pages* — whenever the recorded generation still matches, i.e. the
     /// page was never freed in between.
     reshare: Vec<Option<(PageId, u64)>>,
+    /// FNV-1a fold over the packed payloads, the FP16 residual windows,
+    /// the reshare records, and the length bookkeeping — recorded at
+    /// swap-out, verified at swap-in. Host-side bit rot between the two
+    /// surfaces as [`StoreError::CorruptBlob`] instead of silently
+    /// corrupted KV.
+    checksum: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit state.
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl SwappedSeq {
@@ -219,6 +266,127 @@ impl SwappedSeq {
             .map(|m| m.len() * self.dim * 2)
             .sum();
         packed + residual
+    }
+
+    /// The integrity checksum recorded at swap-out.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the checksum from the blob's current contents: every
+    /// packed code word / quant parameter, every FP16 residual row (as
+    /// exact f32 bit patterns), every reshare `(page, generation)` record,
+    /// and the length bookkeeping.
+    pub fn computed_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in [
+            self.dim as u64,
+            self.len as u64,
+            self.reserved_tokens as u64,
+            u64::from(self.sealed),
+        ] {
+            h = fnv_fold(h, &v.to_le_bytes());
+        }
+        for head in &self.blocks {
+            for block in head {
+                for tensor in [&block.k, &block.v] {
+                    h = fnv_fold(h, &(tensor.tokens as u64).to_le_bytes());
+                    h = fnv_fold(h, &(tensor.dim as u64).to_le_bytes());
+                    match &tensor.payload {
+                        PackedPayload::Int { words, params } => {
+                            for w in words {
+                                h = fnv_fold(h, &w.to_le_bytes());
+                            }
+                            for p in params {
+                                h = fnv_fold(h, &p.to_bits().to_le_bytes());
+                            }
+                        }
+                        PackedPayload::Fp4 { codes, scales } => {
+                            h = fnv_fold(h, codes);
+                            h = fnv_fold(h, scales);
+                        }
+                    }
+                }
+            }
+        }
+        for m in self.residual_k.iter().chain(&self.residual_v) {
+            for &x in m.as_slice() {
+                h = fnv_fold(h, &x.to_bits().to_le_bytes());
+            }
+        }
+        for entry in &self.reshare {
+            match entry {
+                Some((page, generation)) => {
+                    h = fnv_fold(h, &(page.0 as u64).to_le_bytes());
+                    h = fnv_fold(h, &generation.to_le_bytes());
+                }
+                None => h = fnv_fold(h, &[0xFF]),
+            }
+        }
+        h
+    }
+
+    /// Verifies the blob against its recorded checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptBlob`] when any payload bit changed
+    /// since swap-out.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        let got = self.computed_checksum();
+        if got == self.checksum {
+            Ok(())
+        } else {
+            Err(StoreError::CorruptBlob {
+                expected: self.checksum,
+                got,
+            })
+        }
+    }
+
+    /// Flips one payload bit **without** updating the recorded checksum —
+    /// the tamper hook the fault injector and the corruption tests use.
+    /// The bit lands in the first packed payload when the blob holds any
+    /// flushed block, in the FP16 residual window otherwise; a blob with
+    /// no payload at all is left unchanged.
+    pub fn flip_bit(&mut self, bit: u64) {
+        for head in &mut self.blocks {
+            for block in head {
+                match &mut block.k.payload {
+                    PackedPayload::Int { words, .. } if !words.is_empty() => {
+                        let i = (bit / 16) as usize % words.len();
+                        words[i] ^= 1 << (bit % 16);
+                        return;
+                    }
+                    PackedPayload::Fp4 { codes, .. } if !codes.is_empty() => {
+                        let i = (bit / 8) as usize % codes.len();
+                        codes[i] ^= 1 << (bit % 8);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // No packed payload: flip one mantissa bit in the residual window.
+        let dim = self.dim.max(1);
+        for idx in 0..self.residual_k.len() {
+            let m = &self.residual_k[idx];
+            if m.is_empty() {
+                continue;
+            }
+            let t = (bit as usize / dim) % m.len();
+            let c = bit as usize % dim;
+            let replacement = TokenMatrix::from_fn(m.len(), dim, |tt, cc| {
+                let x = m.row(tt)[cc];
+                if tt == t && cc == c {
+                    f32::from_bits(x.to_bits() ^ 1)
+                } else {
+                    x
+                }
+            });
+            self.residual_k[idx] = replacement;
+            return;
+        }
     }
 }
 
@@ -343,7 +511,7 @@ impl PagedKvStore {
         if reserve_tokens > 0 {
             self.pool
                 .grow(seq, reserve_tokens)
-                .expect("reservation pre-checked against the free list");
+                .unwrap_or_else(|_| unreachable!("reservation pre-checked against the free list"));
         }
         self.seqs.insert(
             seq,
@@ -462,8 +630,10 @@ impl PagedKvStore {
         let residual_k: Vec<TokenMatrix> = state.residual_k.iter().map(copy_prefix).collect();
         let residual_v: Vec<TokenMatrix> = state.residual_v.iter().map(copy_prefix).collect();
         let shared_slots = at_token.div_ceil(self.pool.page_tokens());
-        let slots: Vec<Option<PageId>> = self.pool.table(parent).expect("resident sequence")
-            [..shared_slots]
+        let Some(parent_table) = self.pool.table(parent) else {
+            unreachable!("resident sequence");
+        };
+        let slots: Vec<Option<PageId>> = parent_table[..shared_slots]
             .iter()
             .map(|&p| Some(p))
             .collect();
@@ -540,7 +710,10 @@ impl PagedKvStore {
         let blocks: Vec<Vec<PackedBlock>> = (0..self.heads)
             .map(|h| self.packed_blocks(seq, h).into_iter().cloned().collect())
             .collect();
-        let reserved_tokens = self.pool.seq_len(seq).expect("resident sequence");
+        let reserved_tokens = self
+            .pool
+            .seq_len(seq)
+            .unwrap_or_else(|| unreachable!("resident sequence"));
         // Shared pages survive this swap-out (a sharing sequence still
         // references them); record them with their generation so swap-in
         // can re-share instead of re-materializing, when they are still
@@ -548,13 +721,15 @@ impl PagedKvStore {
         let reshare: Vec<Option<(PageId, u64)>> = self
             .pool
             .table(seq)
-            .expect("resident sequence")
+            .unwrap_or_else(|| unreachable!("resident sequence"))
             .iter()
             .map(|&p| (self.pool.refcount(p) > 1).then(|| (p, self.pool.generation(p))))
             .collect();
-        let state = self.seqs.remove(&seq).expect("checked above");
+        let Some(state) = self.seqs.remove(&seq) else {
+            unreachable!("checked above");
+        };
         self.release_pages(seq);
-        Ok(SwappedSeq {
+        let mut blob = SwappedSeq {
             dim: self.config.dim,
             len: state.len,
             reserved_tokens,
@@ -563,7 +738,10 @@ impl PagedKvStore {
             residual_k: state.residual_k,
             residual_v: state.residual_v,
             reshare,
-        })
+            checksum: 0,
+        };
+        blob.checksum = blob.computed_checksum();
+        Ok(blob)
     }
 
     /// Swaps a previously swapped-out sequence back in: re-reserves the
@@ -578,18 +756,31 @@ impl PagedKvStore {
     ///
     /// # Errors
     ///
-    /// Returns [`PagedOom`] when the pool cannot cover the blob's page
-    /// reservation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the blob's head count or dimension disagrees with the
-    /// store's configuration.
-    pub fn swap_in(&mut self, blob: &SwappedSeq) -> Result<SeqId, PagedOom> {
-        assert_eq!(blob.blocks.len(), self.heads, "blob/store head count");
-        assert_eq!(blob.dim, self.config.dim, "blob/store dimension");
+    /// - [`StoreError::CorruptBlob`] when the blob fails its integrity
+    ///   check (verified **before** touching any pool state).
+    /// - [`StoreError::HeadCount`] / [`CacheError::DimMismatch`] when the
+    ///   blob's shape disagrees with the store's configuration.
+    /// - [`StoreError::Oom`] when the pool cannot cover the blob's page
+    ///   reservation.
+    pub fn swap_in(&mut self, blob: &SwappedSeq) -> Result<SeqId, StoreError> {
+        blob.verify()?;
+        if blob.blocks.len() != self.heads {
+            return Err(StoreError::HeadCount {
+                got: blob.blocks.len(),
+                expected: self.heads,
+            });
+        }
+        if blob.dim != self.config.dim {
+            return Err(StoreError::Cache(CacheError::DimMismatch {
+                expected: self.config.dim,
+                got: blob.dim,
+            }));
+        }
         let slots = self.reshare_slots(blob);
-        let seq = self.pool.adopt(&slots, blob.reserved_tokens)?;
+        let seq = self
+            .pool
+            .adopt(&slots, blob.reserved_tokens)
+            .map_err(StoreError::Oom)?;
         let nr = self.residual_block();
         let pt = self.page_tokens();
         for (head, head_blocks) in blob.blocks.iter().enumerate() {
@@ -686,7 +877,9 @@ impl PagedKvStore {
     pub fn packed_blocks(&self, seq: SeqId, head: usize) -> Vec<&PackedBlock> {
         assert!(head < self.heads, "head {head} out of range");
         let own = self.seqs[&seq].len / self.residual_block();
-        let table = self.pool.table(seq).expect("resident sequence");
+        let Some(table) = self.pool.table(seq) else {
+            panic!("sequence {seq:?} is not resident");
+        };
         let mut out = Vec::with_capacity(own);
         'gather: for page in table {
             for block in &self.frames[page.0 as usize][head] {
@@ -743,9 +936,16 @@ impl PagedKvStore {
         // reservation and/or a copy-on-write of a shared flush target —
         // before mutating anything, so an OOM leaves the sequence (and its
         // sharing relatives) unchanged.
-        let reserved = self.pool.seq_len(seq).expect("resident sequence");
+        let reserved = self
+            .pool
+            .seq_len(seq)
+            .unwrap_or_else(|| unreachable!("resident sequence"));
         let pt = self.pool.page_tokens();
-        let table_len = self.pool.table(seq).expect("resident sequence").len();
+        let table_len = self
+            .pool
+            .table(seq)
+            .map(<[PageId]>::len)
+            .unwrap_or_else(|| unreachable!("resident sequence"));
         let grow_pages = if new_len > reserved {
             new_len.div_ceil(pt).saturating_sub(table_len)
         } else {
@@ -758,8 +958,8 @@ impl PagedKvStore {
             slot < table_len
                 && self
                     .pool
-                    .refcount(self.pool.table(seq).expect("resident")[slot])
-                    > 1
+                    .table(seq)
+                    .is_some_and(|t| self.pool.refcount(t[slot]) > 1)
         });
         let need = grow_pages + usize::from(cow_slot.is_some());
         if need > self.pool.free_pages() {
@@ -775,7 +975,9 @@ impl PagedKvStore {
         }
         // Grow only past the reservation; within it, pages already exist.
         if new_len > reserved {
-            self.pool.grow(seq, new_len).expect("preflighted");
+            self.pool
+                .grow(seq, new_len)
+                .unwrap_or_else(|_| unreachable!("preflighted"));
         }
         if will_flush {
             // The flush target may have been inherited from a departed
@@ -799,7 +1001,9 @@ impl PagedKvStore {
 
         let dim = self.config.dim;
         let scheme = self.config.scheme;
-        let state = self.seqs.get_mut(&seq).expect("checked above");
+        let Some(state) = self.seqs.get_mut(&seq) else {
+            unreachable!("checked above");
+        };
         let mut flushed = false;
         for head in 0..self.heads {
             push_rounded(&mut state.residual_k[head], k_rows[head].as_ref());
@@ -870,7 +1074,11 @@ impl PagedKvStore {
                 }
             }
         }
-        if len > self.pool.seq_len(seq).expect("resident sequence") {
+        let reserved = self
+            .pool
+            .seq_len(seq)
+            .unwrap_or_else(|| unreachable!("resident sequence"));
+        if len > reserved {
             self.pool.grow(seq, len)?;
         }
 
@@ -886,7 +1094,9 @@ impl PagedKvStore {
                 self.frames[page.0 as usize][head].push(packed);
             }
         }
-        let state = self.seqs.get_mut(&seq).expect("checked above");
+        let Some(state) = self.seqs.get_mut(&seq) else {
+            unreachable!("checked above");
+        };
         for head in 0..self.heads {
             for t in packed_len..len {
                 push_rounded(&mut state.residual_k[head], k[head].token_row(t));
@@ -952,7 +1162,10 @@ impl PagedKvStore {
     /// every other mapper still reads its bytes unchanged.
     fn cow_slot(&mut self, seq: SeqId, slot: usize) {
         let own_here = self.own_blocks_on_slot(seq, slot);
-        let (old, new) = self.pool.cow(seq, slot).expect("preflighted free page");
+        let (old, new) = self
+            .pool
+            .cow(seq, slot)
+            .unwrap_or_else(|_| unreachable!("preflighted free page"));
         for head in 0..self.heads {
             let prefix = self.frames[old.0 as usize][head][..own_here].to_vec();
             self.frames[new.0 as usize][head] = prefix;
@@ -984,7 +1197,9 @@ impl PagedKvStore {
         // Per shared page: (sum, max) of the sharers' own-prefix bytes.
         let mut per_page: BTreeMap<PageId, (usize, usize)> = BTreeMap::new();
         for &seq in self.seqs.keys() {
-            let table = self.pool.table(seq).expect("resident sequence");
+            let Some(table) = self.pool.table(seq) else {
+                unreachable!("resident sequence");
+            };
             for (slot, &page) in table.iter().enumerate() {
                 if self.pool.refcount(page) <= 1 {
                     continue;
@@ -1343,8 +1558,13 @@ mod tests {
         // Occupy too many pages for the blob to come back.
         let hog = store.admit(192).unwrap(); // 6 of 8 pages
         let err = store.swap_in(&blob).unwrap_err();
-        assert_eq!(err.requested, 4);
-        assert_eq!(err.free, 2);
+        assert_eq!(
+            err,
+            StoreError::Oom(PagedOom {
+                requested: 4,
+                free: 2
+            })
+        );
         store.evict(hog);
         // The failed swap-in burned no id and left the blob reusable.
         let back = store.swap_in(&blob).unwrap();
@@ -1662,5 +1882,43 @@ mod tests {
         let table = store.pool().table(seq).unwrap().to_vec();
         assert_eq!(table.len(), 6); // ceil(256/48)
         assert_eq!(store.seq_bytes(seq), cache.total_bytes());
+    }
+
+    #[test]
+    fn swap_blob_checksum_round_trips_intact() {
+        for page_tokens in [1, 48, 300] {
+            let mut store = PagedKvStore::new(cfg(16), 2, 2048, page_tokens);
+            let seq = store.admit(300).unwrap();
+            let _cache = mirrored_appends(&mut store, seq, 128 + 37, 0);
+            let blob = store.swap_out(seq).unwrap();
+            assert_eq!(blob.checksum(), blob.computed_checksum());
+            assert!(blob.verify().is_ok());
+            assert!(store.swap_in(&blob).is_ok());
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected_anywhere_in_the_blob() {
+        let mut store = PagedKvStore::new(cfg(16), 2, 2048, 48);
+        let seq = store.admit(300).unwrap();
+        let _cache = mirrored_appends(&mut store, seq, 128 + 37, 0);
+        let clean = store.swap_out(seq).unwrap();
+        // Bit positions folding into packed words, FP params, and the
+        // residual tail; every one must flip the checksum.
+        for bit in [0u64, 1, 13, 512, 4096, 65_535, u64::MAX / 3, u64::MAX] {
+            let mut blob = clean.clone();
+            blob.flip_bit(bit);
+            let err = blob.verify().unwrap_err();
+            assert!(
+                matches!(err, StoreError::CorruptBlob { expected, got } if expected != got),
+                "bit {bit} escaped the checksum"
+            );
+            // And swap-in refuses it without touching the pool.
+            let free = store.free_pages();
+            assert_eq!(store.swap_in(&blob).unwrap_err(), err);
+            assert_eq!(store.free_pages(), free, "rejected swap-in leaked pages");
+        }
+        // The undamaged original still restores.
+        assert!(store.swap_in(&clean).is_ok());
     }
 }

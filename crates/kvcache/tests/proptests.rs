@@ -1,4 +1,5 @@
 //! Property-based tests for cache containers and codecs.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use bd_kvcache::*;
 use bd_lowbit::BitWidth;

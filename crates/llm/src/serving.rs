@@ -13,7 +13,7 @@ use bd_core::{AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{PagedPool, QuantScheme};
 use bd_serve::{
-    FcfsPreempt, ServeConfig, ServeSession, ShortestRemainingFirst, SubmitError, SynthSequence,
+    AdmissionError, FcfsPreempt, ServeConfig, ServeSession, ShortestRemainingFirst, SynthSequence,
 };
 
 /// Scheduling-policy selector for the functional serve entry points — a
@@ -162,7 +162,7 @@ pub struct FunctionalServeReport {
 ///
 /// # Errors
 ///
-/// Propagates [`SubmitError`] when a request cannot be served under
+/// Propagates [`AdmissionError`] when a request cannot be served under
 /// `config` (page budget larger than the whole pool, or zero tokens to
 /// generate).
 pub fn serve_functional(
@@ -173,7 +173,7 @@ pub fn serve_functional(
     prompt_len: usize,
     gen_tokens: usize,
     config: ServeConfig,
-) -> Result<FunctionalServeReport, SubmitError> {
+) -> Result<FunctionalServeReport, AdmissionError> {
     let decoder = BitDecoder::builder(arch)
         .attention(attn)
         .scheme(scheme)
@@ -236,7 +236,7 @@ fn report_from(
 ///
 /// # Errors
 ///
-/// Propagates [`SubmitError`] when a request cannot be served under
+/// Propagates [`AdmissionError`] when a request cannot be served under
 /// `config`.
 #[allow(clippy::too_many_arguments)]
 pub fn serve_shared_prompt_functional(
@@ -248,7 +248,7 @@ pub fn serve_shared_prompt_functional(
     gen_tokens: usize,
     share_prompt: bool,
     config: ServeConfig,
-) -> Result<FunctionalServeReport, SubmitError> {
+) -> Result<FunctionalServeReport, AdmissionError> {
     let decoder = BitDecoder::builder(arch)
         .attention(attn)
         .scheme(scheme)
@@ -289,7 +289,7 @@ pub fn serve_shared_prompt_functional(
 ///
 /// # Errors
 ///
-/// Propagates [`SubmitError`] when any request cannot be served under
+/// Propagates [`AdmissionError`] when any request cannot be served under
 /// `config`.
 ///
 /// # Panics
@@ -302,7 +302,7 @@ pub fn serve_trace_functional(
     trace: &[Request],
     steps_per_s: f64,
     config: ServeConfig,
-) -> Result<FunctionalServeReport, SubmitError> {
+) -> Result<FunctionalServeReport, AdmissionError> {
     serve_trace_policy_functional(
         arch,
         attn,
@@ -324,7 +324,7 @@ pub fn serve_trace_functional(
 ///
 /// # Errors
 ///
-/// Propagates [`SubmitError`] when any request cannot be served under
+/// Propagates [`AdmissionError`] when any request cannot be served under
 /// `config`.
 ///
 /// # Panics
@@ -338,7 +338,7 @@ pub fn serve_trace_policy_functional(
     steps_per_s: f64,
     config: ServeConfig,
     policy: ServePolicy,
-) -> Result<FunctionalServeReport, SubmitError> {
+) -> Result<FunctionalServeReport, AdmissionError> {
     assert!(steps_per_s > 0.0, "steps_per_s must be positive");
     let decoder = BitDecoder::builder(arch)
         .attention(attn)

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # bd-serve — the tensor-parallel batched decode runtime
 //!
@@ -43,6 +44,16 @@
 //!   step's compute, its ring-all-reduce interconnect traffic, and its
 //!   swap traffic over a PCIe-class host link).
 //!
+//! A fourth concern cuts across all three: **resilience**. A seeded
+//! [`faults::FaultPlan`] injects device loss, swap-blob corruption,
+//! transient interconnect failures, and forced page-pool exhaustion at
+//! chosen decode steps; the session degrades and recovers — placement
+//! rebuild with recompute-from-prompt re-admission, checksum-rejected
+//! blobs recomputed, priced bounded-backoff retries, typed
+//! [`session::AdmissionError::Backpressure`] rejections — without ever
+//! changing *which* tokens a completed stream carries, only *when* they
+//! arrive.
+//!
 //! The driver supplies per-sequence behaviour through
 //! [`model::SequenceModel`] — the stand-in for the transformer's QKV
 //! projections and sampling. [`model::SynthSequence`] is the deterministic
@@ -73,17 +84,19 @@
 //! assert_eq!(session.stream(id).unwrap().len(), 3);
 //! ```
 
+pub mod faults;
 pub mod model;
 pub mod scheduler;
 pub mod session;
 pub mod workers;
 
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use model::{replay_contiguous, SequenceModel, StepKv, SynthSequence};
 pub use scheduler::{
     Fcfs, FcfsPreempt, QueuedRequest, RunningSeq, SchedulerPolicy, ShortestRemainingFirst,
 };
 pub use session::{
-    DeviceStepMetrics, RequestId, ServeConfig, ServeMetrics, ServeSession, ServeSummary,
-    SubmitError,
+    AdmissionError, DeviceStepMetrics, RequestId, ServeConfig, ServeMetrics, ServeSession,
+    ServeSummary,
 };
-pub use workers::WorkerPool;
+pub use workers::{ServeError, WorkerPool};

@@ -48,6 +48,15 @@ pub trait SequenceModel: Send {
     /// Consumes step `step`'s attention output (`heads_q × head_dim`),
     /// returning the emitted token and the K/V rows to append.
     fn advance(&mut self, step: usize, output: &QueryHeads) -> StepKv;
+    /// Restores the model to its pre-decode state so the runtime can
+    /// replay the request from its prompt — the hook
+    /// recompute-from-prompt fault recovery uses. After `reset`, the
+    /// `prompt` → `query`/`advance` cycle must reproduce the original
+    /// stream exactly. Stateless models keep the default no-op; stateful
+    /// ones (like [`SynthSequence`], whose appended K/V chain through the
+    /// previously emitted token) must restore their initial state or
+    /// recovered streams will diverge.
+    fn reset(&mut self) {}
 }
 
 /// Deterministic synthetic sequence: prompt, queries, and next-token K/V
@@ -201,6 +210,10 @@ impl SequenceModel for SynthSequence {
                 .collect(),
         }
     }
+
+    fn reset(&mut self) {
+        self.last_token = 0;
+    }
 }
 
 /// Replays one request on a **contiguous** per-sequence cache through
@@ -219,19 +232,19 @@ pub fn replay_contiguous(decoder: &BitDecoder, model: &mut dyn SequenceModel) ->
     for h in 0..attn.heads_kv {
         cache
             .prefill(h, &pk[h], &pv[h], &codec)
-            .expect("prompt prefill");
+            .unwrap_or_else(|e| panic!("prompt prefill: {e}"));
     }
     let mut tokens = Vec::with_capacity(model.gen_tokens());
     for step in 0..model.gen_tokens() {
         let q = model.query(step);
         let out = decoder
             .decode(std::slice::from_ref(&q), &cache)
-            .expect("contiguous decode");
+            .unwrap_or_else(|e| panic!("contiguous decode: {e}"));
         let step_kv = model.advance(step, &out.outputs[0]);
         for h in 0..attn.heads_kv {
             cache
                 .append_token(h, &step_kv.k[h], &step_kv.v[h], &codec)
-                .expect("token append");
+                .unwrap_or_else(|e| panic!("token append: {e}"));
         }
         tokens.push(step_kv.token);
     }

@@ -21,6 +21,15 @@
 //! Swap-in restores the blob bitwise, so a preempted stream is identical
 //! to an uninterrupted one.
 //!
+//! The session degrades instead of crashing: a [`FaultPlan`] armed via
+//! [`ServeSession::with_faults`] deterministically injects device loss,
+//! swap-blob corruption, transient interconnect failures, and forced pool
+//! exhaustion, and each is recovered — placement rebuild with
+//! recompute-from-prompt re-admission, checksum-rejected blobs recomputed,
+//! priced bounded-backoff retries, typed admission backpressure — without
+//! ever changing *which* tokens a completed stream carries, only *when*
+//! they arrive. Fault and recovery counts land in [`ServeMetrics`].
+//!
 //! Each step yields a [`ServeMetrics`] sample pairing the *measured*
 //! aggregate KV-throughput, fast-dequant telemetry, and per-device
 //! utilization with the *analytic* price of the same step shape — compute
@@ -28,12 +37,15 @@
 //! [`InterconnectModel`]'s ring all-reduce of the step's output partials,
 //! and swap traffic from the session's host link (PCIe-class by default).
 
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::model::SequenceModel;
 use crate::scheduler::{Fcfs, QueuedRequest, RunningSeq, SchedulerPolicy};
-use crate::workers::{WorkUnit, WorkerPool};
+use crate::workers::{ServeError, WorkUnit, WorkerPool};
 use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape, OnlineSoftmax};
 use bd_gpu_sim::InterconnectModel;
-use bd_kvcache::{DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, SwappedShardedSeq};
+use bd_kvcache::{
+    DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, StoreError, SwappedShardedSeq,
+};
 use bd_lowbit::fastpath::FastDequantOps;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -115,9 +127,11 @@ impl ServeConfig {
     }
 }
 
-/// Why a request was rejected at submission.
+/// Why a request was rejected at submission — the typed admission
+/// contract: capacity rejections always carry the page shortfall instead
+/// of burying the reason.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SubmitError {
+pub enum AdmissionError {
     /// The request's prompt + generation budget exceeds a device's whole
     /// pool; it could never be admitted.
     TooLarge {
@@ -125,6 +139,16 @@ pub enum SubmitError {
         needed_pages: usize,
         /// Pages each device pool has in total.
         total_pages: usize,
+    },
+    /// The pool cannot admit the request now **or later**: a fault-forced
+    /// exhaustion holds pages with no scheduled release, so the request's
+    /// budget exceeds every page that can ever free up. Backpressure —
+    /// the caller should shed or re-route the load.
+    Backpressure {
+        /// Pages the request needs (per device).
+        needed_pages: usize,
+        /// Pages that can ever become available under the seizure.
+        available_pages: usize,
     },
     /// The request asks for zero generated tokens — there is nothing to
     /// decode.
@@ -134,25 +158,50 @@ pub enum SubmitError {
     UnknownParent(RequestId),
 }
 
-impl fmt::Display for SubmitError {
+impl AdmissionError {
+    /// Pages the request is short by (0 for non-capacity rejections).
+    pub fn shortfall_pages(&self) -> usize {
+        match self {
+            AdmissionError::TooLarge {
+                needed_pages,
+                total_pages,
+            } => needed_pages.saturating_sub(*total_pages),
+            AdmissionError::Backpressure {
+                needed_pages,
+                available_pages,
+            } => needed_pages.saturating_sub(*available_pages),
+            AdmissionError::EmptyGeneration | AdmissionError::UnknownParent(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::TooLarge {
+            AdmissionError::TooLarge {
                 needed_pages,
                 total_pages,
             } => write!(
                 f,
                 "request needs {needed_pages} pages but each device pool only has {total_pages}"
             ),
-            SubmitError::EmptyGeneration => write!(f, "request generates zero tokens"),
-            SubmitError::UnknownParent(id) => {
+            AdmissionError::Backpressure {
+                needed_pages,
+                available_pages,
+            } => write!(
+                f,
+                "request needs {needed_pages} pages but only {available_pages} can ever \
+                 free up under the current page seizure"
+            ),
+            AdmissionError::EmptyGeneration => write!(f, "request generates zero tokens"),
+            AdmissionError::UnknownParent(id) => {
                 write!(f, "fork parent request {id} was never submitted")
             }
         }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for AdmissionError {}
 
 /// One device's share of a decode step (the measured half of the
 /// tensor-parallel trajectory).
@@ -233,6 +282,21 @@ pub struct ServeMetrics {
     /// Packed-payload bytes prefix sharing deduplicates right now, summed
     /// over devices.
     pub shared_bytes_saved: usize,
+    /// Faults the armed [`FaultPlan`] injected during this step.
+    pub faults_injected: usize,
+    /// Sequences recovered this step (recompute-from-prompt re-admissions
+    /// after device loss or a corrupt swap blob).
+    pub recoveries: usize,
+    /// Transient-transfer retries priced into this step's interconnect
+    /// time.
+    pub retries: usize,
+    /// 1 when this step ran degraded (a fault fired or a failure was
+    /// absorbed), 0 otherwise — summed over a run it counts degraded
+    /// steps.
+    pub degraded_steps: usize,
+    /// Requests permanently failed this step (unattributable worker-pool
+    /// loss, unserveable model).
+    pub requests_failed: usize,
 }
 
 impl ServeMetrics {
@@ -282,6 +346,16 @@ pub struct ServeSummary {
     pub swap_bytes: f64,
     /// Total modeled swap-transfer time across the run, seconds.
     pub modeled_swap_s: f64,
+    /// Total faults injected across the run.
+    pub faults_injected: usize,
+    /// Total recompute-from-prompt recoveries across the run.
+    pub recoveries: usize,
+    /// Total transient-transfer retries across the run.
+    pub retries: usize,
+    /// Steps that ran degraded (a fault fired or a failure was absorbed).
+    pub degraded_steps: usize,
+    /// Requests that failed permanently across the run.
+    pub requests_failed: usize,
 }
 
 struct ActiveSeq {
@@ -350,6 +424,43 @@ impl AdmissionStats {
     }
 }
 
+/// Fault/recovery accounting accumulated during one step and drained into
+/// its [`ServeMetrics`] sample.
+#[derive(Clone, Copy, Debug, Default)]
+struct FaultCounters {
+    faults_injected: usize,
+    recoveries: usize,
+    retries: usize,
+    requests_failed: usize,
+    degraded: bool,
+}
+
+/// Pages seized by a pool-exhaustion fault: a hog reservation admission
+/// must route around until it releases.
+struct PageHog {
+    seq: SeqId,
+    pages: usize,
+    /// Step at which the seizure releases (`None` = when the run ends).
+    release: Option<usize>,
+}
+
+/// Base backoff charged to the first transient-transfer retry, seconds.
+const RETRY_BACKOFF_BASE_S: f64 = 50e-6;
+/// Ceiling on any single retry's backoff, seconds.
+const RETRY_BACKOFF_MAX_S: f64 = 2e-3;
+
+/// Modeled cost of `failures` failed transfer attempts: each retry
+/// re-pays the transfer and waits a bounded exponential backoff
+/// (`base · 2^attempt`, capped).
+fn retry_penalty_s(transfer_s: f64, failures: u32) -> f64 {
+    (0..failures)
+        .map(|i| {
+            transfer_s
+                + (RETRY_BACKOFF_BASE_S * f64::from(1u32 << i.min(10))).min(RETRY_BACKOFF_MAX_S)
+        })
+        .sum()
+}
+
 /// The batched decode runtime session — see the [module docs](self).
 pub struct ServeSession {
     decoder: Arc<BitDecoder>,
@@ -369,6 +480,15 @@ pub struct ServeSession {
     next_id: RequestId,
     config: ServeConfig,
     step_index: usize,
+    injector: FaultInjector,
+    /// Per-step fault accounting, drained into each metrics sample.
+    fault_counters: FaultCounters,
+    /// Live pool-exhaustion seizures.
+    hogs: Vec<PageHog>,
+    /// Requests permanently failed, with the error that killed each.
+    failed: BTreeMap<RequestId, ServeError>,
+    /// Devices quarantined by loss faults, in order of loss.
+    lost_devices: Vec<usize>,
 }
 
 impl ServeSession {
@@ -398,7 +518,21 @@ impl ServeSession {
             next_id: 0,
             config,
             step_index: 0,
+            injector: FaultInjector::default(),
+            fault_counters: FaultCounters::default(),
+            hogs: Vec::new(),
+            failed: BTreeMap::new(),
+            lost_devices: Vec::new(),
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: the session injects the plan's
+    /// faults at their scheduled steps and recovers as described in
+    /// [`crate::faults`]. Chaos is reproducible — same plan and
+    /// submissions, same run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.injector = FaultInjector::new(plan);
+        self
     }
 
     /// Replaces the admission/preemption policy (default:
@@ -465,16 +599,42 @@ impl ServeSession {
         &self.metrics
     }
 
-    fn validate(&self, model: &dyn SequenceModel) -> Result<(), SubmitError> {
+    /// The error that permanently failed a request, when it did fail.
+    pub fn failure(&self, id: RequestId) -> Option<&ServeError> {
+        self.failed.get(&id)
+    }
+
+    /// `true` when a request failed permanently (its stream will not
+    /// complete).
+    pub fn is_failed(&self, id: RequestId) -> bool {
+        self.failed.contains_key(&id)
+    }
+
+    /// Devices quarantined by loss faults so far, in order of loss (each
+    /// index refers to the device numbering live at that loss).
+    pub fn lost_devices(&self) -> &[usize] {
+        &self.lost_devices
+    }
+
+    fn validate(&self, model: &dyn SequenceModel) -> Result<(), AdmissionError> {
         if model.gen_tokens() == 0 {
-            return Err(SubmitError::EmptyGeneration);
+            return Err(AdmissionError::EmptyGeneration);
         }
         let total_tokens = model.prompt_tokens() + model.gen_tokens();
         let needed_pages = total_tokens.div_ceil(self.config.page_tokens);
         if needed_pages > self.config.total_pages {
-            return Err(SubmitError::TooLarge {
+            return Err(AdmissionError::TooLarge {
                 needed_pages,
                 total_pages: self.config.total_pages,
+            });
+        }
+        // Pages a permanent fault seizure holds can never free up: a
+        // budget beyond the remainder is backpressure, not patience.
+        let available_pages = self.config.total_pages - self.seized_forever_pages();
+        if needed_pages > available_pages {
+            return Err(AdmissionError::Backpressure {
+                needed_pages,
+                available_pages,
             });
         }
         Ok(())
@@ -489,7 +649,7 @@ impl ServeSession {
     ///
     /// Rejects requests whose per-device page budget exceeds a whole
     /// device pool, and requests with nothing to generate.
-    pub fn submit(&mut self, model: Box<dyn SequenceModel>) -> Result<RequestId, SubmitError> {
+    pub fn submit(&mut self, model: Box<dyn SequenceModel>) -> Result<RequestId, AdmissionError> {
         self.validate(model.as_ref())?;
         let id = self.next_id;
         self.next_id += 1;
@@ -515,7 +675,7 @@ impl ServeSession {
     /// # Errors
     ///
     /// Rejects like [`ServeSession::submit`], plus
-    /// [`SubmitError::UnknownParent`] when `parent` was never issued.
+    /// [`AdmissionError::UnknownParent`] when `parent` was never issued.
     ///
     /// # Examples
     ///
@@ -549,7 +709,7 @@ impl ServeSession {
         &mut self,
         parent: RequestId,
         model: Box<dyn SequenceModel>,
-    ) -> Result<RequestId, SubmitError> {
+    ) -> Result<RequestId, AdmissionError> {
         self.submit_forked_at(self.step_index, parent, model)
     }
 
@@ -564,9 +724,9 @@ impl ServeSession {
         arrival_step: usize,
         parent: RequestId,
         model: Box<dyn SequenceModel>,
-    ) -> Result<RequestId, SubmitError> {
+    ) -> Result<RequestId, AdmissionError> {
         if parent >= self.next_id {
-            return Err(SubmitError::UnknownParent(parent));
+            return Err(AdmissionError::UnknownParent(parent));
         }
         self.validate(model.as_ref())?;
         let id = self.next_id;
@@ -599,7 +759,7 @@ impl ServeSession {
         &mut self,
         arrival_step: usize,
         model: Box<dyn SequenceModel>,
-    ) -> Result<RequestId, SubmitError> {
+    ) -> Result<RequestId, AdmissionError> {
         self.validate(model.as_ref())?;
         let id = self.next_id;
         self.next_id += 1;
@@ -632,7 +792,10 @@ impl ServeSession {
         while Arc::strong_count(&self.store) > 1 {
             std::thread::yield_now();
         }
-        Arc::get_mut(&mut self.store).expect("no outstanding store refs")
+        let Some(store) = Arc::get_mut(&mut self.store) else {
+            unreachable!("no outstanding store refs");
+        };
+        store
     }
 
     /// Moves arrivals due at the current step into the pending queue, then
@@ -645,7 +808,9 @@ impl ServeSession {
             if *step > self.step_index {
                 break;
             }
-            let (_, entry) = self.arrivals.pop_front().expect("checked front");
+            let Some((_, entry)) = self.arrivals.pop_front() else {
+                unreachable!("checked front");
+            };
             self.pending.push_back(entry);
         }
         let mut stats = AdmissionStats::default();
@@ -666,10 +831,9 @@ impl ServeSession {
                 break;
             };
             let idx = eligible[pick].0;
-            let mut entry = self
-                .pending
-                .remove(idx)
-                .expect("policy picked a live queue index");
+            let Some(mut entry) = self.pending.remove(idx) else {
+                unreachable!("policy picked a live queue index");
+            };
             // Retry the same candidate after each preemption; when the
             // policy names no (further) victim, put it back where it was —
             // it keeps its queue position for the next pages that free up
@@ -820,32 +984,74 @@ impl ServeSession {
             fork_of,
         } = entry;
         match resume {
-            Some(res) => match self.store_mut().swap_in(&res.blob) {
-                Ok(seq) => {
-                    let bytes = res.blob.host_bytes() as f64;
-                    stats.resumed += 1;
-                    stats.swap_bytes += bytes;
-                    stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
-                    // Ground truth for aging policies: silence is not a
-                    // resume (batch-full steps never consult them).
-                    self.policy.on_resumed(id);
-                    self.active.push(ActiveSeq {
+            Some(res) => {
+                // Deterministic swap-corruption fault: damage one payload
+                // bit before the restore so the checksum path must catch
+                // it (top bits of the scheduled bit select the device
+                // share).
+                let tampered = match self.injector.take_swap_corruption(now) {
+                    Some(bit) => {
+                        self.fault_counters.faults_injected += 1;
+                        self.fault_counters.degraded = true;
+                        let mut damaged = res.blob.clone();
+                        damaged.flip_bit((bit >> 48) as usize, bit);
+                        Some(damaged)
+                    }
+                    None => None,
+                };
+                let restored = match &tampered {
+                    Some(damaged) => self.store_mut().swap_in(damaged),
+                    None => self.store_mut().swap_in(&res.blob),
+                };
+                match restored {
+                    Ok(seq) => {
+                        let bytes = res.blob.host_bytes() as f64;
+                        stats.resumed += 1;
+                        stats.swap_bytes += bytes;
+                        stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
+                        // Ground truth for aging policies: silence is not a
+                        // resume (batch-full steps never consult them).
+                        self.policy.on_resumed(id);
+                        self.active.push(ActiveSeq {
+                            id,
+                            seq,
+                            model,
+                            step: res.step,
+                            remaining: res.remaining,
+                            admitted_step: now,
+                        });
+                        Ok(())
+                    }
+                    // Page exhaustion: hand the entry back unchanged and
+                    // try again when capacity frees up.
+                    Err(StoreError::Oom(_)) => Err(QueueEntry {
                         id,
-                        seq,
                         model,
-                        step: res.step,
-                        remaining: res.remaining,
-                        admitted_step: now,
-                    });
-                    Ok(())
+                        resume: Some(res),
+                        fork_of,
+                    }),
+                    // The blob failed its integrity check (or was cut for
+                    // a pre-rebuild device count): its KV is untrusted and
+                    // unrestorable. Recover by recomputing the request
+                    // from its prompt — determinism re-derives every
+                    // already-streamed token bitwise, so the delivered
+                    // stream only ever changes in *when*, never *what*.
+                    Err(_corrupt) => {
+                        self.fault_counters.recoveries += 1;
+                        self.fault_counters.degraded = true;
+                        model.reset();
+                        self.try_admit(
+                            QueueEntry {
+                                id,
+                                model,
+                                resume: None,
+                                fork_of,
+                            },
+                            stats,
+                        )
+                    }
                 }
-                Err(_oom) => Err(QueueEntry {
-                    id,
-                    model,
-                    resume: Some(res),
-                    fork_of,
-                }),
-            },
+            }
             None => {
                 let reserve = model.prompt_tokens() + model.gen_tokens();
                 // Shared-prompt admission: fork the live parent instead of
@@ -859,14 +1065,27 @@ impl ServeSession {
                     stats.forked += usize::from(seq.is_ok());
                     seq.ok()
                 } else {
-                    let codec = self.decoder.codec();
-                    let store = self.store_mut();
-                    store.admit(reserve).ok().inspect(|&seq| {
-                        let (pk, pv) = model.prompt();
-                        store
-                            .prefill(seq, &pk, &pv, &codec)
-                            .expect("reservation covers the prompt");
-                    })
+                    match self.store_mut().admit(reserve) {
+                        Err(_oom) => None,
+                        Ok(seq) => {
+                            let codec = self.decoder.codec();
+                            let (pk, pv) = model.prompt();
+                            match self.store_mut().prefill(seq, &pk, &pv, &codec) {
+                                Ok(()) => Some(seq),
+                                // A model whose prompt disagrees with its
+                                // declared shape cannot be served: release
+                                // the reservation and fail the request
+                                // instead of poisoning the session.
+                                Err(e) => {
+                                    self.store_mut().evict(seq);
+                                    self.fault_counters.requests_failed += 1;
+                                    self.fault_counters.degraded = true;
+                                    self.failed.insert(id, ServeError::Store(e));
+                                    return Ok(());
+                                }
+                            }
+                        }
+                    }
                 };
                 match admitted {
                     Some(seq) => {
@@ -900,10 +1119,10 @@ impl ServeSession {
     /// uninterrupted one.
     fn preempt(&mut self, index: usize, stats: &mut AdmissionStats) {
         let victim = self.active.remove(index);
-        let blob = self
-            .store_mut()
-            .swap_out(victim.seq)
-            .expect("active sequence is resident");
+        let blob = match self.store_mut().swap_out(victim.seq) {
+            Ok(b) => b,
+            Err(_) => unreachable!("active sequence is resident"),
+        };
         let bytes = blob.host_bytes() as f64;
         stats.preempted += 1;
         stats.swap_bytes += bytes;
@@ -931,8 +1150,34 @@ impl ServeSession {
     /// session is drained). If the session is idle but future arrivals
     /// exist, it fast-forwards to the next arrival step.
     pub fn step(&mut self) -> Option<ServeMetrics> {
+        // Fault window: expire timed page seizures, then fire every due
+        // fault before admission sees the pools.
+        self.release_expired_hogs();
+        while let Some(dead) = self.injector.take_device_loss(self.step_index) {
+            self.fault_counters.faults_injected += 1;
+            self.fault_counters.degraded = true;
+            self.lose_device(dead);
+        }
+        while let Some((pages, hold)) = self.injector.take_pool_exhaustion(self.step_index) {
+            self.fault_counters.faults_injected += 1;
+            self.fault_counters.degraded = true;
+            let release = hold.map(|h| self.step_index + h.max(1));
+            self.seize_pages(pages, release);
+        }
         let mut adm = self.admit_due();
         while self.active.is_empty() {
+            // Idle with queued work under a timed page seizure: jump to
+            // the earliest release (unless an arrival lands first) and
+            // retry admission.
+            if let Some(release) = self.hogs.iter().filter_map(|h| h.release).min() {
+                if !self.pending.is_empty() && self.arrivals.front().is_none_or(|e| e.0 >= release)
+                {
+                    self.step_index = self.step_index.max(release);
+                    self.release_expired_hogs();
+                    adm.absorb(self.admit_due());
+                    continue;
+                }
+            }
             // Idle: jump to the next trace arrival (or drain).
             let next = self.arrivals.front()?.0;
             self.step_index = next.max(self.step_index);
@@ -951,7 +1196,9 @@ impl ServeSession {
         let mut dev_units = vec![0usize; devices];
         let mut dev_tokens = vec![0usize; devices];
         for a in &mut self.active {
-            let len = self.store.seq_len(a.seq).expect("active sequence");
+            let Some(len) = self.store.seq_len(a.seq) else {
+                unreachable!("active sequence is resident");
+            };
             kv_tokens += len;
             max_len = max_len.max(len);
             max_res = max_res.max(self.store.residual_len(a.seq));
@@ -975,7 +1222,29 @@ impl ServeSession {
         // model's query construction above, so kv_tokens_per_s reports the
         // runtime's own throughput.
         let t0 = Instant::now();
-        let mut results = self.pool.run_step(units, &self.store, &self.decoder);
+        let mut results = match self.pool.run_step(units, &self.store, &self.decoder) {
+            Ok(r) => r,
+            // Worker-pool failure before any token was appended: the step
+            // simply did not happen for this batch. Fail the offending
+            // sequence when it is identifiable (its pages free up for the
+            // survivors); an unattributable failure fails the whole
+            // in-flight batch. Either way the session keeps serving —
+            // survivors re-run the same generation step next time and, by
+            // determinism, emit the same tokens.
+            Err(e) => {
+                self.fault_counters.degraded = true;
+                match e {
+                    ServeError::Misrouted { seq, .. } => self.fail_active_seq(seq, e),
+                    _ => {
+                        let batch_ids: Vec<SeqId> = self.active.iter().map(|a| a.seq).collect();
+                        for seq in batch_ids {
+                            self.fail_active_seq(seq, e.clone());
+                        }
+                    }
+                }
+                return Some(self.record_degraded_step(adm, batch, kv_tokens, devices));
+            }
+        };
 
         // Advance every sequence and append its new KV token.
         let mut dequant = FastDequantOps::default();
@@ -999,21 +1268,35 @@ impl ServeSession {
                 .collect();
             let output = ungroup_outputs(&blocks, &attn);
             let step_kv = a.model.advance(a.step, &output);
-            self.streams
-                .get_mut(&a.id)
-                .expect("stream exists from submit")
-                .push(step_kv.token);
+            let stream = self.streams.entry(a.id).or_default();
+            if a.step < stream.len() {
+                // Recompute replay of an already-streamed step:
+                // determinism guarantees the same token — a delivered
+                // stream never changes content, only timing.
+                debug_assert_eq!(stream[a.step], step_kv.token, "recompute replay diverged");
+                stream[a.step] = step_kv.token;
+            } else {
+                stream.push(step_kv.token);
+            }
             appends.push((a.seq, step_kv));
             a.step += 1;
             a.remaining -= 1;
         }
+        let mut append_failures: Vec<(SeqId, ServeError)> = Vec::new();
         {
             let store = self.store_mut();
             for (seq, step_kv) in &appends {
-                store
-                    .append_step(*seq, &step_kv.k, &step_kv.v, &codec)
-                    .expect("reservation covers the generation");
+                if let Err(e) = store.append_step(*seq, &step_kv.k, &step_kv.v, &codec) {
+                    append_failures.push((*seq, ServeError::Store(e)));
+                }
             }
+        }
+        for (seq, e) in append_failures {
+            // The admission reservation makes this unreachable in a
+            // healthy run; a failing append means the sequence cannot
+            // continue — fail it instead of poisoning the batch.
+            self.fault_counters.degraded = true;
+            self.fail_active_seq(seq, e);
         }
         let wall_s = t0.elapsed().as_secs_f64();
 
@@ -1027,7 +1310,9 @@ impl ServeSession {
         {
             let store = self.store_mut();
             for (_, seq) in &done {
-                store.seal(*seq).expect("active sequence");
+                // An active sequence is resident by construction; `seal`
+                // only errors on unknown ids, which `evict` tolerates too.
+                let _ = store.seal(*seq);
                 store.evict(*seq);
             }
         }
@@ -1062,10 +1347,22 @@ impl ServeSession {
             .config
             .link
             .allreduce_bytes_per_device(payload_bytes, devices);
-        let modeled_interconnect_s = self.config.link.allreduce_s(payload_bytes, devices);
+        let mut modeled_interconnect_s = self.config.link.allreduce_s(payload_bytes, devices);
+        let (link_failures, link_events) = self.injector.take_transient_failures(self.step_index);
+        if link_failures > 0 {
+            // Transient interconnect fault: this step's all-reduce failed
+            // `link_failures` times before landing. Each retry re-pays
+            // the transfer plus a bounded exponential backoff on the
+            // modeled clock — purely a latency event, never a token one.
+            self.fault_counters.faults_injected += link_events;
+            self.fault_counters.retries += link_failures as usize;
+            self.fault_counters.degraded = true;
+            modeled_interconnect_s += retry_penalty_s(modeled_interconnect_s, link_failures);
+        }
 
         let shape = DecodeShape::new(batch, attn, max_len.max(1)).with_residual(max_res);
         let sharing = self.store.sharing_stats();
+        let fc = std::mem::take(&mut self.fault_counters);
         let m = ServeMetrics {
             step: self.step_index,
             batch,
@@ -1094,10 +1391,193 @@ impl ServeSession {
             logical_pages: sharing.logical_pages,
             shared_pages: sharing.shared_pages,
             shared_bytes_saved: sharing.bytes_saved,
+            faults_injected: fc.faults_injected,
+            recoveries: fc.recoveries,
+            retries: fc.retries,
+            degraded_steps: usize::from(fc.degraded),
+            requests_failed: fc.requests_failed,
         };
         self.step_index += 1;
         self.metrics.push(m.clone());
         Some(m)
+    }
+
+    /// Records a step in which the worker pool failed before any token
+    /// was appended: no stream advanced, but the session stays live and
+    /// the fault accounting lands in the sample.
+    fn record_degraded_step(
+        &mut self,
+        adm: AdmissionStats,
+        batch: usize,
+        kv_tokens: usize,
+        devices: usize,
+    ) -> ServeMetrics {
+        let per_device: Vec<DeviceStepMetrics> = (0..devices)
+            .map(|d| DeviceStepMetrics {
+                device: d,
+                units: 0,
+                kv_tokens: 0,
+                utilization: 0.0,
+                page_occupancy: self.store.device_stats(DeviceId(d as u32)).utilization,
+            })
+            .collect();
+        let sharing = self.store.sharing_stats();
+        let fc = std::mem::take(&mut self.fault_counters);
+        let m = ServeMetrics {
+            step: self.step_index,
+            batch,
+            admitted: adm.admitted,
+            forked: adm.forked,
+            completed: 0,
+            kv_tokens,
+            wall_s: 0.0,
+            kv_tokens_per_s: 0.0,
+            dequant: FastDequantOps::default(),
+            pool_utilization: self.store.utilization(),
+            modeled_step_s: 0.0,
+            devices,
+            per_device,
+            allreduce_bytes_per_device: 0.0,
+            modeled_interconnect_s: 0.0,
+            preempted: adm.preempted,
+            resumed: adm.resumed,
+            swap_bytes: adm.swap_bytes,
+            modeled_swap_s: adm.modeled_swap_s,
+            physical_pages: sharing.physical_pages,
+            logical_pages: sharing.logical_pages,
+            shared_pages: sharing.shared_pages,
+            shared_bytes_saved: sharing.bytes_saved,
+            faults_injected: fc.faults_injected,
+            recoveries: fc.recoveries,
+            retries: fc.retries,
+            degraded_steps: 1,
+            requests_failed: fc.requests_failed,
+        };
+        self.step_index += 1;
+        self.metrics.push(m.clone());
+        m
+    }
+
+    /// Removes a still-active sequence, frees its pages, and marks its
+    /// request permanently failed with `err`.
+    fn fail_active_seq(&mut self, seq: SeqId, err: ServeError) {
+        let Some(pos) = self.active.iter().position(|a| a.seq == seq) else {
+            return;
+        };
+        let victim = self.active.remove(pos);
+        self.store_mut().evict(victim.seq);
+        self.fault_counters.requests_failed += 1;
+        self.failed.insert(victim.id, err);
+    }
+
+    /// Kills one device: every KV page it held is gone. The session
+    /// quarantines it by rebuilding the [`Placement`] over the surviving
+    /// device count (fresh pools, so SeqId lockstep restarts cleanly),
+    /// re-seizes any still-live fault hogs, and converts every resident
+    /// sequence and parked swap blob into a recompute-from-prompt entry
+    /// at the **front** of the queue — policy-visible and in admission
+    /// order. Already-streamed tokens are re-derived bitwise during the
+    /// replay, so a completed stream is unaffected by *when* the loss
+    /// struck.
+    fn lose_device(&mut self, dead: usize) {
+        let live = self.store.devices();
+        self.lost_devices.push(dead % live.max(1));
+        let survivors = live.saturating_sub(1).max(1);
+        let heads = self.decoder.attention().heads_kv;
+        let placement = Placement::new(survivors, self.config.partitioning, heads);
+        // Replace the pool first: dropping it joins the workers, which
+        // releases their store handles before the store itself goes.
+        self.pool = WorkerPool::new(self.config.workers, placement.devices());
+        self.store = Arc::new(ShardedKvStore::new(
+            self.decoder.cache_config(),
+            placement,
+            self.config.total_pages,
+            self.config.page_tokens,
+        ));
+        // Recovery: every resident sequence lost its share on the dead
+        // device, and every parked swap blob was cut for the old device
+        // count — both recompute from the prompt.
+        for entry in &mut self.pending {
+            if entry.resume.take().is_some() {
+                entry.model.reset();
+                self.fault_counters.recoveries += 1;
+            }
+        }
+        let actives = std::mem::take(&mut self.active);
+        for a in actives.into_iter().rev() {
+            let mut model = a.model;
+            model.reset();
+            self.fault_counters.recoveries += 1;
+            self.pending.push_front(QueueEntry {
+                id: a.id,
+                model,
+                resume: None,
+                fork_of: None,
+            });
+        }
+        // Fault-seized pages died with the old pools; re-seize the
+        // survivors' share so a pending exhaustion keeps its pressure.
+        let hogs = std::mem::take(&mut self.hogs);
+        for hog in hogs {
+            self.seize_pages(hog.pages, hog.release);
+        }
+    }
+
+    /// Seizes `pages` pages on every device (clamped to what is free) via
+    /// a hog reservation the scheduler cannot preempt, releasing it at
+    /// step `release` (`None` = when the run ends).
+    fn seize_pages(&mut self, pages: usize, release: Option<usize>) {
+        let free = (0..self.store.devices())
+            .map(|d| self.store.device_stats(DeviceId(d as u32)).free_pages)
+            .min()
+            .unwrap_or(0);
+        let pages = pages.min(free);
+        if pages == 0 {
+            return;
+        }
+        let tokens = pages * self.config.page_tokens;
+        if let Ok(seq) = self.store_mut().admit(tokens) {
+            self.hogs.push(PageHog {
+                seq,
+                pages,
+                release,
+            });
+        }
+    }
+
+    /// Releases fault-seized hogs whose hold expired at or before the
+    /// current step.
+    fn release_expired_hogs(&mut self) {
+        let now = self.step_index;
+        let expired: Vec<SeqId> = self
+            .hogs
+            .iter()
+            .filter(|h| h.release.is_some_and(|r| r <= now))
+            .map(|h| h.seq)
+            .collect();
+        for seq in expired {
+            self.store_mut().evict(seq);
+        }
+        self.hogs.retain(|h| h.release.is_none_or(|r| r > now));
+    }
+
+    /// Releases every remaining hog — the run is over, so seized pages go
+    /// back to the pool and drain accounting balances.
+    fn release_all_hogs(&mut self) {
+        let hogs = std::mem::take(&mut self.hogs);
+        for hog in hogs {
+            self.store_mut().evict(hog.seq);
+        }
+    }
+
+    /// Pages per device seized with no scheduled release — capacity a
+    /// permanent pool-exhaustion fault withholds for the rest of the run.
+    fn seized_forever_pages(&self) -> usize {
+        self.hogs
+            .iter()
+            .filter(|h| h.release.is_none())
+            .map(|h| h.pages)
+            .sum()
     }
 
     /// Folds one head's device partials into normalized output rows —
@@ -1112,7 +1592,19 @@ impl ServeSession {
     /// aggregate summary.
     pub fn run_to_completion(&mut self) -> ServeSummary {
         let start = self.metrics.len();
-        while self.step().is_some() {}
+        loop {
+            while self.step().is_some() {}
+            // The run is over for live work; pages still fault-seized
+            // release now. If that unblocks parked requests (a permanent
+            // seizure was starving them), keep serving until drained.
+            if self.hogs.is_empty() {
+                break;
+            }
+            self.release_all_hogs();
+            if self.pending.is_empty() {
+                break;
+            }
+        }
         let run = &self.metrics[start..];
         let kv_tokens: u64 = run.iter().map(|m| m.kv_tokens as u64).sum();
         let wall_s: f64 = run.iter().map(|m| m.wall_s).sum();
@@ -1148,6 +1640,11 @@ impl ServeSession {
             peak_shared_bytes_saved: run.iter().map(|m| m.shared_bytes_saved).max().unwrap_or(0),
             swap_bytes: run.iter().map(|m| m.swap_bytes).sum(),
             modeled_swap_s: run.iter().map(|m| m.modeled_swap_s).sum(),
+            faults_injected: run.iter().map(|m| m.faults_injected).sum(),
+            recoveries: run.iter().map(|m| m.recoveries).sum(),
+            retries: run.iter().map(|m| m.retries).sum(),
+            degraded_steps: run.iter().map(|m| m.degraded_steps).sum(),
+            requests_failed: run.iter().map(|m| m.requests_failed).sum(),
         }
     }
 }
@@ -1822,7 +2319,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            SubmitError::TooLarge {
+            AdmissionError::TooLarge {
                 needed_pages: 6,
                 total_pages: 4
             }
@@ -1836,7 +2333,7 @@ mod tests {
         let err = session
             .submit(Box::new(SynthSequence::new(attn, 0, 10, 0)))
             .unwrap_err();
-        assert_eq!(err, SubmitError::EmptyGeneration);
+        assert_eq!(err, AdmissionError::EmptyGeneration);
         assert!(session.step().is_none());
     }
 
@@ -1946,7 +2443,7 @@ mod tests {
         let err = session
             .submit_forked(42, Box::new(SynthSequence::new(attn, 0, 10, 2)))
             .unwrap_err();
-        assert_eq!(err, SubmitError::UnknownParent(42));
+        assert_eq!(err, AdmissionError::UnknownParent(42));
     }
 
     #[test]
@@ -2060,5 +2557,201 @@ mod tests {
         assert_eq!(m2.kv_tokens, 201);
         assert_eq!(m2.completed, 1);
         assert!(session.step().is_none());
+    }
+
+    #[test]
+    fn device_loss_mid_run_recovers_all_streams_bitwise() {
+        let attn = AttentionConfig::gqa(8, 4, 16);
+        let dec = decoder(attn);
+        let config = ServeConfig::new(64, 8, 2, 8).with_devices(4, Partitioning::HeadModulo);
+        let plan = FaultPlan::new().device_loss(2, 1);
+        let mut session = ServeSession::new(dec.clone(), config).with_faults(plan);
+        let ids: Vec<RequestId> = (0..4)
+            .map(|i| {
+                session
+                    .submit(Box::new(SynthSequence::new(
+                        attn,
+                        i,
+                        20 + 8 * i as usize,
+                        6,
+                    )))
+                    .unwrap()
+            })
+            .collect();
+        let summary = session.run_to_completion();
+
+        // The session did not abort: every request completed, on 3
+        // surviving devices, and the summary reports the fault.
+        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.faults_injected, 1);
+        assert!(summary.recoveries >= 1, "actives at step 2 must recover");
+        assert!(summary.degraded_steps >= 1);
+        assert_eq!(summary.requests_failed, 0);
+        assert_eq!(session.devices(), 3);
+        assert_eq!(session.lost_devices(), &[1]);
+        // Recovered streams are bitwise identical to uninterrupted
+        // contiguous replays, and no pages leak.
+        for (i, id) in ids.iter().enumerate() {
+            let mut m = SynthSequence::new(attn, i as u64, 20 + 8 * i, 6);
+            assert_eq!(
+                session.stream(*id).unwrap(),
+                replay_contiguous(&dec, &mut m).as_slice(),
+                "request {i} diverged after device loss"
+            );
+        }
+        assert_eq!(session.store().free_pages(), session.store().devices() * 64);
+    }
+
+    #[test]
+    fn losing_every_device_still_serves_on_the_last_one() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let dec = decoder(attn);
+        let config = ServeConfig::new(32, 8, 0, 4).with_devices(2, Partitioning::HeadModulo);
+        let plan = FaultPlan::new().device_loss(1, 0).device_loss(3, 0);
+        let mut session = ServeSession::new(dec.clone(), config).with_faults(plan);
+        let id = session
+            .submit(Box::new(SynthSequence::new(attn, 3, 30, 8)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 1);
+        // The second loss lands on a 1-device session, which keeps its
+        // only (fresh) device rather than dropping to zero.
+        assert_eq!(session.devices(), 1);
+        assert_eq!(summary.faults_injected, 2);
+        let mut m = SynthSequence::new(attn, 3, 30, 8);
+        assert_eq!(
+            session.stream(id).unwrap(),
+            replay_contiguous(&dec, &mut m).as_slice()
+        );
+    }
+
+    #[test]
+    fn permanent_page_seizure_drives_typed_backpressure() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(8, 32, 0, 8))
+            .with_faults(FaultPlan::new().pool_exhaustion(0, 4, None));
+        let first = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 40, 4)))
+            .unwrap();
+        // The seizure fires at the top of the first step.
+        session.step();
+        // 144 tokens → 5 pages: within the 8-page pool, but over the 4
+        // pages that can ever free up under the permanent seizure.
+        let err = session
+            .submit(Box::new(SynthSequence::new(attn, 2, 140, 4)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::Backpressure {
+                needed_pages: 5,
+                available_pages: 4,
+            }
+        );
+        assert_eq!(err.shortfall_pages(), 1);
+        // A request that fits the remainder is still admissible.
+        let second = session
+            .submit(Box::new(SynthSequence::new(attn, 3, 40, 4)))
+            .unwrap();
+        session.run_to_completion();
+        // The seizure landed in the manually-stepped sample, before the
+        // summary window opened.
+        assert_eq!(session.metrics()[0].faults_injected, 1);
+        assert!(session.is_finished(first) && session.is_finished(second));
+        // Run over: hogs released, pool whole again.
+        assert_eq!(session.store().free_pages(), 8);
+    }
+
+    #[test]
+    fn timed_page_seizure_delays_admission_without_losing_work() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let dec = decoder(attn);
+        let mut session = ServeSession::new(dec.clone(), ServeConfig::new(4, 32, 0, 8))
+            .with_faults(FaultPlan::new().pool_exhaustion(0, 4, Some(5)));
+        let id = session
+            .submit(Box::new(SynthSequence::new(attn, 9, 40, 4)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.faults_injected, 1);
+        let mut m = SynthSequence::new(attn, 9, 40, 4);
+        assert_eq!(
+            session.stream(id).unwrap(),
+            replay_contiguous(&dec, &mut m).as_slice()
+        );
+        // Admission waited out the 5-step hold.
+        assert!(session.completion_step(id).unwrap() >= 5);
+    }
+
+    #[test]
+    fn corrupt_swap_blob_recovers_by_recompute_bitwise() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let dec = decoder(attn);
+        // Tight pool + preempting policy: the late arrival forces a swap
+        // out, and the armed corruption bit-flips the victim's blob so
+        // its swap-in must fail the checksum and recompute instead.
+        let mut session = ServeSession::new(dec.clone(), ServeConfig::new(4, 32, 0, 8))
+            .with_policy(FcfsPreempt::default())
+            .with_faults(FaultPlan::new().corrupt_swap(0, 0x00AB_CDEF));
+        let early = session
+            .submit(Box::new(SynthSequence::new(attn, 1, 70, 10)))
+            .unwrap();
+        let late = session
+            .submit_at(3, Box::new(SynthSequence::new(attn, 2, 40, 3)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 2);
+        assert!(summary.preemptions >= 1, "scenario must preempt");
+        assert_eq!(summary.faults_injected, 1);
+        assert!(summary.recoveries >= 1, "checksum must reject the blob");
+        for (id, seed, prompt, gen) in [(early, 1, 70, 10), (late, 2, 40, 3)] {
+            let mut m = SynthSequence::new(attn, seed, prompt, gen);
+            assert_eq!(
+                session.stream(id).unwrap(),
+                replay_contiguous(&dec, &mut m).as_slice()
+            );
+        }
+        assert_eq!(session.store().free_pages(), 4, "pages leaked");
+    }
+
+    #[test]
+    fn transient_link_retries_price_latency_not_tokens() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let dec = decoder(attn);
+        let submit = |session: &mut ServeSession| {
+            session
+                .submit(Box::new(SynthSequence::new(attn, 5, 30, 5)))
+                .unwrap()
+        };
+        let config = || ServeConfig::new(64, 32, 0, 4).with_devices(2, Partitioning::HeadModulo);
+        let mut clean = ServeSession::new(dec.clone(), config());
+        let clean_id = submit(&mut clean);
+        clean.run_to_completion();
+        let mut faulty =
+            ServeSession::new(dec, config()).with_faults(FaultPlan::new().transient_link(1, 3));
+        let faulty_id = submit(&mut faulty);
+        let summary = faulty.run_to_completion();
+        assert_eq!(summary.retries, 3);
+        assert_eq!(summary.faults_injected, 1);
+        // Retries slow the modeled clock at the faulted step…
+        assert!(
+            faulty.metrics()[1].modeled_interconnect_s > clean.metrics()[1].modeled_interconnect_s
+        );
+        // …and change no tokens.
+        assert_eq!(clean.stream(clean_id), faulty.stream(faulty_id));
+    }
+
+    #[test]
+    fn misrouted_batches_fail_typed_without_poisoning_the_session() {
+        // Direct API check of the failure surface: a request the session
+        // cannot serve is reported via `failure`, not a panic.
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(8, 32, 0, 8));
+        let id = session
+            .submit(Box::new(SynthSequence::new(attn, 4, 20, 3)))
+            .unwrap();
+        session.run_to_completion();
+        assert!(session.is_finished(id));
+        assert!(!session.is_failed(id));
+        assert_eq!(session.failure(id), None);
     }
 }

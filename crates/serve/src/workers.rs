@@ -28,11 +28,70 @@
 //! stream ordering.
 
 use bd_core::{BitDecoder, OnlineSoftmax};
-use bd_kvcache::{DeviceId, SeqId, ShardedKvStore};
+use bd_kvcache::{DeviceId, SeqId, ShardedKvStore, StoreError};
 use bd_lowbit::fastpath::FastDequantOps;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+/// Runtime execution errors of the serve layer — the typed replacements
+/// for what used to be fail-stop panics. The session handles each by
+/// degrading service (failing the affected request, retrying the step)
+/// instead of aborting the run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// A work unit was routed to a device that does not own its KV head —
+    /// the device-locality contract a real TP rank enforces physically.
+    Misrouted {
+        /// The sequence of the offending unit.
+        seq: SeqId,
+        /// The unit's global KV head.
+        head: usize,
+        /// The device the unit was (wrongly) routed to.
+        routed: DeviceId,
+        /// The device the placement says owns the head.
+        owner: DeviceId,
+    },
+    /// A worker thread or its channel died mid-step.
+    WorkerLost,
+    /// A step finished without producing a result for every unit.
+    MissingResult {
+        /// The unit index with no result.
+        unit: usize,
+    },
+    /// A store operation failed while serving the request.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Misrouted {
+                seq,
+                head,
+                routed,
+                owner,
+            } => write!(
+                f,
+                "unit for {seq:?} head {head} routed to {routed:?}, \
+                 which does not own the head ({owner:?} does)"
+            ),
+            ServeError::WorkerLost => write!(f, "a worker thread or its channel died mid-step"),
+            ServeError::MissingResult { unit } => {
+                write!(f, "step finished without a result for unit {unit}")
+            }
+            ServeError::Store(e) => write!(f, "store operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
 
 /// One `(sequence, kv-head, device)` attention work unit for the current
 /// step.
@@ -78,17 +137,20 @@ pub struct UnitResult {
 /// preserving the sole-ownership hand-back described in the
 /// [module docs](self).
 ///
-/// # Panics
-///
-/// Panics if the unit's head is not placed on the unit's device — the
-/// device-locality contract a real TP rank enforces physically.
-fn run_unit(task: Task) -> UnitResult {
+/// Returns [`ServeError::Misrouted`] — computing nothing — if the unit's
+/// head is not placed on the unit's device: the device-locality contract a
+/// real TP rank enforces physically.
+fn run_unit(task: Task) -> Result<UnitResult, ServeError> {
     let placement = task.store.placement();
-    assert_eq!(
-        placement.device_of(task.unit.head),
-        task.unit.device,
-        "unit routed to a device that does not own its head"
-    );
+    let owner = placement.device_of(task.unit.head);
+    if owner != task.unit.device {
+        return Err(ServeError::Misrouted {
+            seq: task.unit.seq,
+            head: task.unit.head,
+            routed: task.unit.device,
+            owner,
+        });
+    }
     // Read ONLY this device's arena: the gather goes through the local
     // store and the head's local slot, never through another device.
     let local = placement.local_index(task.unit.head);
@@ -98,12 +160,12 @@ fn run_unit(task: Task) -> UnitResult {
     let (partial, ops) =
         task.decoder
             .attend_head_partial(&task.unit.q_block, &blocks, res_k, res_v);
-    UnitResult {
+    Ok(UnitResult {
         unit: task.unit.unit,
         device: task.unit.device,
         partial,
         ops,
-    }
+    })
 }
 
 /// One device's worker group: its own task queue, its own threads.
@@ -120,7 +182,7 @@ struct DeviceGroup {
 /// profiling.
 pub struct WorkerPool {
     groups: Vec<DeviceGroup>,
-    result_rx: Receiver<UnitResult>,
+    result_rx: Receiver<Result<UnitResult, ServeError>>,
     workers_per_device: usize,
 }
 
@@ -128,7 +190,7 @@ impl WorkerPool {
     /// Spawns `workers_per_device` persistent threads for each of
     /// `devices` device groups (0 = inline execution).
     pub fn new(workers_per_device: usize, devices: usize) -> Self {
-        let (result_tx, result_rx) = channel::<UnitResult>();
+        let (result_tx, result_rx) = channel::<Result<UnitResult, ServeError>>();
         let groups = (0..devices.max(1))
             .map(|_| {
                 let (task_tx, task_rx) = channel::<Task>();
@@ -139,8 +201,15 @@ impl WorkerPool {
                         let result_tx = result_tx.clone();
                         std::thread::spawn(move || loop {
                             // Hold the queue lock only for the dequeue,
-                            // never across the attention itself.
-                            let next = { task_rx.lock().expect("task queue").recv() };
+                            // never across the attention itself. A poisoned
+                            // lock (a sibling panicked mid-dequeue) still
+                            // yields a usable receiver.
+                            let next = {
+                                task_rx
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .recv()
+                            };
                             let Ok(task) = next else { break };
                             let result = run_unit(task);
                             if result_tx.send(result).is_err() {
@@ -176,16 +245,19 @@ impl WorkerPool {
     /// by unit index. Each unit is dispatched to its device's group; the
     /// call blocks until every unit has finished.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread died (poisoned queue / closed channel) or
-    /// a unit names a device outside the pool.
+    /// Returns the first [`ServeError`] encountered — a misrouted unit, a
+    /// dead worker, or a missing result. On error every already-dispatched
+    /// unit is still drained from the result channel first, so a failed
+    /// step never leaves stale results behind to pollute the next one,
+    /// and the store's sole-ownership hand-back still holds.
     pub fn run_step(
         &self,
         units: Vec<WorkUnit>,
         store: &Arc<ShardedKvStore>,
         decoder: &Arc<BitDecoder>,
-    ) -> Vec<UnitResult> {
+    ) -> Result<Vec<UnitResult>, ServeError> {
         let n = units.len();
         let mut out: Vec<Option<UnitResult>> = (0..n).map(|_| None).collect();
         if self.workers_per_device == 0 {
@@ -194,32 +266,64 @@ impl WorkerPool {
                     unit,
                     store: Arc::clone(store),
                     decoder: Arc::clone(decoder),
-                });
+                })?;
                 let slot = r.unit;
                 out[slot] = Some(r);
             }
         } else {
+            let mut first_err = None;
+            let mut dispatched = 0usize;
             for unit in units {
-                let group = &self.groups[unit.device.0 as usize];
-                group
-                    .task_tx
-                    .as_ref()
-                    .expect("pool is live")
+                let Some(group) = self.groups.get(unit.device.0 as usize) else {
+                    first_err = Some(ServeError::Misrouted {
+                        seq: unit.seq,
+                        head: unit.head,
+                        routed: unit.device,
+                        owner: store.placement().device_of(unit.head),
+                    });
+                    break;
+                };
+                let Some(tx) = group.task_tx.as_ref() else {
+                    first_err = Some(ServeError::WorkerLost);
+                    break;
+                };
+                if tx
                     .send(Task {
                         unit,
                         store: Arc::clone(store),
                         decoder: Arc::clone(decoder),
                     })
-                    .expect("worker pool alive");
+                    .is_err()
+                {
+                    first_err = Some(ServeError::WorkerLost);
+                    break;
+                }
+                dispatched += 1;
             }
-            for _ in 0..n {
-                let r = self.result_rx.recv().expect("worker result");
-                let slot = r.unit;
-                out[slot] = Some(r);
+            // Drain EVERY dispatched unit even after an error, so no stale
+            // result crosses into the next step.
+            for _ in 0..dispatched {
+                match self.result_rx.recv() {
+                    Ok(Ok(r)) => {
+                        let slot = r.unit;
+                        if slot < n {
+                            out[slot] = Some(r);
+                        }
+                    }
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err = first_err.or(Some(ServeError::WorkerLost));
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
         }
         out.into_iter()
-            .map(|r| r.expect("every unit produced a result"))
+            .enumerate()
+            .map(|(unit, r)| r.ok_or(ServeError::MissingResult { unit }))
             .collect()
     }
 }
@@ -281,12 +385,14 @@ mod tests {
     #[test]
     fn threaded_results_match_inline_bitwise_at_any_device_count() {
         let (decoder, store1, units1) = setup(1);
-        let inline = WorkerPool::new(0, 1).run_step(units1, &store1, &decoder);
+        let inline = WorkerPool::new(0, 1)
+            .run_step(units1, &store1, &decoder)
+            .unwrap();
         for devices in [1usize, 2] {
             let (_, store, units) = setup(devices);
             for workers in [0usize, 1, 3] {
                 let pool = WorkerPool::new(workers, devices);
-                let got = pool.run_step(units.clone(), &store, &decoder);
+                let got = pool.run_step(units.clone(), &store, &decoder).unwrap();
                 for (a, b) in inline.iter().zip(&got) {
                     assert_eq!(a.unit, b.unit);
                     assert_eq!(
@@ -305,7 +411,7 @@ mod tests {
         let (decoder, store, units) = setup(2);
         let pool = WorkerPool::new(2, 2);
         assert_eq!(pool.devices(), 2);
-        let results = pool.run_step(units.clone(), &store, &decoder);
+        let results = pool.run_step(units.clone(), &store, &decoder).unwrap();
         for (u, r) in units.iter().zip(&results) {
             assert_eq!(r.device, u.device);
             assert_eq!(r.device, store.placement().device_of(u.head));
@@ -313,12 +419,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not own its head")]
-    fn misrouted_unit_is_rejected() {
+    fn misrouted_unit_is_rejected_with_typed_error() {
         let (decoder, store, mut units) = setup(2);
         // Head 0 lives on device 0 under head-modulo; claim device 1.
         units[0].device = DeviceId(1);
-        WorkerPool::new(0, 2).run_step(units, &store, &decoder);
+        for workers in [0usize, 2] {
+            let pool = WorkerPool::new(workers, 2);
+            let err = pool.run_step(units.clone(), &store, &decoder).unwrap_err();
+            assert_eq!(
+                err,
+                ServeError::Misrouted {
+                    seq: units[0].seq,
+                    head: 0,
+                    routed: DeviceId(1),
+                    owner: DeviceId(0),
+                },
+                "workers={workers}"
+            );
+            // The failed step left no stale results behind: a correct
+            // batch on the SAME pool produces a clean, complete step.
+            let fixed = {
+                let mut u = units.clone();
+                u[0].device = DeviceId(0);
+                u
+            };
+            let results = pool.run_step(fixed, &store, &decoder).unwrap();
+            assert_eq!(results.len(), units.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.unit, i, "workers={workers}");
+            }
+        }
     }
 
     #[test]
@@ -327,7 +457,7 @@ mod tests {
         let mut store = store;
         let pool = WorkerPool::new(2, 2);
         for _ in 0..3 {
-            let _ = pool.run_step(units.clone(), &store, &decoder);
+            let _ = pool.run_step(units.clone(), &store, &decoder).unwrap();
             // All task Arcs were dropped before results were sent.
             while Arc::strong_count(&store) > 1 {
                 std::thread::yield_now();

@@ -20,6 +20,14 @@
 //!    decode, for devices 1–4 × partitioning × page size; and the
 //!    storage-level swap round trip itself is bitwise at any page size,
 //!    paged and sharded.
+//! 5. **Chaos is invisible in the values** — any *seeded fault schedule*
+//!    (device losses, swap-blob corruption, transient link failures,
+//!    timed pool exhaustion) layered over any policy × devices 1–4 ×
+//!    partitioning × page size × fork/preempt interleaving still
+//!    completes every request with streams bitwise identical to
+//!    uninterrupted contiguous replay, and leaks no pages.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use bd_core::{query_transform, AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
@@ -27,7 +35,7 @@ use bd_kvcache::{
     DeviceId, PagedKvStore, Partitioning, Placement, QuantScheme, SeqId, ShardedKvStore,
 };
 use bd_serve::{
-    replay_contiguous, FcfsPreempt, SequenceModel, ServeConfig, ServeSession,
+    replay_contiguous, FaultPlan, FcfsPreempt, SequenceModel, ServeConfig, ServeSession,
     ShortestRemainingFirst, SynthSequence,
 };
 use proptest::prelude::*;
@@ -551,5 +559,81 @@ proptest! {
             );
             prop_assert_eq!(stream, &want, "sequence {}", i);
         }
+    }
+
+    /// The chaos property: a *seeded fault schedule* — device losses,
+    /// swap-blob corruption, transient link failures, timed pool
+    /// exhaustion — layered over any scheduling policy × devices 1–4 ×
+    /// partitioning × page size × a fork/preempt-inducing workload never
+    /// changes which tokens any stream carries: the session completes
+    /// every request, each stream equals its uninterrupted **unshared**
+    /// contiguous replay bit for bit, no request fails, and every page
+    /// drains once the run ends.
+    #[test]
+    fn chaos_schedules_never_change_completed_streams(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..80,
+        policy_id in 0usize..3,
+        n_faults in 1usize..6,
+        fault_seed: u64,
+        seed: u64,
+    ) {
+        // The preemption workload plus a shared-prompt fork: staggered
+        // arrivals into a pool sized for the biggest request + one page,
+        // so admission queues, forks CoW, and (under FcfsPreempt)
+        // preempts — then the fault schedule kicks it while it is down.
+        let pages = 73usize.div_ceil(page_tokens) + 1;
+        let config = ServeConfig::new(pages, page_tokens, 0, 8)
+            .with_devices(devices, partitioning);
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        let session = ServeSession::new(dec.clone(), config)
+            .with_faults(FaultPlan::seeded(fault_seed, n_faults, 12, devices));
+        let mut session = match policy_id {
+            0 => session,
+            1 => session.with_policy(FcfsPreempt::default()),
+            _ => session.with_policy(ShortestRemainingFirst),
+        };
+        let parent = session
+            .submit(Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 1, 70, 3)))
+            .unwrap();
+        let child = session
+            .submit_forked_at(
+                1,
+                parent,
+                Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 2, 70, 2)),
+            )
+            .unwrap();
+        let late = session
+            .submit_at(3, Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 3, 25, 4)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        prop_assert_eq!(summary.completed, 3, "a fault aborted a request");
+        prop_assert_eq!(summary.requests_failed, 0);
+        let cases = [
+            (parent, Some(seed ^ 1), 70usize, 3usize),
+            (child, Some(seed ^ 2), 70, 2),
+            (late, None, 25, 4),
+        ];
+        for (i, (id, gen_seed, prompt, gen)) in cases.iter().enumerate() {
+            let mut model = match gen_seed {
+                Some(g) => SynthSequence::forked(ATTN_QUAD, seed, *g, *prompt, *gen),
+                None => SynthSequence::new(ATTN_QUAD, seed ^ 3, *prompt, *gen),
+            };
+            let want = replay_contiguous(&dec, &mut model);
+            prop_assert_eq!(
+                session.stream(*id).unwrap(), &want[..],
+                "request {} diverged under fault schedule {:#x}×{} ({} faults injected)",
+                i, fault_seed, n_faults, summary.faults_injected
+            );
+        }
+        prop_assert_eq!(
+            session.store().free_pages(), session.store().total_pages(),
+            "pages leaked across fault recovery"
+        );
     }
 }
