@@ -23,7 +23,10 @@ use bd_core::AttentionConfig;
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{Partitioning, QuantScheme};
 use bd_llm::{serve_shared_prompt_functional, ServePolicy};
-use bd_serve::{FaultPlan, RequestId, ServeConfig, ServeSession, SynthSequence};
+use bd_serve::{
+    FaultPlan, ObsConfig, Quantiles, RequestId, ServeConfig, ServeSession, SloSummary, SpanTracer,
+    SynthSequence,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROMPT: usize = 2048;
@@ -45,10 +48,16 @@ struct ServeBenchRow {
 /// Best-of-`reps` run of one (scheme, devices, batch) configuration: each
 /// rep builds a fresh session, so the best rep reflects steady-state
 /// decode throughput rather than allocator warm-up or scheduler noise.
-fn run_best(scheme: QuantScheme, devices: usize, batch: usize, reps: usize) -> ServeBenchRow {
-    let mut best = run_config(scheme, devices, batch);
+fn run_best(
+    scheme: QuantScheme,
+    devices: usize,
+    batch: usize,
+    reps: usize,
+    obs: ObsConfig,
+) -> ServeBenchRow {
+    let mut best = run_config(scheme, devices, batch, obs);
     for _ in 1..reps {
-        let row = run_config(scheme, devices, batch);
+        let row = run_config(scheme, devices, batch, obs);
         if row.kv_tok_s > best.kv_tok_s {
             best = row;
         }
@@ -56,7 +65,7 @@ fn run_best(scheme: QuantScheme, devices: usize, batch: usize, reps: usize) -> S
     best
 }
 
-fn run_config(scheme: QuantScheme, devices: usize, batch: usize) -> ServeBenchRow {
+fn run_config(scheme: QuantScheme, devices: usize, batch: usize, obs: ObsConfig) -> ServeBenchRow {
     let attn = AttentionConfig::gqa(8, 4, 64);
     let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
         .attention(attn)
@@ -66,7 +75,7 @@ fn run_config(scheme: QuantScheme, devices: usize, batch: usize) -> ServeBenchRo
     let pages_per_seq = (PROMPT + GEN).div_ceil(64) + 1;
     let config = ServeConfig::new(batch * pages_per_seq, 64, WORKERS, batch)
         .with_devices(devices, Partitioning::HeadModulo);
-    let mut session = ServeSession::new(decoder, config);
+    let mut session = ServeSession::new(decoder, config).with_obs(obs);
     for i in 0..batch {
         session
             .submit(Box::new(SynthSequence::new(attn, i as u64, PROMPT, GEN)))
@@ -111,6 +120,12 @@ fn percentile(sorted: &[usize], p: f64) -> usize {
 /// identical token values (the proptests pin that down bitwise); only the
 /// completion-step distribution moves.
 fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
+    run_oversubscribed_obs(policy, ObsConfig::off()).0
+}
+
+/// [`run_oversubscribed`] with an observability config; returns the SLO
+/// rollup alongside the row (all-zero unless lifecycle tracking was on).
+fn run_oversubscribed_obs(policy: ServePolicy, obs: ObsConfig) -> (PolicyBenchRow, SloSummary) {
     let attn = AttentionConfig::gqa(8, 4, 64);
     let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
         .attention(attn)
@@ -123,7 +138,7 @@ fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
     let demand =
         4 * (big.0 + big.1).div_ceil(page_tokens) + 4 * (small.0 + small.1).div_ceil(page_tokens);
     let config = ServeConfig::new(demand / 2, page_tokens, WORKERS, 8);
-    let mut session = policy.install(ServeSession::new(decoder, config));
+    let mut session = policy.install(ServeSession::new(decoder, config).with_obs(obs));
     let mut ids: Vec<RequestId> = Vec::new();
     for i in 0..4u64 {
         ids.push(
@@ -151,7 +166,7 @@ fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
         .collect();
     let late_small_completion = completions[7];
     completions.sort_unstable();
-    PolicyBenchRow {
+    let row = PolicyBenchRow {
         policy: session.policy_label(),
         kv_tok_s: summary.kv_tokens_per_s,
         p50_completion: percentile(&completions, 50.0),
@@ -159,7 +174,8 @@ fn run_oversubscribed(policy: ServePolicy) -> PolicyBenchRow {
         late_small_completion,
         preemptions: summary.preemptions,
         swap_mib: summary.swap_bytes / (1024.0 * 1024.0),
-    }
+    };
+    (row, summary.slo)
 }
 
 /// One shared-prefix scenario's outcome: `sequences` requests carrying
@@ -274,8 +290,30 @@ fn run_degraded(mode: &'static str, plan: FaultPlan) -> DegradedRow {
         mean_completion_step: completions.iter().sum::<usize>() as f64 / ids.len() as f64,
         faults: run.iter().map(|m| m.faults_injected).sum(),
         recoveries: run.iter().map(|m| m.recoveries).sum(),
-        degraded_steps: run.iter().map(|m| m.degraded_steps).sum(),
+        degraded_steps: run.iter().filter(|m| m.degraded).count(),
     }
+}
+
+/// Gate on the disabled instruments' cost: a default-config session keeps
+/// the tracer plumbed through the hot path, so begin/end must stay in the
+/// nanosecond range. Measured over enough iterations to swamp timer
+/// resolution; the bound is loose enough for a busy single-core container
+/// and tight enough to catch an accidental always-on lock or clock read
+/// (hundreds of ns).
+fn assert_noop_obs_is_cheap() {
+    let tracer = SpanTracer::disabled();
+    let iters = 1_000_000u64;
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        let s = std::hint::black_box(tracer.begin());
+        tracer.end(s, "noop", 0);
+    }
+    let ns_per_op = t.elapsed().as_nanos() as f64 / iters as f64;
+    println!("obs disabled span begin/end: {ns_per_op:.1} ns per pair");
+    assert!(
+        ns_per_op < 250.0,
+        "disabled tracer costs {ns_per_op:.1} ns per begin/end pair"
+    );
 }
 
 fn bench_serve(_c: &mut Criterion) {
@@ -283,12 +321,14 @@ fn bench_serve(_c: &mut Criterion) {
         println!("serve trajectory bench skipped (BENCH_SERVE=0)");
         return;
     }
+    assert_noop_obs_is_cheap();
     let mut rows = Vec::new();
     for scheme in [QuantScheme::kc4(), QuantScheme::kc2()] {
         for devices in [1usize, 2, 4] {
             for batch in [1usize, 4, 16] {
                 // Small runs are cheap: average out noise with more reps.
-                let row = run_best(scheme, devices, batch, if batch <= 4 { 3 } else { 2 });
+                let reps = if batch <= 4 { 3 } else { 2 };
+                let row = run_best(scheme, devices, batch, reps, ObsConfig::default());
                 println!(
                     "serve {:>5} dev {:>2} batch {:>2}: {:>4} steps, {:>8} kv tokens, aggregate {:>9.0} kv-tok/s ({:>8.0} per seq), dev util {:>4.2}, allreduce {:>6.1} us",
                     row.scheme.label(),
@@ -327,6 +367,23 @@ fn bench_serve(_c: &mut Criterion) {
             r.swap_mib,
         );
     }
+    // Request-lifecycle SLO distributions: the same over-subscribed
+    // scenario under the preempting policy, with lifecycle tracking on.
+    let (_, slo) = run_oversubscribed_obs(
+        ServePolicy::FcfsPreempt,
+        ObsConfig::off().with_lifecycle(true),
+    );
+    assert_eq!(slo.completed, 8, "tracked run must complete all requests");
+    assert!(slo.ttft_steps.p99 >= slo.ttft_steps.p50);
+    println!(
+        "slo (oversubscribed, fcfs-preempt): ttft steps p50 {:.0} p99 {:.0}, tbt steps p99 {:.0}, queue wait p99 {:.0}, goodput p50 {:.0} tok/s, {} preemptions attributed",
+        slo.ttft_steps.p50,
+        slo.ttft_steps.p99,
+        slo.tbt_steps.p99,
+        slo.queue_wait_steps.p99,
+        slo.goodput_tok_s.p50,
+        slo.preemptions,
+    );
     // Shared-prefix comparison: N sequences over one 2048-token prompt,
     // with and without copy-on-write page sharing.
     let mut shared_rows = Vec::new();
@@ -383,7 +440,15 @@ fn bench_serve(_c: &mut Criterion) {
         degraded_rows[2].mean_completion_step >= degraded_rows[0].mean_completion_step,
         "recovery-in-progress cannot complete earlier than healthy"
     );
-    write_bench_json(&rows, &policy_rows, &shared_rows, &degraded_rows);
+    write_bench_json(&rows, &policy_rows, &shared_rows, &degraded_rows, &slo);
+}
+
+/// Renders one [`Quantiles`] block with a stable key order.
+fn quantiles_json(q: &Quantiles) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}, \"mean\": {:.2}}}",
+        q.count, q.p50, q.p90, q.p99, q.max, q.mean
+    )
 }
 
 fn write_bench_json(
@@ -391,13 +456,14 @@ fn write_bench_json(
     policy_rows: &[PolicyBenchRow],
     shared_rows: &[SharedPrefixRow],
     degraded_rows: &[DegradedRow],
+    slo: &SloSummary,
 ) {
     if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
         println!("BENCH_serve.json left untouched (BENCH_SERVE_JSON=0)");
         return;
     }
     let mut json = String::from(
-        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_8q_4kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 4,\n  \"workers_per_device\": 2,\n  \"partitioning\": \"head_modulo\",\n  \"results\": [\n",
+        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_8q_4kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 4,\n  \"workers_per_device\": 2,\n  \"partitioning\": \"head_modulo\",\n  \"provenance\": {\"gpu\": \"rtx4090\", \"page_tokens\": 64, \"devices\": [1, 2, 4], \"schemes\": [\"kc4\", \"kc2\"], \"batches\": [1, 4, 16], \"policies\": [\"fcfs\", \"fcfs-preempt\", \"shortest-remaining-first\"], \"obs\": \"default-off\"},\n  \"results\": [\n",
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -428,7 +494,20 @@ fn write_bench_json(
             if i + 1 == policy_rows.len() { "" } else { "," },
         ));
     }
-    json.push_str("  ],\n  \"shared_prefix\": [\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"slo\": {{\"scenario\": \"oversubscribed_fcfs_preempt\", \"submitted\": {}, \"completed\": {}, \"preemptions\": {}, \"resumes\": {}, \"ttft_steps\": {}, \"tbt_steps\": {}, \"queue_wait_steps\": {}, \"goodput_tok_s\": {}, \"aggregate_goodput_tok_s\": {:.0}}},\n",
+        slo.submitted,
+        slo.completed,
+        slo.preemptions,
+        slo.resumes,
+        quantiles_json(&slo.ttft_steps),
+        quantiles_json(&slo.tbt_steps),
+        quantiles_json(&slo.queue_wait_steps),
+        quantiles_json(&slo.goodput_tok_s),
+        slo.aggregate_goodput_tok_s,
+    ));
+    json.push_str("  \"shared_prefix\": [\n");
     for (i, r) in shared_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"sequences\": {}, \"mode\": \"{}\", \"peak_physical_pages\": {}, \"aggregate_kv_tok_s\": {:.0}, \"forks\": {}, \"peak_bytes_deduped_kib\": {:.1}}}{}\n",

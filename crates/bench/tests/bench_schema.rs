@@ -1,0 +1,182 @@
+//! Schema-shape test for the committed `BENCH_serve.json` baseline: the
+//! file is hand-diffed across PRs and parsed by downstream tooling, so
+//! its top-level sections, provenance stamp, and per-row fields are
+//! pinned here. Parsing goes through `bd_obs::json` — the same vendored
+//! parser the trace exporter's tests use — so a malformed write fails
+//! loudly instead of shipping.
+
+use bd_obs::json::{self, JsonValue};
+
+fn load() -> JsonValue {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_serve.json exists");
+    json::parse(&text).expect("BENCH_serve.json is valid JSON")
+}
+
+fn keys(v: &JsonValue) -> Vec<&str> {
+    v.as_object()
+        .expect("object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+#[test]
+fn bench_serve_json_has_the_pinned_top_level_schema() {
+    let doc = load();
+    assert_eq!(
+        keys(&doc),
+        vec![
+            "bench",
+            "unit",
+            "attention",
+            "prompt_tokens",
+            "gen_tokens",
+            "workers_per_device",
+            "partitioning",
+            "provenance",
+            "results",
+            "oversubscribed",
+            "slo",
+            "shared_prefix",
+            "degraded",
+        ]
+    );
+    assert_eq!(
+        doc.get("bench").and_then(JsonValue::as_str),
+        Some("serve_batched_decode")
+    );
+}
+
+#[test]
+fn provenance_stamp_names_devices_scheme_page_size_and_policies() {
+    let doc = load();
+    let prov = doc.get("provenance").expect("provenance section");
+    assert_eq!(
+        keys(prov),
+        vec![
+            "gpu",
+            "page_tokens",
+            "devices",
+            "schemes",
+            "batches",
+            "policies",
+            "obs"
+        ]
+    );
+    assert_eq!(prov.get("gpu").and_then(JsonValue::as_str), Some("rtx4090"));
+    assert_eq!(
+        prov.get("page_tokens").and_then(JsonValue::as_f64),
+        Some(64.0)
+    );
+    let devices: Vec<f64> = prov
+        .get("devices")
+        .and_then(JsonValue::as_array)
+        .expect("devices array")
+        .iter()
+        .filter_map(JsonValue::as_f64)
+        .collect();
+    assert_eq!(devices, vec![1.0, 2.0, 4.0]);
+    let schemes: Vec<&str> = prov
+        .get("schemes")
+        .and_then(JsonValue::as_array)
+        .expect("schemes array")
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(schemes, vec!["kc4", "kc2"]);
+    let policies = prov
+        .get("policies")
+        .and_then(JsonValue::as_array)
+        .expect("policies array");
+    assert_eq!(policies.len(), 3);
+}
+
+#[test]
+fn throughput_rows_cover_the_grid_with_pinned_fields() {
+    let doc = load();
+    let rows = doc
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .expect("results array");
+    // 2 schemes x 3 device counts x 3 batch sizes.
+    assert_eq!(rows.len(), 18);
+    for row in rows {
+        assert_eq!(
+            keys(row),
+            vec![
+                "scheme",
+                "devices",
+                "batch",
+                "steps",
+                "kv_tokens",
+                "aggregate_kv_tok_s",
+                "per_seq_kv_tok_s",
+                "mean_device_utilization",
+                "modeled_allreduce_us",
+            ]
+        );
+        let tok_s = row
+            .get("aggregate_kv_tok_s")
+            .and_then(JsonValue::as_f64)
+            .expect("throughput number");
+        assert!(tok_s > 0.0 && tok_s.is_finite());
+    }
+}
+
+#[test]
+fn slo_section_reports_lifecycle_distributions() {
+    let doc = load();
+    let slo = doc.get("slo").expect("slo section");
+    assert_eq!(
+        keys(slo),
+        vec![
+            "scenario",
+            "submitted",
+            "completed",
+            "preemptions",
+            "resumes",
+            "ttft_steps",
+            "tbt_steps",
+            "queue_wait_steps",
+            "goodput_tok_s",
+            "aggregate_goodput_tok_s",
+        ]
+    );
+    assert_eq!(
+        slo.get("scenario").and_then(JsonValue::as_str),
+        Some("oversubscribed_fcfs_preempt")
+    );
+    assert_eq!(slo.get("completed").and_then(JsonValue::as_f64), Some(8.0));
+    for dist in [
+        "ttft_steps",
+        "tbt_steps",
+        "queue_wait_steps",
+        "goodput_tok_s",
+    ] {
+        let q = slo.get(dist).unwrap_or_else(|| panic!("{dist} present"));
+        assert_eq!(keys(q), vec!["count", "p50", "p90", "p99", "max", "mean"]);
+        let p50 = q.get("p50").and_then(JsonValue::as_f64).expect("p50");
+        let p99 = q.get("p99").and_then(JsonValue::as_f64).expect("p99");
+        assert!(p50.is_finite() && p99.is_finite() && p99 >= p50, "{dist}");
+    }
+}
+
+#[test]
+fn degraded_rows_keep_the_summary_degraded_step_counter() {
+    let doc = load();
+    let rows = doc
+        .get("degraded")
+        .and_then(JsonValue::as_array)
+        .expect("degraded array");
+    assert_eq!(rows.len(), 3);
+    let healthy = &rows[0];
+    assert_eq!(
+        healthy.get("degraded_steps").and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+    for row in rows {
+        assert!(row.get("degraded_steps").is_some());
+        assert!(row.get("recoveries").is_some());
+    }
+}

@@ -236,6 +236,13 @@ impl ShardedKvStore {
         }
     }
 
+    /// Monotone count of copy-on-write breaks summed over every device
+    /// since this store was built (resets when the store is rebuilt, e.g.
+    /// after a device loss). See [`PagedKvStore::cow_breaks`].
+    pub fn cow_breaks(&self) -> usize {
+        self.devices.iter().map(PagedKvStore::cow_breaks).sum()
+    }
+
     /// Page-sharing snapshot summed over every device.
     pub fn sharing_stats(&self) -> crate::store::KvSharingStats {
         let mut stats = crate::store::KvSharingStats::default();
@@ -928,6 +935,29 @@ mod tests {
         assert_eq!(store.free_pages(), free_before);
         assert!(store.matches_cache(back, &cache, 0));
         assert_eq!(store.sharing_stats().shared_pages, 2 * 4);
+    }
+
+    #[test]
+    fn cow_breaks_count_shared_page_privatizations_per_device() {
+        let placement = Placement::new(2, Partitioning::HeadModulo, 2);
+        let mut store = ShardedKvStore::new(cfg(16), placement, 8, 96);
+        let parent = store.admit(128).unwrap();
+        mirrored_appends(&mut store, parent, 128, 0);
+        assert_eq!(store.cow_breaks(), 0);
+        // Token 128 is mid slot 1, so slot 1 is shared after the fork.
+        let child = store.fork(parent, 128, 256).unwrap();
+        assert_eq!(store.cow_breaks(), 0, "fork alone breaks nothing");
+        // The child's first flushed block homes on shared slot 1,
+        // privatizing it once on each device; later flushes land on
+        // already-private pages.
+        for t in 128..256 {
+            let k: Vec<Vec<f32>> = (0..2).map(|h| row(16, t, 70 + h)).collect();
+            store.append_step(child, &k, &k, &ReferenceCodec).unwrap();
+        }
+        assert_eq!(store.cow_breaks(), 2);
+        for d in [DeviceId(0), DeviceId(1)] {
+            assert_eq!(store.device(d).cow_breaks(), 1);
+        }
     }
 
     #[test]

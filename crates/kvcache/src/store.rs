@@ -417,6 +417,7 @@ pub struct PagedKvStore {
     pool: PagedPool,
     frames: Vec<Frame>,
     seqs: BTreeMap<SeqId, SeqKv>,
+    cow_breaks: usize,
 }
 
 impl PagedKvStore {
@@ -434,7 +435,15 @@ impl PagedKvStore {
             pool: PagedPool::new(total_pages, page_tokens),
             frames: vec![vec![Vec::new(); heads]; total_pages],
             seqs: BTreeMap::new(),
+            cow_breaks: 0,
         }
+    }
+
+    /// Monotone count of copy-on-write breaks since the store was built:
+    /// each is one shared page privatized because a sequence wrote into
+    /// it. Observability reads this per step to attribute CoW traffic.
+    pub fn cow_breaks(&self) -> usize {
+        self.cow_breaks
     }
 
     /// The cache configuration shared by every sequence.
@@ -1161,6 +1170,7 @@ impl PagedKvStore {
     /// reference on the shared page. The shared page's frame is untouched:
     /// every other mapper still reads its bytes unchanged.
     fn cow_slot(&mut self, seq: SeqId, slot: usize) {
+        self.cow_breaks += 1;
         let own_here = self.own_blocks_on_slot(seq, slot);
         let (old, new) = self
             .pool

@@ -13,7 +13,8 @@ use bd_core::{AttentionConfig, BitDecoder};
 use bd_gpu_sim::GpuArch;
 use bd_kvcache::{PagedPool, QuantScheme};
 use bd_serve::{
-    AdmissionError, FcfsPreempt, ServeConfig, ServeSession, ShortestRemainingFirst, SynthSequence,
+    AdmissionError, FcfsPreempt, ObsConfig, ServeConfig, ServeSession, ShortestRemainingFirst,
+    SloSummary, SynthSequence,
 };
 
 /// Scheduling-policy selector for the functional serve entry points — a
@@ -151,6 +152,10 @@ pub struct FunctionalServeReport {
     /// The decode step at which each request completed, in submission
     /// order.
     pub completion_steps: Vec<usize>,
+    /// Request-lifecycle SLO distributions (TTFT, TBT, queue wait,
+    /// goodput). All-zero unless the run was started with lifecycle
+    /// tracking enabled ([`serve_trace_policy_functional_obs`]).
+    pub slo: SloSummary,
 }
 
 /// Runs the paper's Page serving setting **functionally**: `sequences`
@@ -219,6 +224,7 @@ fn report_from(
             .iter()
             .map(|id| session.completion_step(*id).expect("completed"))
             .collect(),
+        slo: summary.slo,
     }
 }
 
@@ -339,13 +345,50 @@ pub fn serve_trace_policy_functional(
     config: ServeConfig,
     policy: ServePolicy,
 ) -> Result<FunctionalServeReport, AdmissionError> {
+    serve_trace_policy_functional_obs(
+        arch,
+        attn,
+        scheme,
+        trace,
+        steps_per_s,
+        config,
+        policy,
+        ObsConfig::default(),
+    )
+}
+
+/// [`serve_trace_policy_functional`] with an explicit [`ObsConfig`]:
+/// lifecycle tracking populates the report's [`SloSummary`] (TTFT, TBT,
+/// queue-wait, goodput distributions) and span tracing/event logging can
+/// be armed for timeline export. With `ObsConfig::default()` this is the
+/// plain entry point — every instrument off, nothing measured.
+///
+/// # Errors
+///
+/// Propagates [`AdmissionError`] when any request cannot be served under
+/// `config`.
+///
+/// # Panics
+///
+/// Panics if `steps_per_s` is not positive.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_policy_functional_obs(
+    arch: GpuArch,
+    attn: AttentionConfig,
+    scheme: QuantScheme,
+    trace: &[Request],
+    steps_per_s: f64,
+    config: ServeConfig,
+    policy: ServePolicy,
+    obs: ObsConfig,
+) -> Result<FunctionalServeReport, AdmissionError> {
     assert!(steps_per_s > 0.0, "steps_per_s must be positive");
     let decoder = BitDecoder::builder(arch)
         .attention(attn)
         .scheme(scheme)
         .paged(true)
         .build();
-    let mut session = policy.install(ServeSession::new(decoder, config));
+    let mut session = policy.install(ServeSession::new(decoder, config).with_obs(obs));
     let ids = trace
         .iter()
         .enumerate()
@@ -541,6 +584,43 @@ mod tests {
             );
             assert_eq!(stream, &want, "sequence {i}");
         }
+    }
+
+    #[test]
+    fn trace_serving_with_lifecycle_tracking_reports_slo() {
+        let attn = AttentionConfig::gqa(2, 1, 16);
+        let trace = synth_trace(2.0, 5.0, (30, 80), 2, 11);
+        let config = ServeConfig::new(64, 32, 0, 4);
+        let tracked = serve_trace_policy_functional_obs(
+            GpuArch::a100(),
+            attn,
+            QuantScheme::kc4(),
+            &trace,
+            2.0,
+            config,
+            ServePolicy::Fcfs,
+            ObsConfig::default().with_lifecycle(true),
+        )
+        .unwrap();
+        assert_eq!(tracked.completed, trace.len());
+        assert_eq!(tracked.slo.completed as usize, tracked.completed);
+        assert_eq!(tracked.slo.submitted as usize, trace.len());
+        assert_eq!(tracked.slo.ttft_steps.count as usize, trace.len());
+        assert!(tracked.slo.ttft_s.p99.is_finite());
+        assert!(tracked.slo.aggregate_goodput_tok_s > 0.0);
+        // Observability is bitwise invisible: the plain entry point emits
+        // the same streams and an all-zero SLO block.
+        let plain = serve_trace_functional(
+            GpuArch::a100(),
+            attn,
+            QuantScheme::kc4(),
+            &trace,
+            2.0,
+            config,
+        )
+        .unwrap();
+        assert_eq!(plain.slo, SloSummary::default());
+        assert_eq!(plain.token_streams, tracked.token_streams);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Bounded structured event log emitting JSONL.
+//!
+//! Each event is one pre-rendered JSON line: `{"step":N,"event":"...",
+//! ...fields}` with fields in call-site order. Rendering at record time
+//! keeps the log a plain `VecDeque<String>` — no schema, no lifetime
+//! puzzles — and since the log is bounded and disabled by default, the
+//! serve path's cost is a branch when off and one small allocation when
+//! on. Lines parse individually with [`crate::json::parse`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// A field value attachable to an event.
+#[derive(Clone, Copy, Debug)]
+pub enum EventField<'a> {
+    /// Unsigned integer (ids, counts, pages).
+    U64(u64),
+    /// Float (seconds, ratios); non-finite renders as `null`.
+    F64(f64),
+    /// Short string (policy names, fault kinds).
+    Str(&'a str),
+}
+
+/// Bounded JSONL event log. Oldest lines drop past capacity.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    enabled: bool,
+    cap: usize,
+    lines: VecDeque<String>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log that records nothing.
+    pub fn disabled() -> Self {
+        EventLog {
+            enabled: false,
+            cap: 0,
+            lines: VecDeque::new(),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled log keeping the most recent `capacity` lines.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            enabled: true,
+            cap: capacity.max(1),
+            lines: VecDeque::new(),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at serve step `step` with ordered `fields`.
+    pub fn log(&mut self, step: usize, event: &str, fields: &[(&str, EventField<'_>)]) {
+        if !self.enabled {
+            return;
+        }
+        let mut line = String::with_capacity(48 + fields.len() * 16);
+        let _ = write!(
+            line,
+            "{{\"step\":{step},\"event\":\"{}\"",
+            json::escape(event)
+        );
+        for (key, value) in fields {
+            let _ = write!(line, ",\"{}\":", json::escape(key));
+            match value {
+                EventField::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                EventField::F64(v) if v.is_finite() => {
+                    let _ = write!(line, "{v}");
+                }
+                EventField::F64(_) => line.push_str("null"),
+                EventField::Str(s) => {
+                    let _ = write!(line, "\"{}\"", json::escape(s));
+                }
+            }
+        }
+        line.push('}');
+        if self.lines.len() == self.cap {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(line);
+        self.recorded += 1;
+    }
+
+    /// Total events recorded (including any since dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained lines, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Count of lines with the given `event` name among retained lines.
+    pub fn count_event(&self, event: &str) -> u64 {
+        let needle = format!("\"event\":\"{}\"", json::escape(event));
+        self.lines.iter().filter(|l| l.contains(&needle)).count() as u64
+    }
+
+    /// The whole log as one JSONL document (newline after every line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, JsonValue};
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.log(0, "admit", &[("req", EventField::U64(1))]);
+        assert_eq!(log.recorded(), 0);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn lines_are_valid_json_with_stable_field_order() {
+        let mut log = EventLog::with_capacity(16);
+        log.log(
+            3,
+            "preempt",
+            &[
+                ("req", EventField::U64(7)),
+                ("pages", EventField::U64(12)),
+                ("policy", EventField::Str("fcfs_preempt")),
+                ("swap_s", EventField::F64(0.25)),
+            ],
+        );
+        let line = log.lines().next().unwrap();
+        assert_eq!(
+            line,
+            "{\"step\":3,\"event\":\"preempt\",\"req\":7,\"pages\":12,\
+             \"policy\":\"fcfs_preempt\",\"swap_s\":0.25}"
+        );
+        let parsed = json::parse(line).unwrap();
+        assert_eq!(
+            parsed.get("event").and_then(JsonValue::as_str),
+            Some("preempt")
+        );
+        assert_eq!(parsed.get("req").and_then(JsonValue::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn nonfinite_floats_render_as_null() {
+        let mut log = EventLog::with_capacity(4);
+        log.log(0, "x", &[("v", EventField::F64(f64::NAN))]);
+        let parsed = json::parse(log.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("v"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.log(i, "tick", &[]);
+        }
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 3);
+        let steps: Vec<String> = log.lines().map(String::from).collect();
+        assert!(steps[0].starts_with("{\"step\":3,"));
+        assert!(steps[1].starts_with("{\"step\":4,"));
+    }
+
+    #[test]
+    fn count_event_filters_by_name() {
+        let mut log = EventLog::with_capacity(16);
+        log.log(0, "admit", &[]);
+        log.log(1, "admit", &[]);
+        log.log(2, "complete", &[]);
+        assert_eq!(log.count_event("admit"), 2);
+        assert_eq!(log.count_event("complete"), 1);
+        assert_eq!(log.count_event("missing"), 0);
+    }
+}

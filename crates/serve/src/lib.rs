@@ -54,6 +54,15 @@
 //! changing *which* tokens a completed stream carries, only *when* they
 //! arrive.
 //!
+//! A fifth concern is **observability** ([`bd_obs`], re-exported here):
+//! [`session::ServeSession::with_obs`] arms span tracing (exportable as a
+//! Perfetto-loadable Chrome trace over dual wall/modeled timelines), a
+//! structured JSONL event log, and per-request lifecycle tracking whose
+//! TTFT/TBT/queue-wait/goodput distributions surface in
+//! [`session::ServeSummary::slo`]. Everything defaults off, and the
+//! disabled instruments cost a branch or one relaxed atomic load per
+//! would-be record, so the hot path keeps them plumbed unconditionally.
+//!
 //! The driver supplies per-sequence behaviour through
 //! [`model::SequenceModel`] — the stand-in for the transformer's QKV
 //! projections and sampling. [`model::SynthSequence`] is the deterministic
@@ -100,3 +109,8 @@ pub use session::{
     ServeSummary,
 };
 pub use workers::{ServeError, WorkerPool};
+
+pub use bd_obs::{
+    ClockDomain, EventLog, LifecycleTracker, LogHistogram, MetricsRegistry, ObsConfig, Quantiles,
+    SloSummary, SpanTracer,
+};

@@ -47,6 +47,10 @@ use bd_kvcache::{
     DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, StoreError, SwappedShardedSeq,
 };
 use bd_lowbit::fastpath::FastDequantOps;
+use bd_obs::{
+    device_lane, EventField, EventLog, LifecycleTracker, MetricsRegistry, ObsConfig, SloSummary,
+    SpanTracer, LANE_SESSION,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -290,10 +294,10 @@ pub struct ServeMetrics {
     /// Transient-transfer retries priced into this step's interconnect
     /// time.
     pub retries: usize,
-    /// 1 when this step ran degraded (a fault fired or a failure was
-    /// absorbed), 0 otherwise — summed over a run it counts degraded
-    /// steps.
-    pub degraded_steps: usize,
+    /// `true` when this step ran degraded (a fault fired or a failure was
+    /// absorbed). [`ServeSummary::degraded_steps`] counts these over a
+    /// run.
+    pub degraded: bool,
     /// Requests permanently failed this step (unattributable worker-pool
     /// loss, unserveable model).
     pub requests_failed: usize,
@@ -356,6 +360,10 @@ pub struct ServeSummary {
     pub degraded_steps: usize,
     /// Requests that failed permanently across the run.
     pub requests_failed: usize,
+    /// Request-lifecycle SLO rollup (TTFT/TBT/queue-wait/goodput
+    /// distributions). Zeroed unless the session was built
+    /// [`ServeSession::with_obs`] lifecycle tracking enabled.
+    pub slo: SloSummary,
 }
 
 struct ActiveSeq {
@@ -444,6 +452,47 @@ struct PageHog {
     release: Option<usize>,
 }
 
+/// The session's observability bundle: span tracer, structured event
+/// log, request-lifecycle tracker, and metrics registry, all gated by an
+/// [`ObsConfig`] (everything off by default — the disabled paths cost a
+/// branch or a relaxed atomic load).
+struct Obs {
+    config: ObsConfig,
+    tracer: SpanTracer,
+    events: EventLog,
+    lifecycle: LifecycleTracker,
+    registry: MetricsRegistry,
+    /// Last observed [`ShardedKvStore::cow_breaks`] — per-step deltas
+    /// become `cow_break` events. The store counter resets when the store
+    /// is rebuilt after a device loss; the delta logic tolerates that.
+    last_cow_breaks: usize,
+}
+
+impl Obs {
+    fn new(config: ObsConfig) -> Self {
+        Obs {
+            config,
+            tracer: if config.spans {
+                SpanTracer::with_capacity(config.span_capacity)
+            } else {
+                SpanTracer::disabled()
+            },
+            events: if config.events {
+                EventLog::with_capacity(config.event_capacity)
+            } else {
+                EventLog::disabled()
+            },
+            lifecycle: if config.lifecycle {
+                LifecycleTracker::enabled()
+            } else {
+                LifecycleTracker::disabled()
+            },
+            registry: MetricsRegistry::new(),
+            last_cow_breaks: 0,
+        }
+    }
+}
+
 /// Base backoff charged to the first transient-transfer retry, seconds.
 const RETRY_BACKOFF_BASE_S: f64 = 50e-6;
 /// Ceiling on any single retry's backoff, seconds.
@@ -489,6 +538,8 @@ pub struct ServeSession {
     failed: BTreeMap<RequestId, ServeError>,
     /// Devices quarantined by loss faults, in order of loss.
     lost_devices: Vec<usize>,
+    /// Observability instruments (default-off).
+    obs: Obs,
 }
 
 impl ServeSession {
@@ -523,7 +574,18 @@ impl ServeSession {
             hogs: Vec::new(),
             failed: BTreeMap::new(),
             lost_devices: Vec::new(),
+            obs: Obs::new(ObsConfig::default()),
         }
+    }
+
+    /// Installs an observability configuration: span tracing into a
+    /// bounded ring (exportable as a Chrome trace), a structured JSONL
+    /// event log, and per-request lifecycle/SLO tracking. The default
+    /// session runs with everything off; each instrument costs a branch
+    /// (or one relaxed atomic load) per would-be record while disabled.
+    pub fn with_obs(mut self, config: ObsConfig) -> Self {
+        self.obs = Obs::new(config);
+        self
     }
 
     /// Arms a deterministic [`FaultPlan`]: the session injects the plan's
@@ -616,6 +678,153 @@ impl ServeSession {
         &self.lost_devices
     }
 
+    /// The observability configuration installed by
+    /// [`ServeSession::with_obs`] (all-off by default).
+    pub fn obs_config(&self) -> ObsConfig {
+        self.obs.config
+    }
+
+    /// The session's span tracer. Disabled unless [`ObsConfig::spans`] was
+    /// set; export captured spans with [`SpanTracer::chrome_trace_json`].
+    pub fn tracer(&self) -> &SpanTracer {
+        &self.obs.tracer
+    }
+
+    /// The structured event log (admissions, preemptions, faults,
+    /// recoveries, CoW breaks). Disabled unless [`ObsConfig::events`] was
+    /// set.
+    pub fn event_log(&self) -> &EventLog {
+        &self.obs.events
+    }
+
+    /// The request-lifecycle tracker behind [`ServeSession::slo`].
+    /// Disabled unless [`ObsConfig::lifecycle`] was set.
+    pub fn lifecycle(&self) -> &LifecycleTracker {
+        &self.obs.lifecycle
+    }
+
+    /// The session's metrics registry (counters/gauges/histograms; only
+    /// populated while lifecycle tracking is enabled).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.obs.registry
+    }
+
+    /// The request-lifecycle SLO summary so far: TTFT, TBT, queue-wait
+    /// and goodput distributions. All-zero unless [`ObsConfig::lifecycle`]
+    /// was enabled via [`ServeSession::with_obs`].
+    pub fn slo(&self) -> SloSummary {
+        self.obs.lifecycle.summary()
+    }
+
+    /// Records a request submission into the lifecycle tracker, event log
+    /// and registry (no-ops when those instruments are disabled).
+    fn observe_submit(&mut self, id: RequestId, step: usize, kind: &'static str) {
+        if self.obs.lifecycle.is_enabled() {
+            let wall = self.obs.tracer.clock().wall_us();
+            self.obs.lifecycle.on_submit(id, step, wall);
+            self.obs.registry.inc("serve.submitted", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs
+                .events
+                .log(step, kind, &[("request", EventField::U64(id))]);
+        }
+    }
+
+    /// Records an admission (`kind` distinguishes fresh prefill, CoW fork
+    /// and swap-in resume) into the lifecycle tracker and event log.
+    fn observe_admit(&mut self, id: RequestId, kind: &'static str) {
+        if self.obs.lifecycle.is_enabled() {
+            self.obs.lifecycle.on_admit(id, self.step_index);
+            let counter = if kind == "swap_in" {
+                "serve.resumes"
+            } else {
+                "serve.admitted"
+            };
+            self.obs.registry.inc(counter, 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs
+                .events
+                .log(self.step_index, kind, &[("request", EventField::U64(id))]);
+        }
+    }
+
+    /// Records a preemption episode.
+    fn observe_preempt(&mut self, id: RequestId) {
+        if self.obs.lifecycle.is_enabled() {
+            self.obs.lifecycle.on_preempt(id, self.step_index);
+            self.obs.registry.inc("serve.preemptions", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs.events.log(
+                self.step_index,
+                "preempt",
+                &[("request", EventField::U64(id))],
+            );
+        }
+    }
+
+    /// Records a fault-recovery episode attributed to one request.
+    fn observe_recovery(&mut self, id: RequestId) {
+        if self.obs.lifecycle.is_enabled() {
+            self.obs.lifecycle.on_recovery(id, self.step_index);
+            self.obs.registry.inc("serve.recoveries", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs.events.log(
+                self.step_index,
+                "recovery",
+                &[("request", EventField::U64(id))],
+            );
+        }
+    }
+
+    /// Records a terminal request failure.
+    fn observe_failed(&mut self, id: RequestId) {
+        if self.obs.lifecycle.is_enabled() {
+            self.obs.lifecycle.on_failed(id, self.step_index);
+            self.obs.registry.inc("serve.requests_failed", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs.events.log(
+                self.step_index,
+                "request_failed",
+                &[("request", EventField::U64(id))],
+            );
+        }
+    }
+
+    /// Records an injected/absorbed fault into the registry and event log
+    /// (`value` is the fault-specific detail: device index, pages, retry
+    /// count).
+    fn observe_fault(&mut self, kind: &'static str, value: u64) {
+        if self.obs.lifecycle.is_enabled() {
+            self.obs.registry.inc("serve.faults", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs
+                .events
+                .log(self.step_index, kind, &[("value", EventField::U64(value))]);
+        }
+    }
+
+    /// Records a request completion (goodput sample + event).
+    fn observe_complete(&mut self, id: RequestId) {
+        if self.obs.lifecycle.is_enabled() {
+            let wall = self.obs.tracer.clock().wall_us();
+            self.obs.lifecycle.on_complete(id, self.step_index, wall);
+            self.obs.registry.inc("serve.completions", 1);
+        }
+        if self.obs.events.is_enabled() {
+            self.obs.events.log(
+                self.step_index,
+                "complete",
+                &[("request", EventField::U64(id))],
+            );
+        }
+    }
+
     fn validate(&self, model: &dyn SequenceModel) -> Result<(), AdmissionError> {
         if model.gen_tokens() == 0 {
             return Err(AdmissionError::EmptyGeneration);
@@ -655,6 +864,7 @@ impl ServeSession {
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
         self.pending.push_back(QueueEntry::fresh(id, model));
+        self.observe_submit(id, self.step_index, "submit");
         Ok(id)
     }
 
@@ -739,6 +949,7 @@ impl ServeSession {
             fork_of: Some(parent),
         };
         self.queue_at(arrival_step, entry);
+        self.observe_submit(id, arrival_step.max(self.step_index), "submit_forked");
         Ok(id)
     }
 
@@ -765,6 +976,7 @@ impl ServeSession {
         self.next_id += 1;
         self.streams.insert(id, Vec::new());
         self.queue_at(arrival_step, QueueEntry::fresh(id, model));
+        self.observe_submit(id, arrival_step.max(self.step_index), "submit_at");
         Ok(id)
     }
 
@@ -1020,6 +1232,7 @@ impl ServeSession {
                             remaining: res.remaining,
                             admitted_step: now,
                         });
+                        self.observe_admit(id, "swap_in");
                         Ok(())
                     }
                     // Page exhaustion: hand the entry back unchanged and
@@ -1039,6 +1252,7 @@ impl ServeSession {
                     Err(_corrupt) => {
                         self.fault_counters.recoveries += 1;
                         self.fault_counters.degraded = true;
+                        self.observe_recovery(id);
                         model.reset();
                         self.try_admit(
                             QueueEntry {
@@ -1081,6 +1295,7 @@ impl ServeSession {
                                     self.fault_counters.requests_failed += 1;
                                     self.fault_counters.degraded = true;
                                     self.failed.insert(id, ServeError::Store(e));
+                                    self.observe_failed(id);
                                     return Ok(());
                                 }
                             }
@@ -1099,6 +1314,12 @@ impl ServeSession {
                             remaining,
                             admitted_step: now,
                         });
+                        let kind = if fork_seq.is_some() {
+                            "fork_admit"
+                        } else {
+                            "admit"
+                        };
+                        self.observe_admit(id, kind);
                         Ok(())
                     }
                     None => Err(QueueEntry {
@@ -1119,6 +1340,7 @@ impl ServeSession {
     /// uninterrupted one.
     fn preempt(&mut self, index: usize, stats: &mut AdmissionStats) {
         let victim = self.active.remove(index);
+        let victim_id = victim.id;
         let blob = match self.store_mut().swap_out(victim.seq) {
             Ok(b) => b,
             Err(_) => unreachable!("active sequence is resident"),
@@ -1139,6 +1361,7 @@ impl ServeSession {
             // fork lineage no longer matters.
             fork_of: None,
         });
+        self.observe_preempt(victim_id);
     }
 
     /// Runs one decode step: admit (arrivals + FCFS queue) → batch
@@ -1150,17 +1373,21 @@ impl ServeSession {
     /// session is drained). If the session is idle but future arrivals
     /// exist, it fast-forwards to the next arrival step.
     pub fn step(&mut self) -> Option<ServeMetrics> {
+        let step_span = self.obs.tracer.begin();
+        let adm_span = self.obs.tracer.begin();
         // Fault window: expire timed page seizures, then fire every due
         // fault before admission sees the pools.
         self.release_expired_hogs();
         while let Some(dead) = self.injector.take_device_loss(self.step_index) {
             self.fault_counters.faults_injected += 1;
             self.fault_counters.degraded = true;
+            self.observe_fault("fault_device_loss", dead as u64);
             self.lose_device(dead);
         }
         while let Some((pages, hold)) = self.injector.take_pool_exhaustion(self.step_index) {
             self.fault_counters.faults_injected += 1;
             self.fault_counters.degraded = true;
+            self.observe_fault("fault_pool_exhaustion", pages as u64);
             let release = hold.map(|h| self.step_index + h.max(1));
             self.seize_pages(pages, release);
         }
@@ -1183,6 +1410,8 @@ impl ServeSession {
             self.step_index = next.max(self.step_index);
             adm.absorb(self.admit_due());
         }
+        self.obs.tracer.end(adm_span, "admission", LANE_SESSION);
+        let fan_span = self.obs.tracer.begin();
         let attn = *self.decoder.attention();
         let heads_kv = attn.heads_kv;
         let placement = *self.store.placement();
@@ -1222,7 +1451,10 @@ impl ServeSession {
         // model's query construction above, so kv_tokens_per_s reports the
         // runtime's own throughput.
         let t0 = Instant::now();
-        let mut results = match self.pool.run_step(units, &self.store, &self.decoder) {
+        let run = self
+            .pool
+            .run_step(units, &self.store, &self.decoder, &self.obs.tracer);
+        let mut results = match run {
             Ok(r) => r,
             // Worker-pool failure before any token was appended: the step
             // simply did not happen for this batch. Fail the offending
@@ -1232,7 +1464,9 @@ impl ServeSession {
             // survivors re-run the same generation step next time and, by
             // determinism, emit the same tokens.
             Err(e) => {
+                self.obs.tracer.end(fan_span, "fan_out", LANE_SESSION);
                 self.fault_counters.degraded = true;
+                self.observe_fault("worker_failure", 0);
                 match e {
                     ServeError::Misrouted { seq, .. } => self.fail_active_seq(seq, e),
                     _ => {
@@ -1242,9 +1476,13 @@ impl ServeSession {
                         }
                     }
                 }
-                return Some(self.record_degraded_step(adm, batch, kv_tokens, devices));
+                let m = self.record_degraded_step(adm, batch, kv_tokens, devices);
+                self.obs.tracer.end(step_span, "step", LANE_SESSION);
+                return Some(m);
             }
         };
+        self.obs.tracer.end(fan_span, "fan_out", LANE_SESSION);
+        let merge_span = self.obs.tracer.begin();
 
         // Advance every sequence and append its new KV token.
         let mut dequant = FastDequantOps::default();
@@ -1253,6 +1491,13 @@ impl ServeSession {
         }
         let codec = self.decoder.codec();
         let mut appends = Vec::with_capacity(batch);
+        // One wall read covers every token this step emits: lifecycle
+        // resolution is per step anyway, and it keeps the loop cheap.
+        let token_wall_us = if self.obs.lifecycle.is_enabled() {
+            self.obs.tracer.clock().wall_us()
+        } else {
+            0.0
+        };
         for (a, chunk) in self.active.iter_mut().zip(results.chunks_mut(heads_kv)) {
             // The simulated all-reduce: each head's device partials merge
             // through the exact log-sum-exp combine, then normalize once.
@@ -1277,11 +1522,22 @@ impl ServeSession {
                 stream[a.step] = step_kv.token;
             } else {
                 stream.push(step_kv.token);
+                // Genuinely-new token (not a recovery replay): the
+                // lifecycle tracker's replay guard backstops this, but the
+                // branch keeps the accounting intent visible here.
+                if self.obs.lifecycle.is_enabled() {
+                    self.obs
+                        .lifecycle
+                        .on_token(a.id, self.step_index, token_wall_us);
+                    self.obs.registry.inc("serve.tokens", 1);
+                }
             }
             appends.push((a.seq, step_kv));
             a.step += 1;
             a.remaining -= 1;
         }
+        self.obs.tracer.end(merge_span, "merge", LANE_SESSION);
+        let append_span = self.obs.tracer.begin();
         let mut append_failures: Vec<(SeqId, ServeError)> = Vec::new();
         {
             let store = self.store_mut();
@@ -1298,6 +1554,7 @@ impl ServeSession {
             self.fault_counters.degraded = true;
             self.fail_active_seq(seq, e);
         }
+        self.obs.tracer.end(append_span, "append", LANE_SESSION);
         let wall_s = t0.elapsed().as_secs_f64();
 
         // Retire finished sequences: seal, evict, recycle pages.
@@ -1319,6 +1576,7 @@ impl ServeSession {
         for (id, _) in &done {
             self.finished.insert(*id);
             self.finished_step.insert(*id, self.step_index);
+            self.observe_complete(*id);
         }
         self.active.retain(|a| a.remaining > 0);
 
@@ -1357,11 +1615,33 @@ impl ServeSession {
             self.fault_counters.faults_injected += link_events;
             self.fault_counters.retries += link_failures as usize;
             self.fault_counters.degraded = true;
+            self.observe_fault("fault_link_transient", u64::from(link_failures));
             modeled_interconnect_s += retry_penalty_s(modeled_interconnect_s, link_failures);
         }
 
         let shape = DecodeShape::new(batch, attn, max_len.max(1)).with_residual(max_res);
         let sharing = self.store.sharing_stats();
+        // Copy-on-write privatizations this step, as a delta against the
+        // store's monotone counter. A device-loss rebuild replaces the
+        // store (counter resets to 0); `checked_sub` falls back to the
+        // absolute value so the delta never wraps.
+        let cow_now = self.store.cow_breaks();
+        let cow_delta = cow_now
+            .checked_sub(self.obs.last_cow_breaks)
+            .unwrap_or(cow_now);
+        self.obs.last_cow_breaks = cow_now;
+        if cow_delta > 0 {
+            if self.obs.lifecycle.is_enabled() {
+                self.obs.registry.inc("serve.cow_breaks", cow_delta as u64);
+            }
+            if self.obs.events.is_enabled() {
+                self.obs.events.log(
+                    self.step_index,
+                    "cow_break",
+                    &[("count", EventField::U64(cow_delta as u64))],
+                );
+            }
+        }
         let fc = std::mem::take(&mut self.fault_counters);
         let m = ServeMetrics {
             step: self.step_index,
@@ -1394,9 +1674,70 @@ impl ServeSession {
             faults_injected: fc.faults_injected,
             recoveries: fc.recoveries,
             retries: fc.retries,
-            degraded_steps: usize::from(fc.degraded),
+            degraded: fc.degraded,
             requests_failed: fc.requests_failed,
         };
+        if self.obs.lifecycle.is_enabled() {
+            self.obs
+                .registry
+                .set_gauge("serve.active", self.active.len() as f64);
+            self.obs
+                .registry
+                .set_gauge("serve.pending", self.pending.len() as f64);
+            self.obs
+                .registry
+                .set_gauge("serve.pool_utilization", m.pool_utilization);
+        }
+        // Modeled timeline: allocate simulator intervals for this step's
+        // swap traffic, per-device execution (every device shares the
+        // step's critical-path interval) and the all-reduce, in that
+        // order, so Perfetto shows the modeled schedule the latency model
+        // already charges for.
+        if self.obs.tracer.is_enabled() {
+            if m.modeled_swap_s > 0.0 {
+                let (b, e) = self.obs.tracer.clock().advance_sim_s(m.modeled_swap_s);
+                self.obs.tracer.record_modeled(
+                    "swap",
+                    LANE_SESSION,
+                    b,
+                    e - b,
+                    vec![("bytes", m.swap_bytes)],
+                );
+            }
+            let (b, e) = self.obs.tracer.clock().advance_sim_s(m.modeled_step_s);
+            for d in 0..devices {
+                self.obs.tracer.record_modeled(
+                    "execute",
+                    device_lane(d),
+                    b,
+                    e - b,
+                    vec![
+                        ("units", dev_units[d] as f64),
+                        ("kv_tokens", dev_tokens[d] as f64),
+                    ],
+                );
+            }
+            if m.modeled_interconnect_s > 0.0 {
+                let (b, e) = self
+                    .obs
+                    .tracer
+                    .clock()
+                    .advance_sim_s(m.modeled_interconnect_s);
+                self.obs.tracer.record_modeled(
+                    "all_reduce",
+                    LANE_SESSION,
+                    b,
+                    e - b,
+                    vec![("bytes_per_device", m.allreduce_bytes_per_device)],
+                );
+            }
+        }
+        self.obs.tracer.end_with(
+            step_span,
+            "step",
+            LANE_SESSION,
+            vec![("batch", batch as f64), ("kv_tokens", kv_tokens as f64)],
+        );
         self.step_index += 1;
         self.metrics.push(m.clone());
         Some(m)
@@ -1450,7 +1791,7 @@ impl ServeSession {
             faults_injected: fc.faults_injected,
             recoveries: fc.recoveries,
             retries: fc.retries,
-            degraded_steps: 1,
+            degraded: true,
             requests_failed: fc.requests_failed,
         };
         self.step_index += 1;
@@ -1468,6 +1809,7 @@ impl ServeSession {
         self.store_mut().evict(victim.seq);
         self.fault_counters.requests_failed += 1;
         self.failed.insert(victim.id, err);
+        self.observe_failed(victim.id);
     }
 
     /// Kills one device: every KV page it held is gone. The session
@@ -1497,10 +1839,12 @@ impl ServeSession {
         // Recovery: every resident sequence lost its share on the dead
         // device, and every parked swap blob was cut for the old device
         // count — both recompute from the prompt.
+        let mut recovered: Vec<RequestId> = Vec::new();
         for entry in &mut self.pending {
             if entry.resume.take().is_some() {
                 entry.model.reset();
                 self.fault_counters.recoveries += 1;
+                recovered.push(entry.id);
             }
         }
         let actives = std::mem::take(&mut self.active);
@@ -1508,12 +1852,16 @@ impl ServeSession {
             let mut model = a.model;
             model.reset();
             self.fault_counters.recoveries += 1;
+            recovered.push(a.id);
             self.pending.push_front(QueueEntry {
                 id: a.id,
                 model,
                 resume: None,
                 fork_of: None,
             });
+        }
+        for id in recovered {
+            self.observe_recovery(id);
         }
         // Fault-seized pages died with the old pools; re-seize the
         // survivors' share so a pending exhaustion keeps its pressure.
@@ -1643,8 +1991,9 @@ impl ServeSession {
             faults_injected: run.iter().map(|m| m.faults_injected).sum(),
             recoveries: run.iter().map(|m| m.recoveries).sum(),
             retries: run.iter().map(|m| m.retries).sum(),
-            degraded_steps: run.iter().map(|m| m.degraded_steps).sum(),
+            degraded_steps: run.iter().filter(|m| m.degraded).count(),
             requests_failed: run.iter().map(|m| m.requests_failed).sum(),
+            slo: self.obs.lifecycle.summary(),
         }
     }
 }
@@ -1657,6 +2006,7 @@ mod tests {
     use bd_core::AttentionConfig;
     use bd_gpu_sim::GpuArch;
     use bd_kvcache::QuantScheme;
+    use bd_obs::ClockDomain;
 
     fn decoder(attn: AttentionConfig) -> BitDecoder {
         BitDecoder::builder(GpuArch::rtx4090())
@@ -2753,5 +3103,140 @@ mod tests {
         assert!(session.is_finished(id));
         assert!(!session.is_failed(id));
         assert_eq!(session.failure(id), None);
+    }
+
+    #[test]
+    fn obs_disabled_by_default_records_nothing() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 4));
+        session
+            .submit(Box::new(SynthSequence::new(attn, 1, 30, 4)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.slo, bd_obs::SloSummary::default());
+        assert_eq!(session.tracer().recorded(), 0);
+        assert_eq!(session.event_log().recorded(), 0);
+        assert!(!session.lifecycle().is_enabled());
+    }
+
+    #[test]
+    fn obs_spans_events_and_slo_reconcile_with_summary() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let dec = decoder(attn);
+        let mut session = ServeSession::new(
+            dec,
+            ServeConfig::new(256, 32, 0, 8).with_devices(2, Partitioning::HeadModulo),
+        )
+        .with_obs(ObsConfig::all());
+        let gens: [usize; 3] = [5, 4, 6];
+        for (i, gen) in gens.iter().enumerate() {
+            session
+                .submit(Box::new(SynthSequence::new(attn, i as u64, 40, *gen)))
+                .unwrap();
+        }
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 3);
+
+        let tokens: usize = gens.iter().sum();
+        let slo = summary.slo;
+        assert_eq!(slo.submitted, 3);
+        assert_eq!(slo.admitted, 3);
+        assert_eq!(slo.completed, 3);
+        assert_eq!(slo.failed, 0);
+        assert_eq!(slo.tokens, tokens as u64);
+        // One TTFT sample per request that produced a token; every later
+        // token is exactly one TBT gap.
+        assert_eq!(slo.ttft_steps.count, 3);
+        assert_eq!(slo.tbt_steps.count, (tokens - 3) as u64);
+        assert_eq!(slo.queue_wait_steps.count, 3);
+        assert_eq!(slo.goodput_tok_s.count, 3);
+        assert!(slo.ttft_s.p99.is_finite());
+        assert!(slo.aggregate_goodput_tok_s > 0.0);
+
+        // Event log reconciles with the lifecycle counters.
+        let events = session.event_log();
+        assert_eq!(events.count_event("submit"), 3);
+        assert_eq!(events.count_event("admit"), 3);
+        assert_eq!(events.count_event("complete"), 3);
+        assert_eq!(events.count_event("preempt"), 0);
+
+        // Registry counters agree too.
+        let reg = session.metrics_registry();
+        assert_eq!(reg.counter("serve.submitted"), 3);
+        assert_eq!(reg.counter("serve.admitted"), 3);
+        assert_eq!(reg.counter("serve.completions"), 3);
+        assert_eq!(reg.counter("serve.tokens"), tokens as u64);
+
+        // Spans: one "step" wall span per summary step, an "execute"
+        // modeled span per (step, device), and worker "execute" wall spans
+        // for every work unit of every step.
+        let spans = session.tracer().snapshot();
+        let count = |name: &str, domain: ClockDomain| {
+            spans
+                .iter()
+                .filter(|s| s.name == name && s.domain == domain)
+                .count()
+        };
+        assert_eq!(count("step", ClockDomain::Wall), summary.steps);
+        assert_eq!(count("merge", ClockDomain::Wall), summary.steps);
+        assert_eq!(
+            count("execute", ClockDomain::Modeled),
+            summary.steps * session.devices()
+        );
+        assert!(count("execute", ClockDomain::Wall) >= summary.steps);
+        assert_eq!(session.tracer().dropped(), 0);
+
+        // The exported Chrome trace parses and carries every span.
+        let trace = session.tracer().chrome_trace_json();
+        let parsed = bd_obs::json::parse(&trace).expect("trace must be valid JSON");
+        let n_x = parsed
+            .get("traceEvents")
+            .and_then(bd_obs::json::JsonValue::as_array)
+            .expect("traceEvents array")
+            .iter()
+            .filter(|e| e.get("ph").and_then(bd_obs::json::JsonValue::as_str) == Some("X"))
+            .count();
+        assert_eq!(n_x, spans.len());
+    }
+
+    #[test]
+    fn obs_attributes_preemptions_faults_and_recoveries() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let dec = decoder(attn);
+        // Tight pool + preempting policy + a device loss: exercises the
+        // preempt/resume and recovery attribution paths.
+        let mut session = ServeSession::new(
+            dec,
+            ServeConfig::new(8, 32, 0, 4).with_devices(2, Partitioning::HeadModulo),
+        )
+        .with_policy(FcfsPreempt::default())
+        .with_faults(FaultPlan::new().device_loss(3, 1))
+        .with_obs(ObsConfig::all());
+        session
+            .submit(Box::new(SynthSequence::new(attn, 1, 70, 10)))
+            .unwrap();
+        session
+            .submit_at(2, Box::new(SynthSequence::new(attn, 2, 40, 3)))
+            .unwrap();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, 2);
+        assert!(summary.faults_injected >= 1);
+        let slo = summary.slo;
+        assert_eq!(slo.completed, 2);
+        assert_eq!(slo.preemptions as usize, summary.preemptions);
+        assert_eq!(slo.recoveries as usize, summary.recoveries);
+        let events = session.event_log();
+        assert_eq!(events.count_event("preempt") as usize, summary.preemptions);
+        assert_eq!(events.count_event("recovery") as usize, summary.recoveries);
+        assert_eq!(events.count_event("fault_device_loss"), 1);
+        assert_eq!(events.count_event("complete"), 2);
+        // Degraded steps: the summary counter is the number of degraded
+        // step samples, and each sample's flag is visible per step.
+        assert_eq!(
+            summary.degraded_steps,
+            session.metrics().iter().filter(|m| m.degraded).count()
+        );
+        assert!(summary.degraded_steps >= 1);
     }
 }

@@ -30,6 +30,7 @@
 use bd_core::{BitDecoder, OnlineSoftmax};
 use bd_kvcache::{DeviceId, SeqId, ShardedKvStore, StoreError};
 use bd_lowbit::fastpath::FastDequantOps;
+use bd_obs::{device_lane, SpanTracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -114,6 +115,10 @@ struct Task {
     unit: WorkUnit,
     store: Arc<ShardedKvStore>,
     decoder: Arc<BitDecoder>,
+    /// Clone of the session's span tracer: workers record per-unit
+    /// `execute` spans on their device lane (a relaxed atomic load when
+    /// tracing is off).
+    tracer: SpanTracer,
 }
 
 /// One unit's finished attention partial.
@@ -154,12 +159,22 @@ fn run_unit(task: Task) -> Result<UnitResult, ServeError> {
     // Read ONLY this device's arena: the gather goes through the local
     // store and the head's local slot, never through another device.
     let local = placement.local_index(task.unit.head);
+    let span = task.tracer.begin();
     let dev_store = task.store.device(task.unit.device);
     let blocks = dev_store.packed_blocks(task.unit.seq, local);
     let (res_k, res_v) = dev_store.residual(task.unit.seq, local);
     let (partial, ops) =
         task.decoder
             .attend_head_partial(&task.unit.q_block, &blocks, res_k, res_v);
+    task.tracer.end_with(
+        span,
+        "execute",
+        device_lane(task.unit.device.0 as usize),
+        vec![
+            ("unit", task.unit.unit as f64),
+            ("head", task.unit.head as f64),
+        ],
+    );
     Ok(UnitResult {
         unit: task.unit.unit,
         device: task.unit.device,
@@ -257,6 +272,7 @@ impl WorkerPool {
         units: Vec<WorkUnit>,
         store: &Arc<ShardedKvStore>,
         decoder: &Arc<BitDecoder>,
+        tracer: &SpanTracer,
     ) -> Result<Vec<UnitResult>, ServeError> {
         let n = units.len();
         let mut out: Vec<Option<UnitResult>> = (0..n).map(|_| None).collect();
@@ -266,6 +282,7 @@ impl WorkerPool {
                     unit,
                     store: Arc::clone(store),
                     decoder: Arc::clone(decoder),
+                    tracer: tracer.clone(),
                 })?;
                 let slot = r.unit;
                 out[slot] = Some(r);
@@ -292,6 +309,7 @@ impl WorkerPool {
                         unit,
                         store: Arc::clone(store),
                         decoder: Arc::clone(decoder),
+                        tracer: tracer.clone(),
                     })
                     .is_err()
                 {
@@ -386,13 +404,15 @@ mod tests {
     fn threaded_results_match_inline_bitwise_at_any_device_count() {
         let (decoder, store1, units1) = setup(1);
         let inline = WorkerPool::new(0, 1)
-            .run_step(units1, &store1, &decoder)
+            .run_step(units1, &store1, &decoder, &SpanTracer::disabled())
             .unwrap();
         for devices in [1usize, 2] {
             let (_, store, units) = setup(devices);
             for workers in [0usize, 1, 3] {
                 let pool = WorkerPool::new(workers, devices);
-                let got = pool.run_step(units.clone(), &store, &decoder).unwrap();
+                let got = pool
+                    .run_step(units.clone(), &store, &decoder, &SpanTracer::disabled())
+                    .unwrap();
                 for (a, b) in inline.iter().zip(&got) {
                     assert_eq!(a.unit, b.unit);
                     assert_eq!(
@@ -411,7 +431,9 @@ mod tests {
         let (decoder, store, units) = setup(2);
         let pool = WorkerPool::new(2, 2);
         assert_eq!(pool.devices(), 2);
-        let results = pool.run_step(units.clone(), &store, &decoder).unwrap();
+        let results = pool
+            .run_step(units.clone(), &store, &decoder, &SpanTracer::disabled())
+            .unwrap();
         for (u, r) in units.iter().zip(&results) {
             assert_eq!(r.device, u.device);
             assert_eq!(r.device, store.placement().device_of(u.head));
@@ -425,7 +447,9 @@ mod tests {
         units[0].device = DeviceId(1);
         for workers in [0usize, 2] {
             let pool = WorkerPool::new(workers, 2);
-            let err = pool.run_step(units.clone(), &store, &decoder).unwrap_err();
+            let err = pool
+                .run_step(units.clone(), &store, &decoder, &SpanTracer::disabled())
+                .unwrap_err();
             assert_eq!(
                 err,
                 ServeError::Misrouted {
@@ -443,7 +467,9 @@ mod tests {
                 u[0].device = DeviceId(0);
                 u
             };
-            let results = pool.run_step(fixed, &store, &decoder).unwrap();
+            let results = pool
+                .run_step(fixed, &store, &decoder, &SpanTracer::disabled())
+                .unwrap();
             assert_eq!(results.len(), units.len());
             for (i, r) in results.iter().enumerate() {
                 assert_eq!(r.unit, i, "workers={workers}");
@@ -457,7 +483,9 @@ mod tests {
         let mut store = store;
         let pool = WorkerPool::new(2, 2);
         for _ in 0..3 {
-            let _ = pool.run_step(units.clone(), &store, &decoder).unwrap();
+            let _ = pool
+                .run_step(units.clone(), &store, &decoder, &SpanTracer::disabled())
+                .unwrap();
             // All task Arcs were dropped before results were sent.
             while Arc::strong_count(&store) > 1 {
                 std::thread::yield_now();

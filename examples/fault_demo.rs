@@ -62,7 +62,7 @@ fn main() {
             m.faults_injected,
             m.recoveries,
             m.kv_tokens,
-            m.degraded_steps,
+            m.degraded,
             m.completed,
         );
     }

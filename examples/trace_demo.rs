@@ -1,0 +1,144 @@
+//! Observability end to end: a bursty over-subscribed workload served with
+//! every `bd-obs` surface enabled — span tracing on the dual clock, the
+//! structured JSONL event log, and request-lifecycle SLO tracking.
+//!
+//! The demo
+//!
+//! 1. serves one big early request plus six small late arrivals through a
+//!    2-device session under `FcfsPreempt`, with [`ObsConfig::all`];
+//! 2. writes the Chrome `trace_event` timeline to
+//!    `target/trace_demo.trace.json` (load it at <https://ui.perfetto.dev>)
+//!    and the event log to `target/trace_demo.events.jsonl`;
+//! 3. asserts the three observability surfaces **reconcile exactly** with
+//!    the session's own `ServeSummary`: lifecycle counts match summary
+//!    counters, event-log counts match lifecycle transitions, wall `step`
+//!    spans match `summary.steps`, modeled `execute` spans match
+//!    `steps x devices`, and the TTFT p99 is finite.
+//!
+//! Run with: `cargo run --release --example trace_demo`
+
+use bitdecoding::core::{AttentionConfig, BitDecoder};
+use bitdecoding::serve::{
+    ClockDomain, FcfsPreempt, ObsConfig, Quantiles, ServeConfig, ServeSession, SynthSequence,
+};
+use bitdecoding::{GpuArch, Partitioning, QuantScheme};
+
+/// (seed, prompt, gen, arrival step) — one big request that owns the pool
+/// from step 0, then a burst of six small requests arriving at steps 3-10.
+const REQUESTS: [(u64, usize, usize, usize); 7] = [
+    (0, 448, 40, 0),
+    (1, 48, 6, 3),
+    (2, 48, 6, 4),
+    (3, 48, 4, 5),
+    (4, 48, 4, 7),
+    (5, 48, 6, 9),
+    (6, 48, 4, 10),
+];
+
+fn fmt_q(q: &Quantiles) -> String {
+    format!(
+        "n {:>3}  p50 {:>7.1}  p90 {:>7.1}  p99 {:>7.1}  max {:>7.1}",
+        q.count, q.p50, q.p90, q.p99, q.max
+    )
+}
+
+fn main() {
+    let attn = AttentionConfig::gqa(8, 2, 64);
+    let decoder = BitDecoder::builder(GpuArch::rtx4090())
+        .attention(attn)
+        .scheme(QuantScheme::kc4())
+        .paged(true)
+        .build();
+
+    // 20 pages x 32 tokens: request 0 alone reserves 15 pages, so the
+    // burst forces queueing and swap-out preemptions — exactly the regime
+    // where TTFT/TBT/queue-wait distributions are interesting.
+    let config = ServeConfig::new(20, 32, 2, 8).with_devices(2, Partitioning::HeadContiguous);
+    let mut session = ServeSession::new(decoder, config)
+        .with_policy(Box::new(FcfsPreempt::default()))
+        .with_obs(ObsConfig::all());
+
+    println!("=== bd-obs: span traces, event log, and SLO histograms ===\n");
+    println!("pool 20 pages x 32 tokens, 2 devices, FcfsPreempt; burst of 6 behind 1 big\n");
+
+    for &(seed, prompt, gen, at) in &REQUESTS {
+        session
+            .submit_at(at, Box::new(SynthSequence::new(attn, seed, prompt, gen)))
+            .expect("request fits the pool");
+    }
+    let summary = session.run_to_completion();
+    let slo = &summary.slo;
+
+    // --- lifecycle <-> summary reconciliation -------------------------
+    assert_eq!(slo.submitted as usize, REQUESTS.len());
+    assert_eq!(slo.completed as usize, summary.completed);
+    assert_eq!(slo.preemptions as usize, summary.preemptions);
+    assert_eq!(slo.resumes as usize, summary.resumes);
+    let gen_tokens: u64 = REQUESTS.iter().map(|&(_, _, gen, _)| gen as u64).sum();
+    assert_eq!(slo.tokens, gen_tokens, "every generated token counted once");
+    assert!(slo.ttft_steps.p99.is_finite(), "TTFT p99 (steps) is finite");
+    assert!(slo.ttft_s.p99.is_finite(), "TTFT p99 (seconds) is finite");
+    assert!(summary.preemptions > 0, "the burst forces preemptions");
+
+    // --- event log <-> summary reconciliation -------------------------
+    let events = session.event_log();
+    assert_eq!(events.dropped(), 0, "event ring never overflowed");
+    assert_eq!(events.count_event("submit_at") as usize, REQUESTS.len());
+    assert_eq!(events.count_event("complete") as usize, summary.completed);
+    assert_eq!(events.count_event("preempt") as usize, summary.preemptions);
+    assert_eq!(events.count_event("swap_in") as usize, summary.resumes);
+    let admits = events.count_event("admit") + events.count_event("swap_in");
+    assert_eq!(admits, slo.admitted + slo.resumes);
+
+    // --- span trace <-> summary reconciliation ------------------------
+    let tracer = session.tracer();
+    assert_eq!(tracer.dropped(), 0, "span ring never overflowed");
+    let spans = tracer.snapshot();
+    let wall_steps = spans
+        .iter()
+        .filter(|s| s.name == "step" && s.domain == ClockDomain::Wall)
+        .count();
+    assert_eq!(wall_steps, summary.steps, "one wall `step` span per step");
+    let modeled_exec = spans
+        .iter()
+        .filter(|s| s.name == "execute" && s.domain == ClockDomain::Modeled)
+        .count();
+    assert_eq!(
+        modeled_exec,
+        summary.steps * summary.devices,
+        "one modeled `execute` span per device per step"
+    );
+
+    // --- export -------------------------------------------------------
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
+    std::fs::create_dir_all(&out_dir).expect("create target dir");
+    let trace_path = out_dir.join("trace_demo.trace.json");
+    let events_path = out_dir.join("trace_demo.events.jsonl");
+    std::fs::write(&trace_path, tracer.chrome_trace_json()).expect("write trace");
+    std::fs::write(&events_path, events.to_jsonl()).expect("write event log");
+
+    println!(
+        "steps {}  completed {}/{}  preemptions {}  resumes {}  tokens {}",
+        summary.steps,
+        summary.completed,
+        REQUESTS.len(),
+        summary.preemptions,
+        summary.resumes,
+        slo.tokens
+    );
+    println!("ttft  (steps)  {}", fmt_q(&slo.ttft_steps));
+    println!("tbt   (steps)  {}", fmt_q(&slo.tbt_steps));
+    println!("queue (steps)  {}", fmt_q(&slo.queue_wait_steps));
+    println!("goodput tok/s  {}", fmt_q(&slo.goodput_tok_s));
+    println!(
+        "\n{} spans ({} wall `step`, {} modeled `execute`), {} log events",
+        spans.len(),
+        wall_steps,
+        modeled_exec,
+        events.recorded()
+    );
+    println!("trace written to  {}", trace_path.display());
+    println!("events written to {}", events_path.display());
+    println!("open the trace at https://ui.perfetto.dev (drag and drop the file)");
+    println!("\nOK: spans, events, and SLO histograms reconcile with ServeSummary");
+}
