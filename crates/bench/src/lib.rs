@@ -11,6 +11,8 @@ use bd_baselines::DecodeSystem;
 use bd_core::DecodeShape;
 use bd_gpu_sim::GpuArch;
 
+pub mod traces;
+
 /// Prints a section banner.
 pub fn banner(title: &str) {
     println!();

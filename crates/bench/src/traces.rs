@@ -1,0 +1,272 @@
+//! Seeded arrival-trace generators for serving benchmarks.
+//!
+//! Serving benchmarks need *reproducible* offered load: the same seed must
+//! produce the same trace on every machine and every run, with no wall
+//! clock anywhere. Both generators here drive a SplitMix64 stream — the
+//! same tiny PRNG the kernels' property tests use — so a `(seed, params)`
+//! pair fully determines the workload.
+//!
+//! Two arrival processes are provided:
+//!
+//! - [`poisson_trace`] — memoryless arrivals at a constant rate, the
+//!   classic open-loop baseline.
+//! - [`bursty_trace`] — a two-state Markov-modulated Poisson process
+//!   (calm ↔ burst) that concentrates arrivals into episodes, the shape
+//!   that actually stresses admission control and preemption. Its mean
+//!   rate equals the requested rate, so bursty and Poisson traces of the
+//!   same `(rate, duration)` are comparable head-to-head.
+
+use bd_llm::Request;
+
+/// SplitMix64: tiny, seedable, and identical everywhere. Each call
+/// advances the state by the golden-ratio increment and mixes it.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the stream. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — never zero, so `ln()` is always finite.
+    pub fn unit_open(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential draw with the given rate (events per second).
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        -self.unit_open().ln() / rate
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Per-request size distribution shared by both generators: log-uniform
+/// prompt lengths (matching [`bd_llm::synth_trace`]) and a fixed decode
+/// budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestShape {
+    /// Inclusive prompt-length bounds in tokens.
+    pub prompt_range: (usize, usize),
+    /// Tokens each request generates.
+    pub gen_tokens: usize,
+}
+
+impl RequestShape {
+    fn sample(&self, rng: &mut SplitMix64) -> (usize, usize) {
+        let (lo, hi) = self.prompt_range;
+        let lu = (lo as f64).ln() + rng.unit_open() * ((hi as f64).ln() - (lo as f64).ln());
+        (lu.exp().round() as usize, self.gen_tokens)
+    }
+}
+
+/// Seeded Poisson arrivals: exponential inter-arrival times at
+/// `rate_rps`, truncated at `duration_s`. Deterministic in `seed`.
+pub fn poisson_trace(
+    rate_rps: f64,
+    duration_s: f64,
+    shape: RequestShape,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exp(rate_rps);
+        if t >= duration_s {
+            return out;
+        }
+        let (prompt_tokens, gen_tokens) = shape.sample(&mut rng);
+        out.push(Request {
+            arrival_s: t,
+            prompt_tokens,
+            gen_tokens,
+        });
+    }
+}
+
+/// Parameters of the two-state burst process used by [`bursty_trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct BurstProfile {
+    /// Burst-state arrival rate as a multiple of the calm rate (> 1).
+    pub burst_factor: f64,
+    /// Mean dwell time in the calm state, seconds.
+    pub calm_dwell_s: f64,
+    /// Mean dwell time in the burst state, seconds.
+    pub burst_dwell_s: f64,
+}
+
+impl Default for BurstProfile {
+    fn default() -> Self {
+        Self {
+            burst_factor: 8.0,
+            calm_dwell_s: 4.0,
+            burst_dwell_s: 0.5,
+        }
+    }
+}
+
+impl BurstProfile {
+    /// `(calm_rate, burst_rate)` whose dwell-weighted mean equals
+    /// `mean_rps`.
+    fn rates(&self, mean_rps: f64) -> (f64, f64) {
+        // mean = (calm*dwell_c + calm*factor*dwell_b) / (dwell_c + dwell_b)
+        let total = self.calm_dwell_s + self.burst_dwell_s;
+        let calm = mean_rps * total / (self.calm_dwell_s + self.burst_factor * self.burst_dwell_s);
+        (calm, calm * self.burst_factor)
+    }
+}
+
+/// Seeded bursty arrivals: a Markov-modulated Poisson process that
+/// alternates between a calm state and a burst state (exponential dwell
+/// times), emitting Poisson arrivals at the state's rate. The
+/// dwell-weighted mean rate equals `mean_rps`, so the trace is directly
+/// comparable to `poisson_trace(mean_rps, ..)`. Deterministic in `seed`.
+pub fn bursty_trace(
+    mean_rps: f64,
+    duration_s: f64,
+    shape: RequestShape,
+    profile: BurstProfile,
+    seed: u64,
+) -> Vec<Request> {
+    let (calm_rate, burst_rate) = profile.rates(mean_rps);
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let mut bursting = false;
+    // End of the current state's dwell; arrivals past it are re-drawn in
+    // the next state (thinning-free state switching: the exponential's
+    // memorylessness makes restarting the draw at the boundary exact).
+    let mut state_end = rng.exp(1.0 / profile.calm_dwell_s);
+    while t < duration_s {
+        let rate = if bursting { burst_rate } else { calm_rate };
+        let next = t + rng.exp(rate);
+        if next >= state_end {
+            t = state_end;
+            bursting = !bursting;
+            let dwell = if bursting {
+                profile.burst_dwell_s
+            } else {
+                profile.calm_dwell_s
+            };
+            state_end += rng.exp(1.0 / dwell);
+            continue;
+        }
+        t = next;
+        if t >= duration_s {
+            break;
+        }
+        let (prompt_tokens, gen_tokens) = shape.sample(&mut rng);
+        out.push(Request {
+            arrival_s: t,
+            prompt_tokens,
+            gen_tokens,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: RequestShape = RequestShape {
+        prompt_range: (256, 4096),
+        gen_tokens: 64,
+    };
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_ordered() {
+        let a = poisson_trace(2.0, 60.0, SHAPE, 0xBD);
+        let b = poisson_trace(2.0, 60.0, SHAPE, 0xBD);
+        assert_eq!(a, b, "same seed must reproduce the trace exactly");
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        for r in &a {
+            assert!(r.arrival_s < 60.0);
+            assert!((256..=4096 + 1).contains(&r.prompt_tokens));
+            assert_eq!(r.gen_tokens, 64);
+        }
+        let c = poisson_trace(2.0, 60.0, SHAPE, 0xBE);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honoured() {
+        let trace = poisson_trace(5.0, 400.0, SHAPE, 7);
+        let rate = trace.len() as f64 / 400.0;
+        assert!(
+            (rate - 5.0).abs() < 0.5,
+            "empirical rate {rate:.2} rps far from 5.0"
+        );
+    }
+
+    #[test]
+    fn bursty_trace_is_deterministic_and_mean_preserving() {
+        let profile = BurstProfile::default();
+        let a = bursty_trace(5.0, 400.0, SHAPE, profile, 0xBD);
+        let b = bursty_trace(5.0, 400.0, SHAPE, profile, 0xBD);
+        assert_eq!(a, b, "same seed must reproduce the trace exactly");
+        for w in a.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        // Dwell-weighted mean rate ≈ requested mean rate.
+        let rate = a.len() as f64 / 400.0;
+        assert!(
+            (rate - 5.0).abs() < 1.0,
+            "empirical mean rate {rate:.2} rps far from 5.0"
+        );
+    }
+
+    #[test]
+    fn bursty_trace_actually_bursts() {
+        // Compare the dispersion of per-second arrival counts: a Poisson
+        // process has variance ≈ mean; the burst process must be clearly
+        // over-dispersed.
+        let dispersion = |trace: &[Request]| {
+            let mut counts = vec![0f64; 400];
+            for r in trace {
+                counts[(r.arrival_s as usize).min(399)] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            var / mean.max(1e-9)
+        };
+        let poisson = poisson_trace(5.0, 400.0, SHAPE, 11);
+        let bursty = bursty_trace(5.0, 400.0, SHAPE, BurstProfile::default(), 11);
+        let dp = dispersion(&poisson);
+        let db = dispersion(&bursty);
+        assert!(
+            db > 2.0 * dp,
+            "bursty dispersion {db:.2} not clearly above poisson {dp:.2}"
+        );
+    }
+
+    #[test]
+    fn splitmix_draws_are_in_range() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let u = rng.unit_open();
+            assert!(u > 0.0 && u <= 1.0);
+            let r = rng.range(3, 9);
+            assert!((3..=9).contains(&r));
+        }
+    }
+}

@@ -163,6 +163,83 @@ fn slo_section_reports_lifecycle_distributions() {
 }
 
 #[test]
+fn shared_prefix_rows_lock_the_cascade_scaling_fields() {
+    let doc = load();
+    let rows = doc
+        .get("shared_prefix")
+        .and_then(JsonValue::as_array)
+        .expect("shared_prefix array");
+    // 4 sharer counts (2, 4, 8, 16) x {unshared, shared}.
+    assert_eq!(rows.len(), 8);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            keys(row),
+            vec![
+                "sequences",
+                "mode",
+                "gen_tokens",
+                "steps",
+                "peak_physical_pages",
+                "aggregate_kv_tok_s",
+                "speedup_vs_unshared",
+                "forks",
+                "peak_bytes_deduped_kib",
+                "shared_attn_groups",
+                "prefix_pages_walked_saved",
+            ]
+        );
+        let shared = i % 2 == 1;
+        assert_eq!(
+            row.get("mode").and_then(JsonValue::as_str),
+            Some(if shared { "shared" } else { "unshared" })
+        );
+        // The long-run mode: steady-state decode dominates the wall clock.
+        let gen = row
+            .get("gen_tokens")
+            .and_then(JsonValue::as_f64)
+            .expect("gen_tokens");
+        assert!(gen >= 64.0, "shared_prefix rows must be long runs");
+        let groups = row
+            .get("shared_attn_groups")
+            .and_then(JsonValue::as_f64)
+            .expect("shared_attn_groups");
+        let saved = row
+            .get("prefix_pages_walked_saved")
+            .and_then(JsonValue::as_f64)
+            .expect("prefix_pages_walked_saved");
+        let speedup = row
+            .get("speedup_vs_unshared")
+            .and_then(JsonValue::as_f64)
+            .expect("speedup_vs_unshared");
+        if shared {
+            assert!(groups > 0.0, "shared row {i} formed no cascade groups");
+            assert!(saved > 0.0, "shared row {i} saved no prefix walks");
+        } else {
+            assert_eq!(groups, 0.0, "unshared row {i} must not group");
+            assert_eq!(saved, 0.0);
+            assert_eq!(speedup, 1.0);
+        }
+    }
+    // The committed baseline carries the acceptance result: at 8 sharers
+    // the shared run's aggregate throughput is >= 2x the unshared run's.
+    let eight_shared = rows
+        .iter()
+        .find(|r| {
+            r.get("sequences").and_then(JsonValue::as_f64) == Some(8.0)
+                && r.get("mode").and_then(JsonValue::as_str) == Some("shared")
+        })
+        .expect("8-sharer shared row");
+    let speedup = eight_shared
+        .get("speedup_vs_unshared")
+        .and_then(JsonValue::as_f64)
+        .expect("speedup");
+    assert!(
+        speedup >= 2.0,
+        "committed 8-sharer cascade speedup regressed to {speedup:.2}x"
+    );
+}
+
+#[test]
 fn degraded_rows_keep_the_summary_degraded_step_counter() {
     let doc = load();
     let rows = doc

@@ -5,8 +5,9 @@
 use crate::codec::FragmentCodec;
 use crate::config::{query_transform, ungroup_outputs, AttentionConfig, QueryHeads};
 use crate::kernels::{
-    attend_packed_blocks, attend_packed_blocks_fp4, attend_packed_blocks_parallel, attend_residual,
-    attend_residual_fused, MatmulEngine,
+    attend_packed_blocks, attend_packed_blocks_fp4, attend_packed_blocks_multi,
+    attend_packed_blocks_parallel, attend_residual, attend_residual_fused, MatmulEngine,
+    SharerBlocks,
 };
 use crate::profiles::{decode_plan, ArchPath, OptimizationFlags};
 use crate::shape::DecodeShape;
@@ -67,6 +68,21 @@ impl From<CacheError> for DecodeError {
     fn from(e: CacheError) -> Self {
         DecodeError::Cache(e)
     }
+}
+
+/// One sharer's inputs to [`BitDecoder::attend_head_partial_multi`]: its
+/// query block, the packed blocks past the shared prefix run (in logical
+/// order), and its FP16 residual window. `prefix ++ suffix ++ residual`
+/// is exactly what the independent path would attend over.
+pub struct PrefixSharer<'a, B> {
+    /// The sharer's per-head query rows.
+    pub q_block: &'a [Vec<f32>],
+    /// Packed blocks private to this sharer (past the shared prefix).
+    pub suffix: &'a [B],
+    /// The sharer's residual K window.
+    pub res_k: &'a TokenMatrix,
+    /// The sharer's residual V window.
+    pub res_v: &'a TokenMatrix,
 }
 
 /// Per-step latency report: one entry per launched kernel plus totals.
@@ -458,6 +474,83 @@ impl BitDecoder {
             attend_residual(q_block, res_k, res_v, scale, wn, coop, engine, &mut state);
         }
         (state, ops)
+    }
+
+    /// [`BitDecoder::attend_head_partial`] for a group of sequences that
+    /// share a packed-prefix run (cascade / Hydragen-style shared-prefix
+    /// attention): the shared `prefix` blocks stream through the dequant
+    /// LUTs **once** and score against every sharer's query block in the
+    /// same pass, then each sharer's private suffix blocks and FP16
+    /// residual window run as today. Returns one un-normalized partial
+    /// per sharer, in input order — each bitwise identical to what
+    /// [`BitDecoder::attend_head_partial`] would return for that sharer's
+    /// full `prefix ++ suffix` block list, so grouping is purely an
+    /// optimization. The returned [`FastDequantOps`] counts work actually
+    /// performed (deduped on the fused path). Configurations outside the
+    /// fused fast path (native FP4, non-cooperative multi-warp) fall back
+    /// to per-sharer independent walks.
+    pub fn attend_head_partial_multi<B: Borrow<PackedBlock> + Sync>(
+        &self,
+        prefix: &[B],
+        sharers: &[PrefixSharer<'_, B>],
+    ) -> (Vec<OnlineSoftmax>, FastDequantOps) {
+        let codec = self.codec();
+        let scale = self.attn.scale();
+        let wn = if self.flags.warp_parallelism {
+            self.layout.warps_n
+        } else {
+            1
+        };
+        let coop = self.flags.cooperative_softmax;
+        let engine = match self.path {
+            ArchPath::Sm90 => MatmulEngine::Wgmma,
+            _ => MatmulEngine::Mma,
+        };
+        let fp4 = matches!(
+            (self.path, self.scheme.kind()),
+            (ArchPath::Sm100Fp4, SchemeKind::Fp4(_))
+        );
+        if fp4 || !(coop || wn == 1) {
+            // Outside the fused fast path the solo kernel has no
+            // shared-decode structure to exploit; run each sharer
+            // independently over its concatenated block list.
+            let mut ops = FastDequantOps::default();
+            let partials = sharers
+                .iter()
+                .map(|s| {
+                    let all: Vec<&PackedBlock> = prefix
+                        .iter()
+                        .map(Borrow::borrow)
+                        .chain(s.suffix.iter().map(Borrow::borrow))
+                        .collect();
+                    let (state, solo_ops) =
+                        self.attend_head_partial(s.q_block, &all, s.res_k, s.res_v);
+                    ops += solo_ops;
+                    state
+                })
+                .collect();
+            return (partials, ops);
+        }
+        let blocks: Vec<SharerBlocks<'_, B>> = sharers
+            .iter()
+            .map(|s| SharerBlocks {
+                q: s.q_block,
+                suffix: s.suffix,
+            })
+            .collect();
+        let (mut partials, ops) = attend_packed_blocks_multi(
+            prefix,
+            &blocks,
+            self.attn.head_dim,
+            &codec,
+            self.scheme,
+            scale,
+            engine,
+        );
+        for (state, s) in partials.iter_mut().zip(sharers) {
+            attend_residual_fused(s.q_block, s.res_k, s.res_v, scale, engine, state);
+        }
+        (partials, ops)
     }
 
     /// Prices one decode step of the given shape on the target GPU.

@@ -372,6 +372,146 @@ pub fn attend_packed_blocks_parallel<B: Borrow<PackedBlock> + Sync>(
     )
 }
 
+/// One sharer's view of a cascade multi-query walk: its query block plus
+/// the packed blocks that are private to it (everything past the shared
+/// prefix run). The sharer's full logical block list is
+/// `prefix ++ suffix`, exactly what the independent per-sequence path
+/// would hand [`attend_packed_blocks_parallel`].
+pub struct SharerBlocks<'a, B> {
+    /// The sharer's per-head query rows (un-scaled, as for the solo path).
+    pub q: &'a [Vec<f32>],
+    /// Packed blocks past the shared prefix, in logical order.
+    pub suffix: &'a [B],
+}
+
+/// Cascade multi-query fused walk (Hydragen-style shared-prefix
+/// attention): decodes each shared `prefix` block through the dequant
+/// LUTs **once** and applies the decoded K/V to every sharer's query
+/// block, then walks each sharer's private `suffix` individually. Each
+/// sharer gets its own un-normalized [`OnlineSoftmax`] partial built by
+/// replaying that sharer's canonical split-K plan — the same
+/// `default_shards` chunking, fresh per-chunk partials, and
+/// [`OnlineSoftmax::merge`] order [`attend_packed_blocks_parallel`] would
+/// use for `prefix ++ suffix` — so every returned partial is bitwise
+/// identical to the independent per-sequence walk. The walk itself is
+/// block-major and single-threaded: the compute saving is the deduped
+/// decode, reflected in the returned [`FastDequantOps`], which counts
+/// only work actually performed (shared prefix blocks once, not once per
+/// sharer).
+#[allow(clippy::too_many_arguments)]
+pub fn attend_packed_blocks_multi<B: Borrow<PackedBlock>>(
+    prefix: &[B],
+    sharers: &[SharerBlocks<'_, B>],
+    dim: usize,
+    codec: &FragmentCodec,
+    scheme: QuantScheme,
+    scale: f32,
+    engine: MatmulEngine,
+) -> (Vec<OnlineSoftmax>, FastDequantOps) {
+    struct Plan {
+        rows: usize,
+        q_eff: Vec<Vec<f32>>,
+        n: usize,
+        chunk: usize,
+        chunks: Vec<OnlineSoftmax>,
+    }
+    let p = prefix.len();
+    let mut ops = FastDequantOps::default();
+    let mut plans: Vec<Plan> = sharers
+        .iter()
+        .map(|s| {
+            let n = p + s.suffix.len();
+            let rows = s.q.len();
+            // Same operand rounding as `attend_packed_blocks_fused`.
+            let q_eff: Vec<Vec<f32>> =
+                s.q.iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&x| match engine {
+                                MatmulEngine::Mma => F16::from_f32(x * scale).to_f32(),
+                                MatmulEngine::Wgmma => x * scale,
+                            })
+                            .collect()
+                    })
+                    .collect();
+            // Replicate the sharer's canonical split-K chunking exactly.
+            let shards = default_shards(n).clamp(1, n.max(1));
+            let chunk = n.div_ceil(shards).max(1);
+            let chunks = (0..n.div_ceil(chunk))
+                .map(|_| OnlineSoftmax::new(rows, dim))
+                .collect();
+            Plan {
+                rows,
+                q_eff,
+                n,
+                chunk,
+                chunks,
+            }
+        })
+        .collect();
+
+    fn apply(plan: &mut Plan, b: usize, k_buf: &TokenMatrix, v_buf: &TokenMatrix) {
+        let tokens = k_buf.tokens();
+        let mut s = Tile::zeros(plan.rows, tokens);
+        for (r, q_row) in plan.q_eff.iter().enumerate() {
+            for t in 0..tokens {
+                let mut acc = 0.0f32;
+                for (a, b) in q_row.iter().zip(k_buf.row(t)) {
+                    acc += a * b;
+                }
+                s[(r, t)] = acc;
+            }
+        }
+        plan.chunks[b / plan.chunk].step_rows(&s, v_buf);
+    }
+
+    let max_n = plans.iter().map(|pl| pl.n).max().unwrap_or(0);
+    let mut k_buf = TokenMatrix::new(0);
+    let mut v_buf = TokenMatrix::new(0);
+    // Shared prefix blocks: one decode each, every sharer consumes it.
+    for (b, block) in prefix.iter().take(max_n).enumerate() {
+        ops += codec.decode_block_fused(block.borrow(), scheme, &mut k_buf, &mut v_buf);
+        for plan in plans.iter_mut() {
+            apply(plan, b, &k_buf, &v_buf);
+        }
+    }
+    // Private suffix blocks: decoded per owner, as today.
+    for b in p..max_n {
+        for (plan, sharer) in plans.iter_mut().zip(sharers) {
+            if b < plan.n {
+                ops += codec.decode_block_fused(
+                    sharer.suffix[b - p].borrow(),
+                    scheme,
+                    &mut k_buf,
+                    &mut v_buf,
+                );
+                apply(plan, b, &k_buf, &v_buf);
+            }
+        }
+    }
+
+    let partials = plans
+        .into_iter()
+        .map(|pl| match pl.chunks.len() {
+            // No packed blocks at all: the canonical path leaves the fresh
+            // state untouched.
+            0 => OnlineSoftmax::new(pl.rows, dim),
+            // Single shard: the fused walk ran straight into the (fresh)
+            // state — the chunk partial *is* the state, no merge.
+            1 => pl.chunks.into_iter().next().expect("one chunk"),
+            // Split-K: merge [original fresh state] ++ chunk partials, the
+            // exact list `attend_packed_blocks_sharded` builds.
+            _ => {
+                let mut all = Vec::with_capacity(pl.chunks.len() + 1);
+                all.push(OnlineSoftmax::new(pl.rows, dim));
+                all.extend(pl.chunks);
+                OnlineSoftmax::merge(all)
+            }
+        })
+        .collect();
+    (partials, ops)
+}
+
 /// Quantizes an `rows × cols` value generator to block-scaled FP4 along
 /// its columns (`block`-sized groups), returning codes and per-(row,
 /// block) scales.

@@ -5,8 +5,9 @@
 use bd_core::codec::FragmentCodec;
 use bd_core::softmax::{reference_attention, OnlineSoftmax};
 use bd_core::{
-    attend_packed_blocks, attend_packed_blocks_fused, attend_packed_blocks_sharded,
-    attend_residual, query_transform, ungroup_outputs, AttentionConfig, MatmulEngine,
+    attend_packed_blocks, attend_packed_blocks_fused, attend_packed_blocks_multi,
+    attend_packed_blocks_parallel, attend_packed_blocks_sharded, attend_residual, query_transform,
+    ungroup_outputs, AttentionConfig, MatmulEngine, SharerBlocks,
 };
 use bd_gpu_sim::Tile;
 use bd_kvcache::{BlockCodec, PackLayout, PackedBlock, QuantScheme, TokenMatrix};
@@ -386,5 +387,75 @@ proptest! {
             "pipeline diff {} ({scheme}, blocks {n_blocks}, tail {tail})",
             max_diff(&got, &want)
         );
+    }
+
+    /// Cascade multi-query walk: each sharer's partial is **bitwise**
+    /// identical to the independent per-sequence parallel walk over its
+    /// full `prefix ++ suffix` block list, for any prefix length, sharer
+    /// count, ragged suffix lengths, scheme, and engine — and the deduped
+    /// dequant-op count is strictly below the per-sequence sum whenever a
+    /// prefix is actually shared.
+    #[test]
+    fn multi_query_walk_is_bitwise_per_sharer(
+        seed: u64,
+        scheme in arb_int_scheme(),
+        engine in arb_engine(),
+        p in 0usize..4,
+        n_sharers in 1usize..5,
+    ) {
+        let codec = FragmentCodec::new(PackLayout::sm80_default());
+        let dim = 16;
+        let gq = 2;
+        let (_, _, prefix) = synth_blocks(&codec, scheme, p.max(1), dim, seed);
+        let prefix = &prefix[..p];
+        let suffixes: Vec<Vec<PackedBlock>> = (0..n_sharers)
+            .map(|i| {
+                let n = (seed as usize >> (i * 2)) % 3;
+                let (_, _, b) = synth_blocks(&codec, scheme, n.max(1), dim, seed ^ (i as u64 + 7));
+                b.into_iter().take(n).collect()
+            })
+            .collect();
+        let qs: Vec<Vec<Vec<f32>>> = (0..n_sharers)
+            .map(|i| matrix(gq, dim, seed ^ (0x51 + i as u64)))
+            .collect();
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        let sharers: Vec<SharerBlocks<'_, PackedBlock>> = qs
+            .iter()
+            .zip(&suffixes)
+            .map(|(q, suffix)| SharerBlocks { q, suffix })
+            .collect();
+        let (partials, multi_ops) =
+            attend_packed_blocks_multi(prefix, &sharers, dim, &codec, scheme, scale, engine);
+        prop_assert_eq!(partials.len(), n_sharers);
+
+        let mut solo_ops_total = 0u32;
+        for ((q, suffix), got) in qs.iter().zip(&suffixes).zip(&partials) {
+            let all: Vec<&PackedBlock> = prefix.iter().chain(suffix.iter()).collect();
+            let mut want = OnlineSoftmax::new(gq, dim);
+            let solo_ops = attend_packed_blocks_parallel(
+                q, &all, &codec, scheme, scale, engine, &mut want,
+            );
+            solo_ops_total += solo_ops.total();
+            let got_rows = got.clone().finish();
+            let want_rows = want.finish();
+            for (gr, wr) in got_rows.iter().zip(&want_rows) {
+                for (g, w) in gr.iter().zip(wr) {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "multi partial must be bitwise (p={}, sharers={})", p, n_sharers
+                    );
+                }
+            }
+        }
+        if p > 0 && n_sharers > 1 {
+            prop_assert!(
+                multi_ops.total() < solo_ops_total,
+                "shared prefix must dedup dequant work ({} vs {})",
+                multi_ops.total(), solo_ops_total
+            );
+        } else {
+            prop_assert_eq!(multi_ops.total(), solo_ops_total);
+        }
     }
 }

@@ -538,6 +538,15 @@ impl ShardedKvStore {
         self.devices[d.0 as usize].packed_blocks(seq, self.placement.local_index(head))
     }
 
+    /// Longest run of leading packed blocks every listed sequence reads
+    /// from the same physical pages **on one device** — the cascade
+    /// group boundary for units routed to that device (see
+    /// [`PagedKvStore::shared_block_run`]). Page tables are per-sequence,
+    /// not per-head, so one run covers every head homed on the device.
+    pub fn shared_block_run(&self, device: DeviceId, seqs: &[SeqId]) -> usize {
+        self.devices[device.0 as usize].shared_block_run(seqs)
+    }
+
     /// Splits per-global-head rows into per-device row groups, in local
     /// slot order.
     fn scatter<'a, R>(&self, rows: &'a [R]) -> Vec<Vec<&'a R>> {

@@ -901,6 +901,50 @@ impl PagedKvStore {
         out
     }
 
+    /// Longest run of leading packed blocks that **every** listed sequence
+    /// reads from the same physical pages — the cascade-attention group
+    /// boundary. Block `b` (of `Nr` tokens) homes on page slot
+    /// `(b·Nr)/page_tokens`; the run extends while all sequences' page
+    /// tables agree on that slot's [`PageId`], and is
+    /// capped at the shortest sequence's own flushed-block count.
+    ///
+    /// Physical-identity comparison makes the boundary automatically
+    /// correct around sharing edges: a CoW break replaces the writer's
+    /// page, so the run stops at the last still-shared page; a fork at a
+    /// non-page-aligned boundary leaves the straddling page shared only
+    /// until someone flushes into it, and the shortest-length cap keeps a
+    /// short sharer from claiming blocks it never flushed. Returns `0` for
+    /// fewer than two sequences or if any is non-resident.
+    pub fn shared_block_run(&self, seqs: &[SeqId]) -> usize {
+        if seqs.len() < 2 {
+            return 0;
+        }
+        let nr = self.residual_block();
+        let pt = self.page_tokens();
+        let mut limit = usize::MAX;
+        let mut tables = Vec::with_capacity(seqs.len());
+        for &seq in seqs {
+            let Some(len) = self.seq_len(seq) else {
+                return 0;
+            };
+            let Some(table) = self.pool.table(seq) else {
+                return 0;
+            };
+            limit = limit.min(len / nr);
+            tables.push(table);
+        }
+        let mut run = 0;
+        for b in 0..limit {
+            let slot = (b * nr) / pt;
+            let first = tables[0].get(slot);
+            if first.is_none() || tables[1..].iter().any(|t| t.get(slot) != first) {
+                break;
+            }
+            run = b + 1;
+        }
+        run
+    }
+
     /// Appends one decode-step token (one K/V row per head). Rows round
     /// through FP16 and accumulate in the residual window; when the window
     /// reaches `Nr` every head flushes one packed block into the page arena,
@@ -1664,6 +1708,86 @@ mod tests {
             store.evict(child);
             assert_eq!(store.free_pages(), store.total_pages());
         }
+    }
+
+    /// Appends `n` tokens (salted) to the paged sequence only.
+    fn append_n(store: &mut PagedKvStore, seq: SeqId, n: usize, salt: usize, t0: usize) {
+        let dim = store.config().dim;
+        let heads = store.heads();
+        for t in t0..t0 + n {
+            let k: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t, salt + h)).collect();
+            let v: Vec<Vec<f32>> = (0..heads).map(|h| row(dim, t + 500, salt + h)).collect();
+            store.append_step(seq, &k, &v, &ReferenceCodec).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_block_run_tracks_physical_prefix_identity() {
+        // Nr = 128, pages of 48 tokens: block 0 homes on slot 0, block 1 on
+        // slot 2, block 2 on slot 5.
+        let mut store = PagedKvStore::new(cfg(16), 2, 2048, 48);
+        let parent = store.admit(512).unwrap();
+        append_n(&mut store, parent, 256, 0, 0);
+        assert_eq!(store.shared_block_run(&[]), 0);
+        assert_eq!(store.shared_block_run(&[parent]), 0, "no group of one");
+
+        let child = store.fork(parent, 256, 512).unwrap();
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
+
+        // An unrelated sequence shares no physical pages.
+        let other = store.admit(512).unwrap();
+        append_n(&mut store, other, 256, 9, 0);
+        assert_eq!(store.shared_block_run(&[parent, other]), 0);
+        assert_eq!(store.shared_block_run(&[parent, child, other]), 0);
+
+        // Parent diverges: its block-2 flush CoWs the straddling shared
+        // page (slot 5), which no shared block homes on — run unchanged,
+        // capped at the child's own flushed count.
+        append_n(&mut store, parent, 128, 1000, 256);
+        assert!(store.cow_breaks() > 0, "flush must have broken the share");
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
+
+        // Child catches up with its own divergent block 2: tables now
+        // disagree at slot 5, so the run still stops at 2.
+        append_n(&mut store, child, 128, 2000, 256);
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
+
+        // A non-resident member dissolves the group entirely.
+        store.evict(child);
+        assert_eq!(store.shared_block_run(&[parent, child]), 0);
+    }
+
+    #[test]
+    fn mid_page_fork_boundary_splits_the_group_at_the_last_shared_block() {
+        // Regression for the off-by-one-page case: pt = 256 holds two
+        // Nr = 128 blocks, and the fork lands at 270 — neither
+        // page-aligned (270 % 256 != 0) nor block-aligned (270 % 128 != 0),
+        // legal because tokens 256..270 sit in the parent's residual
+        // window. The straddling page (slot 1, tokens 256..511) is shared
+        // at fork time, but block 2 — which homes on it — is *not* common
+        // history: a pages-shared → blocks-shared shortcut would claim
+        // ceil(270/256)·256/128 = 4 blocks. The run must stop at 2, before
+        // and after either lineage flushes into the straddling page.
+        let mut store = PagedKvStore::new(cfg(16), 1, 64, 256);
+        let parent = store.admit(512).unwrap();
+        append_n(&mut store, parent, 300, 0, 0);
+        assert!(store.can_fork(parent, 270), "mid-residual fork is legal");
+        let child = store.fork(parent, 270, 512).unwrap();
+        assert_eq!(store.sharing_stats().shared_pages, 2);
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
+
+        // Parent flushes block 2 into the shared straddling page → CoW.
+        append_n(&mut store, parent, 84, 1000, 300);
+        assert_eq!(store.seq_len(parent), Some(384));
+        assert_eq!(store.cow_breaks(), 1);
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
+
+        // Child flushes its own divergent block 2 (now sole owner of the
+        // original page): tables disagree on slot 1, run still 2 — the
+        // straddling page's blocks belong to the private suffix.
+        append_n(&mut store, child, 114, 2000, 270);
+        assert_eq!(store.seq_len(child), Some(384));
+        assert_eq!(store.shared_block_run(&[parent, child]), 2);
     }
 
     #[test]

@@ -147,6 +147,14 @@ pub struct FunctionalServeReport {
     pub peak_shared_bytes_saved: usize,
     /// Host bytes moved by swap traffic, both directions.
     pub swap_bytes: f64,
+    /// Cascade shared-prefix attention units executed across the run
+    /// (one per `(prefix-group, kv-head, device)` per step with ≥ 2
+    /// sharers).
+    pub shared_attn_groups: usize,
+    /// Prefix pages the cascade units did not re-walk across the run —
+    /// the compute-side dedup the memory-side `peak_shared_bytes_saved`
+    /// column now finally buys throughput with.
+    pub prefix_pages_walked_saved: usize,
     /// The emitted token stream of every request, in submission order.
     pub token_streams: Vec<Vec<u32>>,
     /// The decode step at which each request completed, in submission
@@ -216,6 +224,8 @@ fn report_from(
         peak_physical_pages: summary.peak_physical_pages,
         peak_shared_bytes_saved: summary.peak_shared_bytes_saved,
         swap_bytes: summary.swap_bytes,
+        shared_attn_groups: summary.shared_attn_groups,
+        prefix_pages_walked_saved: summary.prefix_pages_walked_saved,
         token_streams: ids
             .iter()
             .map(|id| session.stream(*id).expect("submitted").to_vec())

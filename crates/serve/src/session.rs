@@ -7,7 +7,10 @@
 //! request's full prompt + generation page budget **on every device** of
 //! the [`ShardedKvStore`] (so an admitted sequence never OOMs mid-decode),
 //! and every [`ServeSession::step`] re-forms the batch, fans one work unit
-//! per `(sequence, kv-head, device)` across the device-pinned
+//! per `(sequence, kv-head, device)` — coalescing sequences that alias
+//! the same sealed prefix pages into one cascade unit per `(prefix-group,
+//! kv-head, device)` that walks the shared pages once (see
+//! [`ServeConfig::with_shared_attn`]) — across the device-pinned
 //! [`WorkerPool`] groups, **merges each head's softmax partials** (the
 //! simulated all-reduce, exact by `OnlineSoftmax::merge`), appends each
 //! sequence's new KV token, and retires finished sequences so their pages
@@ -81,6 +84,13 @@ pub struct ServeConfig {
     /// default — swapped KV crosses the device↔host boundary, not the
     /// device↔device fabric).
     pub swap_link: InterconnectModel,
+    /// Cascade shared-prefix attention: group sequences aliasing the same
+    /// sealed prefix pages into one multi-query unit per `(group,
+    /// kv-head, device)` so the shared pages stream through the dequant
+    /// LUTs once per step. Purely an optimization — partials are bitwise
+    /// identical either way — and on by default; disable to force the
+    /// classic per-sequence fan-out.
+    pub shared_attn: bool,
 }
 
 impl ServeConfig {
@@ -102,6 +112,7 @@ impl ServeConfig {
             partitioning: Partitioning::HeadContiguous,
             link: InterconnectModel::nvlink4(),
             swap_link: InterconnectModel::pcie_gen5(),
+            shared_attn: true,
         }
     }
 
@@ -127,6 +138,13 @@ impl ServeConfig {
     /// Overrides the host link model pricing swap traffic.
     pub fn with_swap_link(mut self, link: InterconnectModel) -> Self {
         self.swap_link = link;
+        self
+    }
+
+    /// Enables or disables cascade shared-prefix attention grouping
+    /// (enabled by default).
+    pub fn with_shared_attn(mut self, on: bool) -> Self {
+        self.shared_attn = on;
         self
     }
 }
@@ -301,6 +319,13 @@ pub struct ServeMetrics {
     /// Requests permanently failed this step (unattributable worker-pool
     /// loss, unserveable model).
     pub requests_failed: usize,
+    /// Cascade shared-prefix attention units executed this step — one per
+    /// `(prefix-group, kv-head, device)` with ≥ 2 sharers.
+    pub shared_attn_groups: usize,
+    /// Prefix pages the cascade units did **not** re-walk this step: for
+    /// each group unit, `(sharers − 1) ×` the pages covering its shared
+    /// block run. Zero when grouping is off or no groups formed.
+    pub prefix_pages_walked_saved: usize,
 }
 
 impl ServeMetrics {
@@ -360,6 +385,12 @@ pub struct ServeSummary {
     pub degraded_steps: usize,
     /// Requests that failed permanently across the run.
     pub requests_failed: usize,
+    /// Total cascade shared-prefix attention units executed across the
+    /// run (see [`ServeMetrics::shared_attn_groups`]).
+    pub shared_attn_groups: usize,
+    /// Total prefix pages the cascade units did not re-walk across the
+    /// run (see [`ServeMetrics::prefix_pages_walked_saved`]).
+    pub prefix_pages_walked_saved: usize,
     /// Request-lifecycle SLO rollup (TTFT/TBT/queue-wait/goodput
     /// distributions). Zeroed unless the session was built
     /// [`ServeSession::with_obs`] lifecycle tracking enabled.
@@ -1417,13 +1448,19 @@ impl ServeSession {
         let placement = *self.store.placement();
         let devices = placement.devices();
 
-        // Batch formation: one unit per (sequence, kv-head, owning device).
-        let mut units = Vec::with_capacity(self.active.len() * heads_kv);
+        // Batch formation. Classic shape: one unit per (sequence, kv-head,
+        // owning device). With cascade grouping on, sequences whose page
+        // tables alias the same sealed prefix pages on a device collapse
+        // into ONE multi-query unit per (prefix-group, kv-head, device) —
+        // the shared pages stream through the dequant LUTs once. The
+        // partition is recomputed from the page tables every step, so
+        // groups dissolve and reform automatically across fork, CoW
+        // breaks, preemption, swap, and device-loss rebuilds.
         let mut kv_tokens = 0usize;
         let mut max_len = 0usize;
         let mut max_res = 0usize;
-        let mut dev_units = vec![0usize; devices];
-        let mut dev_tokens = vec![0usize; devices];
+        let mut lens = Vec::with_capacity(self.active.len());
+        let mut qs: Vec<Vec<Vec<Vec<f32>>>> = Vec::with_capacity(self.active.len());
         for a in &mut self.active {
             let Some(len) = self.store.seq_len(a.seq) else {
                 unreachable!("active sequence is resident");
@@ -1431,21 +1468,104 @@ impl ServeSession {
             kv_tokens += len;
             max_len = max_len.max(len);
             max_res = max_res.max(self.store.residual_len(a.seq));
-            let q = a.model.query(a.step);
-            for (kv, q_block) in query_transform(&q, &attn).into_iter().enumerate() {
-                let device = placement.device_of(kv);
+            lens.push(len);
+            qs.push(query_transform(&a.model.query(a.step), &attn));
+        }
+        let batch = self.active.len();
+        let nr = self.store.config().residual_block();
+        let pt = self.store.page_tokens();
+
+        // Per-device partition of the active batch into cascade groups
+        // (members in active order, identified by active index) and
+        // singletons. Bucketing by root physical page is cheap and exact:
+        // sequences sharing any sealed prefix share its first page.
+        let mut partitions: Vec<Vec<(Vec<usize>, usize)>> = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let mut items: Vec<(Vec<usize>, usize)> = Vec::new();
+            let mut grouped: BTreeMap<usize, (Vec<usize>, usize)> = BTreeMap::new();
+            if self.config.shared_attn && batch > 1 {
+                let dev = self.store.device(DeviceId(d as u32));
+                let mut buckets: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+                for (i, a) in self.active.iter().enumerate() {
+                    if let Some(root) = dev.pool().table(a.seq).and_then(|t| t.first()) {
+                        buckets.entry(root.0).or_default().push(i);
+                    }
+                }
+                for (_, members) in buckets {
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let seqs: Vec<SeqId> = members.iter().map(|&i| self.active[i].seq).collect();
+                    let run = dev.shared_block_run(&seqs);
+                    if run > 0 {
+                        grouped.insert(members[0], (members, run));
+                    }
+                }
+            }
+            let in_group: BTreeSet<usize> = grouped
+                .values()
+                .flat_map(|(members, _)| members.iter().copied())
+                .collect();
+            for i in 0..batch {
+                if let Some(item) = grouped.remove(&i) {
+                    items.push(item);
+                } else if !in_group.contains(&i) {
+                    items.push((vec![i], 0));
+                }
+            }
+            partitions.push(items);
+        }
+
+        // Emit units head-major; `slots[i][kv]` records where sequence
+        // `i`'s head-`kv` partial lands: `(unit index, sharer index)`.
+        let mut units = Vec::with_capacity(batch * heads_kv);
+        let mut slots: Vec<Vec<(usize, usize)>> = vec![vec![(0, 0); heads_kv]; batch];
+        let mut dev_units = vec![0usize; devices];
+        let mut dev_tokens = vec![0usize; devices];
+        let mut shared_attn_groups = 0usize;
+        let mut shared_attn_sharers = 0usize;
+        let mut prefix_pages_walked_saved = 0usize;
+        for kv in 0..heads_kv {
+            let device = placement.device_of(kv);
+            for (members, run) in &partitions[device.0 as usize] {
+                let unit = units.len();
                 dev_units[device.0 as usize] += 1;
-                dev_tokens[device.0 as usize] += len;
+                if members.len() > 1 {
+                    // Unique tokens this unit walks: the shared run once,
+                    // plus each sharer's private remainder.
+                    let prefix_tokens = run * nr;
+                    let unique: usize = prefix_tokens
+                        + members
+                            .iter()
+                            .map(|&i| lens[i] - prefix_tokens)
+                            .sum::<usize>();
+                    dev_tokens[device.0 as usize] += unique;
+                    shared_attn_groups += 1;
+                    shared_attn_sharers += members.len();
+                    prefix_pages_walked_saved += (members.len() - 1) * prefix_tokens.div_ceil(pt);
+                } else {
+                    dev_tokens[device.0 as usize] += lens[members[0]];
+                }
+                let sharers = members
+                    .iter()
+                    .enumerate()
+                    .map(|(sharer, &i)| {
+                        slots[i][kv] = (unit, sharer);
+                        crate::workers::UnitSharer {
+                            seq: self.active[i].seq,
+                            q_block: std::mem::take(&mut qs[i][kv]),
+                        }
+                    })
+                    .collect();
                 units.push(WorkUnit {
-                    unit: units.len(),
-                    seq: a.seq,
+                    unit,
                     head: kv,
                     device,
-                    q_block,
+                    prefix_blocks: *run,
+                    sharers,
                 });
             }
         }
-        let batch = self.active.len();
         // Time only the decode work (attention fan-out, partial merge,
         // model advance, append) — not admission/prefill or the user
         // model's query construction above, so kv_tokens_per_s reports the
@@ -1498,16 +1618,20 @@ impl ServeSession {
         } else {
             0.0
         };
-        for (a, chunk) in self.active.iter_mut().zip(results.chunks_mut(heads_kv)) {
+        for (i, a) in self.active.iter_mut().enumerate() {
             // The simulated all-reduce: each head's device partials merge
             // through the exact log-sum-exp combine, then normalize once.
             // Under head placement every head has exactly one partial, so
             // the merge is the identity and the output is bitwise equal to
-            // the single-device path.
-            let blocks: Vec<Vec<Vec<f32>>> = chunk
-                .iter_mut()
-                .map(|r| {
-                    let partial = std::mem::replace(&mut r.partial, OnlineSoftmax::new(0, 0));
+            // the single-device path. The slot map routes each head to its
+            // unit — a cascade unit carries one partial per sharer.
+            let blocks: Vec<Vec<Vec<f32>>> = (0..heads_kv)
+                .map(|kv| {
+                    let (unit, sharer) = slots[i][kv];
+                    let partial = std::mem::replace(
+                        &mut results[unit].partials[sharer],
+                        OnlineSoftmax::new(0, 0),
+                    );
                     Self::reduce_head_partials(std::iter::once(partial))
                 })
                 .collect();
@@ -1642,6 +1766,34 @@ impl ServeSession {
                 );
             }
         }
+        if shared_attn_groups > 0 {
+            if self.obs.lifecycle.is_enabled() {
+                self.obs
+                    .registry
+                    .inc("serve.shared_attn.groups", shared_attn_groups as u64);
+                self.obs
+                    .registry
+                    .inc("serve.shared_attn.sharers", shared_attn_sharers as u64);
+                self.obs.registry.inc(
+                    "serve.shared_attn.pages_saved",
+                    prefix_pages_walked_saved as u64,
+                );
+            }
+            if self.obs.events.is_enabled() {
+                self.obs.events.log(
+                    self.step_index,
+                    "shared_attn",
+                    &[
+                        ("groups", EventField::U64(shared_attn_groups as u64)),
+                        ("sharers", EventField::U64(shared_attn_sharers as u64)),
+                        (
+                            "pages_saved",
+                            EventField::U64(prefix_pages_walked_saved as u64),
+                        ),
+                    ],
+                );
+            }
+        }
         let fc = std::mem::take(&mut self.fault_counters);
         let m = ServeMetrics {
             step: self.step_index,
@@ -1676,6 +1828,8 @@ impl ServeSession {
             retries: fc.retries,
             degraded: fc.degraded,
             requests_failed: fc.requests_failed,
+            shared_attn_groups,
+            prefix_pages_walked_saved,
         };
         if self.obs.lifecycle.is_enabled() {
             self.obs
@@ -1793,6 +1947,8 @@ impl ServeSession {
             retries: fc.retries,
             degraded: true,
             requests_failed: fc.requests_failed,
+            shared_attn_groups: 0,
+            prefix_pages_walked_saved: 0,
         };
         self.step_index += 1;
         self.metrics.push(m.clone());
@@ -1993,6 +2149,8 @@ impl ServeSession {
             retries: run.iter().map(|m| m.retries).sum(),
             degraded_steps: run.iter().filter(|m| m.degraded).count(),
             requests_failed: run.iter().map(|m| m.requests_failed).sum(),
+            shared_attn_groups: run.iter().map(|m| m.shared_attn_groups).sum(),
+            prefix_pages_walked_saved: run.iter().map(|m| m.prefix_pages_walked_saved).sum(),
             slo: self.obs.lifecycle.summary(),
         }
     }
@@ -2740,6 +2898,70 @@ mod tests {
         }
         // Everything drained and every refcount returned to zero.
         assert_eq!(shared.store().free_pages(), shared.store().total_pages());
+    }
+
+    #[test]
+    fn cascade_grouping_dedups_compute_and_stays_bitwise() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        // Prompt 128 = Nr = one packed block on 4 pages of 32 tokens.
+        let (prompt, gen) = (128usize, 6usize);
+        let gen_seeds = [7u64, 100, 101, 102];
+        let run = |shared_attn: bool| {
+            let cfg = ServeConfig::new(64, 32, 0, 8).with_shared_attn(shared_attn);
+            let mut session = ServeSession::new(decoder(attn), cfg);
+            let parent = session
+                .submit(Box::new(SynthSequence::new(attn, 7, prompt, gen)))
+                .unwrap();
+            let mut ids = vec![parent];
+            for &gs in &gen_seeds[1..] {
+                let model = Box::new(SynthSequence::forked(attn, 7, gs, prompt, gen));
+                ids.push(session.submit_forked(parent, model).unwrap());
+            }
+            let summary = session.run_to_completion();
+            assert_eq!(summary.completed, 4);
+            (session, ids, summary)
+        };
+        let (on, on_ids, on_sum) = run(true);
+        let (off, off_ids, off_sum) = run(false);
+
+        // Grouping is a pure optimization: identical streams, and both
+        // match the uninterrupted contiguous replay.
+        for (i, (a, b)) in on_ids.iter().zip(&off_ids).enumerate() {
+            assert_eq!(on.stream(*a), off.stream(*b), "request {i}");
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::forked(attn, 7, gen_seeds[i], prompt, gen),
+            );
+            assert_eq!(on.stream(*a).unwrap(), want, "request {i}");
+        }
+
+        // The off run never groups; the on run groups every step (no
+        // lineage flushes past the shared block during 6 gen tokens):
+        // one cascade unit per kv head, all four sequences sharing.
+        assert_eq!(off_sum.shared_attn_groups, 0);
+        assert_eq!(off_sum.prefix_pages_walked_saved, 0);
+        let m0 = &on.metrics()[0];
+        assert_eq!(m0.shared_attn_groups, attn.heads_kv);
+        // Saved walks reconcile with the storage-sharing stats: each of
+        // heads_kv units skips (sharers − 1) × shared prompt pages.
+        assert_eq!(m0.shared_pages, prompt / 32);
+        assert_eq!(
+            m0.prefix_pages_walked_saved,
+            attn.heads_kv * (gen_seeds.len() - 1) * m0.shared_pages
+        );
+        assert_eq!(
+            on_sum.shared_attn_groups,
+            attn.heads_kv * on_sum.steps,
+            "the group persists across every decode step"
+        );
+
+        // The whole point: strictly less dequant work for the same tokens.
+        assert!(
+            on_sum.dequant.total() < off_sum.dequant.total(),
+            "cascade grouping must dedup dequant traffic ({} vs {})",
+            on_sum.dequant.total(),
+            off_sum.dequant.total()
+        );
     }
 
     #[test]

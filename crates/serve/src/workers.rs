@@ -1,18 +1,24 @@
 //! The persistent, device-pinned decode worker pool.
 //!
 //! Every decode step fans one [`WorkUnit`] per `(sequence, kv-head,
-//! device)` triple over long-lived OS threads. Workers are organized into
-//! **per-device groups**: each group has its own task queue and only ever
-//! executes units whose KV head is placed on its device, so a worker
-//! touches exactly one device's page arena — the simulated analogue of a
+//! device)` triple — or, when the scheduler detects sequences aliasing
+//! the same sealed prefix pages, one **cascade unit** per `(prefix-group,
+//! kv-head, device)` carrying every sharer's query block — over
+//! long-lived OS threads. Workers are organized into **per-device
+//! groups**: each group has its own task queue and only ever executes
+//! units whose KV head is placed on its device, so a worker touches
+//! exactly one device's page arena — the simulated analogue of a
 //! tensor-parallel rank that can only dereference its own HBM. A unit
 //! gathers its head's packed blocks through the owning device's page table
 //! ([`bd_kvcache::PagedKvStore::packed_blocks`] on
 //! [`ShardedKvStore::device`]) and runs
-//! [`BitDecoder::attend_head_partial`] — the per-head body of the decode
-//! path *without* the final normalization, so the scheduler can combine
-//! per-device partials through `OnlineSoftmax::merge` (the simulated
-//! all-reduce) before normalizing once.
+//! [`BitDecoder::attend_head_partial`] (solo) or
+//! [`BitDecoder::attend_head_partial_multi`] (cascade: the shared packed
+//! prefix pages stream through the dequant LUTs **once** for all
+//! sharers) — the per-head body of the decode path *without* the final
+//! normalization, so the scheduler can combine per-device and per-sharer
+//! partials through `OnlineSoftmax::merge` (the simulated all-reduce)
+//! before normalizing once.
 //!
 //! Because each unit is an independent, deterministic computation and the
 //! merge of a head's partial set is exact, results are **invariant to the
@@ -27,8 +33,8 @@
 //! compute/mutate phase separation a real serving engine enforces with
 //! stream ordering.
 
-use bd_core::{BitDecoder, OnlineSoftmax};
-use bd_kvcache::{DeviceId, SeqId, ShardedKvStore, StoreError};
+use bd_core::{BitDecoder, OnlineSoftmax, PrefixSharer};
+use bd_kvcache::{DeviceId, PackedBlock, SeqId, ShardedKvStore, StoreError};
 use bd_lowbit::fastpath::FastDequantOps;
 use bd_obs::{device_lane, SpanTracer};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -94,21 +100,61 @@ impl From<StoreError> for ServeError {
     }
 }
 
-/// One `(sequence, kv-head, device)` attention work unit for the current
-/// step.
+/// One sequence's slice of a work unit: its identity and its grouped
+/// `g_q × d` query block for the unit's head.
+#[derive(Clone, Debug)]
+pub struct UnitSharer {
+    /// The sequence to attend over.
+    pub seq: SeqId,
+    /// The grouped `g_q × d` query block for the unit's head.
+    pub q_block: Vec<Vec<f32>>,
+}
+
+/// One attention work unit for the current step: classically a
+/// `(sequence, kv-head, device)` triple (one sharer, no shared prefix),
+/// or — when the scheduler detects sequences aliasing the same sealed
+/// prefix pages — a cascade `(prefix-group, kv-head, device)` unit whose
+/// leading `prefix_blocks` packed blocks stream through the dequant LUTs
+/// once for all sharers.
 #[derive(Clone, Debug)]
 pub struct WorkUnit {
     /// Dense index of this unit within the step (results slot).
     pub unit: usize,
-    /// The sequence to attend over.
-    pub seq: SeqId,
-    /// The **global** KV head within the sequence.
+    /// The **global** KV head within the sequences.
     pub head: usize,
     /// The device owning that head's KV shard — the worker group this
     /// unit is routed to.
     pub device: DeviceId,
-    /// The grouped `g_q × d` query block for this head.
-    pub q_block: Vec<Vec<f32>>,
+    /// Leading packed blocks every sharer reads from the same physical
+    /// pages (`0` for solo units).
+    pub prefix_blocks: usize,
+    /// The sequences this unit attends for; one entry is the classic
+    /// per-sequence unit.
+    pub sharers: Vec<UnitSharer>,
+}
+
+impl WorkUnit {
+    /// The classic single-sequence unit.
+    pub fn solo(
+        unit: usize,
+        seq: SeqId,
+        head: usize,
+        device: DeviceId,
+        q_block: Vec<Vec<f32>>,
+    ) -> Self {
+        WorkUnit {
+            unit,
+            head,
+            device,
+            prefix_blocks: 0,
+            sharers: vec![UnitSharer { seq, q_block }],
+        }
+    }
+
+    /// The unit's first sharer — the sequence blamed in routing errors.
+    pub fn primary_seq(&self) -> SeqId {
+        self.sharers[0].seq
+    }
 }
 
 struct Task {
@@ -121,18 +167,20 @@ struct Task {
     tracer: SpanTracer,
 }
 
-/// One unit's finished attention partial.
+/// One unit's finished attention partials.
 #[derive(Clone, Debug)]
 pub struct UnitResult {
     /// The unit index this result fills.
     pub unit: usize,
     /// The device that computed it.
     pub device: DeviceId,
-    /// The un-normalized softmax partial — the all-reduce payload. The
-    /// scheduler merges a head's partials with `OnlineSoftmax::merge` and
-    /// normalizes once.
-    pub partial: OnlineSoftmax,
-    /// Fast-dequant instructions the fused kernel streamed for this unit.
+    /// One un-normalized softmax partial per sharer, in the unit's sharer
+    /// order — the all-reduce payload. The scheduler merges each
+    /// sequence's per-device partials with `OnlineSoftmax::merge` and
+    /// normalizes once. Solo units carry exactly one.
+    pub partials: Vec<OnlineSoftmax>,
+    /// Fast-dequant instructions the fused kernel streamed for this unit
+    /// (deduped: a shared prefix block counts once, not once per sharer).
     pub ops: FastDequantOps,
 }
 
@@ -142,6 +190,11 @@ pub struct UnitResult {
 /// preserving the sole-ownership hand-back described in the
 /// [module docs](self).
 ///
+/// Solo units run [`BitDecoder::attend_head_partial`] exactly as before;
+/// group units run the cascade
+/// [`BitDecoder::attend_head_partial_multi`], which walks the shared
+/// prefix blocks once and returns a bitwise-identical partial per sharer.
+///
 /// Returns [`ServeError::Misrouted`] — computing nothing — if the unit's
 /// head is not placed on the unit's device: the device-locality contract a
 /// real TP rank enforces physically.
@@ -150,7 +203,7 @@ fn run_unit(task: Task) -> Result<UnitResult, ServeError> {
     let owner = placement.device_of(task.unit.head);
     if owner != task.unit.device {
         return Err(ServeError::Misrouted {
-            seq: task.unit.seq,
+            seq: task.unit.primary_seq(),
             head: task.unit.head,
             routed: task.unit.device,
             owner,
@@ -161,24 +214,75 @@ fn run_unit(task: Task) -> Result<UnitResult, ServeError> {
     let local = placement.local_index(task.unit.head);
     let span = task.tracer.begin();
     let dev_store = task.store.device(task.unit.device);
-    let blocks = dev_store.packed_blocks(task.unit.seq, local);
-    let (res_k, res_v) = dev_store.residual(task.unit.seq, local);
-    let (partial, ops) =
-        task.decoder
-            .attend_head_partial(&task.unit.q_block, &blocks, res_k, res_v);
-    task.tracer.end_with(
-        span,
-        "execute",
-        device_lane(task.unit.device.0 as usize),
-        vec![
-            ("unit", task.unit.unit as f64),
-            ("head", task.unit.head as f64),
-        ],
-    );
+    let (partials, ops) = if task.unit.sharers.len() == 1 {
+        let sharer = &task.unit.sharers[0];
+        let blocks = dev_store.packed_blocks(sharer.seq, local);
+        let (res_k, res_v) = dev_store.residual(sharer.seq, local);
+        let (partial, ops) =
+            task.decoder
+                .attend_head_partial(&sharer.q_block, &blocks, res_k, res_v);
+        task.tracer.end_with(
+            span,
+            "execute",
+            device_lane(task.unit.device.0 as usize),
+            vec![
+                ("unit", task.unit.unit as f64),
+                ("head", task.unit.head as f64),
+            ],
+        );
+        (vec![partial], ops)
+    } else {
+        let p = task.unit.prefix_blocks;
+        let gathers: Vec<Vec<&PackedBlock>> = task
+            .unit
+            .sharers
+            .iter()
+            .map(|s| dev_store.packed_blocks(s.seq, local))
+            .collect();
+        // The scheduler only groups sequences whose first `p` blocks
+        // alias the same physical pages — so the gathers agree not just
+        // bitwise but by identity.
+        debug_assert!(gathers.iter().all(|g| {
+            g.len() >= p
+                && g[..p]
+                    .iter()
+                    .zip(&gathers[0][..p])
+                    .all(|(a, b)| std::ptr::eq(*a, *b))
+        }));
+        let prefix = &gathers[0][..p];
+        let inputs: Vec<PrefixSharer<'_, &PackedBlock>> = task
+            .unit
+            .sharers
+            .iter()
+            .zip(&gathers)
+            .map(|(s, g)| {
+                let (res_k, res_v) = dev_store.residual(s.seq, local);
+                PrefixSharer {
+                    q_block: &s.q_block,
+                    suffix: &g[p..],
+                    res_k,
+                    res_v,
+                }
+            })
+            .collect();
+        let (partials, ops) = task.decoder.attend_head_partial_multi(prefix, &inputs);
+        task.tracer.end_with(
+            span,
+            "shared_attn",
+            device_lane(task.unit.device.0 as usize),
+            vec![
+                ("unit", task.unit.unit as f64),
+                ("head", task.unit.head as f64),
+                ("sharers", task.unit.sharers.len() as f64),
+                ("prefix_blocks", p as f64),
+            ],
+        );
+        (partials, ops)
+    };
     Ok(UnitResult {
         unit: task.unit.unit,
         device: task.unit.device,
-        partial,
+        partials,
         ops,
     })
 }
@@ -293,7 +397,7 @@ impl WorkerPool {
             for unit in units {
                 let Some(group) = self.groups.get(unit.device.0 as usize) else {
                     first_err = Some(ServeError::Misrouted {
-                        seq: unit.seq,
+                        seq: unit.primary_seq(),
                         head: unit.head,
                         routed: unit.device,
                         owner: store.placement().device_of(unit.head),
@@ -389,12 +493,8 @@ mod tests {
         let units: Vec<WorkUnit> = query_transform(&q, &attn)
             .into_iter()
             .enumerate()
-            .map(|(head, q_block)| WorkUnit {
-                unit: head,
-                seq,
-                head,
-                device: placement.device_of(head),
-                q_block,
+            .map(|(head, q_block)| {
+                WorkUnit::solo(head, seq, head, placement.device_of(head), q_block)
             })
             .collect();
         (Arc::new(decoder), Arc::new(store), units)
@@ -416,8 +516,8 @@ mod tests {
                 for (a, b) in inline.iter().zip(&got) {
                     assert_eq!(a.unit, b.unit);
                     assert_eq!(
-                        a.partial.clone().finish(),
-                        b.partial.clone().finish(),
+                        a.partials[0].clone().finish(),
+                        b.partials[0].clone().finish(),
                         "devices={devices} workers={workers}"
                     );
                     assert_eq!(a.ops, b.ops);
@@ -441,6 +541,104 @@ mod tests {
     }
 
     #[test]
+    fn grouped_unit_partials_match_solo_units_bitwise() {
+        // Three sequences forked off one block-aligned 256-token prompt
+        // alias the same sealed prefix pages; a cascade unit over all
+        // three must return, per sharer, exactly the partial its solo
+        // unit returns — at every head, on every device, threaded or not.
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let decoder = Arc::new(
+            BitDecoder::builder(GpuArch::rtx4090())
+                .attention(attn)
+                .scheme(QuantScheme::kc4())
+                .build(),
+        );
+        let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
+        let placement = Placement::new(2, Partitioning::HeadModulo, attn.heads_kv);
+        let mut store = ShardedKvStore::new(cfg, placement, 128, 32);
+        let codec = decoder.codec();
+        let parent = store.admit(512).unwrap();
+        let k: Vec<TokenMatrix> = (0..2)
+            .map(|h| TokenMatrix::from_fn(256, 16, |t, c| ((h + t * 16 + c) as f32 * 0.3).sin()))
+            .collect();
+        store.prefill(parent, &k, &k, &codec).unwrap();
+        let seqs = [
+            parent,
+            store.fork(parent, 256, 512).unwrap(),
+            store.fork(parent, 256, 512).unwrap(),
+        ];
+        // Diverge each lineage inside its residual window.
+        for (i, &seq) in seqs.iter().enumerate() {
+            for t in 0..(4 + i * 3) {
+                let rows: Vec<Vec<f32>> = (0..2)
+                    .map(|h| {
+                        (0..16)
+                            .map(|c| ((i * 1000 + t * 16 + c + h) as f32 * 0.11).cos())
+                            .collect()
+                    })
+                    .collect();
+                store.append_step(seq, &rows, &rows, &codec).unwrap();
+            }
+        }
+        let store = Arc::new(store);
+        let pool = WorkerPool::new(2, 2);
+        for head in 0..attn.heads_kv {
+            let device = placement.device_of(head);
+            let run = store.shared_block_run(device, &seqs);
+            assert_eq!(run, 2, "head {head}");
+            let q_of = |i: usize| -> Vec<Vec<f32>> {
+                let q: Vec<Vec<f32>> = (0..4)
+                    .map(|h| {
+                        (0..16)
+                            .map(|c| ((i * 31 + h * 16 + c) as f32 * 0.7).sin())
+                            .collect()
+                    })
+                    .collect();
+                query_transform(&q, &attn).swap_remove(head)
+            };
+            let solo_units: Vec<WorkUnit> = seqs
+                .iter()
+                .enumerate()
+                .map(|(i, &seq)| WorkUnit::solo(i, seq, head, device, q_of(i)))
+                .collect();
+            let solo = pool
+                .run_step(solo_units, &store, &decoder, &SpanTracer::disabled())
+                .unwrap();
+            let group = WorkUnit {
+                unit: 0,
+                head,
+                device,
+                prefix_blocks: run,
+                sharers: seqs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &seq)| UnitSharer {
+                        seq,
+                        q_block: q_of(i),
+                    })
+                    .collect(),
+            };
+            let grouped = pool
+                .run_step(vec![group], &store, &decoder, &SpanTracer::disabled())
+                .unwrap();
+            assert_eq!(grouped[0].partials.len(), seqs.len());
+            let mut solo_ops = FastDequantOps::default();
+            for (i, r) in solo.iter().enumerate() {
+                assert_eq!(
+                    grouped[0].partials[i].clone().finish(),
+                    r.partials[0].clone().finish(),
+                    "head {head}, sharer {i}"
+                );
+                solo_ops += r.ops;
+            }
+            assert!(
+                grouped[0].ops.total() < solo_ops.total(),
+                "head {head}: cascade walk must dedup dequant work"
+            );
+        }
+    }
+
+    #[test]
     fn misrouted_unit_is_rejected_with_typed_error() {
         let (decoder, store, mut units) = setup(2);
         // Head 0 lives on device 0 under head-modulo; claim device 1.
@@ -453,7 +651,7 @@ mod tests {
             assert_eq!(
                 err,
                 ServeError::Misrouted {
-                    seq: units[0].seq,
+                    seq: units[0].primary_seq(),
                     head: 0,
                     routed: DeviceId(1),
                     owner: DeviceId(0),

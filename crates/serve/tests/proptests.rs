@@ -26,6 +26,11 @@
 //!    partitioning × page size × fork/preempt interleaving still
 //!    completes every request with streams bitwise identical to
 //!    uninterrupted contiguous replay, and leaks no pages.
+//! 6. **Grouping is invisible in the values** — cascade shared-prefix
+//!    grouping (walking shared packed prefix pages once per group) on
+//!    vs off produces bitwise identical streams under the same
+//!    fork/preempt/fault interleavings, both equal to contiguous
+//!    replay; disabling the gate forms zero groups.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -635,5 +640,112 @@ proptest! {
             session.store().free_pages(), session.store().total_pages(),
             "pages leaked across fault recovery"
         );
+    }
+
+    /// Cascade grouping is an optimization, never a correctness
+    /// requirement: the same fork/preempt/swap/fault workload run with
+    /// shared-prefix grouping ON and OFF — devices 1–4 × partitioning ×
+    /// page size × scheme × policy × a seeded fault schedule — produces
+    /// bitwise identical token streams, both equal to the uninterrupted
+    /// per-sequence contiguous replay. The OFF run must form zero groups
+    /// and save zero prefix pages, and the ON run's group accounting must
+    /// stay internally consistent (pages saved only when groups formed).
+    #[test]
+    fn cascade_grouping_on_off_and_contiguous_replay_agree_bitwise(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        page_tokens in 1usize..80,
+        policy_id in 0usize..3,
+        scheme in arb_scheme(),
+        n_faults in 1usize..4,
+        fault_seed: u64,
+        seed: u64,
+    ) {
+        let prompt = 96usize;
+        let gens = [5usize, 3, 2];
+        // Parent plus both children's private tails plus one spare page —
+        // the late fresh request (40 + 3 tokens) over-subscribes the pool
+        // so a preempting policy swaps a group member out mid-run.
+        let shared_slots = prompt.div_ceil(page_tokens);
+        let child_new = |g: usize| {
+            (prompt + g).div_ceil(page_tokens).max(shared_slots) - shared_slots
+        };
+        let pages = (prompt + gens[0]).div_ceil(page_tokens)
+            + child_new(gens[1])
+            + child_new(gens[2])
+            + 1;
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(scheme)
+            .paged(true)
+            .build();
+        let run = |grouping: bool| {
+            let config = ServeConfig::new(pages, page_tokens, 0, 8)
+                .with_devices(devices, partitioning)
+                .with_shared_attn(grouping);
+            let session = ServeSession::new(dec.clone(), config)
+                .with_faults(FaultPlan::seeded(fault_seed, n_faults, 12, devices));
+            let mut session = match policy_id {
+                0 => session,
+                1 => session.with_policy(FcfsPreempt::default()),
+                _ => session.with_policy(ShortestRemainingFirst),
+            };
+            let parent = session
+                .submit(Box::new(SynthSequence::forked(
+                    ATTN_QUAD, seed, seed ^ 1, prompt, gens[0])))
+                .unwrap();
+            let mut ids = vec![parent];
+            for (i, &gen) in gens[1..].iter().enumerate() {
+                ids.push(session
+                    .submit_forked_at(1 + i, parent, Box::new(SynthSequence::forked(
+                        ATTN_QUAD, seed, seed ^ (2 + i as u64), prompt, gen)))
+                    .unwrap());
+            }
+            ids.push(session
+                .submit_at(3, Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 9, 40, 3)))
+                .unwrap());
+            let summary = session.run_to_completion();
+            let streams: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|id| session.stream(*id).unwrap().to_vec())
+                .collect();
+            let drained = session.store().free_pages() == session.store().total_pages();
+            (streams, summary, drained)
+        };
+        let (on_streams, on_summary, on_drained) = run(true);
+        let (off_streams, off_summary, off_drained) = run(false);
+        prop_assert_eq!(on_summary.completed, 4, "grouped run lost a request");
+        prop_assert_eq!(off_summary.completed, 4, "ungrouped run lost a request");
+        prop_assert_eq!(
+            &on_streams, &off_streams,
+            "grouping changed token values (devices={} pt={} policy={})",
+            devices, page_tokens, policy_id
+        );
+        // Both agree with the uninterrupted unshared contiguous replay.
+        let cases = [
+            (seed, seed ^ 1, prompt, gens[0]),
+            (seed, seed ^ 2, prompt, gens[1]),
+            (seed, seed ^ 3, prompt, gens[2]),
+            (seed ^ 9, seed ^ 9, 40, 3),
+        ];
+        for (i, (prompt_seed, gen_seed, p, g)) in cases.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::forked(ATTN_QUAD, *prompt_seed, *gen_seed, *p, *g),
+            );
+            prop_assert_eq!(
+                &on_streams[i], &want,
+                "request {} diverged from contiguous replay with grouping on", i
+            );
+        }
+        // The gate is real: OFF forms no groups and saves nothing.
+        prop_assert_eq!(off_summary.shared_attn_groups, 0);
+        prop_assert_eq!(off_summary.prefix_pages_walked_saved, 0);
+        // ON accounting is internally consistent: a walk is only ever
+        // saved by a formed group.
+        if on_summary.shared_attn_groups == 0 {
+            prop_assert_eq!(on_summary.prefix_pages_walked_saved, 0);
+        }
+        prop_assert!(on_drained && off_drained, "refcounts did not drain");
     }
 }

@@ -4,8 +4,11 @@
 //!
 //! The demo
 //!
-//! 1. serves one big early request plus six small late arrivals through a
-//!    2-device session under `FcfsPreempt`, with [`ObsConfig::all`];
+//! 1. serves one big early request, a shared-prompt fork cluster (a parent
+//!    plus two children admitted copy-on-write off its live pages, so the
+//!    scheduler forms cascade shared-prefix attention groups), and four
+//!    small late arrivals through a 2-device session under `FcfsPreempt`,
+//!    with [`ObsConfig::all`];
 //! 2. writes the Chrome `trace_event` timeline to
 //!    `target/trace_demo.trace.json` (load it at <https://ui.perfetto.dev>)
 //!    and the event log to `target/trace_demo.events.jsonl`;
@@ -13,7 +16,10 @@
 //!    the session's own `ServeSummary`: lifecycle counts match summary
 //!    counters, event-log counts match lifecycle transitions, wall `step`
 //!    spans match `summary.steps`, modeled `execute` spans match
-//!    `steps x devices`, and the TTFT p99 is finite.
+//!    `steps x devices`, wall `shared_attn` spans match the cascade group
+//!    units the summary counted, the `serve.shared_attn.*` registry
+//!    counters match the summary's group/pages-saved totals, and the TTFT
+//!    p99 is finite.
 //!
 //! Run with: `cargo run --release --example trace_demo`
 
@@ -24,16 +30,22 @@ use bitdecoding::serve::{
 use bitdecoding::{GpuArch, Partitioning, QuantScheme};
 
 /// (seed, prompt, gen, arrival step) — one big request that owns the pool
-/// from step 0, then a burst of six small requests arriving at steps 3-10.
-const REQUESTS: [(u64, usize, usize, usize); 7] = [
-    (0, 448, 40, 0),
-    (1, 48, 6, 3),
-    (2, 48, 6, 4),
-    (3, 48, 4, 5),
-    (4, 48, 4, 7),
-    (5, 48, 6, 9),
-    (6, 48, 4, 10),
+/// from step 0, then a burst of four small requests arriving at steps 4-10.
+const REQUESTS: [(u64, usize, usize, usize); 5] = [
+    (0, 320, 24, 0),
+    (4, 48, 6, 4),
+    (5, 48, 4, 6),
+    (6, 48, 6, 8),
+    (7, 48, 4, 10),
 ];
+
+/// The fork cluster: a parent whose 128-token prompt (one sealed block,
+/// four pages) is shared copy-on-write by two children, submitted through
+/// `submit_forked_at` while the parent is live. While two or more cluster
+/// members are resident, every step forms one cascade group per KV head
+/// that walks the shared packed prefix pages once.
+const FORK_PARENT: (u64, usize, usize, usize) = (1, 128, 10, 1);
+const FORK_CHILDREN: [(u64, usize, usize); 2] = [(2, 128, 6), (3, 128, 8)];
 
 fn fmt_q(q: &Quantiles) -> String {
     format!(
@@ -50,7 +62,8 @@ fn main() {
         .paged(true)
         .build();
 
-    // 20 pages x 32 tokens: request 0 alone reserves 15 pages, so the
+    // 20 pages x 32 tokens: the big request reserves 11 pages and the fork
+    // cluster 7 physical (5 parent + 1 private tail per child), so the
     // burst forces queueing and swap-out preemptions — exactly the regime
     // where TTFT/TBT/queue-wait distributions are interesting.
     let config = ServeConfig::new(20, 32, 2, 8).with_devices(2, Partitioning::HeadContiguous);
@@ -59,36 +72,92 @@ fn main() {
         .with_obs(ObsConfig::all());
 
     println!("=== bd-obs: span traces, event log, and SLO histograms ===\n");
-    println!("pool 20 pages x 32 tokens, 2 devices, FcfsPreempt; burst of 6 behind 1 big\n");
+    println!("pool 20 pages x 32 tokens, 2 devices, FcfsPreempt; burst of 4 + fork cluster of 3 behind 1 big\n");
 
     for &(seed, prompt, gen, at) in &REQUESTS {
         session
             .submit_at(at, Box::new(SynthSequence::new(attn, seed, prompt, gen)))
             .expect("request fits the pool");
     }
+    let (pseed, pprompt, pgen, pat) = FORK_PARENT;
+    let parent = session
+        .submit_at(
+            pat,
+            Box::new(SynthSequence::forked(attn, pseed, pseed, pprompt, pgen)),
+        )
+        .expect("parent fits the pool");
+    for (i, &(seed, prompt, gen)) in FORK_CHILDREN.iter().enumerate() {
+        session
+            .submit_forked_at(
+                pat + 1 + i,
+                parent,
+                Box::new(SynthSequence::forked(attn, pseed, seed, prompt, gen)),
+            )
+            .expect("child fits the pool");
+    }
+    let submitted = REQUESTS.len() + 1 + FORK_CHILDREN.len();
     let summary = session.run_to_completion();
     let slo = &summary.slo;
 
     // --- lifecycle <-> summary reconciliation -------------------------
-    assert_eq!(slo.submitted as usize, REQUESTS.len());
+    assert_eq!(slo.submitted as usize, submitted);
     assert_eq!(slo.completed as usize, summary.completed);
     assert_eq!(slo.preemptions as usize, summary.preemptions);
     assert_eq!(slo.resumes as usize, summary.resumes);
-    let gen_tokens: u64 = REQUESTS.iter().map(|&(_, _, gen, _)| gen as u64).sum();
+    let gen_tokens: u64 = REQUESTS
+        .iter()
+        .map(|&(_, _, gen, _)| gen as u64)
+        .sum::<u64>()
+        + pgen as u64
+        + FORK_CHILDREN
+            .iter()
+            .map(|&(_, _, gen)| gen as u64)
+            .sum::<u64>();
     assert_eq!(slo.tokens, gen_tokens, "every generated token counted once");
     assert!(slo.ttft_steps.p99.is_finite(), "TTFT p99 (steps) is finite");
     assert!(slo.ttft_s.p99.is_finite(), "TTFT p99 (seconds) is finite");
     assert!(summary.preemptions > 0, "the burst forces preemptions");
+    assert_eq!(summary.forks, 2, "both children admitted by CoW forking");
+    assert!(summary.shared_attn_groups > 0, "the cluster formed groups");
 
     // --- event log <-> summary reconciliation -------------------------
     let events = session.event_log();
     assert_eq!(events.dropped(), 0, "event ring never overflowed");
-    assert_eq!(events.count_event("submit_at") as usize, REQUESTS.len());
+    assert_eq!(events.count_event("submit_at") as usize, REQUESTS.len() + 1);
+    assert_eq!(
+        events.count_event("submit_forked") as usize,
+        FORK_CHILDREN.len()
+    );
     assert_eq!(events.count_event("complete") as usize, summary.completed);
     assert_eq!(events.count_event("preempt") as usize, summary.preemptions);
     assert_eq!(events.count_event("swap_in") as usize, summary.resumes);
-    let admits = events.count_event("admit") + events.count_event("swap_in");
+    assert_eq!(events.count_event("fork_admit") as usize, summary.forks);
+    let admits = events.count_event("admit")
+        + events.count_event("fork_admit")
+        + events.count_event("swap_in");
     assert_eq!(admits, slo.admitted + slo.resumes);
+    let shared_attn_steps = events.count_event("shared_attn") as usize;
+    assert!(
+        shared_attn_steps >= 1 && shared_attn_steps <= summary.steps,
+        "one shared_attn event per step that formed groups"
+    );
+
+    // --- metrics registry <-> summary reconciliation ------------------
+    let reg = session.metrics_registry();
+    assert_eq!(
+        reg.counter("serve.shared_attn.groups"),
+        summary.shared_attn_groups as u64,
+        "registry group counter matches the summary"
+    );
+    assert_eq!(
+        reg.counter("serve.shared_attn.pages_saved"),
+        summary.prefix_pages_walked_saved as u64,
+        "registry pages-saved counter matches the summary"
+    );
+    assert!(
+        reg.counter("serve.shared_attn.sharers") >= 2 * reg.counter("serve.shared_attn.groups"),
+        "every cascade group has at least two sharers"
+    );
 
     // --- span trace <-> summary reconciliation ------------------------
     let tracer = session.tracer();
@@ -108,6 +177,14 @@ fn main() {
         summary.steps * summary.devices,
         "one modeled `execute` span per device per step"
     );
+    let shared_attn_spans = spans
+        .iter()
+        .filter(|s| s.name == "shared_attn" && s.domain == ClockDomain::Wall)
+        .count();
+    assert_eq!(
+        shared_attn_spans, summary.shared_attn_groups,
+        "one wall `shared_attn` span per cascade group unit executed"
+    );
 
     // --- export -------------------------------------------------------
     let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
@@ -118,27 +195,33 @@ fn main() {
     std::fs::write(&events_path, events.to_jsonl()).expect("write event log");
 
     println!(
-        "steps {}  completed {}/{}  preemptions {}  resumes {}  tokens {}",
+        "steps {}  completed {}/{}  preemptions {}  resumes {}  forks {}  tokens {}",
         summary.steps,
         summary.completed,
-        REQUESTS.len(),
+        submitted,
         summary.preemptions,
         summary.resumes,
+        summary.forks,
         slo.tokens
+    );
+    println!(
+        "cascade: {} group units over {} steps, {} prefix pages not re-walked",
+        summary.shared_attn_groups, shared_attn_steps, summary.prefix_pages_walked_saved
     );
     println!("ttft  (steps)  {}", fmt_q(&slo.ttft_steps));
     println!("tbt   (steps)  {}", fmt_q(&slo.tbt_steps));
     println!("queue (steps)  {}", fmt_q(&slo.queue_wait_steps));
     println!("goodput tok/s  {}", fmt_q(&slo.goodput_tok_s));
     println!(
-        "\n{} spans ({} wall `step`, {} modeled `execute`), {} log events",
+        "\n{} spans ({} wall `step`, {} modeled `execute`, {} wall `shared_attn`), {} log events",
         spans.len(),
         wall_steps,
         modeled_exec,
+        shared_attn_spans,
         events.recorded()
     );
     println!("trace written to  {}", trace_path.display());
     println!("events written to {}", events_path.display());
     println!("open the trace at https://ui.perfetto.dev (drag and drop the file)");
-    println!("\nOK: spans, events, and SLO histograms reconcile with ServeSummary");
+    println!("\nOK: spans, events, metrics, and SLO histograms reconcile with ServeSummary");
 }
