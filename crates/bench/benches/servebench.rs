@@ -19,10 +19,11 @@
 //! critical-path device (1.0 = perfectly balanced; 4 heads over 1/2/4
 //! devices always balance exactly).
 
+use bd_bench::traces::{bursty_trace, BurstProfile, RequestShape};
 use bd_core::AttentionConfig;
-use bd_gpu_sim::GpuArch;
+use bd_gpu_sim::{builtin_topology, GpuArch};
 use bd_kvcache::{Partitioning, QuantScheme};
-use bd_llm::{serve_shared_prompt_functional, ServePolicy};
+use bd_llm::{serve_shared_prompt_functional, serve_trace_policy_functional_obs, ServePolicy};
 use bd_serve::{
     FaultPlan, ObsConfig, Quantiles, RequestId, ServeConfig, ServeSession, SloSummary, SpanTracer,
     SynthSequence,
@@ -176,6 +177,120 @@ fn run_oversubscribed_obs(policy: ServePolicy, obs: ObsConfig) -> (PolicyBenchRo
         swap_mib: summary.swap_bytes / (1024.0 * 1024.0),
     };
     (row, summary.slo)
+}
+
+/// The trace-driven SLO scenario: a seeded bursty (two-state MMPP)
+/// arrival trace from `bd_bench::traces` enters the session mid-run via
+/// `submit_at`, served by the preempting policy with lifecycle tracking
+/// on. Returns the SLO rollup and the trace length. Deterministic in the
+/// hard-coded seed.
+fn run_bursty_slo() -> (SloSummary, usize) {
+    let attn = AttentionConfig::gqa(8, 4, 64);
+    let shape = RequestShape {
+        prompt_range: (256, 1024),
+        gen_tokens: 16,
+    };
+    let trace = bursty_trace(1.0, 24.0, shape, BurstProfile::default(), 0xBD);
+    // Pool sized well under the peak burst demand: every request fits on
+    // its own, but burst episodes queue (and preempt) behind the pool.
+    let config = ServeConfig::new(48, 64, WORKERS, 8);
+    let report = serve_trace_policy_functional_obs(
+        GpuArch::rtx4090(),
+        attn,
+        QuantScheme::kc4(),
+        &trace,
+        2.0,
+        config,
+        ServePolicy::FcfsPreempt,
+        ObsConfig::off().with_lifecycle(true),
+    )
+    .expect("every trace request fits the pool");
+    assert_eq!(report.completed, trace.len());
+    (report.slo, trace.len())
+}
+
+/// One heterogeneous-fleet run's outcome.
+struct HeterogeneousRow {
+    partitioning: &'static str,
+    heads_per_device: Vec<usize>,
+    kv_tok_s: f64,
+    /// Mean per-device utilization relative to the critical-path device,
+    /// speed-aware: each device's tokens are normalized by its modeled
+    /// throughput weight before comparing against the slowest-finishing
+    /// device. 1.0 = the fleet is perfectly balanced in *time*.
+    critical_path_utilization: f64,
+    interconnect_s: f64,
+}
+
+/// The mixed 2×H100 + 2×A100 fleet (`profiles/mixed_h100_a100.topo`):
+/// 16 KV heads apportioned by modeled decode throughput (weighted →
+/// [5, 5, 3, 3]) vs uniformly (head-modulo → [4, 4, 4, 4]) on the same
+/// hierarchical fabric. Both runs emit bitwise-identical token streams;
+/// only the load balance and the modeled clock move.
+fn run_heterogeneous() -> Vec<HeterogeneousRow> {
+    let attn = AttentionConfig::gqa(16, 16, 64);
+    let (batch, prompt, gen, page_tokens) = (4usize, 512usize, 4usize, 64usize);
+    let pages_per_seq = (prompt + gen).div_ceil(page_tokens) + 1;
+    let topo = builtin_topology("mixed_h100_a100").expect("shipped topology");
+    let mut rows = Vec::new();
+    let mut streams: Vec<Vec<Vec<u32>>> = Vec::new();
+    for (label, partitioning) in [
+        ("weighted", None),
+        ("head_modulo", Some(Partitioning::HeadModulo)),
+    ] {
+        let decoder = bd_core::BitDecoder::builder(GpuArch::rtx4090())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        let mut config = ServeConfig::new(batch * pages_per_seq, page_tokens, WORKERS, batch)
+            .with_topology(topo.clone());
+        if let Some(p) = partitioning {
+            config = config.with_devices(4, p);
+        }
+        let mut session = ServeSession::new(decoder, config);
+        let ids: Vec<RequestId> = (0..batch)
+            .map(|i| {
+                session
+                    .submit(Box::new(SynthSequence::new(attn, i as u64, prompt, gen)))
+                    .expect("fits pool")
+            })
+            .collect();
+        let summary = session.run_to_completion();
+        assert_eq!(summary.completed, batch);
+        streams.push(
+            ids.iter()
+                .map(|id| session.stream(*id).expect("completed").to_vec())
+                .collect(),
+        );
+        rows.push(HeterogeneousRow {
+            partitioning: label,
+            heads_per_device: (0..session.devices())
+                .map(|d| {
+                    session
+                        .store()
+                        .device_stats(bd_kvcache::DeviceId(d as u32))
+                        .heads
+                })
+                .collect(),
+            kv_tok_s: summary.kv_tokens_per_s,
+            critical_path_utilization: summary.mean_device_utilization,
+            interconnect_s: summary.modeled_interconnect_s,
+        });
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "weighted and modulo placement must emit bitwise-identical streams"
+    );
+    assert_eq!(rows[0].heads_per_device, vec![5, 5, 3, 3]);
+    assert_eq!(rows[1].heads_per_device, vec![4, 4, 4, 4]);
+    assert!(
+        rows[0].critical_path_utilization > rows[1].critical_path_utilization,
+        "weighted placement must balance the mixed fleet better than modulo ({:.3} vs {:.3})",
+        rows[0].critical_path_utilization,
+        rows[1].critical_path_utilization,
+    );
+    rows
 }
 
 /// Decode length of the shared-prefix long-run mode: long enough that
@@ -419,16 +534,22 @@ fn bench_serve(_c: &mut Criterion) {
             r.swap_mib,
         );
     }
-    // Request-lifecycle SLO distributions: the same over-subscribed
-    // scenario under the preempting policy, with lifecycle tracking on.
-    let (_, slo) = run_oversubscribed_obs(
-        ServePolicy::FcfsPreempt,
-        ObsConfig::off().with_lifecycle(true),
+    // Request-lifecycle SLO distributions: a seeded *bursty* arrival
+    // trace (two-state MMPP from `bd_bench::traces`) entering mid-run via
+    // `submit_at`, served by the preempting policy with lifecycle
+    // tracking on. Bursts over-subscribe the pool in episodes, so the
+    // tail quantiles reflect queueing under realistic open-loop load
+    // rather than a hand-placed worst case. Deterministic in the seed.
+    let (slo, slo_submitted) = run_bursty_slo();
+    assert_eq!(
+        slo.completed, slo.submitted,
+        "tracked run must complete all requests"
     );
-    assert_eq!(slo.completed, 8, "tracked run must complete all requests");
+    assert_eq!(slo.submitted as usize, slo_submitted);
     assert!(slo.ttft_steps.p99 >= slo.ttft_steps.p50);
     println!(
-        "slo (oversubscribed, fcfs-preempt): ttft steps p50 {:.0} p99 {:.0}, tbt steps p99 {:.0}, queue wait p99 {:.0}, goodput p50 {:.0} tok/s, {} preemptions attributed",
+        "slo (bursty trace, fcfs-preempt): {} requests, ttft steps p50 {:.0} p99 {:.0}, tbt steps p99 {:.0}, queue wait p99 {:.0}, goodput p50 {:.0} tok/s, {} preemptions attributed",
+        slo.submitted,
         slo.ttft_steps.p50,
         slo.ttft_steps.p99,
         slo.tbt_steps.p99,
@@ -436,6 +557,16 @@ fn bench_serve(_c: &mut Criterion) {
         slo.goodput_tok_s.p50,
         slo.preemptions,
     );
+    // Heterogeneous fleet: the mixed 2×H100 + 2×A100 topology, weighted
+    // placement vs head-modulo on the same fabric.
+    let het_rows = run_heterogeneous();
+    for r in &het_rows {
+        println!(
+            "heterogeneous {:>12}: heads/device {:?}, {:>9.0} kv-tok/s, critical-path dev util {:>5.3}, allreduce {:>6.1} us",
+            r.partitioning, r.heads_per_device, r.kv_tok_s, r.critical_path_utilization,
+            r.interconnect_s * 1e6,
+        );
+    }
     // Shared-prefix long-run comparison: N sequences over one 2048-token
     // prompt decoding 64 tokens each, with and without copy-on-write page
     // sharing (sharing also enables cascade grouped attention).
@@ -510,7 +641,14 @@ fn bench_serve(_c: &mut Criterion) {
         degraded_rows[2].mean_completion_step >= degraded_rows[0].mean_completion_step,
         "recovery-in-progress cannot complete earlier than healthy"
     );
-    write_bench_json(&rows, &policy_rows, &shared_rows, &degraded_rows, &slo);
+    write_bench_json(
+        &rows,
+        &policy_rows,
+        &shared_rows,
+        &degraded_rows,
+        &het_rows,
+        &slo,
+    );
 }
 
 /// Renders one [`Quantiles`] block with a stable key order.
@@ -526,6 +664,7 @@ fn write_bench_json(
     policy_rows: &[PolicyBenchRow],
     shared_rows: &[SharedPrefixRow],
     degraded_rows: &[DegradedRow],
+    het_rows: &[HeterogeneousRow],
     slo: &SloSummary,
 ) {
     if std::env::var("BENCH_SERVE_JSON").as_deref() == Ok("0") {
@@ -533,7 +672,7 @@ fn write_bench_json(
         return;
     }
     let mut json = String::from(
-        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_8q_4kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 4,\n  \"workers_per_device\": 2,\n  \"partitioning\": \"head_modulo\",\n  \"provenance\": {\"gpu\": \"rtx4090\", \"page_tokens\": 64, \"devices\": [1, 2, 4], \"schemes\": [\"kc4\", \"kc2\"], \"batches\": [1, 4, 16], \"policies\": [\"fcfs\", \"fcfs-preempt\", \"shortest-remaining-first\"], \"obs\": \"default-off\"},\n  \"results\": [\n",
+        "{\n  \"bench\": \"serve_batched_decode\",\n  \"unit\": \"aggregate_kv_tokens_per_second\",\n  \"attention\": \"gqa_8q_4kv_d64\",\n  \"prompt_tokens\": 2048,\n  \"gen_tokens\": 4,\n  \"workers_per_device\": 2,\n  \"partitioning\": \"head_modulo\",\n  \"provenance\": {\"gpu\": \"rtx4090\", \"topology\": \"flat_nvlink4_pcie_host\", \"page_tokens\": 64, \"devices\": [1, 2, 4], \"schemes\": [\"kc4\", \"kc2\"], \"batches\": [1, 4, 16], \"policies\": [\"fcfs\", \"fcfs-preempt\", \"shortest-remaining-first\"], \"obs\": \"default-off\"},\n  \"results\": [\n",
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -564,9 +703,22 @@ fn write_bench_json(
             if i + 1 == policy_rows.len() { "" } else { "," },
         ));
     }
+    json.push_str("  ],\n  \"heterogeneous\": [\n");
+    for (i, r) in het_rows.iter().enumerate() {
+        let heads: Vec<String> = r.heads_per_device.iter().map(usize::to_string).collect();
+        json.push_str(&format!(
+            "    {{\"topology\": \"mixed_h100_a100\", \"partitioning\": \"{}\", \"heads_per_device\": [{}], \"aggregate_kv_tok_s\": {:.0}, \"critical_path_device_utilization\": {:.3}, \"modeled_allreduce_us\": {:.1}}}{}\n",
+            r.partitioning,
+            heads.join(", "),
+            r.kv_tok_s,
+            r.critical_path_utilization,
+            r.interconnect_s * 1e6,
+            if i + 1 == het_rows.len() { "" } else { "," },
+        ));
+    }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"slo\": {{\"scenario\": \"oversubscribed_fcfs_preempt\", \"submitted\": {}, \"completed\": {}, \"preemptions\": {}, \"resumes\": {}, \"ttft_steps\": {}, \"tbt_steps\": {}, \"queue_wait_steps\": {}, \"goodput_tok_s\": {}, \"aggregate_goodput_tok_s\": {:.0}}},\n",
+        "  \"slo\": {{\"scenario\": \"bursty_fcfs_preempt\", \"submitted\": {}, \"completed\": {}, \"preemptions\": {}, \"resumes\": {}, \"ttft_steps\": {}, \"tbt_steps\": {}, \"queue_wait_steps\": {}, \"goodput_tok_s\": {}, \"aggregate_goodput_tok_s\": {:.0}}},\n",
         slo.submitted,
         slo.completed,
         slo.preemptions,

@@ -52,10 +52,16 @@ impl fmt::Display for ArchGen {
 }
 
 /// A concrete GPU with peak rates and calibration constants.
+///
+/// The five evaluation GPUs are defined declaratively as
+/// `profiles/*.devspec` files (embedded at compile time); the named
+/// constructors parse those files, so a profile edit is the single source
+/// of truth. Arbitrary hardware comes in the same way via
+/// [`crate::spec::DeviceSpec::parse`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct GpuArch {
     /// Marketing name, e.g. `"A100"`.
-    pub name: &'static str,
+    pub name: String,
     /// Hardware generation.
     pub gen: ArchGen,
     /// Streaming multiprocessor count.
@@ -94,114 +100,37 @@ pub struct GpuArch {
 }
 
 impl GpuArch {
-    /// NVIDIA A100 SXM4 80 GB (Ampere, SM80).
+    /// NVIDIA A100 SXM4 80 GB (Ampere, SM80), parsed from
+    /// `profiles/a100.devspec`.
     pub fn a100() -> Self {
-        GpuArch {
-            name: "A100",
-            gen: ArchGen::Ampere,
-            sms: 108,
-            clock_ghz: 1.41,
-            dram_bw_gbs: 2039.0,
-            dram_gb: 80.0,
-            tc_fp16_tflops: 312.0,
-            tc_fp8_tflops: 0.0,
-            tc_fp4_tflops: 0.0,
-            cuda_fp32_tflops: 19.5,
-            smem_kb_per_sm: 164,
-            l2_mb: 40.0,
-            mem_efficiency: 0.82,
-            launch_overhead_us: 4.0,
-            warps_to_saturate: 8.0,
-            cuda_issue_efficiency: 0.9,
-        }
+        crate::spec::parse_embedded("a100", include_str!("../profiles/a100.devspec"))
     }
 
-    /// NVIDIA GeForce RTX 4090 (Ada, SM89).
+    /// NVIDIA GeForce RTX 4090 (Ada, SM89), parsed from
+    /// `profiles/rtx4090.devspec`.
     pub fn rtx4090() -> Self {
-        GpuArch {
-            name: "RTX4090",
-            gen: ArchGen::Ada,
-            sms: 128,
-            clock_ghz: 2.52,
-            dram_bw_gbs: 1008.0,
-            dram_gb: 24.0,
-            tc_fp16_tflops: 165.0,
-            tc_fp8_tflops: 330.0,
-            tc_fp4_tflops: 0.0,
-            cuda_fp32_tflops: 82.6,
-            smem_kb_per_sm: 100,
-            l2_mb: 72.0,
-            mem_efficiency: 0.85,
-            launch_overhead_us: 3.5,
-            warps_to_saturate: 8.0,
-            cuda_issue_efficiency: 0.45,
-        }
+        crate::spec::parse_embedded("rtx4090", include_str!("../profiles/rtx4090.devspec"))
     }
 
-    /// NVIDIA H100 SXM5 (Hopper, SM90).
+    /// NVIDIA H100 SXM5 (Hopper, SM90), parsed from
+    /// `profiles/h100.devspec`.
     pub fn h100() -> Self {
-        GpuArch {
-            name: "H100",
-            gen: ArchGen::Hopper,
-            sms: 132,
-            clock_ghz: 1.83,
-            dram_bw_gbs: 3350.0,
-            dram_gb: 80.0,
-            tc_fp16_tflops: 989.0,
-            tc_fp8_tflops: 1979.0,
-            tc_fp4_tflops: 0.0,
-            cuda_fp32_tflops: 67.0,
-            smem_kb_per_sm: 228,
-            l2_mb: 50.0,
-            mem_efficiency: 0.80,
-            launch_overhead_us: 3.0,
-            warps_to_saturate: 10.0,
-            cuda_issue_efficiency: 0.9,
-        }
+        crate::spec::parse_embedded("h100", include_str!("../profiles/h100.devspec"))
     }
 
-    /// NVIDIA GeForce RTX 5090 (Blackwell, SM120).
+    /// NVIDIA GeForce RTX 5090 (Blackwell, SM120), parsed from
+    /// `profiles/rtx5090.devspec`.
     pub fn rtx5090() -> Self {
-        GpuArch {
-            name: "RTX5090",
-            gen: ArchGen::Blackwell,
-            sms: 170,
-            clock_ghz: 2.41,
-            dram_bw_gbs: 1792.0,
-            dram_gb: 32.0,
-            tc_fp16_tflops: 210.0,
-            tc_fp8_tflops: 419.0,
-            tc_fp4_tflops: 838.0,
-            cuda_fp32_tflops: 104.8,
-            smem_kb_per_sm: 100,
-            l2_mb: 96.0,
-            mem_efficiency: 0.86,
-            launch_overhead_us: 3.0,
-            warps_to_saturate: 8.0,
-            cuda_issue_efficiency: 0.5,
-        }
+        crate::spec::parse_embedded("rtx5090", include_str!("../profiles/rtx5090.devspec"))
     }
 
-    /// NVIDIA RTX PRO 6000 Blackwell workstation GPU.
+    /// NVIDIA RTX PRO 6000 Blackwell workstation GPU, parsed from
+    /// `profiles/rtx_pro6000.devspec`.
     pub fn rtx_pro6000() -> Self {
-        GpuArch {
-            name: "RTX PRO 6000",
-            gen: ArchGen::Blackwell,
-            sms: 188,
-            clock_ghz: 2.45,
-            dram_bw_gbs: 1792.0,
-            dram_gb: 96.0,
-            tc_fp16_tflops: 252.0,
-            tc_fp8_tflops: 503.0,
-            tc_fp4_tflops: 1007.0,
-            cuda_fp32_tflops: 118.0,
-            smem_kb_per_sm: 100,
-            l2_mb: 128.0,
-            mem_efficiency: 0.84,
-            launch_overhead_us: 3.0,
-            warps_to_saturate: 8.0,
-            cuda_issue_efficiency: 0.5,
-        }
+        crate::spec::parse_embedded(
+            "rtx_pro6000",
+            include_str!("../profiles/rtx_pro6000.devspec"),
+        )
     }
 
     /// All five evaluation GPUs.
@@ -248,6 +177,20 @@ impl GpuArch {
     /// Effective DRAM bandwidth for attention-style access, bytes/s.
     pub fn effective_bw_bytes(&self) -> f64 {
         self.dram_bw_gbs * 1e9 * self.mem_efficiency
+    }
+
+    /// Modeled steady-state decode throughput, used as the placement
+    /// weight on heterogeneous fleets (KV heads assigned proportionally).
+    ///
+    /// Low-bit decode attention streams packed KV bytes from DRAM and
+    /// issues roughly one FP16 Tensor-Core MAC per packed byte, so the
+    /// roofline rate is the slower of the effective DRAM byte rate and
+    /// the Tensor-Core MAC rate. On every shipped profile DRAM binds —
+    /// exactly the regime the paper targets — but the `min` keeps the
+    /// weight honest for compute-starved spec files too.
+    pub fn decode_weight(&self) -> f64 {
+        let macs_per_s = self.tc_flops(Precision::Fp16) / 2.0;
+        self.effective_bw_bytes().min(macs_per_s)
     }
 }
 

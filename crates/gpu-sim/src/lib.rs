@@ -36,7 +36,9 @@ pub mod fragment;
 pub mod isa;
 pub mod profile;
 pub mod smem;
+pub mod spec;
 pub mod tile;
+pub mod topology;
 
 pub use arch::{ArchGen, GpuArch, Precision};
 pub use cost::{InterconnectModel, LatencyBreakdown};
@@ -49,4 +51,6 @@ pub use profile::{CudaOps, KernelProfile, OverlapSpec};
 pub use smem::{
     conflict_factor, ldmatrix_x4_transactions, staged_offset, warp_transactions, Swizzle,
 };
+pub use spec::{builtin_device, DeviceSpec, SpecError, BUILTIN_PROFILES};
 pub use tile::Tile;
+pub use topology::{builtin_topology, Island, Topology, TopologySpec, BUILTIN_TOPOLOGIES};

@@ -35,6 +35,13 @@ pub enum Partitioning {
     /// tensor-parallel column split; devices `0..heads mod N` take one
     /// extra head when the division is uneven).
     HeadContiguous,
+    /// Heads are split into `N` contiguous ranges whose sizes are
+    /// proportional to per-device throughput weights (heterogeneous
+    /// fleets: a faster device takes more heads). Built with
+    /// [`Placement::weighted`]; [`Placement::new`] under this variant
+    /// uses equal weights, which degenerates to [`Partitioning::HeadContiguous`]'s
+    /// head counts.
+    Weighted,
 }
 
 impl fmt::Display for Partitioning {
@@ -42,6 +49,7 @@ impl fmt::Display for Partitioning {
         match self {
             Partitioning::HeadModulo => write!(f, "head-modulo"),
             Partitioning::HeadContiguous => write!(f, "head-contiguous"),
+            Partitioning::Weighted => write!(f, "weighted"),
         }
     }
 }
@@ -50,19 +58,27 @@ impl fmt::Display for Partitioning {
 ///
 /// Requested device counts above the head count are clamped: a device with
 /// zero heads would hold no data and do no work, so it is physically
-/// equivalent to not existing. Both partitionings are **deterministic pure
+/// equivalent to not existing. All partitionings are **deterministic pure
 /// functions** — placement never depends on runtime state, which is what
-/// keeps N-device serve runs bitwise-reproducible.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// keeps N-device serve runs bitwise-reproducible. Weighted placements
+/// carry their apportioned range boundaries, so equal boundaries compare
+/// and hash equal regardless of which weight vector produced them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Placement {
     devices: usize,
     partitioning: Partitioning,
     heads: usize,
+    /// Contiguous-range boundaries for [`Partitioning::Weighted`]:
+    /// device `d` owns heads `bounds[d]..bounds[d + 1]`. Empty for the
+    /// closed-form partitionings.
+    bounds: Vec<usize>,
 }
 
 impl Placement {
     /// Builds a placement of `heads` KV heads over `devices` devices
-    /// (clamped to `1..=heads`).
+    /// (clamped to `1..=heads`). Under [`Partitioning::Weighted`] every
+    /// device gets equal weight; use [`Placement::weighted`] to supply a
+    /// throughput-derived weight vector.
     ///
     /// # Panics
     ///
@@ -70,10 +86,69 @@ impl Placement {
     pub fn new(devices: usize, partitioning: Partitioning, heads: usize) -> Self {
         assert!(heads > 0, "placement needs at least one KV head");
         assert!(devices > 0, "placement needs at least one device");
+        if partitioning == Partitioning::Weighted {
+            return Placement::weighted(&vec![1.0; devices], heads);
+        }
         Placement {
             devices: devices.min(heads),
             partitioning,
             heads,
+            bounds: Vec::new(),
+        }
+    }
+
+    /// Builds a [`Partitioning::Weighted`] placement: `heads` KV heads
+    /// split into one contiguous range per device, range sizes
+    /// proportional to `weights` (a device's modeled throughput). The
+    /// apportionment is the highest-averages (D'Hondt) rule: every device
+    /// starts at one head and each remaining head goes to the device with
+    /// the largest `weight / heads_assigned` ratio (ties to the lowest
+    /// device index), so every head is covered exactly once, every device
+    /// keeps at least one head, and the split is deterministic in the
+    /// weight vector.
+    ///
+    /// Device counts above the head count are clamped by dropping
+    /// trailing devices, mirroring [`Placement::new`]. Non-finite or
+    /// non-positive weights are treated as `1.0` — a degenerate
+    /// measurement must not silence a device entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is zero or `weights` is empty.
+    pub fn weighted(weights: &[f64], heads: usize) -> Self {
+        assert!(heads > 0, "placement needs at least one KV head");
+        assert!(!weights.is_empty(), "placement needs at least one device");
+        let devices = weights.len().min(heads);
+        let w: Vec<f64> = weights[..devices]
+            .iter()
+            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 1.0 })
+            .collect();
+        let mut counts = vec![1usize; devices];
+        for _ in devices..heads {
+            let mut best = 0usize;
+            let mut best_score = w[0] / counts[0] as f64;
+            for (d, &wd) in w.iter().enumerate().skip(1) {
+                let score = wd / counts[d] as f64;
+                if score > best_score {
+                    best = d;
+                    best_score = score;
+                }
+            }
+            counts[best] += 1;
+        }
+        let mut bounds = Vec::with_capacity(devices + 1);
+        let mut acc = 0usize;
+        bounds.push(0);
+        for c in counts {
+            acc += c;
+            bounds.push(acc);
+        }
+        debug_assert_eq!(acc, heads);
+        Placement {
+            devices,
+            partitioning: Partitioning::Weighted,
+            heads,
+            bounds,
         }
     }
 
@@ -127,6 +202,9 @@ impl Placement {
                     rem + (head - boundary) / base
                 }
             }
+            // `partition_point` finds the first boundary beyond `head`;
+            // its predecessor's index is the owning range.
+            Partitioning::Weighted => self.bounds.partition_point(|&b| b <= head) - 1,
         };
         DeviceId(d as u32)
     }
@@ -144,6 +222,10 @@ impl Placement {
                 let d = self.device_of(head).0 as usize;
                 head - self.contiguous_range(d).0
             }
+            Partitioning::Weighted => {
+                let d = self.device_of(head).0 as usize;
+                head - self.bounds[d]
+            }
         }
     }
 
@@ -160,6 +242,7 @@ impl Placement {
                 self.heads / self.devices + usize::from(d < self.heads % self.devices)
             }
             Partitioning::HeadContiguous => self.contiguous_range(d).1,
+            Partitioning::Weighted => self.bounds[d + 1] - self.bounds[d],
         }
     }
 
@@ -190,7 +273,11 @@ mod tests {
     fn placement_is_a_partition_for_all_shapes() {
         for heads in 1..=12 {
             for devices in 1..=10 {
-                for p in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                for p in [
+                    Partitioning::HeadModulo,
+                    Partitioning::HeadContiguous,
+                    Partitioning::Weighted,
+                ] {
                     let pl = Placement::new(devices, p, heads);
                     assert!(pl.devices() <= heads, "clamped");
                     let mut per_device = vec![0usize; pl.devices()];
@@ -246,6 +333,60 @@ mod tests {
         let pl = Placement::new(8, Partitioning::HeadModulo, 2);
         assert_eq!(pl.devices(), 2);
         assert_eq!(pl.device_of(1), DeviceId(1));
+    }
+
+    #[test]
+    fn weighted_ranges_follow_weights() {
+        // 16 heads over [fast, fast, slow, slow] at a 2:1 ratio: the fast
+        // pair takes 5 heads each, the slow pair 3 — D'Hondt on 2:2:1:1.
+        let pl = Placement::weighted(&[2.0, 2.0, 1.0, 1.0], 16);
+        assert_eq!(pl.partitioning(), Partitioning::Weighted);
+        let counts: Vec<usize> = (0..4).map(|d| pl.heads_on(DeviceId(d))).collect();
+        assert_eq!(counts, vec![5, 5, 3, 3]);
+        // Ranges are contiguous and local indices start at zero.
+        assert_eq!(pl.device_of(0), DeviceId(0));
+        assert_eq!(pl.device_of(4), DeviceId(0));
+        assert_eq!(pl.device_of(5), DeviceId(1));
+        assert_eq!(pl.device_of(10), DeviceId(2));
+        assert_eq!(pl.device_of(15), DeviceId(3));
+        assert_eq!(pl.local_index(10), 0);
+        assert_eq!(pl.local_index(15), 2);
+    }
+
+    #[test]
+    fn weighted_equal_weights_match_contiguous_counts() {
+        for heads in 1..=12 {
+            for devices in 1..=8 {
+                let w = Placement::new(devices, Partitioning::Weighted, heads);
+                let c = Placement::new(devices, Partitioning::HeadContiguous, heads);
+                assert_eq!(w.devices(), c.devices());
+                for d in 0..w.devices() {
+                    assert_eq!(
+                        w.heads_on(DeviceId(d as u32)),
+                        c.heads_on(DeviceId(d as u32)),
+                        "heads={heads} devices={devices} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sanitizes_degenerate_weights() {
+        // NaN, infinite, zero, and negative weights all count as 1.0, so
+        // no device is silenced and the split stays a partition.
+        let pl = Placement::weighted(&[f64::NAN, f64::INFINITY, 0.0, -3.0], 8);
+        for d in 0..4 {
+            assert_eq!(pl.heads_on(DeviceId(d)), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_clamps_to_head_count() {
+        let pl = Placement::weighted(&[1.0, 5.0, 2.0, 4.0, 3.0], 3);
+        assert_eq!(pl.devices(), 3);
+        let total: usize = (0..3).map(|d| pl.heads_on(DeviceId(d))).sum();
+        assert_eq!(total, 3);
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl SwappedShardedSeq {
         self.per_device.iter().map(SwappedSeq::host_bytes).sum()
     }
 
+    /// Host bytes each device's share contributes, indexed by device —
+    /// what a topology-aware swap price needs to route each share over
+    /// its own island's host link.
+    pub fn host_bytes_per_device(&self) -> Vec<f64> {
+        self.per_device
+            .iter()
+            .map(|s| s.host_bytes() as f64)
+            .collect()
+    }
+
     /// Pages [`ShardedKvStore::swap_in`] must reserve **per device**,
     /// given the store's page size (identical on every device, since all
     /// devices mirror the same reservation).
@@ -173,11 +183,12 @@ impl ShardedKvStore {
                 PagedKvStore::new(config, heads, pages_per_device, page_tokens)
             })
             .collect();
+        let n = placement.devices();
         ShardedKvStore {
             placement,
             devices,
-            evicted_seqs: vec![0; placement.devices()],
-            evicted_pages: vec![0; placement.devices()],
+            evicted_seqs: vec![0; n],
+            evicted_pages: vec![0; n],
         }
     }
 

@@ -270,4 +270,82 @@ proptest! {
         prop_assert_eq!(packed % nr, 0);
         prop_assert!(res < nr);
     }
+
+    /// Weighted placement is a total partition: for ANY weight vector
+    /// (including zero, negative, NaN, and infinite entries) and any head
+    /// count, every head maps to exactly one device, local indices are
+    /// dense per device, the device count never exceeds
+    /// `min(weights.len(), heads)`, and every device owns at least one
+    /// head.
+    #[test]
+    fn weighted_placement_covers_every_head_exactly_once(
+        weights in prop::collection::vec(
+            prop_oneof![
+                0.01f64..1000.0,
+                0.01f64..1000.0,
+                0.01f64..1000.0,
+                Just(0.0),
+                Just(-3.5),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+            ],
+            1..9,
+        ),
+        heads in 1usize..33,
+    ) {
+        let p = Placement::weighted(&weights, heads);
+        prop_assert_eq!(p.heads(), heads);
+        prop_assert!(p.devices() <= weights.len().min(heads));
+        prop_assert!(p.devices() >= 1);
+        let mut counts = vec![0usize; p.devices()];
+        for head in 0..heads {
+            let d = p.device_of(head);
+            prop_assert!((d.0 as usize) < p.devices(), "head {} off fleet", head);
+            let local = p.local_index(head);
+            prop_assert_eq!(local, counts[d.0 as usize], "head {} local index", head);
+            counts[d.0 as usize] += 1;
+        }
+        for (d, &n) in counts.iter().enumerate() {
+            prop_assert!(n >= 1, "device {} owns no head", d);
+            prop_assert_eq!(
+                n,
+                p.heads_on(DeviceId(d as u32)),
+                "device {} heads_on disagrees with cover", d
+            );
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), heads);
+    }
+
+    /// Heavier devices never get fewer heads: weighted apportionment is
+    /// monotone in the weights, and equal weights reproduce the
+    /// contiguous placement's counts exactly.
+    #[test]
+    fn weighted_placement_is_monotone_and_degenerates_to_contiguous(
+        devices in 1usize..9,
+        heads in 1usize..33,
+        weights in prop::collection::vec(0.5f64..100.0, 8),
+    ) {
+        let weights = &weights[..devices];
+        let p = Placement::weighted(weights, heads);
+        for a in 0..p.devices() {
+            for b in 0..p.devices() {
+                if weights[a] > weights[b] {
+                    prop_assert!(
+                        p.heads_on(DeviceId(a as u32)) >= p.heads_on(DeviceId(b as u32)),
+                        "device {} (w={}) got fewer heads than {} (w={})",
+                        a, weights[a], b, weights[b]
+                    );
+                }
+            }
+        }
+        let equal = Placement::weighted(&vec![1.0; devices], heads);
+        let contiguous = Placement::new(devices, Partitioning::HeadContiguous, heads);
+        for d in 0..equal.devices() {
+            prop_assert_eq!(
+                equal.heads_on(DeviceId(d as u32)),
+                contiguous.heads_on(DeviceId(d as u32)),
+                "equal-weight counts diverge from contiguous on device {}", d
+            );
+        }
+    }
 }

@@ -25,5 +25,6 @@ pub use memory::{MemoryModel, OomError, RESERVE_BYTES};
 pub use model::ModelConfig;
 pub use serving::{
     max_throughput, serve_functional, serve_shared_prompt_functional, serve_trace_functional,
-    serve_trace_policy_functional, FunctionalServeReport, ServePolicy, ServingReport,
+    serve_trace_policy_functional, serve_trace_policy_functional_obs, FunctionalServeReport,
+    ServePolicy, ServingReport,
 };

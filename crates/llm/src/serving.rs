@@ -517,7 +517,7 @@ mod tests {
                 QuantScheme::kc4(),
                 &trace,
                 1.0,
-                config,
+                config.clone(),
                 policy,
             )
             .unwrap()
@@ -562,7 +562,7 @@ mod tests {
                 256,
                 3,
                 share,
-                config,
+                config.clone(),
             )
             .unwrap()
         };
@@ -607,7 +607,7 @@ mod tests {
             QuantScheme::kc4(),
             &trace,
             2.0,
-            config,
+            config.clone(),
             ServePolicy::Fcfs,
             ObsConfig::default().with_lifecycle(true),
         )

@@ -36,16 +36,19 @@
 //! Each step yields a [`ServeMetrics`] sample pairing the *measured*
 //! aggregate KV-throughput, fast-dequant telemetry, and per-device
 //! utilization with the *analytic* price of the same step shape — compute
-//! from the kernel cost model, communication from the
-//! [`InterconnectModel`]'s ring all-reduce of the step's output partials,
-//! and swap traffic from the session's host link (PCIe-class by default).
+//! from the kernel cost model, communication from the session
+//! [`Topology`]'s all-reduce of the step's output partials (a flat
+//! topology reproduces the legacy [`InterconnectModel`] ring pricing
+//! bitwise; hierarchical fleets price intra-island, cross-island, and
+//! broadcast phases), and swap traffic from the topology's host path
+//! (PCIe-class by default, drained per island in parallel).
 
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::model::SequenceModel;
 use crate::scheduler::{Fcfs, QueuedRequest, RunningSeq, SchedulerPolicy};
 use crate::workers::{ServeError, WorkUnit, WorkerPool};
 use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape, OnlineSoftmax};
-use bd_gpu_sim::InterconnectModel;
+use bd_gpu_sim::{InterconnectModel, Topology};
 use bd_kvcache::{
     DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, StoreError, SwappedShardedSeq,
 };
@@ -63,7 +66,7 @@ use std::time::Instant;
 pub type RequestId = u64;
 
 /// Static configuration of a serve session.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Page pool capacity in pages, **per device**.
     pub total_pages: usize,
@@ -78,12 +81,14 @@ pub struct ServeConfig {
     pub devices: usize,
     /// How KV heads map to devices.
     pub partitioning: Partitioning,
-    /// The link model pricing the per-step output all-reduce.
-    pub link: InterconnectModel,
-    /// The host link model pricing preemption swap traffic (PCIe-class by
-    /// default — swapped KV crosses the device↔host boundary, not the
-    /// device↔device fabric).
-    pub swap_link: InterconnectModel,
+    /// The fleet model pricing communication: the per-step output
+    /// all-reduce over the device fabric and preemption swap traffic over
+    /// the device↔host path. Defaults to a flat NVLink-class fabric with a
+    /// PCIe-class host link — identical pricing to the pre-topology
+    /// runtime. A hierarchical topology installed via
+    /// [`ServeConfig::with_topology`] also fixes the device count and
+    /// supplies per-device placement weights.
+    pub topology: Topology,
     /// Cascade shared-prefix attention: group sequences aliasing the same
     /// sealed prefix pages into one multi-query unit per `(group,
     /// kv-head, device)` so the shared pages stream through the dequant
@@ -110,8 +115,7 @@ impl ServeConfig {
             max_batch,
             devices: 1,
             partitioning: Partitioning::HeadContiguous,
-            link: InterconnectModel::nvlink4(),
-            swap_link: InterconnectModel::pcie_gen5(),
+            topology: Topology::flat(InterconnectModel::nvlink4()),
             shared_attn: true,
         }
     }
@@ -129,15 +133,35 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the interconnect link model.
+    /// Overrides the interconnect link model: the fabric becomes a flat
+    /// (single-switch) topology over `link`, keeping the current host
+    /// link. Prices identically to the pre-topology `link` field.
     pub fn with_link(mut self, link: InterconnectModel) -> Self {
-        self.link = link;
+        let host = self.topology.host_link();
+        self.topology = Topology::flat(link).with_host_link(host);
         self
     }
 
     /// Overrides the host link model pricing swap traffic.
     pub fn with_swap_link(mut self, link: InterconnectModel) -> Self {
-        self.swap_link = link;
+        self.topology = self.topology.with_host_link(link);
+        self
+    }
+
+    /// Installs a resolved fleet [`Topology`]. A hierarchical topology
+    /// carries concrete device profiles, so it also sets the session's
+    /// device count to the fleet size and switches partitioning to
+    /// [`Partitioning::Weighted`]: KV heads are apportioned
+    /// proportionally to each device's modeled decode throughput
+    /// ([`bd_gpu_sim::GpuArch::decode_weight`]). A flat topology only
+    /// replaces the pricing model and leaves device count and
+    /// partitioning untouched.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        if let Some(n) = topology.device_count() {
+            self.devices = n;
+            self.partitioning = Partitioning::Weighted;
+        }
+        self.topology = topology;
         self
     }
 
@@ -569,8 +593,28 @@ pub struct ServeSession {
     failed: BTreeMap<RequestId, ServeError>,
     /// Devices quarantined by loss faults, in order of loss.
     lost_devices: Vec<usize>,
+    /// Live per-device placement weights (empty = unweighted fleet).
+    /// Pruned in lockstep with device loss so placement rebuilds keep
+    /// apportioning heads by the surviving devices' modeled throughput.
+    device_weights: Vec<f64>,
     /// Observability instruments (default-off).
     obs: Obs,
+}
+
+/// Builds the session's head→device placement: weighted apportionment
+/// when the config asks for [`Partitioning::Weighted`] and the topology
+/// supplies per-device weights, the classic uniform placements otherwise.
+fn build_placement(
+    devices: usize,
+    partitioning: Partitioning,
+    weights: &[f64],
+    heads: usize,
+) -> Placement {
+    if partitioning == Partitioning::Weighted && weights.len() == devices {
+        Placement::weighted(weights, heads)
+    } else {
+        Placement::new(devices, partitioning, heads)
+    }
 }
 
 impl ServeSession {
@@ -579,7 +623,10 @@ impl ServeSession {
     pub fn new(decoder: BitDecoder, config: ServeConfig) -> Self {
         let cache_config = decoder.cache_config();
         let heads = decoder.attention().heads_kv;
-        let placement = Placement::new(config.devices, config.partitioning, heads);
+        let device_weights = config.topology.device_weights();
+        let placement =
+            build_placement(config.devices, config.partitioning, &device_weights, heads);
+        let placed_devices = placement.devices();
         ServeSession {
             decoder: Arc::new(decoder),
             store: Arc::new(ShardedKvStore::new(
@@ -588,7 +635,7 @@ impl ServeSession {
                 config.total_pages,
                 config.page_tokens,
             )),
-            pool: WorkerPool::new(config.workers, placement.devices()),
+            pool: WorkerPool::new(config.workers, placed_devices),
             arrivals: VecDeque::new(),
             pending: VecDeque::new(),
             active: Vec::new(),
@@ -605,6 +652,7 @@ impl ServeSession {
             hogs: Vec::new(),
             failed: BTreeMap::new(),
             lost_devices: Vec::new(),
+            device_weights,
             obs: Obs::new(ObsConfig::default()),
         }
     }
@@ -1249,9 +1297,11 @@ impl ServeSession {
                 match restored {
                     Ok(seq) => {
                         let bytes = res.blob.host_bytes() as f64;
+                        let per_dev = res.blob.host_bytes_per_device();
                         stats.resumed += 1;
                         stats.swap_bytes += bytes;
-                        stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
+                        stats.modeled_swap_s +=
+                            self.config.topology.swap_transfer_s(bytes, &per_dev);
                         // Ground truth for aging policies: silence is not a
                         // resume (batch-full steps never consult them).
                         self.policy.on_resumed(id);
@@ -1377,9 +1427,10 @@ impl ServeSession {
             Err(_) => unreachable!("active sequence is resident"),
         };
         let bytes = blob.host_bytes() as f64;
+        let per_dev = blob.host_bytes_per_device();
         stats.preempted += 1;
         stats.swap_bytes += bytes;
-        stats.modeled_swap_s += self.config.swap_link.transfer_s(bytes);
+        stats.modeled_swap_s += self.config.topology.swap_transfer_s(bytes, &per_dev);
         self.pending.push_front(QueueEntry {
             id: victim.id,
             model: victim.model,
@@ -1445,7 +1496,7 @@ impl ServeSession {
         let fan_span = self.obs.tracer.begin();
         let attn = *self.decoder.attention();
         let heads_kv = attn.heads_kv;
-        let placement = *self.store.placement();
+        let placement = self.store.placement().clone();
         let devices = placement.devices();
 
         // Batch formation. Classic shape: one unit per (sequence, kv-head,
@@ -1705,14 +1756,32 @@ impl ServeSession {
         self.active.retain(|a| a.remaining > 0);
 
         // Per-device trajectory: tokens attended vs the critical path,
-        // plus each device's page occupancy.
+        // plus each device's page occupancy. On a weighted fleet the
+        // critical path is speed-aware: each device's load is first
+        // normalized by its modeled throughput weight, so a slow device
+        // carrying its fair (smaller) share reads as fully utilized.
         let max_dev_tokens = dev_tokens.iter().copied().max().unwrap_or(0);
+        let weighted_fleet = self.device_weights.len() == devices;
+        let speed_load = |d: usize| {
+            if weighted_fleet {
+                dev_tokens[d] as f64 / self.device_weights[d]
+            } else {
+                dev_tokens[d] as f64
+            }
+        };
+        let max_speed_load = (0..devices).map(speed_load).fold(0.0_f64, f64::max);
         let per_device: Vec<DeviceStepMetrics> = (0..devices)
             .map(|d| DeviceStepMetrics {
                 device: d,
                 units: dev_units[d],
                 kv_tokens: dev_tokens[d],
-                utilization: if max_dev_tokens > 0 {
+                utilization: if weighted_fleet {
+                    if max_speed_load > 0.0 {
+                        speed_load(d) / max_speed_load
+                    } else {
+                        0.0
+                    }
+                } else if max_dev_tokens > 0 {
                     dev_tokens[d] as f64 / max_dev_tokens as f64
                 } else {
                     0.0
@@ -1727,9 +1796,9 @@ impl ServeSession {
             (batch * attn.heads_q * (attn.head_dim + 2) * std::mem::size_of::<f32>()) as f64;
         let allreduce_bytes_per_device = self
             .config
-            .link
+            .topology
             .allreduce_bytes_per_device(payload_bytes, devices);
-        let mut modeled_interconnect_s = self.config.link.allreduce_s(payload_bytes, devices);
+        let mut modeled_interconnect_s = self.config.topology.allreduce_s(payload_bytes, devices);
         let (link_failures, link_events) = self.injector.take_transient_failures(self.step_index);
         if link_failures > 0 {
             // Transient interconnect fault: this step's all-reduce failed
@@ -1979,10 +2048,22 @@ impl ServeSession {
     /// struck.
     fn lose_device(&mut self, dead: usize) {
         let live = self.store.devices();
-        self.lost_devices.push(dead % live.max(1));
+        let dead = dead % live.max(1);
+        self.lost_devices.push(dead);
         let survivors = live.saturating_sub(1).max(1);
         let heads = self.decoder.attention().heads_kv;
-        let placement = Placement::new(survivors, self.config.partitioning, heads);
+        // Prune the dead device's weight in lockstep (if the fleet is
+        // weighted) so the rebuilt placement re-apportions heads by the
+        // survivors' modeled throughput.
+        if self.device_weights.len() == live && survivors < live {
+            self.device_weights.remove(dead);
+        }
+        let placement = build_placement(
+            survivors,
+            self.config.partitioning,
+            &self.device_weights,
+            heads,
+        );
         // Replace the pool first: dropping it joins the workers, which
         // releases their store handles before the store itself goes.
         self.pool = WorkerPool::new(self.config.workers, placement.devices());

@@ -479,7 +479,7 @@ mod tests {
             .build();
         let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
         let placement = Placement::new(devices, Partitioning::HeadModulo, attn.heads_kv);
-        let mut store = ShardedKvStore::new(cfg, placement, 64, 32);
+        let mut store = ShardedKvStore::new(cfg, placement.clone(), 64, 32);
         let codec = decoder.codec();
         let seq = store.admit(0).unwrap();
         let len = 128 + 11;
@@ -555,7 +555,7 @@ mod tests {
         );
         let cfg = CacheConfig::new(16, QuantScheme::kc4(), PackLayout::sm80_default());
         let placement = Placement::new(2, Partitioning::HeadModulo, attn.heads_kv);
-        let mut store = ShardedKvStore::new(cfg, placement, 128, 32);
+        let mut store = ShardedKvStore::new(cfg, placement.clone(), 128, 32);
         let codec = decoder.codec();
         let parent = store.admit(512).unwrap();
         let k: Vec<TokenMatrix> = (0..2)

@@ -142,7 +142,8 @@ const ATTN_QUAD: AttentionConfig = AttentionConfig {
 fn arb_partitioning() -> impl Strategy<Value = Partitioning> {
     prop_oneof![
         Just(Partitioning::HeadModulo),
-        Just(Partitioning::HeadContiguous)
+        Just(Partitioning::HeadContiguous),
+        Just(Partitioning::Weighted),
     ]
 }
 
@@ -747,5 +748,83 @@ proptest! {
             prop_assert_eq!(on_summary.prefix_pages_walked_saved, 0);
         }
         prop_assert!(on_drained && off_drained, "refcounts did not drain");
+    }
+
+    /// Heterogeneity is bitwise invisible: a session on an arbitrary
+    /// mixed-architecture fleet — 4 devices of any builtin profiles,
+    /// split across 1–4 islands, heads apportioned UNEVENLY by modeled
+    /// throughput via `with_topology` — emits token streams identical to
+    /// per-sequence contiguous replay, for any page size and worker
+    /// count, while the weighted placement covers all KV heads exactly.
+    #[test]
+    fn weighted_uneven_fleet_matches_contiguous_replay_bitwise(
+        islands in 1usize..5,
+        arch_pick in prop::collection::vec(0usize..5, 4),
+        page_tokens in 1usize..80,
+        workers in 0usize..3,
+        n_seqs in 1usize..4,
+        scheme in arb_scheme(),
+        seed: u64,
+    ) {
+        let profiles = ["a100", "rtx4090", "h100", "rtx5090", "rtx_pro6000"];
+        let mut text = String::from(
+            "[topology]\nname = prop_fleet\ncross_link = ib\nhost_link = pcie\n\
+             [link nvlink]\ngbs = 450\nlatency_us = 3\n\
+             [link ib]\ngbs = 50\nlatency_us = 5\n\
+             [link pcie]\ngbs = 64\nlatency_us = 10\n",
+        );
+        // 4 devices dealt round-robin across the islands.
+        for i in 0..islands {
+            let members: Vec<&str> = (i..4)
+                .step_by(islands)
+                .map(|d| profiles[arch_pick[d]])
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            text.push_str(&format!(
+                "[island i{i}]\ndevices = {}\nlink = nvlink\n",
+                members.join(", ")
+            ));
+        }
+        let topo = bd_gpu_sim::TopologySpec::parse(&text)
+            .expect("generated fleet parses")
+            .resolve()
+            .expect("builtin profiles resolve");
+        let prompt = |i: usize| 60 + 47 * i;
+        let pages = n_seqs * 230usize.div_ceil(page_tokens) + 1;
+        let config = ServeConfig::new(pages, page_tokens, workers, 8).with_topology(topo);
+        prop_assert_eq!(config.devices, 4);
+        prop_assert_eq!(config.partitioning, Partitioning::Weighted);
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_WIDE)
+            .scheme(scheme)
+            .paged(true)
+            .build();
+        let mut session = ServeSession::new(dec.clone(), config);
+        let heads_assigned: usize = (0..session.devices())
+            .map(|d| session.store().device_stats(DeviceId(d as u32)).heads)
+            .sum();
+        prop_assert_eq!(heads_assigned, ATTN_WIDE.heads_kv, "weighted cover incomplete");
+        let ids: Vec<_> = (0..n_seqs)
+            .map(|i| {
+                session
+                    .submit(Box::new(SynthSequence::new(
+                        ATTN_WIDE, seed ^ i as u64, prompt(i), 2)))
+                    .unwrap()
+            })
+            .collect();
+        let summary = session.run_to_completion();
+        prop_assert_eq!(summary.completed, n_seqs);
+        for (i, id) in ids.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::new(ATTN_WIDE, seed ^ i as u64, prompt(i), 2),
+            );
+            prop_assert_eq!(
+                session.stream(*id).unwrap(), &want[..],
+                "sequence {} diverged on the mixed fleet", i
+            );
+        }
     }
 }

@@ -104,6 +104,51 @@ fn main() {
         verified += 1;
     }
 
+    // A heterogeneous twin: the same workload on the mixed 2×H100 + 2×A100
+    // fleet, heads apportioned by each device's modeled throughput. The
+    // fabric only prices communication — the streams stay bitwise.
+    let topo = bitdecoding::builtin_topology("mixed_h100_a100").expect("shipped topology");
+    println!(
+        "\nheterogeneous fleet `{}`: {:?}",
+        topo.name(),
+        topo.device_archs()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>(),
+    );
+    let het_config = ServeConfig::new(256, 64, 2, 8).with_topology(topo);
+    let mut het = ServeSession::new(decoder.clone(), het_config);
+    let het_ids: Vec<_> = requests
+        .iter()
+        .map(|&(seed, prompt)| {
+            het.submit(Box::new(SynthSequence::new(attn, seed, prompt, gen_tokens)))
+                .expect("request fits the pool")
+        })
+        .collect();
+    het.run_to_completion();
+    for (&(seed, prompt), &id) in requests.iter().zip(&het_ids) {
+        let want = replay_contiguous(
+            &decoder,
+            &mut SynthSequence::new(attn, seed, prompt, gen_tokens),
+        );
+        assert_eq!(
+            het.stream(id).expect("submitted request"),
+            want,
+            "heterogeneous stream of request {id} diverged from contiguous decode"
+        );
+    }
+    let het_heads: Vec<usize> = (0..het.devices())
+        .map(|d| {
+            het.store()
+                .device_stats(bitdecoding::kvcache::DeviceId(d as u32))
+                .heads
+        })
+        .collect();
+    println!(
+        "weighted head apportionment across H100/H100/A100/A100: {het_heads:?} — all {} streams bitwise-identical to contiguous decode",
+        requests.len(),
+    );
+
     println!("\nper-device storage after drain:");
     for d in 0..session.devices() {
         let stats = session

@@ -58,7 +58,10 @@ pub use bd_core::{
     AttentionConfig, BitDecoder, DecodeError, DecodeOutput, DecodeReport, DecodeShape,
     OptimizationFlags,
 };
-pub use bd_gpu_sim::{GpuArch, InterconnectModel, LatencyBreakdown};
+pub use bd_gpu_sim::{
+    builtin_device, builtin_topology, DeviceSpec, GpuArch, InterconnectModel, LatencyBreakdown,
+    SpecError, Topology, TopologySpec,
+};
 pub use bd_kvcache::{
     CacheConfig, DeviceId, PackLayout, PagedKvStore, Partitioning, Placement, QuantScheme,
     QuantizedKvCache, ShardedKvStore,
