@@ -23,7 +23,10 @@ use bd_bench::traces::{bursty_trace, BurstProfile, RequestShape};
 use bd_core::AttentionConfig;
 use bd_gpu_sim::{builtin_topology, GpuArch};
 use bd_kvcache::{Partitioning, QuantScheme};
-use bd_llm::{serve_shared_prompt_functional, serve_trace_policy_functional_obs, ServePolicy};
+use bd_llm::{
+    serve_prefix_cache_functional, serve_shared_prompt_functional,
+    serve_trace_policy_functional_obs, ServePolicy,
+};
 use bd_serve::{
     FaultPlan, ObsConfig, Quantiles, RequestId, ServeConfig, ServeSession, SloSummary, SpanTracer,
     SynthSequence,
@@ -387,6 +390,86 @@ fn run_shared_prefix(sequences: usize, share: bool, reps: usize) -> SharedPrefix
     }
 }
 
+/// One content-dedup scenario's outcome: `tenants` *independent*
+/// requests (no `fork` call anywhere) that happen to carry the same
+/// 2048-token prompt, served with the radix prefix cache on ("radix")
+/// or off ("cold").
+struct PrefixCacheRow {
+    tenants: usize,
+    mode: &'static str,
+    steps: usize,
+    peak_pages: usize,
+    kv_tok_s: f64,
+    hits: usize,
+    misses: usize,
+    pages_reused: usize,
+    bytes_reused_kib: f64,
+    shared_attn_groups: usize,
+}
+
+/// N identical-prompt tenants submitted independently: with the cache on,
+/// every tenant after the first adopts the sealed prompt page runs by
+/// content hash — no fork API, no coordination — and the adopted pages
+/// feed the same cascade attention groups an explicit fork would.
+/// Returns the row plus the token streams for the bitwise check.
+fn run_prefix_cache(tenants: usize, cache: bool, reps: usize) -> (PrefixCacheRow, Vec<Vec<u32>>) {
+    let attn = AttentionConfig::gqa(8, 4, 64);
+    let page_tokens = 64;
+    let pages_per_seq = (PROMPT + GEN_SHARED).div_ceil(page_tokens) + 1;
+    let run = || {
+        let config = ServeConfig::new(tenants * pages_per_seq, page_tokens, WORKERS, tenants);
+        serve_prefix_cache_functional(
+            GpuArch::rtx4090(),
+            attn,
+            QuantScheme::kc4(),
+            tenants,
+            PROMPT,
+            GEN_SHARED,
+            cache,
+            config,
+        )
+        .expect("fits pool")
+    };
+    let mut report = run();
+    for _ in 1..reps {
+        let rep = run();
+        if rep.kv_tokens_per_s > report.kv_tokens_per_s {
+            report = rep;
+        }
+    }
+    assert_eq!(report.completed, tenants);
+    assert_eq!(report.forks, 0, "content dedup must not fork");
+    let prompt_pages = PROMPT / page_tokens;
+    if cache {
+        // The 2048-token prompt is run-aligned at KC-4 (Nr = 128, 2 pages
+        // per run), so adoption is exact: one miss seeds the index and
+        // every later tenant reuses the full 32-page prompt.
+        assert_eq!(report.prefix_cache_misses, 1);
+        assert_eq!(report.prefix_cache_hits, tenants - 1);
+        assert_eq!(report.prefix_pages_reused, (tenants - 1) * prompt_pages);
+        assert!(
+            report.shared_attn_groups > 0,
+            "{tenants} tenants: radix hits formed no cascade groups"
+        );
+    } else {
+        assert_eq!(report.prefix_cache_hits + report.prefix_pages_reused, 0);
+        assert_eq!(report.shared_attn_groups, 0, "cold run formed a group");
+    }
+    let row = PrefixCacheRow {
+        tenants,
+        mode: if cache { "radix" } else { "cold" },
+        steps: report.steps,
+        peak_pages: report.peak_physical_pages,
+        kv_tok_s: report.kv_tokens_per_s,
+        hits: report.prefix_cache_hits,
+        misses: report.prefix_cache_misses,
+        pages_reused: report.prefix_pages_reused,
+        bytes_reused_kib: report.prefix_bytes_reused as f64 / 1024.0,
+        shared_attn_groups: report.shared_attn_groups,
+    };
+    (row, report.token_streams)
+}
+
 /// One degraded-mode scenario's outcome: the fixed 6-request workload
 /// under a fault plan (or none).
 struct DegradedRow {
@@ -609,6 +692,52 @@ fn bench_serve(_c: &mut Criterion) {
             );
         }
     }
+    // Content-addressed dedup: the same identical-prompt workload with NO
+    // fork calls — independent tenants, deduped purely by the radix
+    // prefix cache — against the cold (cache-off) twin.
+    let mut prefix_rows: Vec<PrefixCacheRow> = Vec::new();
+    for tenants in [2usize, 8] {
+        let (cold_row, cold_streams) = run_prefix_cache(tenants, false, 1);
+        let (radix_row, radix_streams) = run_prefix_cache(tenants, true, 2);
+        assert_eq!(
+            radix_streams, cold_streams,
+            "{tenants} tenants: the radix cache changed token values"
+        );
+        assert!(
+            radix_row.peak_pages < cold_row.peak_pages,
+            "{} tenants: content dedup did not shrink the footprint ({} vs {})",
+            tenants,
+            radix_row.peak_pages,
+            cold_row.peak_pages,
+        );
+        for row in [cold_row, radix_row] {
+            println!(
+                "prefix-cache {:>2} tenants {:>5}: peak {:>4} pages, {:>9.0} kv-tok/s, {} hits {} misses, {:>4} pages adopted, {:>8.1} KiB reused, {:>4} groups",
+                row.tenants, row.mode, row.peak_pages, row.kv_tok_s, row.hits,
+                row.misses, row.pages_reused, row.bytes_reused_kib,
+                row.shared_attn_groups,
+            );
+            prefix_rows.push(row);
+        }
+    }
+    // The acceptance bar: at 8 tenants, transparent content dedup matches
+    // the explicit-fork shared-prefix footprint to within one page run
+    // (KC-4 at 64-token pages: 2 pages) — the fork API buys nothing the
+    // content hash does not.
+    let fork_baseline = shared_rows
+        .iter()
+        .find(|r| r.sequences == 8 && r.mode == "shared")
+        .expect("8-sequence shared row");
+    let radix_8 = prefix_rows
+        .iter()
+        .find(|r| r.tenants == 8 && r.mode == "radix")
+        .expect("8-tenant radix row");
+    assert!(
+        radix_8.peak_pages <= fork_baseline.peak_pages + 2,
+        "8 tenants: radix peak {} pages strays beyond one page run of the explicit-fork baseline {}",
+        radix_8.peak_pages,
+        fork_baseline.peak_pages,
+    );
     // Degraded-mode trajectory: the same workload healthy, after a
     // device loss, and with the loss striking mid-run.
     let degraded_rows: Vec<DegradedRow> = [
@@ -645,6 +774,7 @@ fn bench_serve(_c: &mut Criterion) {
         &rows,
         &policy_rows,
         &shared_rows,
+        &prefix_rows,
         &degraded_rows,
         &het_rows,
         &slo,
@@ -659,10 +789,12 @@ fn quantiles_json(q: &Quantiles) -> String {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     rows: &[ServeBenchRow],
     policy_rows: &[PolicyBenchRow],
     shared_rows: &[SharedPrefixRow],
+    prefix_rows: &[PrefixCacheRow],
     degraded_rows: &[DegradedRow],
     het_rows: &[HeterogeneousRow],
     slo: &SloSummary,
@@ -745,6 +877,23 @@ fn write_bench_json(
             r.shared_attn_groups,
             r.prefix_pages_walked_saved,
             if i + 1 == shared_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"prefix_cache\": [\n");
+    for (i, r) in prefix_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"mode\": \"{}\", \"steps\": {}, \"peak_physical_pages\": {}, \"aggregate_kv_tok_s\": {:.0}, \"prefix_cache_hits\": {}, \"prefix_cache_misses\": {}, \"prefix_pages_reused\": {}, \"prefix_bytes_reused_kib\": {:.1}, \"shared_attn_groups\": {}}}{}\n",
+            r.tenants,
+            r.mode,
+            r.steps,
+            r.peak_pages,
+            r.kv_tok_s,
+            r.hits,
+            r.misses,
+            r.pages_reused,
+            r.bytes_reused_kib,
+            r.shared_attn_groups,
+            if i + 1 == prefix_rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ],\n  \"degraded\": [\n");

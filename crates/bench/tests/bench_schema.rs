@@ -40,6 +40,7 @@ fn bench_serve_json_has_the_pinned_top_level_schema() {
             "heterogeneous",
             "slo",
             "shared_prefix",
+            "prefix_cache",
             "degraded",
         ]
     );
@@ -311,6 +312,94 @@ fn shared_prefix_rows_lock_the_cascade_scaling_fields() {
     assert!(
         speedup >= 2.0,
         "committed 8-sharer cascade speedup regressed to {speedup:.2}x"
+    );
+}
+
+#[test]
+fn prefix_cache_rows_lock_the_content_dedup_fields() {
+    let doc = load();
+    let rows = doc
+        .get("prefix_cache")
+        .and_then(JsonValue::as_array)
+        .expect("prefix_cache array");
+    // 2 tenant counts (2, 8) x {cold, radix}.
+    assert_eq!(rows.len(), 4);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            keys(row),
+            vec![
+                "tenants",
+                "mode",
+                "steps",
+                "peak_physical_pages",
+                "aggregate_kv_tok_s",
+                "prefix_cache_hits",
+                "prefix_cache_misses",
+                "prefix_pages_reused",
+                "prefix_bytes_reused_kib",
+                "shared_attn_groups",
+            ]
+        );
+        let radix = i % 2 == 1;
+        assert_eq!(
+            row.get("mode").and_then(JsonValue::as_str),
+            Some(if radix { "radix" } else { "cold" })
+        );
+        let tenants = row
+            .get("tenants")
+            .and_then(JsonValue::as_f64)
+            .expect("tenants");
+        let hits = row
+            .get("prefix_cache_hits")
+            .and_then(JsonValue::as_f64)
+            .expect("prefix_cache_hits");
+        let reused = row
+            .get("prefix_pages_reused")
+            .and_then(JsonValue::as_f64)
+            .expect("prefix_pages_reused");
+        let groups = row
+            .get("shared_attn_groups")
+            .and_then(JsonValue::as_f64)
+            .expect("shared_attn_groups");
+        if radix {
+            // The committed baseline carries the acceptance result:
+            // content-addressed adoption actually happened — every tenant
+            // after the first hit and reused pages — and the hits formed
+            // cascade attention groups with no fork call anywhere.
+            assert_eq!(hits, tenants - 1.0, "radix row {i} hit count");
+            assert!(reused > 0.0, "radix row {i} reused no pages");
+            assert!(groups > 0.0, "radix row {i} formed no cascade groups");
+        } else {
+            assert_eq!(hits, 0.0, "cold row {i} must not hit");
+            assert_eq!(reused, 0.0);
+            assert_eq!(groups, 0.0, "cold row {i} must not group");
+        }
+    }
+    // Transparent dedup matches the explicit-fork footprint: the
+    // 8-tenant radix peak stays within one KC-4 page run (2 pages at
+    // 64-token pages) of the 8-sharer explicit-fork baseline.
+    let fork_peak = doc
+        .get("shared_prefix")
+        .and_then(JsonValue::as_array)
+        .expect("shared_prefix array")
+        .iter()
+        .find(|r| {
+            r.get("sequences").and_then(JsonValue::as_f64) == Some(8.0)
+                && r.get("mode").and_then(JsonValue::as_str) == Some("shared")
+        })
+        .and_then(|r| r.get("peak_physical_pages").and_then(JsonValue::as_f64))
+        .expect("8-sharer shared peak");
+    let radix_peak = rows
+        .iter()
+        .find(|r| {
+            r.get("tenants").and_then(JsonValue::as_f64) == Some(8.0)
+                && r.get("mode").and_then(JsonValue::as_str) == Some("radix")
+        })
+        .and_then(|r| r.get("peak_physical_pages").and_then(JsonValue::as_f64))
+        .expect("8-tenant radix peak");
+    assert!(
+        radix_peak <= fork_peak + 2.0,
+        "committed 8-tenant radix peak {radix_peak} strays beyond one page run of the fork baseline {fork_peak}"
     );
 }
 

@@ -27,6 +27,7 @@ pub mod layout;
 pub mod matrix;
 pub mod paged;
 pub mod placement;
+mod radix;
 pub mod scheme;
 pub mod sharded;
 pub mod store;
@@ -42,4 +43,6 @@ pub use paged::{PageId, PagedOom, PagedPool, SeqId};
 pub use placement::{DeviceId, Partitioning, Placement};
 pub use scheme::{KeyGranularity, QuantScheme, SchemeKind};
 pub use sharded::{DeviceKvStats, ShardedKvStore, SwappedShardedSeq};
-pub use store::{KvSharingStats, PagedKvStore, StoreError, SwappedSeq};
+pub use store::{
+    KvSharingStats, PagedKvStore, PrefixAdmit, PrefixCacheStats, StoreError, SwappedSeq,
+};

@@ -70,6 +70,12 @@ pub struct PagedPool {
     /// free list, so stale references can detect recycling. Absent = never
     /// freed (generation 0).
     gens: BTreeMap<PageId, u64>,
+    /// Pages holding one extra **cache pin** reference (at most one per
+    /// page): the content-addressed prefix index keeps sealed prompt pages
+    /// alive after their last sequence departs so later identical prompts
+    /// can re-adopt them. Pinned pages are excluded from sharing
+    /// accounting ([`PagedPool::seq_refcount`]).
+    pinned: BTreeSet<PageId>,
     next_seq: u32,
     total_pages: usize,
 }
@@ -89,6 +95,7 @@ impl PagedPool {
             seq_lens: BTreeMap::new(),
             refs: BTreeMap::new(),
             gens: BTreeMap::new(),
+            pinned: BTreeSet::new(),
             next_seq: 0,
             total_pages,
         }
@@ -306,9 +313,75 @@ impl PagedPool {
         *self.gens.entry(page).or_insert(0) += 1;
     }
 
-    /// Allocated pages mapped by more than one sequence.
+    /// Pins a page on behalf of the prefix cache: one extra reference that
+    /// keeps the page allocated (and its frame intact) after every
+    /// sequence mapping it departs. A page carries at most one pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is free or already pinned.
+    pub(crate) fn pin_page(&mut self, page: PageId) {
+        let Some(count) = self.refs.get_mut(&page) else {
+            panic!("cannot pin free page {page:?}");
+        };
+        assert!(self.pinned.insert(page), "page {page:?} already pinned");
+        *count += 1;
+    }
+
+    /// Drops a page's cache pin; when the pin was the last reference the
+    /// page returns to the free list (bumping its generation). Returns
+    /// `true` exactly when the page was freed, so the caller knows to drop
+    /// its frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not pinned.
+    pub(crate) fn unpin_page(&mut self, page: PageId) -> bool {
+        assert!(self.pinned.remove(&page), "page {page:?} not pinned");
+        let Some(count) = self.refs.get_mut(&page) else {
+            unreachable!("pinned pages are allocated");
+        };
+        *count -= 1;
+        if *count == 0 {
+            self.refs.remove(&page);
+            *self.gens.entry(page).or_insert(0) += 1;
+            self.free.insert(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the prefix cache holds a pin on this page.
+    pub fn is_pinned(&self, page: PageId) -> bool {
+        self.pinned.contains(&page)
+    }
+
+    /// References held on a page by **sequences** — the raw refcount minus
+    /// the cache pin, if any. This is the count every sharing decision
+    /// (copy-on-write, swap re-share, preemption accounting) consults, so
+    /// cache pins are invisible to scheduling.
+    pub fn seq_refcount(&self, page: PageId) -> u32 {
+        let raw = self.refcount(page);
+        raw - u32::from(raw > 0 && self.pinned.contains(&page))
+    }
+
+    /// Pinned pages no sequence maps any more — exactly the pages the
+    /// prefix cache could return to the free list on demand.
+    pub fn reclaimable_pages(&self) -> usize {
+        self.pinned
+            .iter()
+            .filter(|&&p| self.seq_refcount(p) == 0)
+            .count()
+    }
+
+    /// Allocated pages mapped by more than one sequence (cache pins do not
+    /// count as sharers).
     pub fn shared_pages(&self) -> usize {
-        self.refs.values().filter(|&&c| c > 1).count()
+        self.refs
+            .keys()
+            .filter(|&&p| self.seq_refcount(p) > 1)
+            .count()
     }
 
     /// Iterates every allocated page with its current refcount, in page
@@ -509,6 +582,42 @@ mod tests {
         assert_eq!(pool.generation(PageId(0)), 1, "allocation does not bump");
         pool.release(b);
         assert_eq!(pool.generation(PageId(0)), 2);
+    }
+
+    #[test]
+    fn pinned_pages_survive_release_and_free_on_unpin() {
+        let mut pool = PagedPool::new(4, 16);
+        let a = pool.admit();
+        pool.grow(a, 32).unwrap(); // pages 0,1
+        pool.pin_page(PageId(0));
+        assert!(pool.is_pinned(PageId(0)));
+        assert_eq!(pool.refcount(PageId(0)), 2);
+        // Pins are invisible to sharing accounting.
+        assert_eq!(pool.seq_refcount(PageId(0)), 1);
+        assert_eq!(pool.shared_pages(), 0);
+        assert_eq!(pool.reclaimable_pages(), 0);
+        // Releasing the only sequence keeps the pinned page allocated.
+        assert_eq!(pool.release(a), vec![PageId(1)]);
+        assert_eq!(pool.refcount(PageId(0)), 1);
+        assert_eq!(pool.seq_refcount(PageId(0)), 0);
+        assert_eq!(pool.reclaimable_pages(), 1);
+        assert_eq!(pool.free_pages(), 3);
+        let gen = pool.generation(PageId(0));
+        // Unpinning the orphaned page frees it and bumps its generation.
+        assert!(pool.unpin_page(PageId(0)));
+        assert_eq!(pool.free_pages(), 4);
+        assert_eq!(pool.generation(PageId(0)), gen + 1);
+    }
+
+    #[test]
+    fn unpin_with_live_sharers_keeps_the_page() {
+        let mut pool = PagedPool::new(4, 16);
+        let a = pool.admit();
+        pool.grow(a, 16).unwrap(); // page 0
+        pool.pin_page(PageId(0));
+        assert!(!pool.unpin_page(PageId(0)), "sequence still maps the page");
+        assert_eq!(pool.refcount(PageId(0)), 1);
+        assert_eq!(pool.free_pages(), 3);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Content-addressed radix index over pinned page runs — the tree half of
+//! the prefix cache in [`crate::store::PagedKvStore`].
+//!
+//! Each node covers one **page run**: the smallest span of pages whose
+//! token count is a whole number of packed `Nr` blocks (`lcm(Nr,
+//! page_tokens)` tokens), so adopting a run never splits a packed block
+//! across an adopted/private boundary. Nodes are keyed by a chain hash
+//! (FNV-1a over every packed byte of every run up to and including this
+//! one, seeded with the scheme and page geometry), which makes a node's
+//! key a content address for the entire prefix it terminates — position
+//! is inherent, two different prefixes of the same bytes-so-far share a
+//! path, and a lookup is a walk from the roots.
+//!
+//! The index itself stores no payload bytes. It records which physical
+//! pages hold each run (the store pins those pages so they survive their
+//! sequences) together with the page generations observed at registration,
+//! so a recycled or rewritten page is detected before anything adopts it.
+//! The store additionally byte-verifies candidate runs against the frames
+//! on adoption — a hash collision can therefore never alias pages.
+//!
+//! Eviction works on **subtrees**: when the store needs pages back it
+//! repeatedly removes the least-recently-used maximal subtree in which no
+//! page is mapped by any live sequence, returning every page of the
+//! subtree to the caller for unpinning.
+
+use crate::paged::PageId;
+use std::collections::BTreeMap;
+
+/// One page run in the index. See the [module docs](self) for the keying
+/// and eviction rules.
+#[derive(Clone, Debug)]
+pub(crate) struct RadixNode {
+    /// Chain hash of the whole prefix this run terminates.
+    pub key: u64,
+    /// Physical pages of the run, in table order.
+    pub pages: Vec<PageId>,
+    /// Pool generation of each page, observed at registration.
+    pub gens: Vec<u64>,
+    /// Packed payload bytes the run holds (all heads, K and V).
+    pub bytes: usize,
+    /// Parent node, `None` for a first-run root.
+    parent: Option<usize>,
+    /// Child runs by chain hash.
+    children: BTreeMap<u64, usize>,
+    /// Logical LRU clock value of the last lookup or registration touch.
+    pub last_use: u64,
+}
+
+/// The radix tree arena. All bookkeeping is ordered (`BTreeMap`s, index
+/// tie-breaks), so identical histories build identical trees and evict in
+/// identical order — the property that keeps cached serve runs
+/// reproducible bit for bit.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RadixIndex {
+    nodes: Vec<Option<RadixNode>>,
+    free: Vec<usize>,
+    roots: BTreeMap<u64, usize>,
+    clock: u64,
+}
+
+impl RadixIndex {
+    /// The child of `parent` (or the root) keyed by `key`.
+    pub fn child(&self, parent: Option<usize>, key: u64) -> Option<usize> {
+        match parent {
+            None => self.roots.get(&key).copied(),
+            Some(p) => self.node(p).children.get(&key).copied(),
+        }
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling id — ids are only valid until their subtree is
+    /// removed.
+    pub fn node(&self, id: usize) -> &RadixNode {
+        match self.nodes.get(id) {
+            Some(Some(n)) => n,
+            _ => panic!("dangling radix node id {id}"),
+        }
+    }
+
+    /// Marks a node recently used.
+    pub fn touch(&mut self, id: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.nodes.get_mut(id) {
+            Some(Some(n)) => n.last_use = clock,
+            _ => panic!("dangling radix node id {id}"),
+        }
+    }
+
+    /// Inserts a new run under `parent` (or as a root) and returns its id.
+    pub fn insert(
+        &mut self,
+        parent: Option<usize>,
+        key: u64,
+        pages: Vec<PageId>,
+        gens: Vec<u64>,
+        bytes: usize,
+    ) -> usize {
+        self.clock += 1;
+        let node = RadixNode {
+            key,
+            pages,
+            gens,
+            bytes,
+            parent,
+            children: BTreeMap::new(),
+            last_use: self.clock,
+        };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        };
+        match parent {
+            None => {
+                let prev = self.roots.insert(key, id);
+                debug_assert!(prev.is_none(), "duplicate root key");
+            }
+            Some(p) => {
+                let Some(Some(parent_node)) = self.nodes.get_mut(p) else {
+                    panic!("dangling radix parent id {p}");
+                };
+                let prev = parent_node.children.insert(key, id);
+                debug_assert!(prev.is_none(), "duplicate child key");
+            }
+        }
+        id
+    }
+
+    /// Removes a node and its whole subtree, returning every page the
+    /// subtree held (parent-first order) so the caller can unpin them.
+    pub fn remove_subtree(&mut self, id: usize) -> Vec<PageId> {
+        // Detach from the parent (or the root set) first.
+        let (parent, key) = {
+            let n = self.node(id);
+            (n.parent, n.key)
+        };
+        match parent {
+            None => {
+                self.roots.remove(&key);
+            }
+            Some(p) => {
+                if let Some(Some(parent_node)) = self.nodes.get_mut(p) {
+                    parent_node.children.remove(&key);
+                }
+            }
+        }
+        let mut pages = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let Some(node) = self.nodes.get_mut(cur).and_then(Option::take) else {
+                panic!("dangling radix node id {cur}");
+            };
+            pages.extend(node.pages);
+            stack.extend(node.children.values().copied());
+            self.free.push(cur);
+        }
+        pages
+    }
+
+    /// Whether every page of the subtree rooted at `id` satisfies
+    /// `evictable`, together with the subtree's most recent use.
+    fn subtree_info(&self, id: usize, evictable: &impl Fn(PageId) -> bool) -> (bool, u64) {
+        let n = self.node(id);
+        let mut clean = n.pages.iter().all(|&p| evictable(p));
+        let mut recency = n.last_use;
+        for &c in n.children.values() {
+            let (child_clean, child_recency) = self.subtree_info(c, evictable);
+            clean &= child_clean;
+            recency = recency.max(child_recency);
+        }
+        (clean, recency)
+    }
+
+    /// Removes the least-recently-used **maximal** subtree in which every
+    /// page satisfies `evictable`, returning its pages — or `None` when no
+    /// such subtree exists. Recency of a subtree is its most recent use;
+    /// ties break on the lower node id, keeping eviction deterministic.
+    pub fn evict_lru_subtree(
+        &mut self,
+        evictable: &impl Fn(PageId) -> bool,
+    ) -> Option<Vec<PageId>> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut stack: Vec<usize> = self.roots.values().copied().collect();
+        while let Some(id) = stack.pop() {
+            let (clean, recency) = self.subtree_info(id, evictable);
+            if clean {
+                let better =
+                    best.is_none_or(|(br, bid)| recency < br || (recency == br && id < bid));
+                if better {
+                    best = Some((recency, id));
+                }
+            } else {
+                stack.extend(self.node(id).children.values().copied());
+            }
+        }
+        best.map(|(_, id)| self.remove_subtree(id))
+    }
+
+    /// Number of live runs in the index.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Every page the index currently holds, in arena order — the leak
+    /// audit surface: this must equal the store's pinned-page set exactly.
+    pub fn all_pages(&self) -> Vec<PageId> {
+        self.nodes
+            .iter()
+            .flatten()
+            .flat_map(|n| n.pages.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(ids: &[u32]) -> Vec<PageId> {
+        ids.iter().map(|&p| PageId(p)).collect()
+    }
+
+    #[test]
+    fn chain_walk_and_touch() {
+        let mut idx = RadixIndex::default();
+        let a = idx.insert(None, 10, pages(&[0, 1]), vec![0, 0], 100);
+        let b = idx.insert(Some(a), 20, pages(&[2, 3]), vec![0, 0], 100);
+        assert_eq!(idx.child(None, 10), Some(a));
+        assert_eq!(idx.child(Some(a), 20), Some(b));
+        assert_eq!(idx.child(Some(a), 99), None);
+        assert_eq!(idx.child(None, 20), None);
+        assert_eq!(idx.node_count(), 2);
+        let before = idx.node(a).last_use;
+        idx.touch(a);
+        assert!(idx.node(a).last_use > before);
+    }
+
+    #[test]
+    fn remove_subtree_collects_descendants_and_recycles_slots() {
+        let mut idx = RadixIndex::default();
+        let a = idx.insert(None, 1, pages(&[0]), vec![0], 1);
+        let b = idx.insert(Some(a), 2, pages(&[1]), vec![0], 1);
+        let _c = idx.insert(Some(b), 3, pages(&[2, 3]), vec![0, 0], 2);
+        let other = idx.insert(None, 9, pages(&[7]), vec![0], 1);
+        let mut removed = idx.remove_subtree(b);
+        removed.sort();
+        assert_eq!(removed, pages(&[1, 2, 3]));
+        assert_eq!(idx.node_count(), 2);
+        assert_eq!(idx.child(Some(a), 2), None);
+        assert_eq!(idx.child(None, 9), Some(other));
+        // Freed arena slots are reused.
+        let d = idx.insert(Some(a), 4, pages(&[5]), vec![0], 1);
+        assert!(d == b || d < idx.nodes.len());
+        assert_eq!(idx.child(Some(a), 4), Some(d));
+    }
+
+    #[test]
+    fn lru_eviction_takes_the_coldest_clean_subtree() {
+        let mut idx = RadixIndex::default();
+        let a = idx.insert(None, 1, pages(&[0]), vec![0], 1); // cold chain
+        let _a2 = idx.insert(Some(a), 2, pages(&[1]), vec![0], 1);
+        let b = idx.insert(None, 5, pages(&[2]), vec![0], 1); // warm chain
+        idx.touch(b);
+        // Everything evictable: the coldest maximal subtree is chain `a`.
+        let mut evicted = idx.evict_lru_subtree(&|_| true).unwrap();
+        evicted.sort();
+        assert_eq!(evicted, pages(&[0, 1]));
+        assert_eq!(idx.node_count(), 1);
+        // Only `b` remains; evicting again removes it, then nothing.
+        assert_eq!(idx.evict_lru_subtree(&|_| true).unwrap(), pages(&[2]));
+        assert!(idx.evict_lru_subtree(&|_| true).is_none());
+    }
+
+    #[test]
+    fn referenced_pages_pin_their_ancestors_out_of_eviction() {
+        let mut idx = RadixIndex::default();
+        let a = idx.insert(None, 1, pages(&[0]), vec![0], 1);
+        let b = idx.insert(Some(a), 2, pages(&[1]), vec![0], 1);
+        let _deep = idx.insert(Some(b), 3, pages(&[2]), vec![0], 1);
+        // Page 1 (middle run) is still mapped by a sequence: only the
+        // deep run below it is evictable — not the root, not the chain.
+        let evicted = idx.evict_lru_subtree(&|p| p != PageId(1)).unwrap();
+        assert_eq!(evicted, pages(&[2]));
+        assert_eq!(idx.node_count(), 2);
+        // Now nothing below the referenced run remains evictable except
+        // nothing — the referenced run blocks its whole subtree.
+        assert!(idx.evict_lru_subtree(&|p| p != PageId(1)).is_none());
+    }
+
+    #[test]
+    fn all_pages_reports_the_full_holding() {
+        let mut idx = RadixIndex::default();
+        let a = idx.insert(None, 1, pages(&[4, 5]), vec![0, 0], 1);
+        idx.insert(Some(a), 2, pages(&[6]), vec![0], 1);
+        let mut all = idx.all_pages();
+        all.sort();
+        assert_eq!(all, pages(&[4, 5, 6]));
+    }
+}

@@ -26,12 +26,12 @@
 //! page sizes, and eviction orders.
 
 use crate::block::PackedBlock;
-use crate::cache::{CacheConfig, QuantizedKvCache};
+use crate::cache::{CacheConfig, CacheError, QuantizedKvCache};
 use crate::codec::BlockCodec;
 use crate::matrix::{TokenMatrix, TokenRows};
 use crate::paged::{PagedOom, SeqId};
 use crate::placement::{DeviceId, Placement};
-use crate::store::{PagedKvStore, StoreError, SwappedSeq};
+use crate::store::{PagedKvStore, PrefixAdmit, PrefixCacheStats, StoreError, SwappedSeq};
 
 /// Per-device occupancy/eviction snapshot (the storage half of the serve
 /// layer's per-device metrics).
@@ -635,6 +635,120 @@ impl ShardedKvStore {
         Ok(())
     }
 
+    /// Enables or disables the content-addressed prefix cache on **every**
+    /// device at once. Disabling drops each device's radix index and
+    /// returns its cache-held pages to the pools — see
+    /// [`PagedKvStore::set_prefix_cache`].
+    pub fn set_prefix_cache(&mut self, enabled: bool) {
+        for dev in &mut self.devices {
+            dev.set_prefix_cache(enabled);
+        }
+    }
+
+    /// Whether the prefix cache is enabled (identical on every device —
+    /// the toggle is all-device atomic).
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.devices[0].prefix_cache_enabled()
+    }
+
+    /// Lifetime prefix-cache counters summed over every device.
+    pub fn prefix_cache_stats(&self) -> PrefixCacheStats {
+        let mut stats = PrefixCacheStats::default();
+        for dev in &self.devices {
+            stats.absorb(dev.prefix_cache_stats());
+        }
+        stats
+    }
+
+    /// Pages the prefix caches currently hold pinned, summed over every
+    /// device.
+    pub fn prefix_cached_pages(&self) -> usize {
+        self.devices
+            .iter()
+            .map(PagedKvStore::prefix_cached_pages)
+            .sum()
+    }
+
+    /// Admits **and** prefills a sequence on **every** device in one step,
+    /// adopting cached prefix pages zero-copy where a device's radix index
+    /// matches — the content-addressed twin of [`ShardedKvStore::admit`] +
+    /// [`ShardedKvStore::prefill`]. Shapes and the page budget are
+    /// pre-checked on every device before any pool is touched, so on
+    /// failure nothing is admitted anywhere and no [`SeqId`] is burned.
+    /// All devices assign the same id, which is returned together with the
+    /// adoption totals summed over devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on shape mismatch, and [`StoreError::Oom`]
+    /// when any device cannot cover `max(reserve_tokens, prompt_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` per-head token counts disagree.
+    pub fn admit_prefill_cached<K, V>(
+        &mut self,
+        k: &[K],
+        v: &[V],
+        reserve_tokens: usize,
+        codec: &impl BlockCodec,
+    ) -> Result<(SeqId, PrefixAdmit), StoreError>
+    where
+        K: TokenRows,
+        V: TokenRows,
+    {
+        for got in [k.len(), v.len()] {
+            if got != self.heads() {
+                return Err(StoreError::HeadCount {
+                    got,
+                    expected: self.heads(),
+                });
+            }
+        }
+        // Validate shapes up front: the per-device calls below must be
+        // infallible so a failure never admits on a subset of devices.
+        let len = k[0].token_count();
+        let dim = self.config().dim;
+        for (hk, hv) in k.iter().zip(v) {
+            assert_eq!(hk.token_count(), len, "per-head prompt length mismatch");
+            assert_eq!(hv.token_count(), len, "per-head prompt length mismatch");
+            for t in 0..len {
+                for row in [hk.token_row(t), hv.token_row(t)] {
+                    if row.len() != dim {
+                        return Err(StoreError::Cache(CacheError::DimMismatch {
+                            expected: dim,
+                            got: row.len(),
+                        }));
+                    }
+                }
+            }
+        }
+        let reserve = reserve_tokens.max(len);
+        self.preflight_pages(reserve.div_ceil(self.page_tokens()))
+            .map_err(StoreError::Oom)?;
+        let k_by_dev = self.scatter(k);
+        let v_by_dev = self.scatter(v);
+        let mut admit = PrefixAdmit::default();
+        let ids: Vec<SeqId> = self
+            .devices
+            .iter_mut()
+            .zip(k_by_dev.iter().zip(&v_by_dev))
+            .map(|(dev, (dk, dv))| {
+                let (id, dev_admit) = dev
+                    .admit_prefill_cached(dk, dv, reserve_tokens, codec)
+                    .unwrap_or_else(|_| unreachable!("pre-checked on every device"));
+                admit.absorb(dev_admit);
+                id
+            })
+            .collect();
+        let id = ids[0];
+        debug_assert!(
+            ids.iter().all(|&i| i == id),
+            "device pools diverged on SeqId assignment"
+        );
+        Ok((id, admit))
+    }
+
     /// Checks the sharding invariant against a contiguous cache that
     /// replayed the same history: for every global head `h`, the blocks
     /// gathered from `h`'s owning device must equal
@@ -1056,5 +1170,68 @@ mod tests {
         // SeqId lockstep: the failed attempt burned nothing — the clean
         // blob restores with the next id on every device.
         assert!(store.swap_in(&clean).is_ok());
+    }
+
+    #[test]
+    fn identical_prompts_dedup_on_every_device_via_the_prefix_cache() {
+        for devices in [1, 2, 3] {
+            for part in [Partitioning::HeadModulo, Partitioning::HeadContiguous] {
+                let placement = Placement::new(devices, part, 4);
+                let mut store = ShardedKvStore::new(cfg(16), placement, 64, 32);
+                store.set_prefix_cache(true);
+                assert!(store.prefix_cache_enabled());
+                // 128 packed tokens = one full 4-page run per device
+                // (Nr = 128, 32-token pages), plus a 32-token residual.
+                let len = 160;
+                let k: Vec<TokenMatrix> = (0..4)
+                    .map(|h| {
+                        TokenMatrix::from_fn(len, 16, |t, c| ((h * 7 + t * 16 + c) as f32).sin())
+                    })
+                    .collect();
+                let v: Vec<TokenMatrix> = (0..4)
+                    .map(|h| {
+                        TokenMatrix::from_fn(len, 16, |t, c| ((h * 13 + t * 16 + c) as f32).cos())
+                    })
+                    .collect();
+                let (a, first) = store
+                    .admit_prefill_cached(&k, &v, len, &ReferenceCodec)
+                    .unwrap();
+                assert_eq!(first.pages_reused, 0, "nothing cached yet");
+                let free_after_first = store.free_pages();
+                let (b, second) = store
+                    .admit_prefill_cached(&k, &v, len, &ReferenceCodec)
+                    .unwrap();
+                assert_eq!(b.0, a.0 + 1, "ids out of lockstep");
+                // Each device adopts its whole packed run zero-copy; only
+                // the residual page is fresh.
+                assert_eq!(second.pages_reused, 4 * devices, "devices={devices} {part}");
+                assert!(second.bytes_reused > 0);
+                assert_eq!(free_after_first - store.free_pages(), devices);
+                let stats = store.prefix_cache_stats();
+                assert_eq!(stats.hits, devices as u64);
+                assert_eq!(stats.misses, devices as u64);
+                assert_eq!(stats.pages_reused, (4 * devices) as u64);
+                // Both tenants read bitwise what a contiguous cache holds.
+                let mut cache = QuantizedKvCache::new(cfg(16), 4);
+                for h in 0..4 {
+                    cache.prefill(h, &k[h], &v[h], &ReferenceCodec).unwrap();
+                }
+                assert!(store.matches_cache(a, &cache, 0));
+                assert!(store.matches_cache(b, &cache, 0));
+                // The adopted run forms a cascade group on every device,
+                // exactly as an explicit fork would.
+                for d in 0..devices {
+                    assert_eq!(store.shared_block_run(DeviceId(d as u32), &[a, b]), 1);
+                }
+                // Cached pages outlive their tenants; disabling the cache
+                // returns every one of them (leak audit).
+                store.evict(a);
+                store.evict(b);
+                assert_eq!(store.prefix_cached_pages(), 4 * devices);
+                store.set_prefix_cache(false);
+                assert_eq!(store.prefix_cached_pages(), 0);
+                assert_eq!(store.free_pages(), store.total_pages());
+            }
+        }
     }
 }

@@ -30,6 +30,7 @@ use crate::codec::BlockCodec;
 use crate::layout::partition_prefill;
 use crate::matrix::{TokenMatrix, TokenRows};
 use crate::paged::{PageId, PagedOom, PagedPool, SeqId};
+use crate::radix::RadixIndex;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -168,6 +169,56 @@ impl KvSharingStats {
     }
 }
 
+/// Lifetime counters of the content-addressed radix prefix cache — see
+/// [`PagedKvStore::set_prefix_cache`]. A **hit** is an admission (fresh
+/// prefill or swap-in) that adopted at least one cached page; every other
+/// admission eligible for lookup counts a **miss**.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Admissions that adopted at least one cached prefix page.
+    pub hits: u64,
+    /// Admissions that went through lookup and adopted nothing.
+    pub misses: u64,
+    /// Pages adopted zero-copy from the cache, summed over hits.
+    pub pages_reused: u64,
+    /// Packed payload bytes resident on those adopted pages.
+    pub bytes_reused: u64,
+    /// Unreferenced subtrees evicted (LRU reclaim or staleness).
+    pub evicted_subtrees: u64,
+    /// Pages those evicted subtrees released back to the pool.
+    pub evicted_pages: u64,
+}
+
+impl PrefixCacheStats {
+    /// Accumulates another device's counters (sharded aggregation).
+    pub fn absorb(&mut self, other: PrefixCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.pages_reused += other.pages_reused;
+        self.bytes_reused += other.bytes_reused;
+        self.evicted_subtrees += other.evicted_subtrees;
+        self.evicted_pages += other.evicted_pages;
+    }
+}
+
+/// What one [`PagedKvStore::admit_prefill_cached`] admission adopted from
+/// the prefix cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixAdmit {
+    /// Pages adopted zero-copy instead of being written fresh.
+    pub pages_reused: usize,
+    /// Packed payload bytes resident on the adopted pages.
+    pub bytes_reused: usize,
+}
+
+impl PrefixAdmit {
+    /// Accumulates another device's share of the same admission.
+    pub fn absorb(&mut self, other: PrefixAdmit) {
+        self.pages_reused += other.pages_reused;
+        self.bytes_reused += other.bytes_reused;
+    }
+}
+
 /// Per-sequence state outside the page arena: the FP16 residual window per
 /// head plus logical length bookkeeping.
 #[derive(Clone, Debug)]
@@ -234,6 +285,39 @@ fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Folds one packed block — both tensors' shapes and every payload byte —
+/// into an FNV-1a state. Shared by the swap-blob checksum and the radix
+/// prefix chain hash, so both key on exactly the packed representation.
+fn fold_packed_block(mut h: u64, block: &PackedBlock) -> u64 {
+    for tensor in [&block.k, &block.v] {
+        h = fnv_fold(h, &(tensor.tokens as u64).to_le_bytes());
+        h = fnv_fold(h, &(tensor.dim as u64).to_le_bytes());
+        match &tensor.payload {
+            PackedPayload::Int { words, params } => {
+                for w in words {
+                    h = fnv_fold(h, &w.to_le_bytes());
+                }
+                for p in params {
+                    h = fnv_fold(h, &p.to_bits().to_le_bytes());
+                }
+            }
+            PackedPayload::Fp4 { codes, scales } => {
+                h = fnv_fold(h, codes);
+                h = fnv_fold(h, scales);
+            }
+        }
+    }
+    h
+}
+
+/// Greatest common divisor (Euclid).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 impl SwappedSeq {
     /// Logical tokens held in the blob.
     pub fn len(&self) -> usize {
@@ -289,24 +373,7 @@ impl SwappedSeq {
         }
         for head in &self.blocks {
             for block in head {
-                for tensor in [&block.k, &block.v] {
-                    h = fnv_fold(h, &(tensor.tokens as u64).to_le_bytes());
-                    h = fnv_fold(h, &(tensor.dim as u64).to_le_bytes());
-                    match &tensor.payload {
-                        PackedPayload::Int { words, params } => {
-                            for w in words {
-                                h = fnv_fold(h, &w.to_le_bytes());
-                            }
-                            for p in params {
-                                h = fnv_fold(h, &p.to_bits().to_le_bytes());
-                            }
-                        }
-                        PackedPayload::Fp4 { codes, scales } => {
-                            h = fnv_fold(h, codes);
-                            h = fnv_fold(h, scales);
-                        }
-                    }
-                }
+                h = fold_packed_block(h, block);
             }
         }
         for m in self.residual_k.iter().chain(&self.residual_v) {
@@ -418,6 +485,16 @@ pub struct PagedKvStore {
     frames: Vec<Frame>,
     seqs: BTreeMap<SeqId, SeqKv>,
     cow_breaks: usize,
+    /// Content-addressed radix prefix index over pinned sealed page runs
+    /// (`None` = cache disabled, the construction default; the serve layer
+    /// enables it per device). See [`PagedKvStore::set_prefix_cache`].
+    radix: Option<RadixIndex>,
+    prefix_stats: PrefixCacheStats,
+    /// Test-only hook: collapse every radix chain key to one constant so
+    /// the collision tests can prove byte-verification — not the hash —
+    /// is what prevents aliasing.
+    #[cfg(test)]
+    collide_hashes: bool,
 }
 
 impl PagedKvStore {
@@ -436,6 +513,10 @@ impl PagedKvStore {
             frames: vec![vec![Vec::new(); heads]; total_pages],
             seqs: BTreeMap::new(),
             cow_breaks: 0,
+            radix: None,
+            prefix_stats: PrefixCacheStats::default(),
+            #[cfg(test)]
+            collide_hashes: false,
         }
     }
 
@@ -466,9 +547,14 @@ impl PagedKvStore {
         self.pool.page_tokens()
     }
 
-    /// Pages not currently assigned.
+    /// Pages available to new allocations: the pool's free list **plus**
+    /// prefix-cache pages no sequence maps any more, which
+    /// [`PagedKvStore::set_prefix_cache`] reclaims on demand. With the
+    /// cache disabled this is exactly the pool's free list, and with it
+    /// enabled every admission decision charges against this number — so
+    /// cache residency never changes what the scheduler can admit.
     pub fn free_pages(&self) -> usize {
-        self.pool.free_pages()
+        self.pool.free_pages() + self.pool.reclaimable_pages()
     }
 
     /// Total pool capacity in pages.
@@ -476,9 +562,10 @@ impl PagedKvStore {
         self.pool.total_pages()
     }
 
-    /// Fraction of pages in use.
+    /// Fraction of pages in use, counting reclaimable cache holdings as
+    /// free (consistent with [`PagedKvStore::free_pages`]).
     pub fn utilization(&self) -> f64 {
-        self.pool.utilization()
+        1.0 - self.free_pages() as f64 / self.total_pages().max(1) as f64
     }
 
     /// The underlying page tables (read-only).
@@ -510,12 +597,13 @@ impl PagedKvStore {
         // admit` advances the id counter unconditionally, so checking after
         // the fact would burn a SeqId on failure.
         let need = reserve_tokens.div_ceil(self.pool.page_tokens());
-        if need > self.pool.free_pages() {
+        if need > self.free_pages() {
             return Err(PagedOom {
                 requested: need,
-                free: self.pool.free_pages(),
+                free: self.free_pages(),
             });
         }
+        self.ensure_free(need, &[]);
         let seq = self.pool.admit();
         if reserve_tokens > 0 {
             self.pool
@@ -646,9 +734,16 @@ impl PagedKvStore {
             .iter()
             .map(|&p| Some(p))
             .collect();
+        let fork_reserve = reserve_tokens.max(at_token);
+        let total_slots = fork_reserve
+            .div_ceil(self.pool.page_tokens())
+            .max(slots.len());
+        // The shared prefix is held by the (resident) parent, so it can
+        // never be a reclaim victim — only the private tail needs room.
+        self.ensure_free(total_slots - slots.len(), &[]);
         let child = self
             .pool
-            .adopt(&slots, reserve_tokens.max(at_token))
+            .adopt(&slots, fork_reserve)
             .map_err(StoreError::Oom)?;
         self.seqs.insert(
             child,
@@ -732,7 +827,7 @@ impl PagedKvStore {
             .table(seq)
             .unwrap_or_else(|| unreachable!("resident sequence"))
             .iter()
-            .map(|&p| (self.pool.refcount(p) > 1).then(|| (p, self.pool.generation(p))))
+            .map(|&p| (self.pool.seq_refcount(p) > 1).then(|| (p, self.pool.generation(p))))
             .collect();
         let Some(state) = self.seqs.remove(&seq) else {
             unreachable!("checked above");
@@ -785,7 +880,34 @@ impl PagedKvStore {
                 got: blob.dim,
             }));
         }
-        let slots = self.reshare_slots(blob);
+        let mut slots = self.reshare_slots(blob);
+        // Prefix-cache adoption: any leading full page run of the blob
+        // whose bytes are cached (and byte-verified) fills its still-empty
+        // slots zero-copy, exactly like a fresh admission would.
+        let mut swap_reused = 0usize;
+        let mut swap_reused_bytes = 0usize;
+        if self.radix.is_some() {
+            let rp = self.run_pages();
+            for (r, (run_pages, _)) in self.walk_prefix(&blob.blocks).into_iter().enumerate() {
+                for (i, page) in run_pages.into_iter().enumerate() {
+                    let slot = r * rp + i;
+                    if slot < slots.len() && slots[slot].is_none() {
+                        slots[slot] = Some(page);
+                        swap_reused += 1;
+                        swap_reused_bytes += self.frames[page.0 as usize]
+                            .iter()
+                            .flat_map(|head| head.iter().map(PackedBlock::byte_size))
+                            .sum::<usize>();
+                    }
+                }
+            }
+        }
+        let adopted: Vec<PageId> = slots.iter().flatten().copied().collect();
+        let total_slots = blob
+            .reserved_tokens
+            .div_ceil(self.page_tokens())
+            .max(slots.len());
+        self.ensure_free(total_slots - adopted.len(), &adopted);
         let seq = self
             .pool
             .adopt(&slots, blob.reserved_tokens)
@@ -794,8 +916,9 @@ impl PagedKvStore {
         let pt = self.page_tokens();
         for (head, head_blocks) in blob.blocks.iter().enumerate() {
             for (b, block) in head_blocks.iter().enumerate() {
-                // Blocks homed on a re-shared page are already resident
-                // in that page's frame — only private slots re-home.
+                // Blocks homed on a re-shared or cache-adopted page are
+                // already resident in that page's frame — only private
+                // slots re-home.
                 if slots.get((b * nr) / pt).copied().flatten().is_some() {
                     continue;
                 }
@@ -812,6 +935,16 @@ impl PagedKvStore {
                 sealed: blob.sealed,
             },
         );
+        if self.radix.is_some() {
+            self.register_prefix(seq);
+            if swap_reused > 0 {
+                self.prefix_stats.hits += 1;
+                self.prefix_stats.pages_reused += swap_reused as u64;
+                self.prefix_stats.bytes_reused += swap_reused_bytes as u64;
+            } else {
+                self.prefix_stats.misses += 1;
+            }
+        }
         Ok(seq)
     }
 
@@ -823,7 +956,12 @@ impl PagedKvStore {
             .iter()
             .map(|entry| {
                 entry.and_then(|(page, gen)| {
-                    (self.pool.refcount(page) > 0 && self.pool.generation(page) == gen)
+                    // Seq-aliveness, not raw refcount: a page kept alive
+                    // only by a cache pin re-shares through the radix
+                    // lookup (byte-verified), never through the blob's
+                    // stale sharing record — keeping swap-in admission
+                    // preflight identical to a cache-off store.
+                    (self.pool.seq_refcount(page) > 0 && self.pool.generation(page) == gen)
                         .then_some(page)
                 })
             })
@@ -1012,15 +1150,16 @@ impl PagedKvStore {
                 && self
                     .pool
                     .table(seq)
-                    .is_some_and(|t| self.pool.refcount(t[slot]) > 1)
+                    .is_some_and(|t| self.pool.seq_refcount(t[slot]) > 1)
         });
         let need = grow_pages + usize::from(cow_slot.is_some());
-        if need > self.pool.free_pages() {
+        if need > self.free_pages() {
             return Err(StoreError::Oom(PagedOom {
                 requested: need,
-                free: self.pool.free_pages(),
+                free: self.free_pages(),
             }));
         }
+        self.ensure_free(need, &[]);
         if let Some(slot) = cow_slot {
             // First write past a shared boundary: copy only the affected
             // page before flushing into it.
@@ -1132,6 +1271,13 @@ impl PagedKvStore {
             .seq_len(seq)
             .unwrap_or_else(|| unreachable!("resident sequence"));
         if len > reserved {
+            let table_len = self
+                .pool
+                .table(seq)
+                .map(<[PageId]>::len)
+                .unwrap_or_else(|| unreachable!("resident sequence"));
+            let extra = len.div_ceil(self.page_tokens()).saturating_sub(table_len);
+            self.ensure_free(extra, &[]);
             self.pool.grow(seq, len)?;
         }
 
@@ -1157,6 +1303,7 @@ impl PagedKvStore {
             }
         }
         state.len = len;
+        self.register_prefix(seq);
         Ok(())
     }
 
@@ -1255,7 +1402,7 @@ impl PagedKvStore {
                 unreachable!("resident sequence");
             };
             for (slot, &page) in table.iter().enumerate() {
-                if self.pool.refcount(page) <= 1 {
+                if self.pool.seq_refcount(page) <= 1 {
                     continue;
                 }
                 let own_here = self.own_blocks_on_slot(seq, slot);
@@ -1300,6 +1447,443 @@ impl PagedKvStore {
             .map(|m| m.len() * self.config.dim * 2 * 2)
             .sum();
         packed + residual
+    }
+
+    // ── Content-addressed radix prefix cache ──────────────────────────
+
+    /// Enables or disables the content-addressed radix prefix cache.
+    ///
+    /// Enabled, every admission that prefills (or swaps in) registers its
+    /// sealed full page runs in a radix index keyed by the FNV-1a chain
+    /// hash of their packed bytes (plus scheme, page geometry, and run
+    /// position), pinning those pages past their sequence's lifetime; any
+    /// later admission with a byte-identical packed prefix adopts the
+    /// cached pages zero-copy ([`PagedKvStore::admit_prefill_cached`],
+    /// [`PagedKvStore::swap_in`]). Unreferenced holdings are reclaimed
+    /// LRU-subtree-first whenever an allocation needs room, and they count
+    /// as free in [`PagedKvStore::free_pages`] — cache residency is
+    /// invisible to admission control.
+    ///
+    /// Disabling drops the whole index and returns every unreferenced
+    /// holding to the pool. The cache starts **disabled**.
+    pub fn set_prefix_cache(&mut self, enabled: bool) {
+        if enabled {
+            if self.radix.is_none() {
+                self.radix = Some(RadixIndex::default());
+            }
+        } else if let Some(radix) = self.radix.take() {
+            for p in radix.all_pages() {
+                if self.pool.unpin_page(p) {
+                    for head_blocks in &mut self.frames[p.0 as usize] {
+                        head_blocks.clear();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the radix prefix cache is enabled.
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.radix.is_some()
+    }
+
+    /// Lifetime prefix-cache counters (all zero while disabled).
+    pub fn prefix_cache_stats(&self) -> PrefixCacheStats {
+        self.prefix_stats
+    }
+
+    /// Pages the prefix cache currently holds pinned (shared with, or
+    /// outliving, their registering sequences).
+    pub fn prefix_cached_pages(&self) -> usize {
+        self.radix.as_ref().map_or(0, |r| r.all_pages().len())
+    }
+
+    /// Runs (radix nodes) currently cached.
+    pub fn prefix_cached_runs(&self) -> usize {
+        self.radix.as_ref().map_or(0, RadixIndex::node_count)
+    }
+
+    /// Pages per cache run — the smallest page count whose tokens are a
+    /// whole number of `Nr` blocks, so adopting a run never splits a
+    /// packed block across an adopted/private boundary (and the adopter's
+    /// own first flush always lands on a fresh page past the run).
+    fn run_pages(&self) -> usize {
+        let nr = self.residual_block();
+        nr / gcd(nr, self.page_tokens())
+    }
+
+    /// Packed blocks per cache run.
+    fn run_blocks(&self) -> usize {
+        self.run_pages() * self.page_tokens() / self.residual_block()
+    }
+
+    /// Hash seed binding the chain to this store's shape: quant scheme,
+    /// head dim, head count, `Nr`, and page size all fold in, so stores
+    /// with different geometry can never exchange entries.
+    fn prefix_seed(&self) -> u64 {
+        let mut h = fnv_fold(FNV_OFFSET, format!("{:?}", self.config.scheme).as_bytes());
+        for v in [
+            self.config.dim,
+            self.heads,
+            self.residual_block(),
+            self.page_tokens(),
+        ] {
+            h = fnv_fold(h, &(v as u64).to_le_bytes());
+        }
+        h
+    }
+
+    /// Chain keys for the leading `runs` page runs of
+    /// `blocks[head][block]`: key `r` folds the run index and every packed
+    /// block of runs `0..=r` (head-major within a run) over the seed, so a
+    /// key addresses the *entire* prefix it terminates.
+    fn chain_keys<B: std::borrow::Borrow<PackedBlock>>(
+        &self,
+        blocks: &[Vec<B>],
+        runs: usize,
+    ) -> Vec<u64> {
+        let bpr = self.run_blocks();
+        let mut h = self.prefix_seed();
+        let mut keys = Vec::with_capacity(runs);
+        for r in 0..runs {
+            h = fnv_fold(h, &(r as u64).to_le_bytes());
+            for head in blocks {
+                for block in &head[r * bpr..(r + 1) * bpr] {
+                    h = fold_packed_block(h, block.borrow());
+                }
+            }
+            let key = h;
+            #[cfg(test)]
+            let key = if self.collide_hashes {
+                0x0BAD_C0DE
+            } else {
+                key
+            };
+            keys.push(key);
+        }
+        keys
+    }
+
+    /// Walks the radix index over the leading full page runs of
+    /// `blocks[head][block]`, touching every node whose pages still
+    /// byte-verify and evicting stale nodes (recycled or rewritten pages)
+    /// discovered on the way. Returns the verified runs' `(pages, packed
+    /// bytes)` in run order; the walk stops at the first miss.
+    fn walk_prefix<B: std::borrow::Borrow<PackedBlock>>(
+        &mut self,
+        blocks: &[Vec<B>],
+    ) -> Vec<(Vec<PageId>, usize)> {
+        let bpr = self.run_blocks();
+        let runs = blocks.first().map_or(0, Vec::len) / bpr;
+        if runs == 0 || self.radix.is_none() {
+            return Vec::new();
+        }
+        let keys = self.chain_keys(blocks, runs);
+        let mut out = Vec::new();
+        let mut parent = None;
+        let Some(radix) = self.radix.as_mut() else {
+            unreachable!("checked above");
+        };
+        for (r, &key) in keys.iter().enumerate() {
+            let Some(id) = radix.child(parent, key) else {
+                break;
+            };
+            let node = radix.node(id);
+            let node_pages = node.pages.clone();
+            let node_gens = node.gens.clone();
+            let node_bytes = node.bytes;
+            let stale = node_pages
+                .iter()
+                .zip(&node_gens)
+                .any(|(&p, &g)| self.pool.refcount(p) == 0 || self.pool.generation(p) != g);
+            // Byte-verify even on a fresh generation: a chain-hash
+            // collision must never alias pages.
+            let verified = !stale
+                && blocks.iter().enumerate().all(|(head, want)| {
+                    let got: Vec<&PackedBlock> = node_pages
+                        .iter()
+                        .flat_map(|&p| self.frames[p.0 as usize][head].iter())
+                        .collect();
+                    got.len() == bpr
+                        && got
+                            .iter()
+                            .zip(&want[r * bpr..(r + 1) * bpr])
+                            .all(|(a, b)| **a == *b.borrow())
+                });
+            if !verified {
+                if stale {
+                    let dropped = radix.remove_subtree(id);
+                    self.prefix_stats.evicted_subtrees += 1;
+                    self.prefix_stats.evicted_pages += dropped.len() as u64;
+                    for p in dropped {
+                        if self.pool.unpin_page(p) {
+                            for head_blocks in &mut self.frames[p.0 as usize] {
+                                head_blocks.clear();
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            radix.touch(id);
+            out.push((node_pages, node_bytes));
+            parent = Some(id);
+        }
+        out
+    }
+
+    /// Evicts cold unreferenced cache subtrees until the pool has at
+    /// least `fresh` pages on its free list (or nothing evictable
+    /// remains). `protect` lists pages about to be adopted zero-copy —
+    /// they must survive the reclaim that makes room for the rest of the
+    /// same admission.
+    fn ensure_free(&mut self, fresh: usize, protect: &[PageId]) {
+        while self.pool.free_pages() < fresh {
+            let Some(radix) = self.radix.as_mut() else {
+                return;
+            };
+            let pool = &self.pool;
+            let evictable = |p: PageId| pool.seq_refcount(p) == 0 && !protect.contains(&p);
+            let Some(dropped) = radix.evict_lru_subtree(&evictable) else {
+                return;
+            };
+            self.prefix_stats.evicted_subtrees += 1;
+            self.prefix_stats.evicted_pages += dropped.len() as u64;
+            for p in dropped {
+                if self.pool.unpin_page(p) {
+                    for head_blocks in &mut self.frames[p.0 as usize] {
+                        head_blocks.clear();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers `seq`'s leading full page runs in the radix index,
+    /// pinning their pages so they outlive the sequence and later
+    /// byte-identical prompts adopt them zero-copy. Runs already present
+    /// are LRU-touched; stale entries (recycled pages) are replaced.
+    fn register_prefix(&mut self, seq: SeqId) {
+        if self.radix.is_none() {
+            return;
+        }
+        let bpr = self.run_blocks();
+        let rp = self.run_pages();
+        let runs = self.seqs[&seq].len / self.residual_block() / bpr;
+        if runs == 0 {
+            return;
+        }
+        let blocks: Vec<Vec<&PackedBlock>> = (0..self.heads)
+            .map(|h| self.packed_blocks(seq, h))
+            .collect();
+        let keys = self.chain_keys(&blocks, runs);
+        let run_bytes: Vec<usize> = (0..runs)
+            .map(|r| {
+                blocks
+                    .iter()
+                    .flat_map(|head| head[r * bpr..(r + 1) * bpr].iter().map(|b| b.byte_size()))
+                    .sum()
+            })
+            .collect();
+        drop(blocks);
+        let table: Vec<PageId> = self
+            .pool
+            .table(seq)
+            .unwrap_or_else(|| unreachable!("resident sequence"))
+            .to_vec();
+        let mut parent = None;
+        for (r, (&key, &bytes)) in keys.iter().zip(&run_bytes).enumerate() {
+            let Some(radix) = self.radix.as_mut() else {
+                unreachable!("checked above");
+            };
+            if let Some(id) = radix.child(parent, key) {
+                let node = radix.node(id);
+                let stale = node
+                    .pages
+                    .iter()
+                    .zip(&node.gens)
+                    .any(|(&p, &g)| self.pool.refcount(p) == 0 || self.pool.generation(p) != g);
+                if !stale {
+                    // Already cached at this position (this very content,
+                    // or — vanishingly rarely — a hash collision, which
+                    // adoption-time byte-verification keeps harmless).
+                    radix.touch(id);
+                    parent = Some(id);
+                    continue;
+                }
+                let dropped = radix.remove_subtree(id);
+                self.prefix_stats.evicted_subtrees += 1;
+                self.prefix_stats.evicted_pages += dropped.len() as u64;
+                for p in dropped {
+                    if self.pool.unpin_page(p) {
+                        for head_blocks in &mut self.frames[p.0 as usize] {
+                            head_blocks.clear();
+                        }
+                    }
+                }
+            }
+            let pages = table[r * rp..(r + 1) * rp].to_vec();
+            let gens: Vec<u64> = pages.iter().map(|&p| self.pool.generation(p)).collect();
+            for &p in &pages {
+                self.pool.pin_page(p);
+            }
+            let Some(radix) = self.radix.as_mut() else {
+                unreachable!("checked above");
+            };
+            parent = Some(radix.insert(parent, key, pages, gens, bytes));
+        }
+    }
+
+    /// Admits **and** prefills a sequence in one step, adopting cached
+    /// prefix pages zero-copy — the content-addressed twin of
+    /// [`PagedKvStore::admit`] + [`PagedKvStore::prefill`]. The prompt is
+    /// quantized once up front; every leading full page run whose packed
+    /// bytes match a cached run (generation-checked **and** byte-verified)
+    /// aliases the cached pages instead of writing fresh ones, and the
+    /// remainder installs exactly as a plain prefill would. The admitted
+    /// sequence is bitwise indistinguishable from one admitted with the
+    /// cache off — same gathered blocks, same residual window — and the
+    /// admission decision charges the same [`PagedKvStore::free_pages`]
+    /// budget, so cache hits never change what gets admitted, only how
+    /// many fresh pages the admission costs.
+    ///
+    /// With the cache disabled this is exactly `admit` followed by
+    /// `prefill`. Like [`PagedKvStore::admit`], a failed admission
+    /// changes nothing and burns no [`SeqId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Oom`] when the pool cannot cover
+    /// `max(reserve_tokens, prompt_len)`, and shape errors as
+    /// [`PagedKvStore::prefill`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` per-head token counts disagree.
+    pub fn admit_prefill_cached<K, V>(
+        &mut self,
+        k: &[K],
+        v: &[V],
+        reserve_tokens: usize,
+        codec: &impl BlockCodec,
+    ) -> Result<(SeqId, PrefixAdmit), StoreError>
+    where
+        K: TokenRows,
+        V: TokenRows,
+    {
+        for got in [k.len(), v.len()] {
+            if got != self.heads {
+                return Err(StoreError::HeadCount {
+                    got,
+                    expected: self.heads,
+                });
+            }
+        }
+        let len = k[0].token_count();
+        for (hk, hv) in k.iter().zip(v) {
+            assert_eq!(hk.token_count(), len, "per-head prompt length mismatch");
+            assert_eq!(hv.token_count(), len, "per-head prompt length mismatch");
+            for t in 0..len {
+                for row in [hk.token_row(t), hv.token_row(t)] {
+                    if row.len() != self.config.dim {
+                        return Err(StoreError::Cache(CacheError::DimMismatch {
+                            expected: self.config.dim,
+                            got: row.len(),
+                        }));
+                    }
+                }
+            }
+        }
+        let reserve = reserve_tokens.max(len);
+        if self.radix.is_none() {
+            let seq = self.admit(reserve)?;
+            if let Err(e) = self.prefill(seq, k, v, codec) {
+                self.evict(seq);
+                return Err(e);
+            }
+            return Ok((seq, PrefixAdmit::default()));
+        }
+        let need = reserve.div_ceil(self.page_tokens());
+        if need > self.free_pages() {
+            return Err(StoreError::Oom(PagedOom {
+                requested: need,
+                free: self.free_pages(),
+            }));
+        }
+        // Quantize the whole aligned prefix once — both the lookup key
+        // material and the exact blocks a plain prefill would write.
+        let nr = self.residual_block();
+        let (packed_len, _res) = partition_prefill(len, nr);
+        let scheme = self.config.scheme;
+        let packed: Vec<Vec<PackedBlock>> = (0..self.heads)
+            .map(|head| {
+                (0..packed_len)
+                    .step_by(nr)
+                    .map(|b0| {
+                        let kb = rounded_block(&k[head], b0, b0 + nr);
+                        let vb = rounded_block(&v[head], b0, b0 + nr);
+                        codec.encode(&kb, &vb, scheme)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut adopted_pages: Vec<PageId> = Vec::new();
+        let mut adopted_bytes = 0usize;
+        for (pages, bytes) in self.walk_prefix(&packed) {
+            adopted_pages.extend(pages);
+            adopted_bytes += bytes;
+        }
+        let adopted_blocks = adopted_pages.len() / self.run_pages() * self.run_blocks();
+        let total_slots = need.max(adopted_pages.len());
+        self.ensure_free(total_slots - adopted_pages.len(), &adopted_pages);
+        let slots: Vec<Option<PageId>> = adopted_pages.iter().map(|&p| Some(p)).collect();
+        let seq = self.pool.adopt(&slots, reserve).map_err(StoreError::Oom)?;
+        for (head, head_blocks) in packed.into_iter().enumerate() {
+            for (b, block) in head_blocks.into_iter().enumerate().skip(adopted_blocks) {
+                let (page, _) = self.pool.translate(seq, b * nr);
+                self.frames[page.0 as usize][head].push(block);
+            }
+        }
+        let mut residual_k = vec![TokenMatrix::new(self.config.dim); self.heads];
+        let mut residual_v = vec![TokenMatrix::new(self.config.dim); self.heads];
+        for head in 0..self.heads {
+            for t in packed_len..len {
+                push_rounded(&mut residual_k[head], k[head].token_row(t));
+                push_rounded(&mut residual_v[head], v[head].token_row(t));
+            }
+        }
+        self.seqs.insert(
+            seq,
+            SeqKv {
+                len,
+                residual_k,
+                residual_v,
+                sealed: false,
+            },
+        );
+        self.register_prefix(seq);
+        let reused = adopted_pages.len();
+        if reused > 0 {
+            self.prefix_stats.hits += 1;
+            self.prefix_stats.pages_reused += reused as u64;
+            self.prefix_stats.bytes_reused += adopted_bytes as u64;
+        } else {
+            self.prefix_stats.misses += 1;
+        }
+        Ok((
+            seq,
+            PrefixAdmit {
+                pages_reused: reused,
+                bytes_reused: adopted_bytes,
+            },
+        ))
+    }
+
+    /// Test-only: collapse every chain key to one constant, so different
+    /// packed bytes collide and only byte-verification separates them.
+    #[cfg(test)]
+    pub(crate) fn force_hash_collisions(&mut self) {
+        self.collide_hashes = true;
     }
 }
 
@@ -2054,5 +2638,206 @@ mod tests {
         }
         // The undamaged original still restores.
         assert!(store.swap_in(&clean).is_ok());
+    }
+
+    /// Per-head K/V prompt rows for the prefix-cache tests.
+    #[allow(clippy::type_complexity)]
+    fn prompt(
+        heads: usize,
+        dim: usize,
+        len: usize,
+        salt: usize,
+    ) -> (Vec<Vec<Vec<f32>>>, Vec<Vec<Vec<f32>>>) {
+        let k = (0..heads)
+            .map(|h| (0..len).map(|t| row(dim, t, salt + h)).collect())
+            .collect();
+        let v = (0..heads)
+            .map(|h| (0..len).map(|t| row(dim, t + 500, salt + h)).collect())
+            .collect();
+        (k, v)
+    }
+
+    #[test]
+    fn prefix_cache_dedups_identical_independent_prompts() {
+        // kc4 ⇒ Nr = 128; page_tokens 32 ⇒ one run = 4 pages, 1 block.
+        let mut store = PagedKvStore::new(cfg(16), 2, 64, 32);
+        store.set_prefix_cache(true);
+        let (k, v) = prompt(2, 16, 128, 7);
+        let (a, ad) = store
+            .admit_prefill_cached(&k, &v, 160, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(ad.pages_reused, 0, "first admission can adopt nothing");
+        let free_after_a = store.pool.free_pages();
+        let (b, bd) = store
+            .admit_prefill_cached(&k, &v, 160, &ReferenceCodec)
+            .unwrap();
+        // The identical independent prompt adopted the whole 4-page run;
+        // only the private generation tail was drawn fresh.
+        assert_eq!(bd.pages_reused, 4);
+        assert!(bd.bytes_reused > 0);
+        assert_eq!(free_after_a - store.pool.free_pages(), 1);
+        // Bitwise identical gather through both page tables, and the
+        // cascade grouping sees the shared run like an explicit fork's.
+        for h in 0..2 {
+            assert_eq!(store.packed_blocks(a, h), store.packed_blocks(b, h));
+        }
+        assert_eq!(store.shared_block_run(&[a, b]), 1);
+        let stats = store.prefix_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.pages_reused, 4);
+        assert_eq!(stats.bytes_reused, bd.bytes_reused as u64);
+        // Counters reconcile exactly with the sharing snapshot: the run's
+        // pages are shared, and the bytes sharing saves are the bytes the
+        // hit reported reused.
+        let sharing = store.sharing_stats();
+        assert_eq!(sharing.shared_pages, 4);
+        assert_eq!(sharing.logical_pages - sharing.physical_pages, 4);
+        assert_eq!(sharing.bytes_saved as u64, stats.bytes_reused);
+    }
+
+    #[test]
+    fn prefix_pages_survive_eviction_and_still_count_free() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 16, 32);
+        store.set_prefix_cache(true);
+        let (k, v) = prompt(1, 16, 128, 3);
+        let (a, _) = store
+            .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+            .unwrap();
+        store.evict(a);
+        // Pinned run pages stay allocated in the pool but are reclaimable
+        // on demand, so the store-level free count is unchanged — cache
+        // residency is invisible to admission control.
+        assert_eq!(store.pool.free_pages(), 12);
+        assert_eq!(store.free_pages(), 16);
+        assert_eq!(store.prefix_cached_pages(), 4);
+        // An identical prompt after the owner's departure adopts the run
+        // without allocating a single page.
+        let (b, bd) = store
+            .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(bd.pages_reused, 4);
+        assert_eq!(store.pool.free_pages(), 12);
+        // And the adopted bytes equal a cache-off admission's exactly.
+        let mut plain = PagedKvStore::new(cfg(16), 1, 16, 32);
+        let s2 = plain.admit(128).unwrap();
+        plain.prefill(s2, &k, &v, &ReferenceCodec).unwrap();
+        assert_eq!(store.packed_blocks(b, 0), plain.packed_blocks(s2, 0));
+    }
+
+    #[test]
+    fn forced_hash_collisions_never_alias_pages() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 32, 32);
+        store.set_prefix_cache(true);
+        store.force_hash_collisions();
+        let (ka, va) = prompt(1, 16, 128, 1);
+        let (kb, vb) = prompt(1, 16, 128, 2);
+        let (a, ad) = store
+            .admit_prefill_cached(&ka, &va, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(ad.pages_reused, 0);
+        // Same (forced) chain key, different packed bytes: adoption-time
+        // byte-verification must reject the candidate run.
+        let (b, bd) = store
+            .admit_prefill_cached(&kb, &vb, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(bd.pages_reused, 0, "hash collision adopted foreign pages");
+        assert_ne!(store.packed_blocks(a, 0), store.packed_blocks(b, 0));
+        // Byte-identical readmission still hits through the colliding key.
+        let (c, cd) = store
+            .admit_prefill_cached(&ka, &va, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(cd.pages_reused, 4);
+        assert_eq!(store.packed_blocks(a, 0), store.packed_blocks(c, 0));
+    }
+
+    #[test]
+    fn recycled_page_generation_blocks_stale_adoption() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 16, 32);
+        store.set_prefix_cache(true);
+        let (k, v) = prompt(1, 16, 128, 9);
+        let (a, _) = store
+            .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+            .unwrap();
+        let first_page = store.pool.table(a).unwrap()[0];
+        store.evict(a);
+        // Simulate the page's frame being rewritten in place while a live
+        // radix entry still points at it.
+        store.pool.bump_generation(first_page);
+        let (b, bd) = store
+            .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(bd.pages_reused, 0, "stale generation served cached pages");
+        let stats = store.prefix_cache_stats();
+        assert_eq!(stats.evicted_subtrees, 1);
+        assert_eq!(stats.evicted_pages, 4);
+        // The stale entry was replaced by `b`'s fresh registration, and
+        // the restored bytes are correct.
+        assert_eq!(store.prefix_cached_runs(), 1);
+        let mut plain = PagedKvStore::new(cfg(16), 1, 16, 32);
+        let s2 = plain.admit(128).unwrap();
+        plain.prefill(s2, &k, &v, &ReferenceCodec).unwrap();
+        assert_eq!(store.packed_blocks(b, 0), plain.packed_blocks(s2, 0));
+    }
+
+    #[test]
+    fn lru_eviction_returns_every_page() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 12, 32);
+        store.set_prefix_cache(true);
+        // Three distinct one-run prompts fill the whole pool as cache.
+        for salt in 0..3 {
+            let (k, v) = prompt(1, 16, 128, 100 + salt);
+            let (s, _) = store
+                .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+                .unwrap();
+            store.evict(s);
+        }
+        assert_eq!(store.prefix_cached_pages(), 12);
+        assert_eq!(store.pool.free_pages(), 0);
+        assert_eq!(store.free_pages(), 12, "reclaimable cache must count free");
+        // A non-matching admission forces LRU reclaim of exactly the
+        // coldest chain — and gets every one of its pages back.
+        let (k, v) = prompt(1, 16, 128, 999);
+        let (s, sd) = store
+            .admit_prefill_cached(&k, &v, 128, &ReferenceCodec)
+            .unwrap();
+        assert_eq!(sd.pages_reused, 0);
+        let stats = store.prefix_cache_stats();
+        assert_eq!(stats.evicted_subtrees, 1);
+        assert_eq!(stats.evicted_pages, 4);
+        assert_eq!(store.prefix_cached_pages(), 12);
+        assert_eq!(store.free_pages(), 8);
+        store.evict(s);
+        assert_eq!(store.free_pages(), 12);
+        // Disabling the cache is the full leak audit: every pinned page
+        // must come back to the pool's own free list.
+        store.set_prefix_cache(false);
+        assert_eq!(store.pool.free_pages(), 12);
+        assert_eq!(store.prefix_cached_pages(), 0);
+    }
+
+    #[test]
+    fn swap_in_adopts_cached_prefix_zero_copy() {
+        let mut store = PagedKvStore::new(cfg(16), 1, 16, 32);
+        store.set_prefix_cache(true);
+        let (k, v) = prompt(1, 16, 140, 5); // 128 packed + 12 residual rows
+        let (a, _) = store
+            .admit_prefill_cached(&k, &v, 160, &ReferenceCodec)
+            .unwrap();
+        let before: Vec<PackedBlock> = store.packed_blocks(a, 0).into_iter().cloned().collect();
+        let blob = store.swap_out(a).unwrap();
+        // The registered run outlives its owner's swap-out...
+        assert_eq!(store.prefix_cached_pages(), 4);
+        assert_eq!(store.free_pages(), 16);
+        let free_raw = store.pool.free_pages();
+        // ...and swap-in re-attaches it zero-copy: only the private tail
+        // slot is drawn fresh (160 tokens = 5 slots, 4 adopted).
+        let b = store.swap_in(&blob).unwrap();
+        assert_eq!(free_raw - store.pool.free_pages(), 1);
+        let after: Vec<PackedBlock> = store.packed_blocks(b, 0).into_iter().cloned().collect();
+        assert_eq!(before, after);
+        assert_eq!(store.residual_len(b), 12);
+        let stats = store.prefix_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.pages_reused, 4);
     }
 }

@@ -155,6 +155,15 @@ pub struct FunctionalServeReport {
     /// the compute-side dedup the memory-side `peak_shared_bytes_saved`
     /// column now finally buys throughput with.
     pub prefix_pages_walked_saved: usize,
+    /// Fresh admissions that adopted cached prefix pages from the
+    /// content-addressed radix cache (per device).
+    pub prefix_cache_hits: usize,
+    /// Fresh admissions that found nothing cached to adopt (per device).
+    pub prefix_cache_misses: usize,
+    /// Physical pages radix hits adopted instead of re-writing.
+    pub prefix_pages_reused: usize,
+    /// Packed bytes those adopted pages already held.
+    pub prefix_bytes_reused: usize,
     /// The emitted token stream of every request, in submission order.
     pub token_streams: Vec<Vec<u32>>,
     /// The decode step at which each request completed, in submission
@@ -226,6 +235,10 @@ fn report_from(
         swap_bytes: summary.swap_bytes,
         shared_attn_groups: summary.shared_attn_groups,
         prefix_pages_walked_saved: summary.prefix_pages_walked_saved,
+        prefix_cache_hits: summary.prefix_cache_hits,
+        prefix_cache_misses: summary.prefix_cache_misses,
+        prefix_pages_reused: summary.prefix_pages_reused,
+        prefix_bytes_reused: summary.prefix_bytes_reused,
         token_streams: ids
             .iter()
             .map(|id| session.stream(*id).expect("submitted").to_vec())
@@ -247,7 +260,9 @@ fn report_from(
 /// prompt's packed pages copy-on-write instead of re-prefilling and
 /// re-storing them; without it every request prefills privately — the
 /// baseline the report's `peak_physical_pages` column is compared
-/// against. Token streams are identical either way (sharing is a storage
+/// against (the radix prefix cache is forced off in that arm, since it
+/// would otherwise dedup the identical prompts by content on its own).
+/// Token streams are identical either way (sharing is a storage
 /// optimization, bitwise invisible).
 ///
 /// # Errors
@@ -270,6 +285,12 @@ pub fn serve_shared_prompt_functional(
         .scheme(scheme)
         .paged(true)
         .build();
+    let config = if share_prompt {
+        config
+    } else {
+        // The private-prefill baseline must not content-dedup.
+        config.with_prefix_cache(false)
+    };
     let mut session = ServeSession::new(decoder, config);
     // One prompt seed for everyone, a distinct generation seed each.
     const PROMPT_SEED: u64 = 0xBD;
@@ -287,6 +308,56 @@ pub fn serve_shared_prompt_functional(
         } else {
             session.submit(model)?
         });
+    }
+    let summary = session.run_to_completion();
+    Ok(report_from(&session, &ids, &summary))
+}
+
+/// Runs the multi-tenant prompt-cache pattern **functionally**:
+/// `sequences` *independent* requests all carrying the same
+/// `prompt_len`-token system prompt (the same synthetic prompt
+/// [`serve_shared_prompt_functional`] uses), each submitted through plain
+/// [`ServeSession::submit`] — **no fork lineage anywhere**. With
+/// `prefix_cache` on, the content-addressed radix index dedups the
+/// identical prompts transparently: every tenant after the first adopts
+/// the sealed prompt pages zero-copy, the adopted pages form cascade
+/// shared-attention groups exactly like an explicit fork, and the report's
+/// `prefix_cache_hits` / `prefix_pages_reused` columns account for it.
+/// With it off every tenant prefills privately — the baseline. Token
+/// streams are identical either way.
+///
+/// # Errors
+///
+/// Propagates [`AdmissionError`] when a request cannot be served under
+/// `config`.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_prefix_cache_functional(
+    arch: GpuArch,
+    attn: AttentionConfig,
+    scheme: QuantScheme,
+    sequences: usize,
+    prompt_len: usize,
+    gen_tokens: usize,
+    prefix_cache: bool,
+    config: ServeConfig,
+) -> Result<FunctionalServeReport, AdmissionError> {
+    let decoder = BitDecoder::builder(arch)
+        .attention(attn)
+        .scheme(scheme)
+        .paged(true)
+        .build();
+    let mut session = ServeSession::new(decoder, config.with_prefix_cache(prefix_cache));
+    const PROMPT_SEED: u64 = 0xBD;
+    let mut ids = Vec::with_capacity(sequences);
+    for i in 0..sequences {
+        let model = Box::new(SynthSequence::forked(
+            attn,
+            PROMPT_SEED,
+            i as u64,
+            prompt_len,
+            gen_tokens,
+        ));
+        ids.push(session.submit(model)?);
     }
     let summary = session.run_to_completion();
     Ok(report_from(&session, &ids, &summary))
@@ -588,6 +659,58 @@ mod tests {
             .paged(true)
             .build();
         for (i, stream) in shared.token_streams.iter().enumerate() {
+            let want = replay_contiguous(
+                &dec,
+                &mut SynthSequence::forked(attn, 0xBD, i as u64, 256, 3),
+            );
+            assert_eq!(stream, &want, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn prefix_cache_serving_dedups_identical_tenants_bitwise_invisibly() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let config = ServeConfig::new(256, 32, 0, 8);
+        let run = |cache: bool| {
+            serve_prefix_cache_functional(
+                GpuArch::a100(),
+                attn,
+                QuantScheme::kc4(),
+                4,
+                256,
+                3,
+                cache,
+                config.clone(),
+            )
+            .unwrap()
+        };
+        let cached = run(true);
+        let cold = run(false);
+        assert_eq!(cached.completed, 4);
+        // No forks anywhere: the tenants are independent submissions and
+        // the dedup is purely content-addressed.
+        assert_eq!((cached.forks, cold.forks), (0, 0));
+        assert_eq!(cached.prefix_cache_misses, 1);
+        assert_eq!(cached.prefix_cache_hits, 3);
+        assert!(cached.prefix_pages_reused > 0);
+        assert!(cached.prefix_bytes_reused > 0);
+        assert_eq!(cold.prefix_cache_hits + cold.prefix_pages_reused, 0);
+        // Adopted pages shrink the footprint at equal output…
+        assert!(
+            cached.peak_physical_pages < cold.peak_physical_pages,
+            "{} vs {}",
+            cached.peak_physical_pages,
+            cold.peak_physical_pages
+        );
+        // …and every stream is identical to the cache-off run and to the
+        // per-sequence contiguous replay.
+        assert_eq!(cached.token_streams, cold.token_streams);
+        let dec = BitDecoder::builder(GpuArch::a100())
+            .attention(attn)
+            .scheme(QuantScheme::kc4())
+            .paged(true)
+            .build();
+        for (i, stream) in cached.token_streams.iter().enumerate() {
             let want = replay_contiguous(
                 &dec,
                 &mut SynthSequence::forked(attn, 0xBD, i as u64, 256, 3),

@@ -50,7 +50,8 @@ use crate::workers::{ServeError, WorkUnit, WorkerPool};
 use bd_core::{query_transform, ungroup_outputs, BitDecoder, DecodeShape, OnlineSoftmax};
 use bd_gpu_sim::{InterconnectModel, Topology};
 use bd_kvcache::{
-    DeviceId, Partitioning, Placement, SeqId, ShardedKvStore, StoreError, SwappedShardedSeq,
+    DeviceId, Partitioning, Placement, PrefixCacheStats, SeqId, ShardedKvStore, StoreError,
+    SwappedShardedSeq,
 };
 use bd_lowbit::fastpath::FastDequantOps;
 use bd_obs::{
@@ -96,6 +97,14 @@ pub struct ServeConfig {
     /// identical either way — and on by default; disable to force the
     /// classic per-sequence fan-out.
     pub shared_attn: bool,
+    /// Content-addressed radix prefix cache: fresh admissions adopt
+    /// sealed prompt pages whose packed bytes match an earlier
+    /// admission's, zero-copy, so independent identical prompts dedup
+    /// without an explicit fork — and the adopted pages feed the same
+    /// cascade shared-attention grouping a fork would. Hits change only
+    /// page accounting and step cost, never a token: streams stay
+    /// bitwise identical to a cache-off run. On by default.
+    pub prefix_cache: bool,
 }
 
 impl ServeConfig {
@@ -117,6 +126,7 @@ impl ServeConfig {
             partitioning: Partitioning::HeadContiguous,
             topology: Topology::flat(InterconnectModel::nvlink4()),
             shared_attn: true,
+            prefix_cache: true,
         }
     }
 
@@ -169,6 +179,14 @@ impl ServeConfig {
     /// (enabled by default).
     pub fn with_shared_attn(mut self, on: bool) -> Self {
         self.shared_attn = on;
+        self
+    }
+
+    /// Enables or disables the content-addressed radix prefix cache
+    /// (enabled by default). Off forces every fresh admission to prefill
+    /// its own pages even when an identical prompt is already resident.
+    pub fn with_prefix_cache(mut self, on: bool) -> Self {
+        self.prefix_cache = on;
         self
     }
 }
@@ -350,6 +368,21 @@ pub struct ServeMetrics {
     /// each group unit, `(sharers − 1) ×` the pages covering its shared
     /// block run. Zero when grouping is off or no groups formed.
     pub prefix_pages_walked_saved: usize,
+    /// Fresh admissions this step that adopted at least one cached prefix
+    /// page from the radix prefix cache (per device: a 2-device hit
+    /// counts 2).
+    pub prefix_cache_hits: usize,
+    /// Fresh admissions this step that found no cached prefix to adopt
+    /// (per device, like the hits).
+    pub prefix_cache_misses: usize,
+    /// Physical pages this step's cache hits adopted instead of
+    /// re-writing, summed over devices.
+    pub prefix_pages_reused: usize,
+    /// Packed-payload bytes those adopted pages already held.
+    pub prefix_bytes_reused: usize,
+    /// Radix subtrees dropped this step — LRU reclaim or staleness
+    /// (recycled-page generation mismatch), summed over devices.
+    pub prefix_subtrees_evicted: usize,
 }
 
 impl ServeMetrics {
@@ -415,6 +448,17 @@ pub struct ServeSummary {
     /// Total prefix pages the cascade units did not re-walk across the
     /// run (see [`ServeMetrics::prefix_pages_walked_saved`]).
     pub prefix_pages_walked_saved: usize,
+    /// Total radix prefix-cache hits across the run (see
+    /// [`ServeMetrics::prefix_cache_hits`]).
+    pub prefix_cache_hits: usize,
+    /// Total radix prefix-cache misses across the run.
+    pub prefix_cache_misses: usize,
+    /// Total physical pages cache hits adopted instead of re-writing.
+    pub prefix_pages_reused: usize,
+    /// Total packed bytes those adopted pages already held.
+    pub prefix_bytes_reused: usize,
+    /// Total radix subtrees dropped (LRU reclaim or staleness).
+    pub prefix_subtrees_evicted: usize,
     /// Request-lifecycle SLO rollup (TTFT/TBT/queue-wait/goodput
     /// distributions). Zeroed unless the session was built
     /// [`ServeSession::with_obs`] lifecycle tracking enabled.
@@ -521,6 +565,10 @@ struct Obs {
     /// become `cow_break` events. The store counter resets when the store
     /// is rebuilt after a device loss; the delta logic tolerates that.
     last_cow_breaks: usize,
+    /// Last observed [`ShardedKvStore::prefix_cache_stats`] — per-step
+    /// deltas land in [`ServeMetrics`] and `prefix_cache` events, with
+    /// the same reset tolerance as the CoW counter.
+    last_prefix_stats: PrefixCacheStats,
 }
 
 impl Obs {
@@ -544,6 +592,7 @@ impl Obs {
             },
             registry: MetricsRegistry::new(),
             last_cow_breaks: 0,
+            last_prefix_stats: PrefixCacheStats::default(),
         }
     }
 }
@@ -627,14 +676,16 @@ impl ServeSession {
         let placement =
             build_placement(config.devices, config.partitioning, &device_weights, heads);
         let placed_devices = placement.devices();
+        let mut store = ShardedKvStore::new(
+            cache_config,
+            placement,
+            config.total_pages,
+            config.page_tokens,
+        );
+        store.set_prefix_cache(config.prefix_cache);
         ServeSession {
             decoder: Arc::new(decoder),
-            store: Arc::new(ShardedKvStore::new(
-                cache_config,
-                placement,
-                config.total_pages,
-                config.page_tokens,
-            )),
+            store: Arc::new(store),
             pool: WorkerPool::new(config.workers, placed_devices),
             arrivals: VecDeque::new(),
             pending: VecDeque::new(),
@@ -1142,7 +1193,11 @@ impl ServeSession {
                         let candidate = self.entry_view(&entry);
                         // `held_pages` = what preempting the sequence
                         // actually frees: only exclusively-held pages —
-                        // a shared prefix page survives its sharers.
+                        // a shared prefix page survives its sharers. The
+                        // sequence refcount ignores prefix-cache pins: a
+                        // cache-pinned page whose only sequence is the
+                        // victim becomes reclaimable on swap-out, which the
+                        // free-page budget already counts as free.
                         let pool = self.store.device(DeviceId(0)).pool();
                         let running: Vec<RunningSeq> = self
                             .active
@@ -1152,7 +1207,7 @@ impl ServeSession {
                                 admitted_step: a.admitted_step,
                                 remaining_tokens: a.remaining,
                                 held_pages: pool.table(a.seq).map_or(0, |t| {
-                                    t.iter().filter(|&&p| pool.refcount(p) == 1).count()
+                                    t.iter().filter(|&&p| pool.seq_refcount(p) == 1).count()
                                 }),
                             })
                             .collect();
@@ -1178,7 +1233,7 @@ impl ServeSession {
                         }
                         let preemptible = victim_refs
                             .iter()
-                            .filter(|(&p, &c)| c == pool.refcount(p))
+                            .filter(|(&p, &c)| c == pool.seq_refcount(p))
                             .count();
                         let victim = if candidate.needed_pages > free + preemptible {
                             None
@@ -1360,25 +1415,37 @@ impl ServeSession {
                     stats.forked += usize::from(seq.is_ok());
                     seq.ok()
                 } else {
-                    match self.store_mut().admit(reserve) {
-                        Err(_oom) => None,
-                        Ok(seq) => {
-                            let codec = self.decoder.codec();
-                            let (pk, pv) = model.prompt();
-                            match self.store_mut().prefill(seq, &pk, &pv, &codec) {
-                                Ok(()) => Some(seq),
-                                // A model whose prompt disagrees with its
-                                // declared shape cannot be served: release
-                                // the reservation and fail the request
-                                // instead of poisoning the session.
-                                Err(e) => {
-                                    self.store_mut().evict(seq);
-                                    self.fault_counters.requests_failed += 1;
-                                    self.fault_counters.degraded = true;
-                                    self.failed.insert(id, ServeError::Store(e));
-                                    self.observe_failed(id);
-                                    return Ok(());
-                                }
+                    // Cheap page preflight before materializing the prompt:
+                    // the admission charge is `reserve` pages against every
+                    // device's free budget whether or not the prefix cache
+                    // would hit (hits change what the admission *costs*,
+                    // never whether it fits), so a doomed attempt can skip
+                    // prompt construction and quantization entirely.
+                    let need = reserve.div_ceil(self.config.page_tokens);
+                    let fits = (0..self.store.devices())
+                        .all(|d| need <= self.store.device_stats(DeviceId(d as u32)).free_pages);
+                    if !fits {
+                        None
+                    } else {
+                        let codec = self.decoder.codec();
+                        let (pk, pv) = model.prompt();
+                        match self
+                            .store_mut()
+                            .admit_prefill_cached(&pk, &pv, reserve, &codec)
+                        {
+                            Ok((seq, _admit)) => Some(seq),
+                            Err(StoreError::Oom(_)) => None,
+                            // A model whose prompt disagrees with its
+                            // declared shape cannot be served: the cached
+                            // admission rejects it atomically (nothing was
+                            // reserved anywhere) — fail the request instead
+                            // of poisoning the session.
+                            Err(e) => {
+                                self.fault_counters.requests_failed += 1;
+                                self.fault_counters.degraded = true;
+                                self.failed.insert(id, ServeError::Store(e));
+                                self.observe_failed(id);
+                                return Ok(());
                             }
                         }
                     }
@@ -1835,6 +1902,40 @@ impl ServeSession {
                 );
             }
         }
+        let prefix = self.take_prefix_delta();
+        if prefix.hits + prefix.misses + prefix.evicted_subtrees > 0 {
+            if self.obs.lifecycle.is_enabled() {
+                self.obs
+                    .registry
+                    .inc("serve.prefix_cache.hits", prefix.hits);
+                self.obs
+                    .registry
+                    .inc("serve.prefix_cache.misses", prefix.misses);
+                self.obs
+                    .registry
+                    .inc("serve.prefix_cache.pages_reused", prefix.pages_reused);
+                self.obs
+                    .registry
+                    .inc("serve.prefix_cache.bytes_reused", prefix.bytes_reused);
+                self.obs.registry.inc(
+                    "serve.prefix_cache.evicted_subtrees",
+                    prefix.evicted_subtrees,
+                );
+            }
+            if self.obs.events.is_enabled() {
+                self.obs.events.log(
+                    self.step_index,
+                    "prefix_cache",
+                    &[
+                        ("hits", EventField::U64(prefix.hits)),
+                        ("misses", EventField::U64(prefix.misses)),
+                        ("pages_reused", EventField::U64(prefix.pages_reused)),
+                        ("bytes_reused", EventField::U64(prefix.bytes_reused)),
+                        ("evicted_subtrees", EventField::U64(prefix.evicted_subtrees)),
+                    ],
+                );
+            }
+        }
         if shared_attn_groups > 0 {
             if self.obs.lifecycle.is_enabled() {
                 self.obs
@@ -1899,6 +2000,11 @@ impl ServeSession {
             requests_failed: fc.requests_failed,
             shared_attn_groups,
             prefix_pages_walked_saved,
+            prefix_cache_hits: prefix.hits as usize,
+            prefix_cache_misses: prefix.misses as usize,
+            prefix_pages_reused: prefix.pages_reused as usize,
+            prefix_bytes_reused: prefix.bytes_reused as usize,
+            prefix_subtrees_evicted: prefix.evicted_subtrees as usize,
         };
         if self.obs.lifecycle.is_enabled() {
             self.obs
@@ -1986,6 +2092,7 @@ impl ServeSession {
             })
             .collect();
         let sharing = self.store.sharing_stats();
+        let prefix = self.take_prefix_delta();
         let fc = std::mem::take(&mut self.fault_counters);
         let m = ServeMetrics {
             step: self.step_index,
@@ -2018,10 +2125,34 @@ impl ServeSession {
             requests_failed: fc.requests_failed,
             shared_attn_groups: 0,
             prefix_pages_walked_saved: 0,
+            prefix_cache_hits: prefix.hits as usize,
+            prefix_cache_misses: prefix.misses as usize,
+            prefix_pages_reused: prefix.pages_reused as usize,
+            prefix_bytes_reused: prefix.bytes_reused as usize,
+            prefix_subtrees_evicted: prefix.evicted_subtrees as usize,
         };
         self.step_index += 1;
         self.metrics.push(m.clone());
         m
+    }
+
+    /// Radix prefix-cache counter movement since the last sample, as a
+    /// delta against the store's monotone totals. A device-loss rebuild
+    /// replaces the store (totals reset to 0); `checked_sub` falls back to
+    /// the absolute value so the delta never wraps.
+    fn take_prefix_delta(&mut self) -> PrefixCacheStats {
+        let now = self.store.prefix_cache_stats();
+        let last = self.obs.last_prefix_stats;
+        let d = |n: u64, l: u64| n.checked_sub(l).unwrap_or(n);
+        self.obs.last_prefix_stats = now;
+        PrefixCacheStats {
+            hits: d(now.hits, last.hits),
+            misses: d(now.misses, last.misses),
+            pages_reused: d(now.pages_reused, last.pages_reused),
+            bytes_reused: d(now.bytes_reused, last.bytes_reused),
+            evicted_subtrees: d(now.evicted_subtrees, last.evicted_subtrees),
+            evicted_pages: d(now.evicted_pages, last.evicted_pages),
+        }
     }
 
     /// Removes a still-active sequence, frees its pages, and marks its
@@ -2067,12 +2198,14 @@ impl ServeSession {
         // Replace the pool first: dropping it joins the workers, which
         // releases their store handles before the store itself goes.
         self.pool = WorkerPool::new(self.config.workers, placement.devices());
-        self.store = Arc::new(ShardedKvStore::new(
+        let mut store = ShardedKvStore::new(
             self.decoder.cache_config(),
             placement,
             self.config.total_pages,
             self.config.page_tokens,
-        ));
+        );
+        store.set_prefix_cache(self.config.prefix_cache);
+        self.store = Arc::new(store);
         // Recovery: every resident sequence lost its share on the dead
         // device, and every parked swap blob was cut for the old device
         // count — both recompute from the prompt.
@@ -2232,6 +2365,11 @@ impl ServeSession {
             requests_failed: run.iter().map(|m| m.requests_failed).sum(),
             shared_attn_groups: run.iter().map(|m| m.shared_attn_groups).sum(),
             prefix_pages_walked_saved: run.iter().map(|m| m.prefix_pages_walked_saved).sum(),
+            prefix_cache_hits: run.iter().map(|m| m.prefix_cache_hits).sum(),
+            prefix_cache_misses: run.iter().map(|m| m.prefix_cache_misses).sum(),
+            prefix_pages_reused: run.iter().map(|m| m.prefix_pages_reused).sum(),
+            prefix_bytes_reused: run.iter().map(|m| m.prefix_bytes_reused).sum(),
+            prefix_subtrees_evicted: run.iter().map(|m| m.prefix_subtrees_evicted).sum(),
             slo: self.obs.lifecycle.summary(),
         }
     }
@@ -2933,7 +3071,10 @@ mod tests {
         let (prompt, gen) = (128usize, 6usize);
         let gen_seeds = [7u64, 100, 101, 102];
         let run = |forked: bool| {
-            let mut session = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, 8));
+            // Radix caching off: this test isolates *explicit* fork
+            // sharing, so the unshared baseline must not dedup by content.
+            let cfg = ServeConfig::new(64, 32, 0, 8).with_prefix_cache(false);
+            let mut session = ServeSession::new(decoder(attn), cfg);
             let parent = session
                 .submit(Box::new(SynthSequence::new(attn, 7, prompt, gen)))
                 .unwrap();
@@ -3043,6 +3184,126 @@ mod tests {
             on_sum.dequant.total(),
             off_sum.dequant.total()
         );
+    }
+
+    #[test]
+    fn prefix_cache_dedups_identical_prompts_and_forms_cascade_groups() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        // Prompt 128 = Nr = one full page run (4 pages of 32 tokens).
+        let (prompt, gen) = (128usize, 6usize);
+        let gen_seeds = [7u64, 100, 101, 102];
+        let run = |cache: bool| {
+            let cfg = ServeConfig::new(64, 32, 0, 8).with_prefix_cache(cache);
+            let mut session = ServeSession::new(decoder(attn), cfg);
+            // Four *independent* submissions of the same prompt — no fork
+            // lineage anywhere.
+            let ids: Vec<RequestId> = gen_seeds
+                .iter()
+                .map(|&gs| {
+                    session
+                        .submit(Box::new(SynthSequence::forked(attn, 7, gs, prompt, gen)))
+                        .unwrap()
+                })
+                .collect();
+            let summary = session.run_to_completion();
+            assert_eq!(summary.completed, 4);
+            assert_eq!(summary.forks, 0, "no lineage anywhere");
+            (session, ids, summary)
+        };
+        let (on, on_ids, on_sum) = run(true);
+        let (off, off_ids, off_sum) = run(false);
+
+        // The first tenant misses and registers; the other three adopt
+        // its sealed prompt run zero-copy.
+        assert_eq!(on_sum.prefix_cache_misses, 1);
+        assert_eq!(on_sum.prefix_cache_hits, 3);
+        assert_eq!(on_sum.prefix_pages_reused, 3 * (prompt / 32));
+        assert!(on_sum.prefix_bytes_reused > 0);
+        assert_eq!(off_sum.prefix_cache_hits + off_sum.prefix_cache_misses, 0);
+
+        // Adopted pages read as shared exactly like forked ones...
+        let m0 = &on.metrics()[0];
+        assert_eq!(m0.shared_pages, prompt / 32);
+        assert_eq!(m0.logical_pages - m0.physical_pages, 3 * (prompt / 32));
+        // ...and feed the same cascade grouping an explicit fork would:
+        // one multi-query unit per kv head, all four tenants sharing.
+        assert_eq!(m0.shared_attn_groups, attn.heads_kv);
+        assert!(on_sum.shared_attn_groups > 0);
+        assert_eq!(
+            off_sum.shared_attn_groups, 0,
+            "nothing shared without the cache"
+        );
+        assert!(
+            on_sum.peak_physical_pages < off_sum.peak_physical_pages,
+            "content dedup did not shrink the footprint: {} vs {}",
+            on_sum.peak_physical_pages,
+            off_sum.peak_physical_pages
+        );
+
+        // The bitwise guarantee: every stream identical to its cache-off
+        // twin and to the uninterrupted contiguous replay.
+        for (i, (a, b)) in on_ids.iter().zip(&off_ids).enumerate() {
+            assert_eq!(on.stream(*a), off.stream(*b), "request {i}");
+            let want = replay_contiguous(
+                &decoder(attn),
+                &mut SynthSequence::forked(attn, 7, gen_seeds[i], prompt, gen),
+            );
+            assert_eq!(on.stream(*a).unwrap(), want, "request {i}");
+        }
+        // Drained: the cache may still pin the prompt run, but the
+        // admission budget counts those pages free.
+        assert_eq!(on.store().free_pages(), on.store().total_pages());
+    }
+
+    #[test]
+    fn prefix_cache_matches_explicit_fork_page_footprint_at_8_tenants() {
+        let attn = AttentionConfig::gqa(4, 2, 16);
+        let (prompt, gen) = (128usize, 6usize);
+        let tenants = 8usize;
+        let model = |i: usize| -> Box<SynthSequence> {
+            if i == 0 {
+                Box::new(SynthSequence::new(attn, 7, prompt, gen))
+            } else {
+                Box::new(SynthSequence::forked(attn, 7, 100 + i as u64, prompt, gen))
+            }
+        };
+        // Explicit-fork baseline: one parent, seven forked children,
+        // radix caching off.
+        let cfg = ServeConfig::new(64, 32, 0, tenants).with_prefix_cache(false);
+        let mut forked = ServeSession::new(decoder(attn), cfg);
+        let parent = forked.submit(model(0)).unwrap();
+        let mut fork_ids = vec![parent];
+        for i in 1..tenants {
+            fork_ids.push(forked.submit_forked(parent, model(i)).unwrap());
+        }
+        let fsum = forked.run_to_completion();
+        assert_eq!(fsum.completed, tenants);
+        assert_eq!(fsum.forks, tenants - 1);
+
+        // Radix run: the same eight requests submitted independently.
+        let mut radix = ServeSession::new(decoder(attn), ServeConfig::new(64, 32, 0, tenants));
+        let radix_ids: Vec<RequestId> = (0..tenants)
+            .map(|i| radix.submit(model(i)).unwrap())
+            .collect();
+        let rsum = radix.run_to_completion();
+        assert_eq!(rsum.completed, tenants);
+        assert_eq!(rsum.forks, 0);
+        assert_eq!(rsum.prefix_cache_hits, tenants - 1);
+        assert_eq!(rsum.prefix_pages_reused, (tenants - 1) * (prompt / 32));
+        assert!(rsum.shared_attn_groups > 0);
+
+        // The acceptance bar: content dedup lands within one page run of
+        // the explicit-fork footprint (here it matches exactly, but the
+        // contract only promises the run).
+        assert!(
+            rsum.peak_physical_pages <= fsum.peak_physical_pages + prompt / 32,
+            "radix {} vs fork {}",
+            rsum.peak_physical_pages,
+            fsum.peak_physical_pages
+        );
+        for (a, b) in radix_ids.iter().zip(&fork_ids) {
+            assert_eq!(radix.stream(*a), forked.stream(*b));
+        }
     }
 
     #[test]

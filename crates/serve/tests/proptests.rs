@@ -31,6 +31,11 @@
 //!    vs off produces bitwise identical streams under the same
 //!    fork/preempt/fault interleavings, both equal to contiguous
 //!    replay; disabling the gate forms zero groups.
+//! 7. **Content dedup is invisible in the values** — the radix prefix
+//!    cache on vs off produces bitwise identical streams for
+//!    identical-prompt tenants (no `fork` anywhere) under faults,
+//!    preemption, and eviction, both equal to contiguous replay; on a
+//!    fault-free schedule every tenant after the first must hit.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -385,16 +390,21 @@ proptest! {
     /// admitted through `submit_forked` (their prompt pages aliased
     /// copy-on-write off the live parent), and a late fresh request that
     /// over-subscribes the pool, decoded across devices 1–4 ×
-    /// partitioning × page size × every scheduling policy. Whatever CoW,
-    /// preemption, and swap interleaving the run produces, every stream
-    /// must equal the **unshared** per-sequence contiguous replay bit for
-    /// bit, and every refcount must drain.
+    /// partitioning × page size × every scheduling policy. The fork steps
+    /// and the late `submit_at` arrival co-vary in one schedule, so
+    /// mid-run fresh admissions interleave with CoW forks at every
+    /// relative offset. Whatever CoW, preemption, and swap interleaving
+    /// the run produces, every stream must equal the **unshared**
+    /// per-sequence contiguous replay bit for bit, and every refcount
+    /// must drain.
     #[test]
     fn forked_streams_match_unshared_contiguous_replay_bitwise(
         devices in 1usize..5,
         partitioning in arb_partitioning(),
         page_tokens in 1usize..80,
         policy_id in 0usize..3,
+        fork_at in 1usize..5,
+        late_gap in 0usize..4,
         scheme in arb_scheme(),
         seed: u64,
     ) {
@@ -432,13 +442,15 @@ proptest! {
         let mut ids = vec![(parent, seed ^ 1, prompt, parent_gen)];
         for (i, &gen) in child_gens.iter().enumerate() {
             let id = session
-                .submit_forked_at(1 + i, parent, Box::new(SynthSequence::forked(
+                .submit_forked_at(fork_at + i, parent, Box::new(SynthSequence::forked(
                     ATTN_QUAD, seed, seed ^ (2 + i as u64), prompt, gen)))
                 .unwrap();
             ids.push((id, seed ^ (2 + i as u64), prompt, gen));
         }
+        // Strictly after both forks, so the page pressure it brings never
+        // swaps the parent out before the children alias its prompt.
         let late = session
-            .submit_at(3, Box::new(SynthSequence::forked(
+            .submit_at(fork_at + 2 + late_gap, Box::new(SynthSequence::forked(
                 ATTN_QUAD, seed ^ 9, seed ^ 9, 40, 3)))
             .unwrap();
         ids.push((late, seed ^ 9, 40, 3));
@@ -570,28 +582,36 @@ proptest! {
     /// The chaos property: a *seeded fault schedule* — device losses,
     /// swap-blob corruption, transient link failures, timed pool
     /// exhaustion — layered over any scheduling policy × devices 1–4 ×
-    /// partitioning × page size × a fork/preempt-inducing workload never
-    /// changes which tokens any stream carries: the session completes
-    /// every request, each stream equals its uninterrupted **unshared**
-    /// contiguous replay bit for bit, no request fails, and every page
-    /// drains once the run ends.
+    /// partitioning × page size × the radix prefix cache on/off × a
+    /// fork/preempt-inducing workload never changes which tokens any
+    /// stream carries: the session completes every request, each stream
+    /// equals its uninterrupted **unshared** contiguous replay bit for
+    /// bit, no request fails, and every page drains once the run ends.
+    /// The twin tenant repeats the parent's prompt without forking, so
+    /// with the cache on the run exercises content adoption, pinned-page
+    /// eviction under pressure, and page recycling across device-loss
+    /// rebuilds (the recycled-generation staleness path).
     #[test]
     fn chaos_schedules_never_change_completed_streams(
         devices in 1usize..5,
         partitioning in arb_partitioning(),
         page_tokens in 1usize..80,
         policy_id in 0usize..3,
+        prefix_cache in any::<bool>(),
         n_faults in 1usize..6,
         fault_seed: u64,
         seed: u64,
     ) {
-        // The preemption workload plus a shared-prompt fork: staggered
-        // arrivals into a pool sized for the biggest request + one page,
-        // so admission queues, forks CoW, and (under FcfsPreempt)
-        // preempts — then the fault schedule kicks it while it is down.
-        let pages = 73usize.div_ceil(page_tokens) + 1;
+        // The preemption workload plus a shared-prompt fork and an
+        // identical-prompt twin: staggered arrivals into a pool sized for
+        // the biggest request + one page, so admission queues, forks CoW,
+        // the twin content-dedups when the geometry seals a whole page
+        // run, and (under FcfsPreempt) preempts — then the fault schedule
+        // kicks it while it is down.
+        let pages = 143usize.div_ceil(page_tokens) + 1;
         let config = ServeConfig::new(pages, page_tokens, 0, 8)
-            .with_devices(devices, partitioning);
+            .with_devices(devices, partitioning)
+            .with_prefix_cache(prefix_cache);
         let dec = BitDecoder::builder(GpuArch::rtx4090())
             .attention(ATTN_QUAD)
             .scheme(QuantScheme::kc4())
@@ -605,24 +625,37 @@ proptest! {
             _ => session.with_policy(ShortestRemainingFirst),
         };
         let parent = session
-            .submit(Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 1, 70, 3)))
+            .submit(Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 1, 140, 3)))
             .unwrap();
         let child = session
             .submit_forked_at(
                 1,
                 parent,
-                Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 2, 70, 2)),
+                Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 2, 140, 2)),
+            )
+            .unwrap();
+        let twin = session
+            .submit_at(
+                2,
+                Box::new(SynthSequence::forked(ATTN_QUAD, seed, seed ^ 4, 140, 2)),
             )
             .unwrap();
         let late = session
             .submit_at(3, Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 3, 25, 4)))
             .unwrap();
         let summary = session.run_to_completion();
-        prop_assert_eq!(summary.completed, 3, "a fault aborted a request");
+        prop_assert_eq!(summary.completed, 4, "a fault aborted a request");
         prop_assert_eq!(summary.requests_failed, 0);
+        if !prefix_cache {
+            prop_assert_eq!(
+                summary.prefix_cache_hits + summary.prefix_pages_reused, 0,
+                "the cache gate leaked"
+            );
+        }
         let cases = [
-            (parent, Some(seed ^ 1), 70usize, 3usize),
-            (child, Some(seed ^ 2), 70, 2),
+            (parent, Some(seed ^ 1), 140usize, 3usize),
+            (child, Some(seed ^ 2), 140, 2),
+            (twin, Some(seed ^ 4), 140, 2),
             (late, None, 25, 4),
         ];
         for (i, (id, gen_seed, prompt, gen)) in cases.iter().enumerate() {
@@ -657,6 +690,8 @@ proptest! {
         partitioning in arb_partitioning(),
         page_tokens in 1usize..80,
         policy_id in 0usize..3,
+        fork_at in 1usize..4,
+        late_gap in 0usize..4,
         scheme in arb_scheme(),
         n_faults in 1usize..4,
         fault_seed: u64,
@@ -698,12 +733,16 @@ proptest! {
             let mut ids = vec![parent];
             for (i, &gen) in gens[1..].iter().enumerate() {
                 ids.push(session
-                    .submit_forked_at(1 + i, parent, Box::new(SynthSequence::forked(
+                    .submit_forked_at(fork_at + i, parent, Box::new(SynthSequence::forked(
                         ATTN_QUAD, seed, seed ^ (2 + i as u64), prompt, gen)))
                     .unwrap());
             }
+            // The fresh mid-run arrival co-varies with the fork steps but
+            // always lands after both forks.
             ids.push(session
-                .submit_at(3, Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 9, 40, 3)))
+                .submit_at(
+                    fork_at + 2 + late_gap,
+                    Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 9, 40, 3)))
                 .unwrap());
             let summary = session.run_to_completion();
             let streams: Vec<Vec<u32>> = ids
@@ -826,5 +865,114 @@ proptest! {
                 "sequence {} diverged on the mixed fleet", i
             );
         }
+    }
+
+    /// The radix prefix cache is bitwise invisible under chaos: N
+    /// independent identical-prompt tenants (no `fork` anywhere) plus a
+    /// distinct late arrival, run with the content-addressed cache ON and
+    /// OFF under the same seeded fault schedule — devices 1–4 ×
+    /// partitioning × page size × scheme × policy — emit identical token
+    /// streams, both equal to the uninterrupted contiguous replay. On a
+    /// fault-free schedule every tenant after the first must adopt the
+    /// sealed prompt runs on every device, and pages never leak either
+    /// way.
+    #[test]
+    fn radix_prefix_cache_chaos_streams_match_uncached_bitwise(
+        devices in 1usize..5,
+        partitioning in arb_partitioning(),
+        pt_pick in 0usize..4,
+        policy_id in 0usize..3,
+        scheme in arb_scheme(),
+        n_tenants in 2usize..5,
+        n_faults in 0usize..4,
+        fault_seed: u64,
+        seed: u64,
+    ) {
+        // Page sizes that divide both schemes' packed-run geometry, so a
+        // 256-token prompt always seals at least one whole page run and
+        // the guaranteed-hit assertion below is exact.
+        let page_tokens = [8usize, 16, 32, 64][pt_pick];
+        let prompt = 256usize;
+        let gen = |i: usize| 2 + (i % 3);
+        // Generous pool: everything fits, so the chaos comes from the
+        // fault schedule (device loss, link failures, blob corruption),
+        // not page pressure — the over-subscribed cache-under-pressure
+        // grid lives in `chaos_schedules_never_change_completed_streams`.
+        let pages = n_tenants * 260usize.div_ceil(page_tokens)
+            + 43usize.div_ceil(page_tokens)
+            + 2;
+        let dec = BitDecoder::builder(GpuArch::rtx4090())
+            .attention(ATTN_QUAD)
+            .scheme(scheme)
+            .paged(true)
+            .build();
+        let run = |cache: bool| {
+            let config = ServeConfig::new(pages, page_tokens, 0, 8)
+                .with_devices(devices, partitioning)
+                .with_prefix_cache(cache);
+            let session = ServeSession::new(dec.clone(), config)
+                .with_faults(FaultPlan::seeded(fault_seed, n_faults, 12, devices));
+            let mut session = match policy_id {
+                0 => session,
+                1 => session.with_policy(FcfsPreempt::default()),
+                _ => session.with_policy(ShortestRemainingFirst),
+            };
+            let mut ids = Vec::new();
+            for i in 0..n_tenants {
+                ids.push(session
+                    .submit(Box::new(SynthSequence::forked(
+                        ATTN_QUAD, seed, seed ^ (1 + i as u64), prompt, gen(i))))
+                    .unwrap());
+            }
+            ids.push(session
+                .submit_at(2, Box::new(SynthSequence::new(ATTN_QUAD, seed ^ 99, 40, 3)))
+                .unwrap());
+            let summary = session.run_to_completion();
+            let streams: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|id| session.stream(*id).unwrap().to_vec())
+                .collect();
+            let drained = session.store().free_pages() == session.store().total_pages();
+            (streams, summary, drained)
+        };
+        let (on_streams, on_summary, on_drained) = run(true);
+        let (off_streams, off_summary, off_drained) = run(false);
+        prop_assert_eq!(on_summary.completed, n_tenants + 1, "cached run lost a request");
+        prop_assert_eq!(off_summary.completed, n_tenants + 1, "uncached run lost a request");
+        prop_assert_eq!(on_summary.requests_failed + off_summary.requests_failed, 0);
+        prop_assert_eq!(
+            &on_streams, &off_streams,
+            "the prefix cache changed token values (devices={} pt={} policy={})",
+            devices, page_tokens, policy_id
+        );
+        for (i, stream) in on_streams.iter().enumerate() {
+            let mut model = if i < n_tenants {
+                SynthSequence::forked(
+                    ATTN_QUAD, seed, seed ^ (1 + i as u64), prompt, gen(i))
+            } else {
+                SynthSequence::new(ATTN_QUAD, seed ^ 99, 40, 3)
+            };
+            let want = replay_contiguous(&dec, &mut model);
+            prop_assert_eq!(
+                stream, &want,
+                "request {} diverged under fault schedule {:#x}×{} ({} injected)",
+                i, fault_seed, n_faults, on_summary.faults_injected
+            );
+        }
+        // The gate is real: OFF never touches the cache.
+        prop_assert_eq!(
+            off_summary.prefix_cache_hits
+                + off_summary.prefix_cache_misses
+                + off_summary.prefix_pages_reused,
+            0
+        );
+        // Fault-free schedules adopt deterministically: no rebuild ever
+        // cleared the index, so every tenant after the first hits once
+        // per device and reuses at least the sealed prompt runs.
+        if n_faults == 0 {
+            prop_assert_eq!(on_summary.prefix_cache_hits, (n_tenants - 1) * devices);
+            prop_assert!(on_summary.prefix_pages_reused > 0);
+        }
+        prop_assert!(on_drained && off_drained, "refcounts did not drain");
     }
 }

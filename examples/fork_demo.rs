@@ -27,7 +27,11 @@ const PAGE_TOKENS: usize = 64;
 
 fn run(decoder: &BitDecoder, attn: AttentionConfig, share: bool) -> (ServeSession, Vec<u64>) {
     let pages_per_seq = (PROMPT + GEN).div_ceil(PAGE_TOKENS) + 1;
-    let config = ServeConfig::new(SEQUENCES * pages_per_seq, PAGE_TOKENS, 2, SEQUENCES);
+    // The unshared arm is the *cold* baseline: the content-addressed radix
+    // cache (on by default) would otherwise dedup the identical prompts
+    // even without a single fork, collapsing the comparison.
+    let config = ServeConfig::new(SEQUENCES * pages_per_seq, PAGE_TOKENS, 2, SEQUENCES)
+        .with_prefix_cache(share);
     let mut session = ServeSession::new(decoder.clone(), config);
     let mut ids: Vec<u64> = Vec::with_capacity(SEQUENCES);
     for i in 0..SEQUENCES {

@@ -17,9 +17,16 @@
 //!    counters, event-log counts match lifecycle transitions, wall `step`
 //!    spans match `summary.steps`, modeled `execute` spans match
 //!    `steps x devices`, wall `shared_attn` spans match the cascade group
-//!    units the summary counted, the `serve.shared_attn.*` registry
-//!    counters match the summary's group/pages-saved totals, and the TTFT
-//!    p99 is finite.
+//!    units the summary counted, the `serve.shared_attn.*` and
+//!    `serve.prefix_cache.*` registry counters match the summary's
+//!    group/pages-saved and radix hit/miss/bytes-reused totals, the
+//!    `prefix_cache` event-log field sums match the same totals, and the
+//!    TTFT p99 is finite.
+//!
+//! A radix-cache twin rides along: one request repeats the fork parent's
+//! prompt *without* forking, so the content-addressed prefix cache adopts
+//! the parent's sealed prompt pages on both devices and the counters
+//! above have something nonzero to reconcile.
 //!
 //! Run with: `cargo run --release --example trace_demo`
 
@@ -46,6 +53,33 @@ const REQUESTS: [(u64, usize, usize, usize); 5] = [
 /// that walks the shared packed prefix pages once.
 const FORK_PARENT: (u64, usize, usize, usize) = (1, 128, 10, 1);
 const FORK_CHILDREN: [(u64, usize, usize); 2] = [(2, 128, 6), (3, 128, 8)];
+
+/// The radix twin: (gen seed, prompt, gen, arrival step). Repeats the
+/// fork parent's 128-token prompt as a plain `submit_at` — no fork call —
+/// so admission adopts the parent's sealed prompt run straight from the
+/// content-addressed prefix cache on every device.
+const RADIX_TWIN: (u64, usize, usize, usize) = (9, 128, 6, 3);
+
+/// Sums a `u64` field over every retained event-log line with the given
+/// event name: the event-log half of the counter reconciliation.
+fn field_sum(lines: impl Iterator<Item = impl AsRef<str>>, event: &str, key: &str) -> u64 {
+    let event_needle = format!("\"event\":\"{event}\"");
+    let key_needle = format!("\"{key}\":");
+    let mut sum = 0;
+    for line in lines {
+        let line = line.as_ref();
+        if !line.contains(&event_needle) {
+            continue;
+        }
+        let start = line.find(&key_needle).expect("field present") + key_needle.len();
+        let digits: String = line[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        sum += digits.parse::<u64>().expect("u64 field");
+    }
+    sum
+}
 
 fn fmt_q(q: &Quantiles) -> String {
     format!(
@@ -95,7 +129,14 @@ fn main() {
             )
             .expect("child fits the pool");
     }
-    let submitted = REQUESTS.len() + 1 + FORK_CHILDREN.len();
+    let (tseed, tprompt, tgen, tat) = RADIX_TWIN;
+    session
+        .submit_at(
+            tat,
+            Box::new(SynthSequence::forked(attn, pseed, tseed, tprompt, tgen)),
+        )
+        .expect("twin fits the pool");
+    let submitted = REQUESTS.len() + 1 + FORK_CHILDREN.len() + 1;
     let summary = session.run_to_completion();
     let slo = &summary.slo;
 
@@ -112,7 +153,8 @@ fn main() {
         + FORK_CHILDREN
             .iter()
             .map(|&(_, _, gen)| gen as u64)
-            .sum::<u64>();
+            .sum::<u64>()
+        + tgen as u64;
     assert_eq!(slo.tokens, gen_tokens, "every generated token counted once");
     assert!(slo.ttft_steps.p99.is_finite(), "TTFT p99 (steps) is finite");
     assert!(slo.ttft_s.p99.is_finite(), "TTFT p99 (seconds) is finite");
@@ -123,7 +165,7 @@ fn main() {
     // --- event log <-> summary reconciliation -------------------------
     let events = session.event_log();
     assert_eq!(events.dropped(), 0, "event ring never overflowed");
-    assert_eq!(events.count_event("submit_at") as usize, REQUESTS.len() + 1);
+    assert_eq!(events.count_event("submit_at") as usize, REQUESTS.len() + 2);
     assert_eq!(
         events.count_event("submit_forked") as usize,
         FORK_CHILDREN.len()
@@ -158,6 +200,52 @@ fn main() {
         reg.counter("serve.shared_attn.sharers") >= 2 * reg.counter("serve.shared_attn.groups"),
         "every cascade group has at least two sharers"
     );
+
+    // --- radix prefix cache: summary <-> registry <-> event log -------
+    // The twin repeats the parent's prompt without forking, so it must
+    // adopt the sealed prompt run from the cache on both devices.
+    assert!(
+        summary.prefix_cache_hits >= session.devices(),
+        "the radix twin did not adopt the parent's prompt pages"
+    );
+    assert!(summary.prefix_pages_reused > 0);
+    assert!(summary.prefix_bytes_reused > 0);
+    for (counter, total) in [
+        ("serve.prefix_cache.hits", summary.prefix_cache_hits),
+        ("serve.prefix_cache.misses", summary.prefix_cache_misses),
+        (
+            "serve.prefix_cache.pages_reused",
+            summary.prefix_pages_reused,
+        ),
+        (
+            "serve.prefix_cache.bytes_reused",
+            summary.prefix_bytes_reused,
+        ),
+        (
+            "serve.prefix_cache.evicted_subtrees",
+            summary.prefix_subtrees_evicted,
+        ),
+    ] {
+        assert_eq!(
+            reg.counter(counter),
+            total as u64,
+            "registry {counter} matches the summary"
+        );
+    }
+    for (field, total) in [
+        ("hits", summary.prefix_cache_hits),
+        ("misses", summary.prefix_cache_misses),
+        ("pages_reused", summary.prefix_pages_reused),
+        ("bytes_reused", summary.prefix_bytes_reused),
+        ("evicted_subtrees", summary.prefix_subtrees_evicted),
+    ] {
+        assert_eq!(
+            field_sum(events.lines(), "prefix_cache", field),
+            total as u64,
+            "event-log prefix_cache `{field}` sums to the summary total"
+        );
+    }
+    assert!(events.count_event("prefix_cache") >= 1);
 
     // --- span trace <-> summary reconciliation ------------------------
     let tracer = session.tracer();
@@ -207,6 +295,14 @@ fn main() {
     println!(
         "cascade: {} group units over {} steps, {} prefix pages not re-walked",
         summary.shared_attn_groups, shared_attn_steps, summary.prefix_pages_walked_saved
+    );
+    println!(
+        "radix cache: {} hits {} misses, {} pages / {} KiB adopted, {} subtrees evicted",
+        summary.prefix_cache_hits,
+        summary.prefix_cache_misses,
+        summary.prefix_pages_reused,
+        summary.prefix_bytes_reused / 1024,
+        summary.prefix_subtrees_evicted,
     );
     println!("ttft  (steps)  {}", fmt_q(&slo.ttft_steps));
     println!("tbt   (steps)  {}", fmt_q(&slo.tbt_steps));
